@@ -1,0 +1,125 @@
+//! FREDE (Tsitsulin et al., VLDB 2021): anytime embeddings via
+//! Frequent-Directions sketching of the proximity rows.
+//!
+//! FREDE streams the rows of the proximity matrix through a
+//! Frequent-Directions sketch (read 2d rows, SVD-compress to d, repeat).
+//! The sketch `B ≈ Σ_d·V_dᵀ` approximates the dominant right singular
+//! space; embeddings are the projections `X = M_S·V_B·Σ_B^{-1/2}` (left)
+//! and `Y = V_B·√Σ_B` (right). As the paper notes, FREDE carries no
+//! Frobenius-norm guarantee (FD bounds covariance, not reconstruction) and
+//! does not support dynamic updates — it is rebuilt per snapshot.
+
+use crate::pair::EmbeddingPair;
+use crate::strap::pad_cols;
+use tsvd_linalg::sketch::FrequentDirections;
+use tsvd_linalg::svd::exact_svd;
+use tsvd_linalg::CsrMatrix;
+
+/// The FREDE embedder.
+#[derive(Debug, Clone, Copy)]
+pub struct Frede {
+    /// Embedding dimension `d` (also the sketch size `ℓ`).
+    pub dim: usize,
+}
+
+impl Frede {
+    /// Create a FREDE embedder of dimension `d`.
+    pub fn new(dim: usize) -> Self {
+        Frede { dim }
+    }
+
+    /// Sketch-and-project the proximity matrix.
+    pub fn factorize(&self, m_s: &CsrMatrix) -> EmbeddingPair {
+        let mut fd = FrequentDirections::new(self.dim, m_s.cols());
+        for i in 0..m_s.rows() {
+            let (cols, vals) = m_s.row(i);
+            let pairs: Vec<(u32, f64)> = cols.iter().copied().zip(vals.iter().copied()).collect();
+            fd.append_sparse(&pairs);
+        }
+        let sketch = fd.sketch(); // d × n
+        let svd = exact_svd(&sketch);
+        // Right singular space of the sketch.
+        let v = svd.vt.transpose(); // n × r
+        let inv_sqrt: Vec<f64> = svd
+            .s
+            .iter()
+            .map(|&s| if s > 1e-12 { 1.0 / s.sqrt() } else { 0.0 })
+            .collect();
+        let sq: Vec<f64> = svd.s.iter().map(|s| s.max(0.0).sqrt()).collect();
+        let mut proj = v.clone();
+        proj.scale_cols(&inv_sqrt);
+        let left = m_s.mul_dense(&proj); // |S| × r
+        let mut right = v;
+        right.scale_cols(&sq);
+        EmbeddingPair {
+            left: pad_cols(left, self.dim),
+            right: Some(pad_cols(right, self.dim)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_csr(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> CsrMatrix {
+        let data: Vec<Vec<(u32, f64)>> = (0..rows)
+            .map(|_| {
+                let mut r = Vec::new();
+                for c in 0..cols as u32 {
+                    if rng.gen_bool(density) {
+                        r.push((c, rng.gen_range(0.2..2.0)));
+                    }
+                }
+                r
+            })
+            .collect();
+        CsrMatrix::from_rows(cols, &data)
+    }
+
+    #[test]
+    fn shapes_and_finiteness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = random_csr(&mut rng, 30, 100, 0.1);
+        let pair = Frede::new(8).factorize(&m);
+        assert_eq!(pair.left.rows(), 30);
+        assert_eq!(pair.left.cols(), 8);
+        assert_eq!(pair.right.as_ref().unwrap().rows(), 100);
+        assert!(pair.left.is_finite());
+    }
+
+    #[test]
+    fn low_rank_input_recovered_well() {
+        // If M is exactly rank ≤ d, FD sketching is lossless in covariance,
+        // so X·Yᵀ should reconstruct M accurately.
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = tsvd_linalg::rng::gaussian_matrix(&mut rng, 20, 3);
+        let b = tsvd_linalg::rng::gaussian_matrix(&mut rng, 3, 50);
+        let dense = a.mul(&b);
+        let rows: Vec<Vec<(u32, f64)>> = (0..20)
+            .map(|i| (0..50).map(|j| (j as u32, dense.get(i, j))).collect())
+            .collect();
+        let m = CsrMatrix::from_rows(50, &rows);
+        let pair = Frede::new(6).factorize(&m);
+        let approx = pair.left.mul(&pair.right.unwrap().transpose());
+        let rel = approx.sub(&dense).frobenius_norm() / dense.frobenius_norm();
+        assert!(rel < 1e-6, "relative error {rel}");
+    }
+
+    #[test]
+    fn full_rank_input_is_lossy() {
+        // The documented weakness: a slowly-decaying spectrum sketched into
+        // d directions loses reconstruction quality vs the exact rank-d SVD.
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = random_csr(&mut rng, 60, 80, 0.4);
+        let d = 4;
+        let pair = Frede::new(d).factorize(&m);
+        let approx = pair.left.mul(&pair.right.unwrap().transpose());
+        let frede_err = approx.sub(&m.to_dense()).frobenius_norm();
+        let svd = exact_svd(&m.to_dense());
+        let opt: f64 = svd.s[d..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!(frede_err >= opt - 1e-9, "cannot beat the optimum");
+    }
+}

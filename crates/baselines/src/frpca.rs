@@ -1,0 +1,113 @@
+//! FRPCA (Feng et al., ACML 2018): fast randomized PCA for sparse data.
+//!
+//! In this system FRPCA is the "flat" randomized SVD applied to the whole
+//! proximity matrix in one shot — the SVD-framework baseline of Exp. 2 that
+//! Tree-SVD is compared against (the other being HSVD, i.e. Tree-SVD with
+//! an exact first level). STRAP's inner factorisation is the same kernel.
+
+use crate::pair::EmbeddingPair;
+use crate::strap::pad_cols;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsvd_linalg::randomized::randomized_svd;
+use tsvd_linalg::{CsrMatrix, RandomizedSvdConfig, Svd};
+
+/// The FRPCA factoriser.
+#[derive(Debug, Clone, Copy)]
+pub struct FrPca {
+    /// Target rank `d`.
+    pub dim: usize,
+    /// Oversampling.
+    pub oversample: usize,
+    /// Power iterations — FRPCA's accuracy lever; its reference
+    /// implementation defaults to a handful.
+    pub power_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FrPca {
+    /// Defaults: oversample 10, 4 power iterations.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        FrPca { dim, oversample: 10, power_iters: 4, seed }
+    }
+
+    /// The raw truncated SVD of `m`.
+    pub fn svd(&self, m: &CsrMatrix) -> Svd {
+        let cfg = RandomizedSvdConfig {
+            rank: self.dim,
+            oversample: self.oversample,
+            power_iters: self.power_iters,
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        randomized_svd(m, &cfg, &mut rng)
+    }
+
+    /// STRAP-convention embeddings (`U√Σ`, `V√Σ`) from the factorisation.
+    pub fn factorize(&self, m: &CsrMatrix) -> EmbeddingPair {
+        let svd = self.svd(m);
+        let left = pad_cols(svd.embedding(), self.dim);
+        let mut right = svd.vt.transpose();
+        let sq: Vec<f64> = svd.s.iter().map(|s| s.max(0.0).sqrt()).collect();
+        right.scale_cols(&sq);
+        EmbeddingPair { left, right: Some(pad_cols(right, self.dim)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use tsvd_linalg::svd::exact_svd;
+
+    #[test]
+    fn near_optimal_factorization() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows: Vec<Vec<(u32, f64)>> = (0..40)
+            .map(|_| {
+                let mut r = Vec::new();
+                for c in 0..120u32 {
+                    if rng.gen_bool(0.15) {
+                        r.push((c, rng.gen_range(0.2..2.0)));
+                    }
+                }
+                r
+            })
+            .collect();
+        let m = CsrMatrix::from_rows(120, &rows);
+        let d = 8;
+        let pair = FrPca::new(d, 3).factorize(&m);
+        let approx = pair.left.mul(&pair.right.unwrap().transpose());
+        let err = approx.sub(&m.to_dense()).frobenius_norm();
+        let svd = exact_svd(&m.to_dense());
+        let opt: f64 = svd.s[d..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!(err <= 1.05 * opt + 1e-9, "err {err} vs {opt}");
+    }
+
+    #[test]
+    fn svd_singular_values_close_to_exact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows: Vec<Vec<(u32, f64)>> = (0..25)
+            .map(|_| {
+                let mut r = Vec::new();
+                for c in 0..60u32 {
+                    if rng.gen_bool(0.3) {
+                        r.push((c, rng.gen_range(0.1..1.5)));
+                    }
+                }
+                r
+            })
+            .collect();
+        let m = CsrMatrix::from_rows(60, &rows);
+        let got = FrPca::new(5, 7).svd(&m);
+        let want = exact_svd(&m.to_dense());
+        for j in 0..5 {
+            assert!(
+                (got.s[j] - want.s[j]).abs() < 0.02 * want.s[0],
+                "σ_{j}: {} vs {}",
+                got.s[j],
+                want.s[j]
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # tsvd-baselines
+//!
+//! Every competitor the paper evaluates against, implemented on the same
+//! substrates (graph, PPR, linear algebra) as Tree-SVD itself:
+//!
+//! * [`DynPpe`] — the state-of-the-art dynamic subset embedder (Guo et al.
+//!   2021): per-source PPR vectors hashed into `d` dimensions with a signed
+//!   feature hash, incrementally re-hashed when PPR changes;
+//! * [`SubsetStrap`] / [`GlobalStrap`] — STRAP (Yin & Wei 2019) restricted
+//!   to the subset proximity matrix / run over all nodes with an equalised
+//!   memory budget (the paper's Table 1 motivation);
+//! * [`Frede`] — FREDE (Tsitsulin et al. 2021): Frequent-Directions
+//!   sketching of the proximity rows;
+//! * [`RandNe`] — RandNE (Zhang et al. 2018): iterative Gaussian projection
+//!   of high-order transition matrices;
+//! * [`FrPca`] — fast randomized PCA (Feng et al. 2018), the SVD-framework
+//!   baseline of Exp. 2 (HSVD, the other Exp. 2 baseline, is
+//!   `tsvd_core::Level1Method::Exact`);
+//! * [`EmbeddingPair`] — the common `(left, right)` output every method
+//!   hands to the evaluation layer.
+
+mod dynppe;
+mod frede;
+mod frpca;
+mod pair;
+mod randne;
+mod strap;
+
+pub use dynppe::DynPpe;
+pub use frede::Frede;
+pub use frpca::FrPca;
+pub use pair::EmbeddingPair;
+pub use randne::{RandNe, RandNeConfig};
+pub use strap::{proximity_csr, GlobalStrap, SubsetStrap};

@@ -1,0 +1,31 @@
+//! Common output format of every embedding method.
+
+use tsvd_linalg::DenseMatrix;
+
+/// A `(left, right)` embedding pair.
+///
+/// `left` has one row per subset node (the classification features and the
+/// link-prediction source side); `right`, when a method can produce it, has
+/// one row per graph node (the link-prediction target side). Methods whose
+/// left and right spaces coincide (RandNE, DynPPE) set `right` to the full
+/// node embedding in the same space.
+#[derive(Debug, Clone)]
+pub struct EmbeddingPair {
+    /// `|S| × d` subset embedding.
+    pub left: DenseMatrix,
+    /// `n × d` node embedding for edge scoring, if the method provides one.
+    pub right: Option<DenseMatrix>,
+}
+
+impl EmbeddingPair {
+    /// Left-only pair (methods that cannot score arbitrary targets, like
+    /// DynPPE in the paper's LP discussion).
+    pub fn left_only(left: DenseMatrix) -> Self {
+        EmbeddingPair { left, right: None }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.left.cols()
+    }
+}

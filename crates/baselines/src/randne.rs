@@ -1,0 +1,182 @@
+//! RandNE (Zhang et al., ICDM 2018): billion-scale embedding by iterative
+//! Gaussian random projection.
+//!
+//! RandNE projects a weighted sum of high-order transition matrices
+//! `Σ_i a_i·Pⁱ` through an orthogonalised Gaussian matrix `R` without ever
+//! materialising `Pⁱ`: `U_0 = R`, `U_i = P·U_{i−1}`,
+//! `X = Σ_i a_i·U_i`. Fast, but projection (no spectral truncation) costs
+//! accuracy — the paper's Exp. 1 shows it trailing the MF methods.
+
+use crate::pair::EmbeddingPair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsvd_graph::{Direction, DynGraph};
+use tsvd_linalg::qr::orthonormalize;
+use tsvd_linalg::rng::gaussian_matrix;
+use tsvd_linalg::{CsrMatrix, DenseMatrix};
+
+/// RandNE parameters.
+#[derive(Debug, Clone)]
+pub struct RandNeConfig {
+    /// Embedding dimension `d`.
+    pub dim: usize,
+    /// Order weights `a_0..a_q`; length determines the order `q`.
+    /// Defaults follow the reference implementation's emphasis on higher
+    /// orders.
+    pub weights: Vec<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandNeConfig {
+    /// Default: order 3 with the reference implementation's weights.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        RandNeConfig { dim, weights: vec![1.0, 1e2, 1e4, 1e5], seed }
+    }
+}
+
+/// The RandNE embedder.
+#[derive(Debug, Clone)]
+pub struct RandNe {
+    cfg: RandNeConfig,
+}
+
+impl RandNe {
+    /// Create from a config.
+    pub fn new(cfg: RandNeConfig) -> Self {
+        assert!(!cfg.weights.is_empty(), "need at least one order weight");
+        RandNe { cfg }
+    }
+
+    /// Embed all nodes of `g`; `sources` selects the subset rows for the
+    /// left side. The right side is the full node embedding (RandNE embeds
+    /// every node in one shared space).
+    pub fn embed(&self, g: &DynGraph, sources: &[u32]) -> EmbeddingPair {
+        let n = g.num_nodes();
+        let p = transition_matrix(g);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let r = orthonormalize(&gaussian_matrix(&mut rng, n, self.cfg.dim.min(n)));
+        let mut u = r.clone();
+        let mut x = scale(&u, self.cfg.weights[0]);
+        for &a in &self.cfg.weights[1..] {
+            u = p.mul_dense(&u);
+            add_scaled(&mut x, &u, a);
+        }
+        let mut left = DenseMatrix::zeros(sources.len(), x.cols());
+        for (i, &s) in sources.iter().enumerate() {
+            left.row_mut(i).copy_from_slice(x.row(s as usize));
+        }
+        EmbeddingPair { left, right: Some(x) }
+    }
+}
+
+/// Row-stochastic transition matrix `P = D⁻¹·A` (dangling rows stay zero).
+fn transition_matrix(g: &DynGraph) -> CsrMatrix {
+    let n = g.num_nodes();
+    let rows: Vec<Vec<(u32, f64)>> = (0..n)
+        .map(|u| {
+            let nbrs = g.neighbors(u as u32, Direction::Out);
+            if nbrs.is_empty() {
+                return Vec::new();
+            }
+            let w = 1.0 / nbrs.len() as f64;
+            nbrs.iter().map(|&v| (v, w)).collect()
+        })
+        .collect();
+    CsrMatrix::from_rows(n, &rows)
+}
+
+fn scale(m: &DenseMatrix, a: f64) -> DenseMatrix {
+    let mut out = m.clone();
+    for v in out.as_mut_slice() {
+        *v *= a;
+    }
+    out
+}
+
+fn add_scaled(acc: &mut DenseMatrix, m: &DenseMatrix, a: f64) {
+    for (o, &v) in acc.as_mut_slice().iter_mut().zip(m.as_slice()) {
+        *o += a * v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
+        let mut g = DynGraph::with_nodes(n);
+        while g.num_edges() < m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v {
+                g.insert_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn transition_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_graph(&mut rng, 20, 60);
+        let p = transition_matrix(&g);
+        for u in 0..20 {
+            let (_, vals) = p.row(u);
+            let sum: f64 = vals.iter().sum();
+            if g.out_degree(u as u32) > 0 {
+                assert!((sum - 1.0).abs() < 1e-12, "row {u} sums to {sum}");
+            } else {
+                assert_eq!(sum, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_and_subset_extraction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_graph(&mut rng, 50, 200);
+        let pair = RandNe::new(RandNeConfig::new(8, 3)).embed(&g, &[5, 10, 15]);
+        assert_eq!(pair.left.rows(), 3);
+        assert_eq!(pair.left.cols(), 8);
+        let right = pair.right.unwrap();
+        assert_eq!(right.rows(), 50);
+        // Left rows are exactly the corresponding right rows.
+        assert_eq!(pair.left.row(0), right.row(5));
+        assert_eq!(pair.left.row(2), right.row(15));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_graph(&mut rng, 30, 90);
+        let a = RandNe::new(RandNeConfig::new(4, 7)).embed(&g, &[0]);
+        let b = RandNe::new(RandNeConfig::new(4, 7)).embed(&g, &[0]);
+        assert!(a.left.sub(&b.left).max_abs() == 0.0);
+    }
+
+    #[test]
+    fn higher_orders_mix_neighborhoods() {
+        // A path graph: with only a_0 (identity), embeddings of distinct
+        // nodes are orthogonal; adding one order makes neighbors correlate.
+        let mut g = DynGraph::with_nodes(10);
+        for u in 0..9u32 {
+            g.insert_edge(u, u + 1);
+        }
+        let flat = RandNe::new(RandNeConfig { dim: 8, weights: vec![1.0], seed: 1 })
+            .embed(&g, &[0, 1]);
+        let mixed = RandNe::new(RandNeConfig { dim: 8, weights: vec![1.0, 1.0], seed: 1 })
+            .embed(&g, &[0, 1]);
+        let dot = |m: &DenseMatrix| {
+            m.row(0)
+                .iter()
+                .zip(m.row(1))
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                .abs()
+        };
+        assert!(dot(&mixed.left) > dot(&flat.left) + 1e-9);
+    }
+}

@@ -1,0 +1,213 @@
+//! STRAP (Yin & Wei, KDD 2019) in subset and global form.
+//!
+//! STRAP factorises the log-scaled two-directional PPR proximity matrix with
+//! a fast randomized SVD and embeds `X = U·√Σ`. **Subset-STRAP** restricts
+//! the matrix to the subset's rows — the paper's strongest quality baseline,
+//! re-run from scratch at every snapshot. **Global-STRAP** embeds *all*
+//! nodes under an equalised budget: with the same total memory, each of the
+//! `n` sources gets an `r_max` coarser by a factor `n/|S|`, which is exactly
+//! why Table 1 shows global embeddings losing badly to subset embeddings.
+
+use crate::pair::EmbeddingPair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsvd_graph::DynGraph;
+use tsvd_linalg::randomized::randomized_svd;
+use tsvd_linalg::{CsrMatrix, RandomizedSvdConfig};
+use tsvd_ppr::{PprConfig, SubsetPpr};
+
+/// Subset-STRAP: randomized SVD over the subset proximity matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsetStrap {
+    /// Embedding dimension `d`.
+    pub dim: usize,
+    /// Randomized-SVD oversampling.
+    pub oversample: usize,
+    /// Randomized-SVD power iterations.
+    pub power_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SubsetStrap {
+    /// Defaults matching the Tree-SVD comparisons.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        SubsetStrap { dim, oversample: 10, power_iters: 2, seed }
+    }
+
+    /// Factorise an already-built proximity matrix (`|S| × n` CSR).
+    /// Returns left `U√Σ` and right `V√Σ` embeddings.
+    pub fn factorize(&self, m_s: &CsrMatrix) -> EmbeddingPair {
+        let cfg = RandomizedSvdConfig {
+            rank: self.dim,
+            oversample: self.oversample,
+            power_iters: self.power_iters,
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let svd = randomized_svd(m_s, &cfg, &mut rng);
+        let left = pad_cols(svd.embedding(), self.dim);
+        let mut right = svd.vt.transpose();
+        let sq: Vec<f64> = svd.s.iter().map(|s| s.max(0.0).sqrt()).collect();
+        right.scale_cols(&sq);
+        EmbeddingPair { left, right: Some(pad_cols(right, self.dim)) }
+    }
+
+    /// Full pipeline from the graph: fresh PPR push + factorisation
+    /// (how the paper re-runs Subset-STRAP at each snapshot).
+    pub fn embed(&self, g: &DynGraph, sources: &[u32], ppr_cfg: PprConfig) -> EmbeddingPair {
+        let ppr = SubsetPpr::build(g, sources, ppr_cfg);
+        let m_s = proximity_csr(&ppr, g.num_nodes());
+        self.factorize(&m_s)
+    }
+}
+
+/// Global-STRAP: STRAP over every node with budget-equalised `r_max`,
+/// subset rows extracted afterwards.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalStrap {
+    /// Embedding dimension `d`.
+    pub dim: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GlobalStrap {
+    /// Create a global embedder.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        GlobalStrap { dim, seed }
+    }
+
+    /// Embed all nodes, then return the subset rows (left) and all-node
+    /// rows (right). `subset_r_max` is what the subset methods use; it is
+    /// scaled by `n/|S|` so the global proximity matrix holds roughly the
+    /// same number of non-zeros in total.
+    pub fn embed(
+        &self,
+        g: &DynGraph,
+        sources: &[u32],
+        alpha: f64,
+        subset_r_max: f64,
+    ) -> EmbeddingPair {
+        let n = g.num_nodes();
+        let scale = (n as f64 / sources.len().max(1) as f64).max(1.0);
+        let cfg = PprConfig { alpha, r_max: subset_r_max * scale };
+        let all: Vec<u32> = (0..n as u32).collect();
+        let ppr = SubsetPpr::build(g, &all, cfg);
+        let m = proximity_csr(&ppr, n);
+        let strap = SubsetStrap::new(self.dim, self.seed);
+        let pair = strap.factorize(&m);
+        // Extract subset rows from the global left embedding.
+        let mut left = tsvd_linalg::DenseMatrix::zeros(sources.len(), self.dim);
+        for (i, &s) in sources.iter().enumerate() {
+            left.row_mut(i).copy_from_slice(pair.left.row(s as usize));
+        }
+        EmbeddingPair { left, right: pair.right }
+    }
+}
+
+/// Assemble the `|S| × n` proximity CSR from a subset-PPR structure.
+pub fn proximity_csr(ppr: &SubsetPpr, n: usize) -> CsrMatrix {
+    let rows = ppr.proximity_rows();
+    CsrMatrix::from_rows(n, &rows)
+}
+
+/// Zero-pad a matrix on the right to exactly `dim` columns.
+pub(crate) fn pad_cols(m: tsvd_linalg::DenseMatrix, dim: usize) -> tsvd_linalg::DenseMatrix {
+    if m.cols() == dim {
+        return m;
+    }
+    let mut out = tsvd_linalg::DenseMatrix::zeros(m.rows(), dim);
+    let keep = m.cols().min(dim);
+    for i in 0..m.rows() {
+        out.row_mut(i)[..keep].copy_from_slice(&m.row(i)[..keep]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tsvd_linalg::svd::exact_svd;
+
+    fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
+        let mut g = DynGraph::with_nodes(n);
+        while g.num_edges() < m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v {
+                g.insert_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn factorize_matches_exact_svd_quality() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_graph(&mut rng, 80, 400);
+        let sources: Vec<u32> = (0..10).collect();
+        let ppr = SubsetPpr::build(&g, &sources, PprConfig { alpha: 0.2, r_max: 1e-4 });
+        let m = proximity_csr(&ppr, 80);
+        let strap = SubsetStrap::new(6, 5);
+        let pair = strap.factorize(&m);
+        assert_eq!(pair.left.rows(), 10);
+        assert_eq!(pair.left.cols(), 6);
+        let right = pair.right.expect("STRAP provides a right embedding");
+        assert_eq!(right.rows(), 80);
+        // X·Yᵀ approximates M with near-optimal rank-6 error.
+        let approx = pair.left.mul(&right.transpose());
+        let err = approx.sub(&m.to_dense()).frobenius_norm();
+        let svd = exact_svd(&m.to_dense());
+        let opt: f64 = svd.s.iter().skip(6).map(|s| s * s).sum::<f64>().sqrt();
+        assert!(err <= 1.3 * opt + 1e-9, "err {err} vs optimal {opt}");
+    }
+
+    #[test]
+    fn global_strap_has_right_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_graph(&mut rng, 60, 300);
+        let sources = vec![3u32, 17, 44];
+        let gs = GlobalStrap::new(4, 9);
+        let pair = gs.embed(&g, &sources, 0.2, 1e-4);
+        assert_eq!(pair.left.rows(), 3);
+        assert_eq!(pair.left.cols(), 4);
+        assert_eq!(pair.right.as_ref().unwrap().rows(), 60);
+    }
+
+    #[test]
+    fn global_coarser_than_subset() {
+        // The equalised budget makes the global proximity matrix much
+        // sparser per row than the subset one — the Table 1 mechanism.
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_graph(&mut rng, 100, 500);
+        let sources: Vec<u32> = (0..5).collect();
+        let subset_ppr = SubsetPpr::build(&g, &sources, PprConfig { alpha: 0.2, r_max: 1e-4 });
+        let subset_m = proximity_csr(&subset_ppr, 100);
+        let all: Vec<u32> = (0..100).collect();
+        let global_ppr = SubsetPpr::build(
+            &g,
+            &all,
+            PprConfig { alpha: 0.2, r_max: 1e-4 * (100.0 / 5.0) },
+        );
+        let global_m = proximity_csr(&global_ppr, 100);
+        let subset_nnz_per_row = subset_m.nnz() as f64 / 5.0;
+        let global_nnz_per_row = global_m.nnz() as f64 / 100.0;
+        assert!(
+            global_nnz_per_row < subset_nnz_per_row,
+            "global {global_nnz_per_row} vs subset {subset_nnz_per_row}"
+        );
+    }
+
+    #[test]
+    fn pad_cols_behaviour() {
+        let m = tsvd_linalg::DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let padded = pad_cols(m.clone(), 4);
+        assert_eq!(padded.row(0), &[1.0, 2.0, 0.0, 0.0]);
+        let same = pad_cols(m.clone(), 2);
+        assert_eq!(same, m);
+        let cut = pad_cols(m, 1);
+        assert_eq!(cut.row(1), &[3.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the PPR engine: fresh pushes (dense
+//! workspace vs sparse state) and dynamic updates at several batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsvd_datasets::{DatasetConfig, SyntheticDataset};
+use tsvd_graph::{Direction, DynGraph, EdgeEvent};
+use tsvd_ppr::dynamic::{dynamic_update, record_events};
+use tsvd_ppr::FreshPushWorkspace;
+use tsvd_ppr::{forward_push, PprState};
+
+fn test_graph() -> (SyntheticDataset, DynGraph) {
+    let mut cfg = DatasetConfig::patent();
+    cfg.num_nodes = 5000;
+    cfg.num_edges = 25_000;
+    cfg.tau = 2;
+    let ds = SyntheticDataset::generate(&cfg);
+    let g = ds.stream.snapshot(2);
+    (ds, g)
+}
+
+fn bench_fresh_push(c: &mut Criterion) {
+    let (_, g) = test_graph();
+    let mut group = c.benchmark_group("fresh_push");
+    for &r_max in &[1e-4_f64, 1e-5] {
+        group.bench_with_input(
+            BenchmarkId::new("dense_workspace", format!("{r_max:.0e}")),
+            &r_max,
+            |b, &r_max| {
+                let mut ws = FreshPushWorkspace::new(g.num_nodes());
+                b.iter(|| ws.run(&g, Direction::Out, 0.2, r_max, 17))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse_state", format!("{r_max:.0e}")),
+            &r_max,
+            |b, &r_max| {
+                b.iter(|| {
+                    let mut st = PprState::new(17);
+                    forward_push(&g, Direction::Out, 0.2, r_max, &mut st);
+                    st
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dynamic_update(c: &mut Criterion) {
+    let (_, g0) = test_graph();
+    let mut group = c.benchmark_group("dynamic_push_update");
+    group.sample_size(20);
+    for &batch in &[10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter_with_setup(
+                || {
+                    let mut g = g0.clone();
+                    let mut st = PprState::new(17);
+                    forward_push(&g, Direction::Out, 0.2, 1e-5, &mut st);
+                    let mut rng = StdRng::seed_from_u64(9);
+                    let events: Vec<EdgeEvent> = (0..batch)
+                        .map(|_| {
+                            let u = rng.gen_range(0..g.num_nodes()) as u32;
+                            let v = rng.gen_range(0..g.num_nodes()) as u32;
+                            EdgeEvent::insert(u, v)
+                        })
+                        .collect();
+                    let (rec, _) = record_events(&mut g, &events);
+                    (g, st, rec)
+                },
+                |(g, mut st, rec)| {
+                    dynamic_update(&g, Direction::Out, 0.2, 1e-5, &mut st, &rec);
+                    st
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fresh_push, bench_dynamic_update);
+criterion_main!(benches);

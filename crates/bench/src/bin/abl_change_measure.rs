@@ -1,0 +1,66 @@
+//! **Ablation: which change measure should gate lazy updates?**
+//!
+//! The paper (Section 3.2) considers tracking the number of non-zeros or
+//! the 1-norm of each sub-matrix — "heuristic, efficient, and effective"
+//! but without a theoretical guarantee — before settling on the
+//! Frobenius-norm rule of Lemma 3.4. This ablation runs the batch-update
+//! protocol under: the Frobenius rule (several δ), the changed-cell-count
+//! heuristic (several budgets), eager per-change recomputation, and full
+//! rebuilds, reporting quality, work, and time for each.
+
+use std::collections::HashSet;
+use tsvd_bench::batch::{batch_params, future_events, run_batch_updates, BatchMethod};
+use tsvd_bench::harness::{fmt_pct, fmt_secs, save_json, Table};
+use tsvd_bench::setup::standard_setup;
+use tsvd_core::UpdatePolicy;
+use tsvd_datasets::DatasetConfig;
+use tsvd_eval::NodeClassificationTask;
+
+fn main() {
+    let (batch_size, max_batches) = batch_params();
+    let limit = batch_size * max_batches;
+    let policies: Vec<(String, UpdatePolicy)> = vec![
+        ("frobenius δ=0.45".into(), UpdatePolicy::Lazy { delta: 0.45 }),
+        ("frobenius δ=0.65".into(), UpdatePolicy::Lazy { delta: 0.65 }),
+        ("frobenius δ=0.85".into(), UpdatePolicy::Lazy { delta: 0.85 }),
+        ("nnz-count 10%".into(), UpdatePolicy::LazyNnz { threshold: 0.1 }),
+        ("nnz-count 50%".into(), UpdatePolicy::LazyNnz { threshold: 0.5 }),
+        ("eager (any change)".into(), UpdatePolicy::ChangedOnly),
+        ("rebuild (all)".into(), UpdatePolicy::All),
+    ];
+    let mut table = Table::new(&[
+        "dataset", "policy", "micro-F1@50%", "avg-update-time", "blocks-recomputed",
+    ]);
+    for cfg in [DatasetConfig::patent(), DatasetConfig::wikipedia()] {
+        eprintln!("[abl-measure] dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let t_mid = (s.dataset.stream.num_snapshots() / 2).max(1);
+        let events = future_events(&s, t_mid, limit, &HashSet::new());
+        if events.is_empty() {
+            continue;
+        }
+        let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
+        for (name, policy) in &policies {
+            let run = run_batch_updates(
+                &s,
+                t_mid,
+                &events,
+                batch_size,
+                &[BatchMethod::TreeSvdDynamic],
+                Some(*policy),
+            );
+            let o = &run.outcomes[0];
+            let f1 = task.evaluate(&o.left);
+            table.row(vec![
+                cfg.name.clone(),
+                name.clone(),
+                fmt_pct(f1.micro),
+                fmt_secs(o.avg_secs),
+                o.blocks_recomputed.to_string(),
+            ]);
+            eprintln!("[abl-measure]   {name}: {} blocks", o.blocks_recomputed);
+        }
+    }
+    table.print("Ablation — lazy-update change measures (Frobenius vs nnz-count vs eager)");
+    save_json("abl_change_measure", &table.to_json());
+}

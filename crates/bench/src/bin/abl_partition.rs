@@ -1,0 +1,73 @@
+//! **Ablation: equal-width vs mass-balanced column partitioning.**
+//!
+//! The paper observes that PPR mass concentrates on a few local
+//! sub-matrices ("with a large sub-matrix partition size b, the PPR entries
+//! often concentrate on some local sub-matrices") — that skew is what lazy
+//! updates exploit, but it also unbalances the level-1 SVD costs. This
+//! ablation compares the paper's equal-width layout against boundaries
+//! balanced by initial column mass: static build time, per-block nnz skew,
+//! dynamic update work, and downstream quality.
+
+use std::collections::HashSet;
+use tsvd_bench::batch::{batch_params, future_events};
+use tsvd_bench::harness::{fmt_pct, fmt_secs, save_json, timed, Table};
+use tsvd_bench::setup::standard_setup;
+use tsvd_core::{PartitionStrategy, TreeSvdConfig, TreeSvdPipeline};
+use tsvd_datasets::DatasetConfig;
+use tsvd_eval::NodeClassificationTask;
+
+fn main() {
+    let (batch_size, max_batches) = batch_params();
+    let limit = batch_size * max_batches;
+    let mut table = Table::new(&[
+        "dataset",
+        "partition",
+        "nnz-skew(max/mean)",
+        "build-time",
+        "avg-update-time",
+        "blocks-recomputed",
+        "micro-F1@50%",
+    ]);
+    for cfg in [DatasetConfig::patent(), DatasetConfig::wikipedia()] {
+        eprintln!("[abl-partition] dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let t_mid = (s.dataset.stream.num_snapshots() / 2).max(1);
+        let events = future_events(&s, t_mid, limit, &HashSet::new());
+        let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
+        for strategy in [PartitionStrategy::EqualWidth, PartitionStrategy::EqualMass] {
+            let tree_cfg = TreeSvdConfig { partition: strategy, ..s.tree_cfg };
+            let mut g = s.dataset.stream.snapshot(t_mid);
+            let (mut pipe, build_secs) =
+                timed(|| TreeSvdPipeline::new(&g, &s.subset, s.ppr_cfg, tree_cfg));
+            // Per-block nnz skew of the initial matrix.
+            let m = pipe.matrix();
+            let nnzs: Vec<usize> = (0..m.num_blocks()).map(|j| m.block_csr(j).nnz()).collect();
+            let mean = nnzs.iter().sum::<usize>() as f64 / nnzs.len() as f64;
+            let skew = nnzs.iter().copied().max().unwrap_or(0) as f64 / mean.max(1.0);
+            // Batch updates.
+            let mut update_secs = 0.0;
+            let mut blocks = 0usize;
+            let mut batches = 0usize;
+            for batch in events.chunks(batch_size) {
+                batches += 1;
+                let ((), t1) = timed(|| pipe.apply_events(&mut g, batch));
+                let (stats, t2) = timed(|| pipe.refresh_embedding());
+                update_secs += t1 + t2;
+                blocks += stats.blocks_recomputed;
+            }
+            let f1 = task.evaluate(&pipe.embedding().left());
+            table.row(vec![
+                cfg.name.clone(),
+                format!("{strategy:?}"),
+                format!("{skew:.2}"),
+                fmt_secs(build_secs),
+                fmt_secs(update_secs / batches.max(1) as f64),
+                blocks.to_string(),
+                fmt_pct(f1.micro),
+            ]);
+            eprintln!("[abl-partition]   {strategy:?}: skew {skew:.2}");
+        }
+    }
+    table.print("Ablation — column partitioning: equal-width vs mass-balanced");
+    save_json("abl_partition", &table.to_json());
+}

@@ -1,0 +1,52 @@
+//! **Exp. 1 (link prediction): Table 4 + Figure 4.**
+//!
+//! Precision@|positives| and embedding time on the three LP datasets.
+//! 30% of subset-outgoing edges are held out per Section 6.1; embeddings
+//! are computed on the remaining graph. DynPPE is omitted exactly as in
+//! the paper (it has no right embedding: hashing the `n × |S|` reverse
+//! matrix would cost `n/|S|` times the subset embedding).
+
+use tsvd_bench::harness::{fmt_pct, fmt_secs, save_json, Table};
+use tsvd_bench::methods::{run_static, Method};
+use tsvd_bench::setup::standard_setup;
+use tsvd_datasets::all_lp_datasets;
+use tsvd_eval::LinkPredictionTask;
+
+fn main() {
+    let methods = [
+        Method::GlobalStrap,
+        Method::SubsetStrap,
+        Method::Frede,
+        Method::RandNe,
+        Method::TreeSvdS,
+    ];
+    let mut table = Table::new(&["dataset", "method", "precision", "auc", "time"]);
+    for cfg in all_lp_datasets() {
+        eprintln!("[exp1-lp] dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let g = s.dataset.stream.snapshot(s.dataset.stream.num_snapshots());
+        let task = LinkPredictionTask::from_graph(&g, &s.subset, 0.3, 321);
+        eprintln!("[exp1-lp]   {} positive pairs", task.num_positives());
+        for m in methods {
+            let (pair, secs) = run_static(m, &task.train_graph, &s);
+            let right = pair.right.as_ref().expect("LP methods provide right embeddings");
+            let prec = task.precision(&pair.left, right);
+            let auc = task.auc(&pair.left, right);
+            table.row(vec![
+                cfg.name.clone(),
+                m.name().into(),
+                fmt_pct(prec),
+                fmt_pct(auc),
+                fmt_secs(secs),
+            ]);
+            eprintln!(
+                "[exp1-lp]   {:<13} precision {:.2}  time {}",
+                m.name(),
+                prec * 100.0,
+                fmt_secs(secs)
+            );
+        }
+    }
+    table.print("Exp. 1 — static subset embedding, link prediction (Table 4 / Figure 4)");
+    save_json("exp1_static_lp", &table.to_json());
+}

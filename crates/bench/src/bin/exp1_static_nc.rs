@@ -1,0 +1,54 @@
+//! **Exp. 1 (node classification): Table 1 + Figure 3.**
+//!
+//! Global vs subset embedding methods on the three labelled datasets:
+//! micro-F1 at 50% and 70% training ratios plus embedding time, on the last
+//! snapshot of each graph — the paper's motivation table (Table 1) is the
+//! 50%-ratio column of this output.
+
+use tsvd_bench::harness::{fmt_pct, fmt_secs, save_json, Table};
+use tsvd_bench::methods::{run_static, Method};
+use tsvd_bench::setup::standard_setup;
+use tsvd_datasets::all_nc_datasets;
+use tsvd_eval::NodeClassificationTask;
+
+fn main() {
+    let methods = [
+        Method::GlobalStrap,
+        Method::SubsetStrap,
+        Method::DynPpe,
+        Method::Frede,
+        Method::RandNe,
+        Method::TreeSvdS,
+    ];
+    let mut table = Table::new(&[
+        "dataset", "method", "micro-F1@50%", "macro-F1@50%", "micro-F1@70%", "time",
+    ]);
+    for cfg in all_nc_datasets() {
+        eprintln!("[exp1-nc] dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let g = s.dataset.stream.snapshot(s.dataset.stream.num_snapshots());
+        let task50 = NodeClassificationTask::new(&s.labels, 0.5, 123);
+        let task70 = NodeClassificationTask::new(&s.labels, 0.7, 123);
+        for m in methods {
+            let (pair, secs) = run_static(m, &g, &s);
+            let f50 = task50.evaluate(&pair.left);
+            let f70 = task70.evaluate(&pair.left);
+            table.row(vec![
+                cfg.name.clone(),
+                m.name().into(),
+                fmt_pct(f50.micro),
+                fmt_pct(f50.macro_),
+                fmt_pct(f70.micro),
+                fmt_secs(secs),
+            ]);
+            eprintln!(
+                "[exp1-nc]   {:<13} micro@50 {:.2}  time {}",
+                m.name(),
+                f50.micro * 100.0,
+                fmt_secs(secs)
+            );
+        }
+    }
+    table.print("Exp. 1 — static subset embedding, node classification (Table 1 / Figure 3)");
+    save_json("exp1_static_nc", &table.to_json());
+}

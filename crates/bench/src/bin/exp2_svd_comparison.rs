@@ -1,0 +1,75 @@
+//! **Exp. 2: Figure 5 + Tables 5 and 6.**
+//!
+//! SVD-framework comparison: FRPCA (flat randomized SVD), HSVD (exact
+//! first level), and Tree-SVD-S factorise the *same* proximity matrix; we
+//! report pure factorisation time (Figure 5) plus downstream micro-F1
+//! (Table 5) and LP precision (Table 6).
+
+use tsvd_baselines::{EmbeddingPair, FrPca};
+use tsvd_bench::harness::{fmt_pct, fmt_secs, save_json, timed, Table};
+use tsvd_bench::methods::blocked_proximity;
+use tsvd_bench::setup::standard_setup;
+use tsvd_core::{Level1Method, TreeSvd, TreeSvdConfig};
+use tsvd_datasets::{all_lp_datasets, all_nc_datasets};
+use tsvd_eval::{LinkPredictionTask, NodeClassificationTask};
+
+fn factorizations(
+    m: &tsvd_core::BlockedProximityMatrix,
+    cfg: &TreeSvdConfig,
+) -> Vec<(&'static str, EmbeddingPair, f64)> {
+    let csr = m.to_csr();
+    let mut out = Vec::new();
+    let (pair, secs) = timed(|| FrPca::new(cfg.dim, cfg.seed).factorize(&csr));
+    out.push(("FRPCA", pair, secs));
+    let hsvd_cfg = TreeSvdConfig { level1: Level1Method::Exact, ..*cfg };
+    let (emb, secs) = timed(|| TreeSvd::new(hsvd_cfg).embed(m));
+    out.push((
+        "HSVD",
+        EmbeddingPair { left: emb.left(), right: Some(emb.right(&csr)) },
+        secs,
+    ));
+    let (emb, secs) = timed(|| TreeSvd::new(*cfg).embed(m));
+    out.push((
+        "Tree-SVD-S",
+        EmbeddingPair { left: emb.left(), right: Some(emb.right(&csr)) },
+        secs,
+    ));
+    out
+}
+
+fn main() {
+    // Table 5 + NC half of Figure 5.
+    let mut nc = Table::new(&["dataset", "method", "micro-F1@50%", "svd-time"]);
+    for cfg in all_nc_datasets() {
+        eprintln!("[exp2] NC dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let g = s.dataset.stream.snapshot(s.dataset.stream.num_snapshots());
+        let m = blocked_proximity(&g, &s.subset, s.ppr_cfg, s.tree_cfg.num_blocks);
+        let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
+        for (name, pair, secs) in factorizations(&m, &s.tree_cfg) {
+            let f1 = task.evaluate(&pair.left);
+            nc.row(vec![cfg.name.clone(), name.into(), fmt_pct(f1.micro), fmt_secs(secs)]);
+        }
+    }
+    nc.print("Exp. 2 — SVD comparison, node classification (Table 5 / Figure 5)");
+
+    // Table 6 + LP half of Figure 5.
+    let mut lp = Table::new(&["dataset", "method", "precision", "svd-time"]);
+    for cfg in all_lp_datasets() {
+        eprintln!("[exp2] LP dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let g = s.dataset.stream.snapshot(s.dataset.stream.num_snapshots());
+        let task = LinkPredictionTask::from_graph(&g, &s.subset, 0.3, 321);
+        let m = blocked_proximity(&task.train_graph, &s.subset, s.ppr_cfg, s.tree_cfg.num_blocks);
+        for (name, pair, secs) in factorizations(&m, &s.tree_cfg) {
+            let prec = task.precision(&pair.left, pair.right.as_ref().unwrap());
+            lp.row(vec![cfg.name.clone(), name.into(), fmt_pct(prec), fmt_secs(secs)]);
+        }
+    }
+    lp.print("Exp. 2 — SVD comparison, link prediction (Table 6 / Figure 5)");
+
+    save_json(
+        "exp2_svd_comparison",
+        &serde_json::json!({ "nc": nc.to_json(), "lp": lp.to_json() }),
+    );
+}

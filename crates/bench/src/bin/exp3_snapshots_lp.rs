@@ -1,0 +1,42 @@
+//! **Exp. 3 (link prediction): Figure 9.**
+//!
+//! Precision per snapshot on YouTube-like and Flickr-like graphs (the
+//! Twitter-like panel of Figure 9 lives in `exp5_scalability`). Per
+//! snapshot: hold out 30% of subset edges, embed on the rest, rank.
+
+use tsvd_bench::harness::{fmt_pct, save_json, Table};
+use tsvd_bench::methods::{run_static, Method};
+use tsvd_bench::setup::standard_setup;
+use tsvd_datasets::DatasetConfig;
+use tsvd_eval::LinkPredictionTask;
+
+fn main() {
+    let methods = [Method::RandNe, Method::SubsetStrap, Method::TreeSvdS];
+    let mut table = Table::new(&["dataset", "snapshot", "method", "precision"]);
+    for cfg in [DatasetConfig::youtube(), DatasetConfig::flickr()] {
+        eprintln!("[exp3-lp] dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let tau = s.dataset.stream.num_snapshots();
+        for t in 1..=tau {
+            let g = s.dataset.stream.snapshot(t);
+            let task = LinkPredictionTask::from_graph(&g, &s.subset, 0.3, 321);
+            if task.num_positives() == 0 {
+                eprintln!("[exp3-lp]   snapshot {t}: no positives yet, skipped");
+                continue;
+            }
+            for m in methods {
+                let (pair, _) = run_static(m, &task.train_graph, &s);
+                let prec = task.precision(&pair.left, pair.right.as_ref().unwrap());
+                table.row(vec![
+                    cfg.name.clone(),
+                    t.to_string(),
+                    m.name().into(),
+                    fmt_pct(prec),
+                ]);
+            }
+            eprintln!("[exp3-lp]   snapshot {t}/{tau} done");
+        }
+    }
+    table.print("Exp. 3 — link prediction across snapshots (Figure 9)");
+    save_json("exp3_snapshots_lp", &table.to_json());
+}

@@ -1,0 +1,142 @@
+//! **Exp. 4: Figure 10 + Table 7.**
+//!
+//! Batch-update comparison: starting from a middle snapshot, replay the
+//! remaining event stream in fixed-size batches (scaled analogue of the
+//! paper's 100 batches of 10⁴ events) and maintain each method's embedding
+//! after every batch. Reports the mean per-batch update time and the
+//! downstream quality after all updates: micro-F1 on the labelled datasets
+//! (Figure 10) and temporal link-prediction precision on the LP datasets
+//! (Table 7, with positives drawn from the future edges that were filtered
+//! out of the replayed stream).
+
+use std::collections::HashSet;
+use tsvd_bench::batch::{batch_params, future_events, run_batch_updates, BatchMethod};
+use tsvd_bench::harness::{fmt_pct, fmt_secs, save_json, Table};
+use tsvd_bench::setup::{standard_setup, ExpSetup};
+use tsvd_datasets::{all_lp_datasets, all_nc_datasets};
+use tsvd_eval::{LinkPredictionTask, NodeClassificationTask};
+use tsvd_graph::EventKind;
+
+fn mid_snapshot(s: &ExpSetup) -> usize {
+    (s.dataset.stream.num_snapshots() / 2).max(1)
+}
+
+fn main() {
+    let (batch_size, max_batches) = batch_params();
+    let limit = batch_size * max_batches;
+
+    // ---- Figure 10: node classification after batch updates ----
+    let nc_methods = [
+        BatchMethod::DynPpe,
+        BatchMethod::SubsetStrap,
+        BatchMethod::TreeSvdStatic,
+        BatchMethod::TreeSvdDynamic,
+    ];
+    let mut fig10 = Table::new(&[
+        "dataset", "method", "avg-update-time", "micro-F1@50%", "blocks-recomputed",
+    ]);
+    for cfg in all_nc_datasets() {
+        eprintln!("[exp4] NC dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let t_mid = mid_snapshot(&s);
+        let events = future_events(&s, t_mid, limit, &HashSet::new());
+        if events.is_empty() {
+            eprintln!("[exp4]   no future events, skipped");
+            continue;
+        }
+        let run = run_batch_updates(&s, t_mid, &events, batch_size, &nc_methods, None);
+        eprintln!("[exp4]   {} events in {} batches", run.events_applied, run.num_batches);
+        let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
+        for o in &run.outcomes {
+            let f1 = task.evaluate(&o.left);
+            fig10.row(vec![
+                cfg.name.clone(),
+                o.method.name().into(),
+                fmt_secs(o.avg_secs),
+                fmt_pct(f1.micro),
+                o.blocks_recomputed.to_string(),
+            ]);
+        }
+    }
+    fig10.print("Exp. 4 — batch updates, node classification (Figure 10)");
+
+    // ---- Table 7: link prediction after batch updates ----
+    let lp_methods = [
+        BatchMethod::SubsetStrap,
+        BatchMethod::TreeSvdDynamic,
+        BatchMethod::TreeSvdStatic,
+    ];
+    let mut table7 = Table::new(&["dataset", "method", "precision", "avg-update-time"]);
+    for cfg in all_lp_datasets() {
+        eprintln!("[exp4] LP dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let t_mid = mid_snapshot(&s);
+        // Positives: future subset-outgoing inserts, withheld from replay.
+        let all_future = future_events(&s, t_mid, limit, &HashSet::new());
+        let subset_set: HashSet<u32> = s.subset.iter().copied().collect();
+        let g_mid = s.dataset.stream.snapshot(t_mid);
+        let mut skip = HashSet::new();
+        let mut positives = Vec::new();
+        for e in &all_future {
+            if e.kind == EventKind::Insert
+                && subset_set.contains(&e.u)
+                && !g_mid.has_edge(e.u, e.v)
+                && skip.insert((e.u, e.v))
+            {
+                let row = s.subset.binary_search(&e.u).unwrap();
+                positives.push((row, e.v));
+            }
+        }
+        if positives.is_empty() {
+            eprintln!("[exp4]   no future subset edges, skipped");
+            continue;
+        }
+        let events = future_events(&s, t_mid, limit, &skip);
+        let run = run_batch_updates(&s, t_mid, &events, batch_size, &lp_methods, None);
+        // Negatives: non-edges of the final graph.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(555);
+        let n = run.final_graph.num_nodes() as u32;
+        let mut negatives = Vec::new();
+        let mut seen = HashSet::new();
+        while negatives.len() < positives.len() {
+            let i = rng.gen_range(0..s.subset.len());
+            let v = rng.gen_range(0..n);
+            if s.subset[i] == v
+                || run.final_graph.has_edge(s.subset[i], v)
+                || skip.contains(&(s.subset[i], v))
+                || !seen.insert((i, v))
+            {
+                continue;
+            }
+            negatives.push((i, v));
+        }
+        let task = LinkPredictionTask::from_pairs(
+            run.final_graph.clone(),
+            positives,
+            negatives,
+        );
+        eprintln!(
+            "[exp4]   {} positives, {} events in {} batches",
+            task.num_positives(),
+            run.events_applied,
+            run.num_batches
+        );
+        for o in &run.outcomes {
+            let right = o.right.as_ref().expect("LP methods have right embeddings");
+            let prec = task.precision(&o.left, right);
+            table7.row(vec![
+                cfg.name.clone(),
+                o.method.name().into(),
+                fmt_pct(prec),
+                fmt_secs(o.avg_secs),
+            ]);
+        }
+    }
+    table7.print("Exp. 4 — batch updates, link prediction (Table 7)");
+
+    save_json(
+        "exp4_batch_updates",
+        &serde_json::json!({ "fig10": fig10.to_json(), "table7": table7.to_json() }),
+    );
+}

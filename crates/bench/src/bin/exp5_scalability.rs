@@ -1,0 +1,104 @@
+//! **Exp. 5: Table 8 + the Twitter panel of Figure 9.**
+//!
+//! Scalability check on the largest (Twitter-like) graph: per-snapshot LP
+//! precision for the static methods, then the batch-update protocol of
+//! Exp. 4 (temporal link prediction with withheld future edges) comparing
+//! dynamic Tree-SVD against the re-run methods.
+
+use std::collections::HashSet;
+use tsvd_bench::batch::{batch_params, future_events, run_batch_updates, BatchMethod};
+use tsvd_bench::harness::{fmt_pct, fmt_secs, save_json, Table};
+use tsvd_bench::methods::{run_static, Method};
+use tsvd_bench::setup::standard_setup;
+use tsvd_datasets::DatasetConfig;
+use tsvd_eval::LinkPredictionTask;
+use tsvd_graph::EventKind;
+
+fn main() {
+    let cfg = DatasetConfig::twitter();
+    eprintln!(
+        "[exp5] twitter-like graph: {} nodes, {} edges, {} snapshots",
+        cfg.num_nodes, cfg.num_edges, cfg.tau
+    );
+    let s = standard_setup(&cfg);
+
+    // ---- Figure 9 (last panel): precision per snapshot ----
+    let mut fig9 = Table::new(&["snapshot", "method", "precision", "embed-time"]);
+    let methods = [Method::RandNe, Method::SubsetStrap, Method::TreeSvdS];
+    for t in 1..=s.dataset.stream.num_snapshots() {
+        let g = s.dataset.stream.snapshot(t);
+        let task = LinkPredictionTask::from_graph(&g, &s.subset, 0.3, 321);
+        if task.num_positives() == 0 {
+            continue;
+        }
+        for m in methods {
+            let (pair, secs) = run_static(m, &task.train_graph, &s);
+            let prec = task.precision(&pair.left, pair.right.as_ref().unwrap());
+            fig9.row(vec![
+                t.to_string(),
+                m.name().into(),
+                fmt_pct(prec),
+                fmt_secs(secs),
+            ]);
+        }
+        eprintln!("[exp5] snapshot {t} done");
+    }
+    fig9.print("Exp. 5 — Twitter-like LP across snapshots (Figure 9, last panel)");
+
+    // ---- Table 8: batch updates at scale ----
+    let (batch_size, max_batches) = batch_params();
+    let limit = batch_size * max_batches;
+    let t_mid = (s.dataset.stream.num_snapshots() / 2).max(1);
+    let all_future = future_events(&s, t_mid, limit, &HashSet::new());
+    let subset_set: HashSet<u32> = s.subset.iter().copied().collect();
+    let g_mid = s.dataset.stream.snapshot(t_mid);
+    let mut skip = HashSet::new();
+    let mut positives = Vec::new();
+    for e in &all_future {
+        if e.kind == EventKind::Insert
+            && subset_set.contains(&e.u)
+            && !g_mid.has_edge(e.u, e.v)
+            && skip.insert((e.u, e.v))
+        {
+            positives.push((s.subset.binary_search(&e.u).unwrap(), e.v));
+        }
+    }
+    let events = future_events(&s, t_mid, limit, &skip);
+    let lp_methods = [
+        BatchMethod::SubsetStrap,
+        BatchMethod::TreeSvdDynamic,
+        BatchMethod::TreeSvdStatic,
+    ];
+    let run = run_batch_updates(&s, t_mid, &events, batch_size, &lp_methods, None);
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(808);
+    let n = run.final_graph.num_nodes() as u32;
+    let mut negatives = Vec::new();
+    let mut seen = HashSet::new();
+    while negatives.len() < positives.len() {
+        let i = rng.gen_range(0..s.subset.len());
+        let v = rng.gen_range(0..n);
+        if s.subset[i] == v || run.final_graph.has_edge(s.subset[i], v) || !seen.insert((i, v)) {
+            continue;
+        }
+        negatives.push((i, v));
+    }
+    let task = LinkPredictionTask::from_pairs(run.final_graph.clone(), positives, negatives);
+    eprintln!(
+        "[exp5] {} positives, {} events in {} batches",
+        task.num_positives(),
+        run.events_applied,
+        run.num_batches
+    );
+    let mut table8 = Table::new(&["method", "precision", "avg-update-time"]);
+    for o in &run.outcomes {
+        let prec = task.precision(&o.left, o.right.as_ref().unwrap());
+        table8.row(vec![o.method.name().into(), fmt_pct(prec), fmt_secs(o.avg_secs)]);
+    }
+    table8.print("Exp. 5 — Twitter-like batch updates (Table 8)");
+
+    save_json(
+        "exp5_scalability",
+        &serde_json::json!({ "fig9_twitter": fig9.to_json(), "table8": table8.to_json() }),
+    );
+}

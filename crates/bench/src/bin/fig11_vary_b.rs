@@ -1,0 +1,43 @@
+//! **Figure 11: HSVD vs Tree-SVD-S as the block count `b` varies.**
+//!
+//! The paper's parameter study: HSVD's exact first level makes its cost
+//! climb with `b`, while Tree-SVD-S (randomized first level) is insensitive
+//! to it, at equal downstream quality.
+
+use tsvd_bench::harness::{fmt_pct, fmt_secs, save_json, timed, Table};
+use tsvd_bench::methods::blocked_proximity;
+use tsvd_bench::setup::standard_setup;
+use tsvd_core::{Level1Method, TreeSvd, TreeSvdConfig};
+use tsvd_datasets::all_nc_datasets;
+use tsvd_eval::NodeClassificationTask;
+
+fn main() {
+    let bs = [4usize, 8, 16, 32, 64];
+    let mut table = Table::new(&["dataset", "b", "method", "micro-F1@50%", "svd-time"]);
+    for cfg in all_nc_datasets() {
+        eprintln!("[fig11] dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let g = s.dataset.stream.snapshot(s.dataset.stream.num_snapshots());
+        let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
+        for &b in &bs {
+            let m = blocked_proximity(&g, &s.subset, s.ppr_cfg, b);
+            for (name, level1) in
+                [("HSVD", Level1Method::Exact), ("Tree-SVD-S", Level1Method::Randomized)]
+            {
+                let tree_cfg = TreeSvdConfig { num_blocks: b, level1, ..s.tree_cfg };
+                let (emb, secs) = timed(|| TreeSvd::new(tree_cfg).embed(&m));
+                let f1 = task.evaluate(&emb.left());
+                table.row(vec![
+                    cfg.name.clone(),
+                    b.to_string(),
+                    name.into(),
+                    fmt_pct(f1.micro),
+                    fmt_secs(secs),
+                ]);
+            }
+            eprintln!("[fig11]   b = {b} done");
+        }
+    }
+    table.print("Figure 11 — varying the number of first-level blocks b");
+    save_json("fig11_vary_b", &table.to_json());
+}

@@ -1,0 +1,94 @@
+//! **Figure 12: Subset-STRAP vs Tree-SVD-S as `r_max` varies.**
+//!
+//! `r_max` controls PPR accuracy (and proximity-matrix density). Larger
+//! thresholds are faster but degrade both methods' downstream quality;
+//! Tree-SVD-S stays consistently faster at equal quality.
+
+use tsvd_bench::harness::{fmt_pct, fmt_secs, save_json, timed, Table};
+use tsvd_bench::methods::blocked_proximity;
+use tsvd_bench::setup::standard_setup;
+use tsvd_baselines::SubsetStrap;
+use tsvd_core::TreeSvd;
+use tsvd_datasets::{all_nc_datasets, DatasetConfig};
+use tsvd_eval::{LinkPredictionTask, NodeClassificationTask};
+use tsvd_ppr::PprConfig;
+
+const RMAXES: [f64; 4] = [5e-4, 1e-4, 5e-5, 1e-5];
+
+fn main() {
+    // Node classification on the labelled datasets.
+    let mut nc = Table::new(&["dataset", "r_max", "method", "micro-F1@50%", "time"]);
+    for cfg in all_nc_datasets() {
+        eprintln!("[fig12] NC dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let g = s.dataset.stream.snapshot(s.dataset.stream.num_snapshots());
+        let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
+        for &r_max in &RMAXES {
+            let ppr_cfg = PprConfig { alpha: s.ppr_cfg.alpha, r_max };
+            let (m, ppr_secs) =
+                timed(|| blocked_proximity(&g, &s.subset, ppr_cfg, s.tree_cfg.num_blocks));
+            let (emb, tree_secs) = timed(|| TreeSvd::new(s.tree_cfg).embed(&m));
+            let f1 = task.evaluate(&emb.left());
+            nc.row(vec![
+                cfg.name.clone(),
+                format!("{r_max:.0e}"),
+                "Tree-SVD-S".into(),
+                fmt_pct(f1.micro),
+                fmt_secs(ppr_secs + tree_secs),
+            ]);
+            let csr = m.to_csr();
+            let (pair, strap_secs) =
+                timed(|| SubsetStrap::new(s.tree_cfg.dim, s.tree_cfg.seed).factorize(&csr));
+            let f1 = task.evaluate(&pair.left);
+            nc.row(vec![
+                cfg.name.clone(),
+                format!("{r_max:.0e}"),
+                "Subset-STRAP".into(),
+                fmt_pct(f1.micro),
+                fmt_secs(ppr_secs + strap_secs),
+            ]);
+            eprintln!("[fig12]   r_max = {r_max:.0e} done");
+        }
+    }
+    nc.print("Figure 12 — varying r_max, node classification");
+
+    // Link prediction on the YouTube-like graph.
+    let mut lp = Table::new(&["dataset", "r_max", "method", "precision", "time"]);
+    let cfg = DatasetConfig::youtube();
+    let s = standard_setup(&cfg);
+    let g = s.dataset.stream.snapshot(s.dataset.stream.num_snapshots());
+    let task = LinkPredictionTask::from_graph(&g, &s.subset, 0.3, 321);
+    for &r_max in &RMAXES {
+        let ppr_cfg = PprConfig { alpha: s.ppr_cfg.alpha, r_max };
+        let (m, ppr_secs) = timed(|| {
+            blocked_proximity(&task.train_graph, &s.subset, ppr_cfg, s.tree_cfg.num_blocks)
+        });
+        let csr = m.to_csr();
+        let (emb, tree_secs) = timed(|| TreeSvd::new(s.tree_cfg).embed(&m));
+        let prec = task.precision(&emb.left(), &emb.right(&csr));
+        lp.row(vec![
+            cfg.name.clone(),
+            format!("{r_max:.0e}"),
+            "Tree-SVD-S".into(),
+            fmt_pct(prec),
+            fmt_secs(ppr_secs + tree_secs),
+        ]);
+        let (pair, strap_secs) =
+            timed(|| SubsetStrap::new(s.tree_cfg.dim, s.tree_cfg.seed).factorize(&csr));
+        let prec = task.precision(&pair.left, pair.right.as_ref().unwrap());
+        lp.row(vec![
+            cfg.name.clone(),
+            format!("{r_max:.0e}"),
+            "Subset-STRAP".into(),
+            fmt_pct(prec),
+            fmt_secs(ppr_secs + strap_secs),
+        ]);
+        eprintln!("[fig12] LP r_max = {r_max:.0e} done");
+    }
+    lp.print("Figure 12 — varying r_max, link prediction");
+
+    save_json(
+        "fig12_vary_rmax",
+        &serde_json::json!({ "nc": nc.to_json(), "lp": lp.to_json() }),
+    );
+}

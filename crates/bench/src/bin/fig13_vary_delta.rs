@@ -1,0 +1,54 @@
+//! **Figure 13: dynamic Tree-SVD as the lazy threshold `δ` varies.**
+//!
+//! Smaller `δ` re-factorises more blocks per batch (slower, slightly better
+//! quality); larger `δ` caches more aggressively. The paper settles on
+//! `δ = 0.65` as the sweet spot.
+
+use std::collections::HashSet;
+use tsvd_bench::batch::{batch_params, future_events, run_batch_updates, BatchMethod};
+use tsvd_bench::harness::{fmt_pct, fmt_secs, save_json, Table};
+use tsvd_bench::setup::standard_setup;
+use tsvd_datasets::all_nc_datasets;
+use tsvd_eval::NodeClassificationTask;
+
+const DELTAS: [f64; 5] = [0.2, 0.45, 0.65, 0.85, 1.2];
+
+fn main() {
+    let (batch_size, max_batches) = batch_params();
+    let limit = batch_size * max_batches;
+    let mut table = Table::new(&[
+        "dataset", "delta", "micro-F1@50%", "avg-update-time", "blocks-recomputed",
+    ]);
+    for cfg in all_nc_datasets() {
+        eprintln!("[fig13] dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let t_mid = (s.dataset.stream.num_snapshots() / 2).max(1);
+        let events = future_events(&s, t_mid, limit, &HashSet::new());
+        if events.is_empty() {
+            continue;
+        }
+        let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
+        for &delta in &DELTAS {
+            let run = run_batch_updates(
+                &s,
+                t_mid,
+                &events,
+                batch_size,
+                &[BatchMethod::TreeSvdDynamic],
+                Some(tsvd_core::UpdatePolicy::Lazy { delta }),
+            );
+            let o = &run.outcomes[0];
+            let f1 = task.evaluate(&o.left);
+            table.row(vec![
+                cfg.name.clone(),
+                format!("{delta}"),
+                fmt_pct(f1.micro),
+                fmt_secs(o.avg_secs),
+                o.blocks_recomputed.to_string(),
+            ]);
+            eprintln!("[fig13]   δ = {delta} done ({} blocks)", o.blocks_recomputed);
+        }
+    }
+    table.print("Figure 13 — varying the lazy-update threshold δ");
+    save_json("fig13_vary_delta", &table.to_json());
+}

@@ -1,0 +1,75 @@
+//! **Figure 14: dynamic Tree-SVD vs static rebuild as the update size
+//! grows.**
+//!
+//! The cutover question: if `E` events arrive (in 500-event batches), is it
+//! cheaper to *maintain* the embedding dynamically after every batch, or to
+//! skip maintenance and run one static Tree-SVD-S build on the final graph?
+//! Dynamic maintenance also yields an up-to-date embedding after every
+//! batch, so it is "beneficial" as long as its cumulative cost stays below
+//! the one-shot rebuild. The paper finds the crossover around 10% of the
+//! graph's edges changing.
+
+use std::collections::HashSet;
+use tsvd_bench::batch::{batch_params, future_events, run_batch_updates, BatchMethod};
+use tsvd_bench::harness::{fmt_secs, save_json, timed, Table};
+use tsvd_bench::setup::standard_setup;
+use tsvd_core::TreeSvdPipeline;
+use tsvd_datasets::all_nc_datasets;
+
+fn main() {
+    let (batch_size, _) = batch_params();
+    let multipliers = [1usize, 2, 4, 8, 16, 32];
+    let mut table = Table::new(&[
+        "dataset",
+        "events",
+        "pct-of-edges",
+        "Tree-SVD cumulative",
+        "one static rebuild",
+        "dynamic-wins",
+    ]);
+    for cfg in all_nc_datasets() {
+        eprintln!("[fig14] dataset {} …", cfg.name);
+        let s = standard_setup(&cfg);
+        let t_mid = (s.dataset.stream.num_snapshots() / 2).max(1);
+        let g_edges = s.dataset.stream.snapshot(t_mid).num_edges().max(1);
+        for &mult in &multipliers {
+            let limit = batch_size * mult;
+            let events = future_events(&s, t_mid, limit, &HashSet::new());
+            if events.len() < limit {
+                eprintln!("[fig14]   stream exhausted at {} events", events.len());
+                break;
+            }
+            // Dynamic arm: maintain through every batch.
+            let run = run_batch_updates(
+                &s,
+                t_mid,
+                &events,
+                batch_size,
+                &[BatchMethod::TreeSvdDynamic],
+                None,
+            );
+            let dyn_total = run.outcomes[0].avg_secs * run.num_batches as f64;
+            // Static arm: one from-scratch pipeline build (fresh PPR +
+            // Tree-SVD) on the final graph.
+            let (_, static_total) = timed(|| {
+                TreeSvdPipeline::new(&run.final_graph, &s.subset, s.ppr_cfg, s.tree_cfg)
+            });
+            table.row(vec![
+                cfg.name.clone(),
+                events.len().to_string(),
+                format!("{:.1}%", 100.0 * events.len() as f64 / g_edges as f64),
+                fmt_secs(dyn_total),
+                fmt_secs(static_total),
+                (dyn_total < static_total).to_string(),
+            ]);
+            eprintln!(
+                "[fig14]   {} events: dynamic {:.2}s vs one rebuild {:.2}s",
+                events.len(),
+                dyn_total,
+                static_total
+            );
+        }
+    }
+    table.print("Figure 14 — update-size cutover: cumulative dynamic vs one static rebuild");
+    save_json("fig14_update_size", &table.to_json());
+}

@@ -1,0 +1,30 @@
+// Temporary profiling of Tree-SVD stage costs.
+use tsvd_bench::harness::timed;
+use tsvd_bench::methods::blocked_proximity;
+use tsvd_bench::setup::standard_setup;
+use tsvd_core::TreeSvd;
+use tsvd_datasets::DatasetConfig;
+
+fn main() {
+    let cfg = DatasetConfig::patent();
+    let s = standard_setup(&cfg);
+    let g = s.dataset.stream.snapshot(s.dataset.stream.num_snapshots());
+    let (m, t) = timed(|| blocked_proximity(&g, &s.subset, s.ppr_cfg, s.tree_cfg.num_blocks));
+    println!("proximity: {t:.3}s nnz={} rows={}", m.nnz(), m.num_rows());
+    let (_emb, t) = timed(|| TreeSvd::new(s.tree_cfg).embed(&m));
+    println!("tree embed total: {t:.3}s");
+    // level-1 only
+    let (l1, t) = timed(|| {
+        (0..m.num_blocks()).map(|j| {
+            let b = m.block_csr(j);
+            tsvd_linalg::randomized::randomized_svd(&b, &tsvd_linalg::RandomizedSvdConfig{rank: 64, oversample: 8, power_iters: 1}, &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1)).u_sigma()
+        }).collect::<Vec<_>>()
+    });
+    println!("level-1 sequential: {t:.3}s");
+    let (_, t) = timed(|| {
+        let refs: Vec<&tsvd_linalg::DenseMatrix> = l1[..4].iter().collect();
+        let c = tsvd_linalg::DenseMatrix::hconcat(&refs);
+        tsvd_linalg::svd::exact_truncated_svd(&c, 64)
+    });
+    println!("one merge (4x -> {} cols): {t:.3}s", 4*72);
+}

@@ -1,0 +1,158 @@
+//! Timing, table printing, and result persistence.
+
+use std::time::Instant;
+
+/// Wall-clock timer returning seconds.
+pub struct Timer(Instant);
+
+impl Timer {
+    /// Start timing.
+    pub fn start() -> Self {
+        Timer(Instant::now())
+    }
+
+    /// Elapsed seconds.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Timer::start();
+    let out = f();
+    (out, t.secs())
+}
+
+/// A simple markdown table accumulator.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print with a title, padded for terminal readability.
+    pub fn print(&self, title: &str) {
+        println!("\n## {title}\n");
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        println!("{}", fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("{}", fmt_row(&sep));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Rows as JSON (array of objects keyed by header).
+    pub fn to_json(&self) -> serde_json::Value {
+        let arr: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let obj: serde_json::Map<String, serde_json::Value> = self
+                    .headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| (h.clone(), serde_json::Value::String(c.clone())))
+                    .collect();
+                serde_json::Value::Object(obj)
+            })
+            .collect();
+        serde_json::Value::Array(arr)
+    }
+}
+
+/// Persist an experiment record under `target/experiments/<name>.json`.
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return; // persistence is best-effort; the printed tables are canon
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, s);
+        eprintln!("[saved {}]", path.display());
+    }
+}
+
+/// Format seconds compactly (`ms` below one second).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Format a 0–1 score as a percentage with two decimals (paper style).
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trips_json() {
+        let mut t = Table::new(&["method", "score"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["b".into(), "2".into()]);
+        let j = t.to_json();
+        assert_eq!(j.as_array().unwrap().len(), 2);
+        assert_eq!(j[0]["method"], "a");
+        assert_eq!(j[1]["score"], "2");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(0.0123), "12.3ms");
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_pct(0.7345), "73.45");
+    }
+
+    #[test]
+    fn timer_measures_something() {
+        let (out, secs) = timed(|| {
+            let mut x = 0u64;
+            for i in 0..100_000 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert!(out > 0);
+        assert!(secs >= 0.0);
+    }
+}

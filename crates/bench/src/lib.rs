@@ -1,0 +1,13 @@
+//! # tsvd-bench
+//!
+//! The experiment harness: shared setup/method-runner/table machinery used
+//! by one binary per table and figure of the paper (see DESIGN.md §5 for
+//! the full index). Run any experiment with
+//! `cargo run --release -p tsvd-bench --bin <name>`; each prints
+//! markdown tables shaped like the paper's and writes a JSON record under
+//! `target/experiments/`.
+
+pub mod batch;
+pub mod harness;
+pub mod methods;
+pub mod setup;

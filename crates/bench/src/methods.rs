@@ -1,0 +1,161 @@
+//! Uniform method runners: every embedding method as
+//! `graph × subset → (EmbeddingPair, seconds)`, timed end to end
+//! (PPR/proximity construction included, as in the paper's embedding-time
+//! plots).
+
+use crate::harness::timed;
+use crate::setup::ExpSetup;
+use tsvd_baselines::{
+    DynPpe, EmbeddingPair, FrPca, Frede, GlobalStrap, RandNe, RandNeConfig, SubsetStrap,
+};
+use tsvd_core::{BlockedProximityMatrix, Level1Method, TreeSvd, TreeSvdConfig};
+use tsvd_graph::DynGraph;
+use tsvd_linalg::CsrMatrix;
+use tsvd_ppr::{PprConfig, SubsetPpr};
+
+/// Every method the static experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Static Tree-SVD (this paper).
+    TreeSvdS,
+    /// Tree-SVD with exact first-level SVDs — the HSVD baseline.
+    Hsvd,
+    /// Subset-STRAP.
+    SubsetStrap,
+    /// Global-STRAP (budget-equalised global embedding).
+    GlobalStrap,
+    /// DynPPE hashing embedder.
+    DynPpe,
+    /// FREDE sketching embedder.
+    Frede,
+    /// RandNE iterative random projection.
+    RandNe,
+    /// FRPCA flat randomized SVD.
+    FrPca,
+}
+
+impl Method {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::TreeSvdS => "Tree-SVD-S",
+            Method::Hsvd => "HSVD",
+            Method::SubsetStrap => "Subset-STRAP",
+            Method::GlobalStrap => "Global-STRAP",
+            Method::DynPpe => "DynPPE",
+            Method::Frede => "FREDE",
+            Method::RandNe => "RandNE",
+            Method::FrPca => "FRPCA",
+        }
+    }
+}
+
+/// Build the subset proximity matrix (PPR both directions + log transform).
+pub fn proximity(g: &DynGraph, subset: &[u32], ppr_cfg: PprConfig) -> CsrMatrix {
+    let ppr = SubsetPpr::build(g, subset, ppr_cfg);
+    tsvd_baselines::proximity_csr(&ppr, g.num_nodes())
+}
+
+/// Blocked variant of [`proximity`] for the tree methods.
+pub fn blocked_proximity(
+    g: &DynGraph,
+    subset: &[u32],
+    ppr_cfg: PprConfig,
+    num_blocks: usize,
+) -> BlockedProximityMatrix {
+    let ppr = SubsetPpr::build(g, subset, ppr_cfg);
+    let mut m = BlockedProximityMatrix::new(subset.len(), g.num_nodes(), num_blocks);
+    for (i, row) in ppr.proximity_rows().into_iter().enumerate() {
+        m.set_row(i, &row);
+    }
+    m
+}
+
+/// Run one method end to end on graph `g`, returning the embedding pair and
+/// the wall-clock embedding time in seconds.
+pub fn run_static(method: Method, g: &DynGraph, s: &ExpSetup) -> (EmbeddingPair, f64) {
+    let dim = s.tree_cfg.dim;
+    match method {
+        Method::TreeSvdS => timed(|| {
+            let m = blocked_proximity(g, &s.subset, s.ppr_cfg, s.tree_cfg.num_blocks);
+            let emb = TreeSvd::new(s.tree_cfg).embed(&m);
+            let csr = m.to_csr();
+            EmbeddingPair { left: emb.left(), right: Some(emb.right(&csr)) }
+        }),
+        Method::Hsvd => timed(|| {
+            let cfg = TreeSvdConfig { level1: Level1Method::Exact, ..s.tree_cfg };
+            let m = blocked_proximity(g, &s.subset, s.ppr_cfg, cfg.num_blocks);
+            let emb = TreeSvd::new(cfg).embed(&m);
+            let csr = m.to_csr();
+            EmbeddingPair { left: emb.left(), right: Some(emb.right(&csr)) }
+        }),
+        Method::SubsetStrap => timed(|| {
+            SubsetStrap::new(dim, s.tree_cfg.seed).embed(g, &s.subset, s.ppr_cfg)
+        }),
+        Method::GlobalStrap => timed(|| {
+            GlobalStrap::new(dim, s.tree_cfg.seed).embed(
+                g,
+                &s.subset,
+                s.ppr_cfg.alpha,
+                s.ppr_cfg.r_max,
+            )
+        }),
+        Method::DynPpe => timed(|| {
+            // DynPPE tunes a finer r_max for accuracy (the paper notes its
+            // higher static cost for this reason).
+            let cfg = PprConfig { alpha: s.ppr_cfg.alpha, r_max: s.ppr_cfg.r_max * 0.5 };
+            DynPpe::build(g, &s.subset, cfg, dim, s.tree_cfg.seed).embedding()
+        }),
+        Method::Frede => timed(|| {
+            let m = proximity(g, &s.subset, s.ppr_cfg);
+            Frede::new(dim).factorize(&m)
+        }),
+        Method::RandNe => timed(|| {
+            RandNe::new(RandNeConfig::new(dim, s.tree_cfg.seed)).embed(g, &s.subset)
+        }),
+        Method::FrPca => timed(|| {
+            let m = proximity(g, &s.subset, s.ppr_cfg);
+            FrPca::new(dim, s.tree_cfg.seed).factorize(&m)
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::standard_setup;
+    use tsvd_datasets::DatasetConfig;
+
+    fn tiny_setup() -> ExpSetup {
+        let mut cfg = DatasetConfig::youtube();
+        cfg.num_nodes = 300;
+        cfg.num_edges = 1200;
+        cfg.tau = 2;
+        standard_setup(&cfg)
+    }
+
+    #[test]
+    fn every_method_runs_and_shapes_agree() {
+        let s = tiny_setup();
+        let g = s.dataset.stream.snapshot(2);
+        for method in [
+            Method::TreeSvdS,
+            Method::Hsvd,
+            Method::SubsetStrap,
+            Method::GlobalStrap,
+            Method::DynPpe,
+            Method::Frede,
+            Method::RandNe,
+            Method::FrPca,
+        ] {
+            let (pair, secs) = run_static(method, &g, &s);
+            assert_eq!(pair.left.rows(), s.subset.len(), "{}", method.name());
+            assert_eq!(pair.left.cols(), s.tree_cfg.dim, "{}", method.name());
+            assert!(pair.left.is_finite(), "{}", method.name());
+            assert!(secs >= 0.0);
+            if let Some(r) = &pair.right {
+                assert_eq!(r.rows(), g.num_nodes(), "{}", method.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Standard experiment setup shared by every binary.
+
+use tsvd_core::{Level1Method, PartitionStrategy, TreeSvdConfig, UpdatePolicy};
+use tsvd_datasets::{DatasetConfig, SyntheticDataset};
+use tsvd_ppr::PprConfig;
+
+/// Everything an experiment needs about one dataset.
+pub struct ExpSetup {
+    /// The generated dynamic graph + labels.
+    pub dataset: SyntheticDataset,
+    /// The sampled subset `S` (sorted node ids).
+    pub subset: Vec<u32>,
+    /// Labels of the subset, in row order.
+    pub labels: Vec<usize>,
+    /// PPR parameters for this dataset.
+    pub ppr_cfg: PprConfig,
+    /// Tree-SVD parameters for this dataset.
+    pub tree_cfg: TreeSvdConfig,
+}
+
+/// Default subset size `|S|` (paper: 3000 on million-node graphs; scaled
+/// proportionally here). Override with `TSVD_SUBSET`.
+pub fn subset_size() -> usize {
+    env_usize("TSVD_SUBSET", 300)
+}
+
+/// Default embedding dimension `d` (paper: 128; scaled with the graphs).
+/// Override with `TSVD_DIM`.
+pub fn embed_dim() -> usize {
+    env_usize("TSVD_DIM", 64)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// The per-dataset push threshold (the paper tunes `r_max` per dataset;
+/// same idea at our scale — denser graphs tolerate a larger threshold).
+pub fn r_max_for(name: &str) -> f64 {
+    match name {
+        "wikipedia" | "flickr" => 2e-4,
+        "twitter" => 5e-4,
+        _ => 1e-4,
+    }
+}
+
+/// Build the standard setup for a dataset config: generate, sample `|S|`
+/// subset nodes from snapshot 1, and derive the default Tree-SVD config
+/// (`b = 16`, `k = 4`, so `q = 3` levels — the paper's shape with `b = 64`,
+/// `k = 8` scaled down with everything else).
+pub fn standard_setup(cfg: &DatasetConfig) -> ExpSetup {
+    let dataset = SyntheticDataset::generate(cfg);
+    let subset = dataset.sample_subset(subset_size(), 777);
+    let labels = dataset.subset_labels(&subset);
+    let ppr_cfg = PprConfig { alpha: 0.2, r_max: r_max_for(&cfg.name) };
+    let tree_cfg = TreeSvdConfig {
+        dim: embed_dim(),
+        branching: 4,
+        num_blocks: 16,
+        oversample: 8,
+        power_iters: 1,
+        level1: Level1Method::Randomized,
+        policy: UpdatePolicy::Lazy { delta: 0.65 },
+        partition: PartitionStrategy::EqualWidth,
+        seed: 42,
+    };
+    ExpSetup { dataset, subset, labels, ppr_cfg, tree_cfg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_builds_for_smallest_dataset() {
+        let mut cfg = DatasetConfig::youtube();
+        cfg.num_nodes = 400;
+        cfg.num_edges = 1600;
+        let s = standard_setup(&cfg);
+        // Snapshot 1 holds only the first event batch, so fewer than
+        // subset_size() nodes may be eligible on a tiny config.
+        assert!(!s.subset.is_empty());
+        assert!(s.subset.len() <= subset_size());
+        assert_eq!(s.labels.len(), s.subset.len());
+        assert!(s.ppr_cfg.r_max > 0.0);
+        s.tree_cfg.validate();
+    }
+
+    #[test]
+    fn rmax_per_dataset() {
+        assert!(r_max_for("wikipedia") > r_max_for("patent"));
+        assert!(r_max_for("twitter") >= r_max_for("wikipedia"));
+    }
+}

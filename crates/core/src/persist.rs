@@ -1,0 +1,132 @@
+//! Pipeline-state persistence.
+//!
+//! A production deployment updates embeddings periodically (the paper:
+//! "node embeddings are usually updated daily or weekly"); between runs,
+//! the PPR states, proximity matrix, and Tree-SVD caches must survive a
+//! restart — rebuilding them from the raw graph costs exactly the static
+//! pass the dynamic algorithm exists to avoid. The whole
+//! [`TreeSvdPipeline`](crate::TreeSvdPipeline) serialises losslessly: a
+//! reloaded pipeline produces bit-identical embeddings and continues
+//! incremental updates from where it stopped.
+
+use crate::pipeline::TreeSvdPipeline;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Persistence failures.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Serialisation/deserialisation failure (corrupt or mismatched file).
+    Codec(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+impl TreeSvdPipeline {
+    /// Serialise the full pipeline state to `path` (JSON).
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(BufWriter::new(file), self)?;
+        Ok(())
+    }
+
+    /// Restore a pipeline previously written with [`TreeSvdPipeline::save`].
+    pub fn load(path: &Path) -> Result<TreeSvdPipeline, PersistError> {
+        let file = std::fs::File::open(path)?;
+        Ok(serde_json::from_reader(BufReader::new(file))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeSvdConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tsvd_graph::{DynGraph, EdgeEvent};
+    use tsvd_ppr::PprConfig;
+
+    fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
+        let mut g = DynGraph::with_nodes(n);
+        while g.num_edges() < m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v {
+                g.insert_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn save_load_round_trips_and_continues_updates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = random_graph(&mut rng, 120, 500);
+        let sources: Vec<u32> = (0..10).collect();
+        let cfg = TreeSvdConfig { dim: 8, branching: 2, num_blocks: 4, ..Default::default() };
+        let mut pipe = TreeSvdPipeline::new(&g, &sources, PprConfig::default(), cfg);
+        // Mutate once so the caches are non-trivial.
+        pipe.update(&mut g, &[EdgeEvent::insert(0, 119), EdgeEvent::insert(1, 118)]);
+
+        let dir = std::env::temp_dir().join(format!("tsvd_persist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline.json");
+        pipe.save(&path).expect("save");
+        let mut restored = TreeSvdPipeline::load(&path).expect("load");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Identical embedding after reload.
+        let diff = pipe.embedding().left().sub(&restored.embedding().left()).max_abs();
+        assert_eq!(diff, 0.0, "reload must be lossless");
+
+        // Both continue identically through the same future events.
+        let mut g2 = g.clone();
+        let events: Vec<EdgeEvent> =
+            (0..15).map(|i| EdgeEvent::insert(i as u32, (i + 60) as u32)).collect();
+        let s1 = pipe.update(&mut g, &events);
+        let s2 = restored.update(&mut g2, &events);
+        assert_eq!(s1, s2, "update stats diverged after reload");
+        let diff = pipe.embedding().left().sub(&restored.embedding().left()).max_abs();
+        assert_eq!(diff, 0.0, "post-update embeddings diverged");
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("tsvd_garbage_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.json");
+        std::fs::write(&path, b"{not json at all").unwrap();
+        let err = TreeSvdPipeline::load(&path).unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(matches!(err, PersistError::Codec(_)));
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = TreeSvdPipeline::load(Path::new("/nonexistent/tsvd.json")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

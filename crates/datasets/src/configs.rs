@@ -1,0 +1,131 @@
+//! Named dataset configurations mirroring the paper's Table 3, scaled to
+//! laptop size (documented substitution — see DESIGN.md §4).
+//!
+//! Class counts `|C|` match the paper; node/edge counts are scaled by
+//! roughly 500–1000×; snapshot counts `τ` are kept in the paper's range
+//! but capped so the full per-snapshot experiment suite stays fast.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one synthetic dynamic-graph dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Human-readable name (e.g. `"patent"`).
+    pub name: String,
+    /// Number of nodes `n`.
+    pub num_nodes: usize,
+    /// Target number of (final) edges `m`.
+    pub num_edges: usize,
+    /// Number of label classes `|C|` (ignored by LP-only datasets but kept
+    /// so communities shape the topology).
+    pub num_classes: usize,
+    /// Number of snapshots `τ`.
+    pub tau: usize,
+    /// Probability a new edge stays within its community.
+    pub p_intra: f64,
+    /// Fraction of events that are deletions of earlier edges.
+    pub delete_frac: f64,
+    /// Fraction of nodes whose *label* is re-randomised after generation —
+    /// their topology follows one community but their ground truth says
+    /// another. Real-world labels are similarly noisy; without this, the
+    /// planted partition is so clean every method saturates at 100% F1 and
+    /// the paper's method ordering cannot show.
+    pub label_noise: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    fn new(
+        name: &str,
+        num_nodes: usize,
+        num_edges: usize,
+        num_classes: usize,
+        tau: usize,
+        seed: u64,
+    ) -> Self {
+        DatasetConfig {
+            name: name.into(),
+            num_nodes,
+            num_edges,
+            num_classes,
+            tau,
+            p_intra: 0.55,
+            delete_frac: 0.01,
+            label_noise: 0.15,
+            seed,
+        }
+    }
+
+    /// Patent-like citation graph (paper: 2.7M/14M, |C|=6, τ=25).
+    pub fn patent() -> Self {
+        DatasetConfig::new("patent", 12_000, 60_000, 6, 10, 10)
+    }
+
+    /// Mag-authors-like co-authorship graph (paper: 5.8M/27.7M, |C|=19, τ=9).
+    pub fn mag_authors() -> Self {
+        DatasetConfig::new("mag-authors", 18_000, 84_000, 19, 6, 11)
+    }
+
+    /// Wikipedia-like web-link graph (paper: 6.2M/178M, |C|=10, τ=20) —
+    /// proportionally the densest labelled dataset.
+    pub fn wikipedia() -> Self {
+        DatasetConfig::new("wikipedia", 18_000, 270_000, 10, 8, 12)
+    }
+
+    /// YouTube-like social network (paper: 3.2M/9.4M, τ=8; LP only).
+    pub fn youtube() -> Self {
+        DatasetConfig::new("youtube", 9600, 30_000, 8, 8, 13)
+    }
+
+    /// Flickr-like social network (paper: 2.3M/33.1M, τ=6; LP only).
+    pub fn flickr() -> Self {
+        DatasetConfig::new("flickr", 7200, 102_000, 8, 6, 14)
+    }
+
+    /// Twitter-like graph for the scalability experiment (paper: 41.6M
+    /// nodes / 1.5B edges, 8 random snapshots). The largest config here;
+    /// still laptop-sized but ~10× the others.
+    pub fn twitter() -> Self {
+        DatasetConfig::new("twitter", 40_000, 400_000, 12, 8, 15)
+    }
+}
+
+/// The three labelled datasets used for node classification (Exp. 1, 3).
+pub fn all_nc_datasets() -> Vec<DatasetConfig> {
+    vec![DatasetConfig::patent(), DatasetConfig::mag_authors(), DatasetConfig::wikipedia()]
+}
+
+/// The three datasets used for link prediction (Exp. 1, 3).
+pub fn all_lp_datasets() -> Vec<DatasetConfig> {
+    vec![DatasetConfig::youtube(), DatasetConfig::flickr(), DatasetConfig::mag_authors()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_match_paper() {
+        assert_eq!(DatasetConfig::patent().num_classes, 6);
+        assert_eq!(DatasetConfig::mag_authors().num_classes, 19);
+        assert_eq!(DatasetConfig::wikipedia().num_classes, 10);
+    }
+
+    #[test]
+    fn density_ordering_mirrors_paper() {
+        // Wikipedia is by far the densest labelled graph; Flickr denser
+        // than YouTube; Twitter the largest overall.
+        let avg = |c: &DatasetConfig| c.num_edges as f64 / c.num_nodes as f64;
+        assert!(avg(&DatasetConfig::wikipedia()) > avg(&DatasetConfig::patent()));
+        assert!(avg(&DatasetConfig::flickr()) > avg(&DatasetConfig::youtube()));
+        assert!(DatasetConfig::twitter().num_edges > DatasetConfig::wikipedia().num_edges);
+        assert!(DatasetConfig::twitter().num_nodes > 2 * DatasetConfig::wikipedia().num_nodes);
+    }
+
+    #[test]
+    fn collections_have_three_each() {
+        assert_eq!(all_nc_datasets().len(), 3);
+        assert_eq!(all_lp_datasets().len(), 3);
+    }
+}

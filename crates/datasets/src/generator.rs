@@ -1,0 +1,268 @@
+//! The dynamic-graph generator.
+
+use crate::configs::DatasetConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsvd_graph::{EdgeEvent, SnapshotStream, TimedEvent};
+
+/// A generated dynamic graph with node labels.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The configuration it was generated from.
+    pub config: DatasetConfig,
+    /// The event stream cut into `τ` snapshots.
+    pub stream: SnapshotStream,
+    /// Community label per node (`0..num_classes`).
+    pub labels: Vec<usize>,
+}
+
+impl SyntheticDataset {
+    /// Generate deterministically from `cfg`.
+    ///
+    /// Nodes arrive in id order; each arriving node draws
+    /// `edges_per_node ≈ m/n` edges. A target is chosen within the node's
+    /// own community with probability `p_intra` (degree-preferentially
+    /// inside the community), otherwise degree-preferentially over the
+    /// whole graph. Edge direction is randomised. A `delete_frac` fraction
+    /// of additional events delete a random earlier surviving edge.
+    pub fn generate(cfg: &DatasetConfig) -> SyntheticDataset {
+        assert!(cfg.num_nodes >= cfg.num_classes.max(4));
+        assert!(cfg.num_edges >= cfg.num_nodes, "need ≥ 1 edge per node on average");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = cfg.num_nodes;
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..cfg.num_classes)).collect();
+
+        // Degree-proportional sampling pools: every inserted edge appends
+        // both endpoints, so uniform pool draws are preferential attachment.
+        let mut global_pool: Vec<u32> = Vec::with_capacity(cfg.num_edges * 2);
+        let mut comm_pool: Vec<Vec<u32>> = vec![Vec::new(); cfg.num_classes];
+
+        let mut log: Vec<TimedEvent> = Vec::with_capacity(cfg.num_edges);
+        let mut alive: Vec<(u32, u32)> = Vec::new();
+        let mut present = std::collections::HashSet::<(u32, u32)>::new();
+        let mut time = 0u64;
+
+        let edges_per_node = (cfg.num_edges as f64 / n as f64).max(1.0);
+        // Seed pools with the first few nodes so early draws succeed.
+        for u in 0..(cfg.num_classes.max(2) as u32) {
+            global_pool.push(u);
+            comm_pool[labels[u as usize]].push(u);
+        }
+
+        let emit_insert = |u: u32,
+                               v: u32,
+                               time: &mut u64,
+                               log: &mut Vec<TimedEvent>,
+                               alive: &mut Vec<(u32, u32)>,
+                               present: &mut std::collections::HashSet<(u32, u32)>,
+                               global_pool: &mut Vec<u32>,
+                               comm_pool: &mut Vec<Vec<u32>>| {
+            if u == v || present.contains(&(u, v)) {
+                return false;
+            }
+            present.insert((u, v));
+            alive.push((u, v));
+            log.push(TimedEvent { time: *time, event: EdgeEvent::insert(u, v) });
+            *time += 1;
+            global_pool.push(u);
+            global_pool.push(v);
+            comm_pool[labels[u as usize]].push(u);
+            comm_pool[labels[v as usize]].push(v);
+            true
+        };
+
+        for u in 1..n as u32 {
+            // Fractional edges-per-node accumulate across nodes.
+            let quota = ((u as f64 + 1.0) * edges_per_node) as usize
+                - (u as f64 * edges_per_node) as usize;
+            let quota = quota.max(1);
+            let c = labels[u as usize];
+            for _ in 0..quota {
+                // Pick a partner.
+                let partner = if !comm_pool[c].is_empty() && rng.gen_bool(cfg.p_intra) {
+                    comm_pool[c][rng.gen_range(0..comm_pool[c].len())]
+                } else if !global_pool.is_empty() {
+                    global_pool[rng.gen_range(0..global_pool.len())]
+                } else {
+                    continue;
+                };
+                if partner >= u {
+                    continue; // only link to already-arrived nodes
+                }
+                let (a, b) = if rng.gen_bool(0.5) { (u, partner) } else { (partner, u) };
+                emit_insert(
+                    a, b, &mut time, &mut log, &mut alive, &mut present,
+                    &mut global_pool, &mut comm_pool,
+                );
+                // Deletion churn.
+                if cfg.delete_frac > 0.0 && !alive.is_empty() && rng.gen_bool(cfg.delete_frac) {
+                    let k = rng.gen_range(0..alive.len());
+                    let (du, dv) = alive.swap_remove(k);
+                    present.remove(&(du, dv));
+                    log.push(TimedEvent { time, event: EdgeEvent::delete(du, dv) });
+                    time += 1;
+                }
+            }
+        }
+        // Densification pass: keep attaching preferentially until the edge
+        // budget is met (growing graphs real datasets resemble add edges
+        // among existing nodes too).
+        let mut guard = 0usize;
+        while present.len() < cfg.num_edges && guard < cfg.num_edges * 20 {
+            guard += 1;
+            let u = global_pool[rng.gen_range(0..global_pool.len())];
+            let c = labels[u as usize];
+            let v = if !comm_pool[c].is_empty() && rng.gen_bool(cfg.p_intra) {
+                comm_pool[c][rng.gen_range(0..comm_pool[c].len())]
+            } else {
+                global_pool[rng.gen_range(0..global_pool.len())]
+            };
+            emit_insert(
+                u, v, &mut time, &mut log, &mut alive, &mut present,
+                &mut global_pool, &mut comm_pool,
+            );
+        }
+
+        let stream = SnapshotStream::from_log(n, &log, cfg.tau);
+        // Label noise: re-randomise a fraction of labels after the topology
+        // is fixed, so ground truth is imperfectly aligned with structure
+        // (see DatasetConfig::label_noise).
+        let mut labels = labels;
+        if cfg.label_noise > 0.0 {
+            for l in labels.iter_mut() {
+                if rng.gen_bool(cfg.label_noise) {
+                    *l = rng.gen_range(0..cfg.num_classes);
+                }
+            }
+        }
+        SyntheticDataset { config: cfg.clone(), stream, labels }
+    }
+
+    /// Sample `size` distinct subset nodes present (i.e. with at least one
+    /// incident edge) in snapshot 1, as the paper does (`|S|` random nodes
+    /// from the first snapshot's topology).
+    pub fn sample_subset(&self, size: usize, seed: u64) -> Vec<u32> {
+        let g1 = self.stream.snapshot(1);
+        let mut candidates: Vec<u32> = (0..g1.num_nodes() as u32)
+            .filter(|&u| g1.out_degree(u) + g1.in_degree(u) > 0)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::seq::SliceRandom;
+        candidates.shuffle(&mut rng);
+        candidates.truncate(size.min(candidates.len()));
+        candidates.sort_unstable();
+        candidates
+    }
+
+    /// Labels restricted to a subset, in subset order.
+    pub fn subset_labels(&self, subset: &[u32]) -> Vec<usize> {
+        subset.iter().map(|&u| self.labels[u as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> DatasetConfig {
+        DatasetConfig {
+            name: "test".into(),
+            num_nodes: 500,
+            num_edges: 2500,
+            num_classes: 4,
+            tau: 5,
+            p_intra: 0.8,
+            delete_frac: 0.02,
+            label_noise: 0.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn generates_requested_sizes() {
+        let ds = SyntheticDataset::generate(&small_cfg());
+        assert_eq!(ds.labels.len(), 500);
+        assert_eq!(ds.stream.num_snapshots(), 5);
+        let g = ds.stream.snapshot(5);
+        assert_eq!(g.num_nodes(), 500);
+        let m = g.num_edges();
+        assert!((2200..=2600).contains(&m), "final edges {m}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticDataset::generate(&small_cfg());
+        let b = SyntheticDataset::generate(&small_cfg());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.stream.num_events(), b.stream.num_events());
+        let mut cfg2 = small_cfg();
+        cfg2.seed = 99;
+        let c = SyntheticDataset::generate(&cfg2);
+        assert_ne!(a.labels, c.labels);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Preferential attachment ⇒ max degree far above the average.
+        let ds = SyntheticDataset::generate(&small_cfg());
+        let g = ds.stream.snapshot(5);
+        let degs: Vec<usize> = (0..500u32).map(|u| g.out_degree(u) + g.in_degree(u)).collect();
+        let avg = degs.iter().sum::<usize>() as f64 / 500.0;
+        let max = *degs.iter().max().unwrap() as f64;
+        assert!(max > 4.0 * avg, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn communities_are_assortative() {
+        // With p_intra = 0.8, far more than 1/C of edges are intra-class.
+        let ds = SyntheticDataset::generate(&small_cfg());
+        let g = ds.stream.snapshot(5);
+        let intra = g
+            .edges()
+            .filter(|&(u, v)| ds.labels[u as usize] == ds.labels[v as usize])
+            .count();
+        let frac = intra as f64 / g.num_edges() as f64;
+        assert!(frac > 0.5, "intra fraction {frac}");
+    }
+
+    #[test]
+    fn contains_deletions() {
+        let ds = SyntheticDataset::generate(&small_cfg());
+        let mut deletes = 0;
+        for t in 1..=ds.stream.num_snapshots() {
+            deletes += ds
+                .stream
+                .batch(t)
+                .iter()
+                .filter(|e| e.kind == tsvd_graph::EventKind::Delete)
+                .count();
+        }
+        assert!(deletes > 0, "delete_frac > 0 must produce deletions");
+    }
+
+    #[test]
+    fn subset_sampling_valid() {
+        let ds = SyntheticDataset::generate(&small_cfg());
+        let s = ds.sample_subset(50, 3);
+        assert_eq!(s.len(), 50);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        let g1 = ds.stream.snapshot(1);
+        for &u in &s {
+            assert!(g1.out_degree(u) + g1.in_degree(u) > 0, "node {u} isolated at t=1");
+        }
+        let labels = ds.subset_labels(&s);
+        assert_eq!(labels.len(), 50);
+        assert!(labels.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn snapshots_grow_monotonically_in_events() {
+        let ds = SyntheticDataset::generate(&small_cfg());
+        let mut last = 0;
+        for t in 1..=5 {
+            let g = ds.stream.snapshot(t);
+            assert!(g.num_edges() + 200 >= last, "snapshot {t} shrank a lot");
+            last = g.num_edges();
+        }
+    }
+}

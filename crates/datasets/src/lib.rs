@@ -1,0 +1,26 @@
+//! # tsvd-datasets
+//!
+//! Synthetic dynamic graphs standing in for the paper's datasets (Patent,
+//! Mag-authors, Wikipedia, YouTube, Flickr, Twitter — Table 3), scaled so
+//! the full experiment suite runs on one machine.
+//!
+//! The generator combines **preferential attachment** (the skewed degree
+//! distribution that concentrates PPR mass, which the lazy-update strategy
+//! exploits) with **planted label communities** (so node classification has
+//! learnable structure and link prediction has locality). Edges carry
+//! logical timestamps and are cut into `τ` snapshot batches per the paper's
+//! dynamic-graph model; a configurable fraction of events are deletions.
+//!
+//! Why this preserves the paper's behaviour: every algorithm under test
+//! consumes only an edge stream and (for NC) node labels. The experimental
+//! *shape* — who wins, how update cost scales with change volume — depends
+//! on degree skew, community locality, and event ordering, all of which the
+//! generator reproduces; absolute F1/precision values differ from the
+//! paper's real datasets and are not the reproduction target.
+
+mod configs;
+mod generator;
+pub mod io;
+
+pub use configs::{all_lp_datasets, all_nc_datasets, DatasetConfig};
+pub use generator::SyntheticDataset;

@@ -1,0 +1,22 @@
+//! # tsvd-eval
+//!
+//! Downstream evaluation exactly as in the paper's Section 6:
+//!
+//! * [`NodeClassificationTask`] — single-label classification of subset
+//!   nodes from their embeddings via one-vs-rest logistic regression,
+//!   scored with micro-/macro-F1 at a given training ratio;
+//! * [`LinkPredictionTask`] — the subset link-prediction protocol: 30% of
+//!   subset-outgoing edges held out as positives, an equal number of
+//!   sampled non-edge negatives, precision@|positives| over dot-product
+//!   scores;
+//! * [`metrics`] — confusion-matrix F1 machinery;
+//! * [`logreg`] — the multinomial logistic-regression trainer (full-batch
+//!   gradient descent; the feature matrices here are |S| × d, tiny).
+
+pub mod linkpred;
+pub mod logreg;
+pub mod metrics;
+mod nodeclass;
+
+pub use linkpred::LinkPredictionTask;
+pub use nodeclass::NodeClassificationTask;

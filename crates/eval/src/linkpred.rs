@@ -1,0 +1,236 @@
+//! Link-prediction evaluation (the paper's LP task).
+//!
+//! Protocol of Section 6.1: hold out a fraction of the subset-outgoing
+//! edges as positive test pairs, sample an equal number of non-edge
+//! `S × V` pairs as negatives, **remove the positives from the graph**,
+//! embed on what remains, then rank all test pairs by the dot product
+//! `⟨x_s, y_v⟩` and report precision among the top-|positives| pairs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tsvd_graph::DynGraph;
+use tsvd_linalg::DenseMatrix;
+
+/// A prepared link-prediction task: the training graph (positives removed)
+/// plus the labelled test pairs.
+#[derive(Debug, Clone)]
+pub struct LinkPredictionTask {
+    /// The graph with held-out positive edges removed — embed on this.
+    pub train_graph: DynGraph,
+    /// Held-out true edges as `(subset_row, target_node)`.
+    positives: Vec<(usize, u32)>,
+    /// Sampled non-edges as `(subset_row, target_node)`.
+    negatives: Vec<(usize, u32)>,
+}
+
+impl LinkPredictionTask {
+    /// Build the task from snapshot `g`: hold out `holdout_ratio` of each
+    /// source's outgoing edges (paper: 30%).
+    ///
+    /// Sources with a single outgoing edge keep it (removing a node's whole
+    /// neighbourhood would make it unembeddable).
+    pub fn from_graph(g: &DynGraph, sources: &[u32], holdout_ratio: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&holdout_ratio));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut positives = Vec::new();
+        let mut train_graph = g.clone();
+        for (i, &s) in sources.iter().enumerate() {
+            let mut outs: Vec<u32> = g.out_neighbors(s).to_vec();
+            if outs.len() <= 1 {
+                continue;
+            }
+            outs.shuffle(&mut rng);
+            let take = ((outs.len() as f64) * holdout_ratio).floor() as usize;
+            let take = take.min(outs.len() - 1);
+            for &v in &outs[..take] {
+                positives.push((i, v));
+                train_graph.delete_edge(s, v);
+            }
+        }
+        // Negatives: uniform (source, target) pairs that are non-edges in
+        // the *original* graph and not already sampled.
+        let n = g.num_nodes() as u32;
+        let mut negatives = Vec::with_capacity(positives.len());
+        let mut seen = std::collections::HashSet::new();
+        let mut guard = 0usize;
+        while negatives.len() < positives.len() && guard < positives.len() * 1000 + 1000 {
+            guard += 1;
+            let i = rng.gen_range(0..sources.len());
+            let v = rng.gen_range(0..n);
+            let s = sources[i];
+            if s == v || g.has_edge(s, v) || !seen.insert((i, v)) {
+                continue;
+            }
+            negatives.push((i, v));
+        }
+        LinkPredictionTask { train_graph, positives, negatives }
+    }
+
+    /// Build a task from explicit pair lists (used by the batch-update
+    /// experiments, where positives are *future* edges filtered out of the
+    /// event stream instead of edges deleted from a static snapshot).
+    pub fn from_pairs(
+        train_graph: DynGraph,
+        positives: Vec<(usize, u32)>,
+        negatives: Vec<(usize, u32)>,
+    ) -> Self {
+        LinkPredictionTask { train_graph, positives, negatives }
+    }
+
+    /// Number of positive test pairs.
+    pub fn num_positives(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// Score every labelled test pair by the dot product `⟨x_s, y_v⟩`.
+    fn scored_pairs(&self, left: &DenseMatrix, right: &DenseMatrix) -> Vec<(f64, bool)> {
+        let score = |&(i, v): &(usize, u32)| -> f64 {
+            left.row(i)
+                .iter()
+                .zip(right.row(v as usize))
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        self.positives
+            .iter()
+            .map(|p| (score(p), true))
+            .chain(self.negatives.iter().map(|p| (score(p), false)))
+            .collect()
+    }
+
+    /// Precision@|positives| from a `(left, right)` embedding pair:
+    /// `left` has one row per subset index, `right` one row per graph node.
+    pub fn precision(&self, left: &DenseMatrix, right: &DenseMatrix) -> f64 {
+        if self.positives.is_empty() {
+            return 0.0;
+        }
+        let mut scored = self.scored_pairs(left, right);
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let k = self.positives.len();
+        let hits = scored[..k].iter().filter(|e| e.1).count();
+        hits as f64 / k as f64
+    }
+
+    /// ROC-AUC over the same scored pairs (threshold-free companion metric
+    /// to [`LinkPredictionTask::precision`]).
+    pub fn auc(&self, left: &DenseMatrix, right: &DenseMatrix) -> f64 {
+        crate::metrics::roc_auc(&self.scored_pairs(left, right))
+    }
+
+    /// Precision among the top-`k` scored test pairs.
+    pub fn precision_at(&self, left: &DenseMatrix, right: &DenseMatrix, k: usize) -> f64 {
+        crate::metrics::precision_at_k(&self.scored_pairs(left, right), k)
+    }
+
+    /// Mean average precision of the ranking over all test pairs.
+    pub fn average_precision(&self, left: &DenseMatrix, right: &DenseMatrix) -> f64 {
+        crate::metrics::average_precision(&self.scored_pairs(left, right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_graph(n: u32, seed: u64) -> DynGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DynGraph::with_nodes(n as usize);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.gen_bool(0.2) {
+                    g.insert_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn holdout_removes_positives_from_train_graph() {
+        let g = dense_graph(30, 1);
+        let sources = vec![0u32, 1, 2];
+        let task = LinkPredictionTask::from_graph(&g, &sources, 0.3, 7);
+        assert!(task.num_positives() > 0);
+        for &(i, v) in &task.positives {
+            assert!(g.has_edge(sources[i], v), "positive was a real edge");
+            assert!(
+                !task.train_graph.has_edge(sources[i], v),
+                "positive must be removed from the training graph"
+            );
+        }
+        assert_eq!(task.negatives.len(), task.positives.len());
+        for &(i, v) in &task.negatives {
+            assert!(!g.has_edge(sources[i], v), "negatives are non-edges");
+        }
+    }
+
+    #[test]
+    fn oracle_embedding_gets_perfect_precision() {
+        // Score = 1 for positives, 0 for negatives via a hand-built pair.
+        let g = dense_graph(20, 2);
+        let sources = vec![0u32, 1];
+        let task = LinkPredictionTask::from_graph(&g, &sources, 0.4, 3);
+        let n = g.num_nodes();
+        // One-hot trick: left row i = e_i (dim = |S|), right row v has
+        // right[v][i] = 1 iff (i, v) is a positive.
+        let left = DenseMatrix::identity(2);
+        let mut right = DenseMatrix::zeros(n, 2);
+        for &(i, v) in &task.positives {
+            right.set(v as usize, i, 1.0);
+        }
+        assert_eq!(task.precision(&left, &right), 1.0);
+    }
+
+    #[test]
+    fn anti_oracle_gets_zero() {
+        let g = dense_graph(20, 4);
+        let sources = vec![0u32, 1];
+        let task = LinkPredictionTask::from_graph(&g, &sources, 0.4, 5);
+        let n = g.num_nodes();
+        let left = DenseMatrix::identity(2);
+        let mut right = DenseMatrix::zeros(n, 2);
+        for &(i, v) in &task.negatives {
+            right.set(v as usize, i, 1.0);
+        }
+        assert_eq!(task.precision(&left, &right), 0.0);
+    }
+
+    #[test]
+    fn random_embedding_near_half() {
+        let g = dense_graph(60, 6);
+        let sources: Vec<u32> = (0..20).collect();
+        let task = LinkPredictionTask::from_graph(&g, &sources, 0.3, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let left = DenseMatrix::from_fn(20, 8, |_, _| rng.gen_range(-1.0..1.0));
+        let right = DenseMatrix::from_fn(60, 8, |_, _| rng.gen_range(-1.0..1.0));
+        let p = task.precision(&left, &right);
+        assert!(p > 0.25 && p < 0.75, "random precision {p}");
+    }
+
+    #[test]
+    fn auc_tracks_precision() {
+        let g = dense_graph(20, 2);
+        let sources = vec![0u32, 1];
+        let task = LinkPredictionTask::from_graph(&g, &sources, 0.4, 3);
+        let n = g.num_nodes();
+        let left = DenseMatrix::identity(2);
+        let mut right = DenseMatrix::zeros(n, 2);
+        for &(i, v) in &task.positives {
+            right.set(v as usize, i, 1.0);
+        }
+        assert_eq!(task.auc(&left, &right), 1.0, "oracle embedding has AUC 1");
+    }
+
+    #[test]
+    fn degree_one_sources_keep_their_edge() {
+        let mut g = DynGraph::with_nodes(5);
+        g.insert_edge(0, 1); // source 0 has exactly one out-edge
+        g.insert_edge(2, 3);
+        g.insert_edge(2, 4);
+        g.insert_edge(2, 1);
+        let task = LinkPredictionTask::from_graph(&g, &[0, 2], 0.5, 1);
+        assert!(task.train_graph.has_edge(0, 1));
+        assert!(task.positives.iter().all(|&(i, _)| i == 1));
+    }
+}

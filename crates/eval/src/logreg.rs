@@ -1,0 +1,232 @@
+//! Multinomial logistic regression on dense features.
+//!
+//! Full-batch gradient descent with Nesterov momentum and L2 regularisation.
+//! Feature matrices here are `|S| × d` (a few hundred × ≤128), so nothing
+//! fancier is warranted; 300 iterations converge far past what the
+//! embedding-quality comparisons can resolve.
+
+use tsvd_linalg::DenseMatrix;
+
+/// A trained softmax classifier.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// `num_classes × (d + 1)` weights (last column is the bias).
+    w: DenseMatrix,
+    num_classes: usize,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LogRegConfig {
+    /// Gradient-descent iterations.
+    pub iters: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig { iters: 300, lr: 0.5, l2: 1e-4 }
+    }
+}
+
+impl LogisticRegression {
+    /// Train on rows `x[i]` with labels `y[i] ∈ 0..num_classes`.
+    /// Features are standardised internally (per-column z-score) for
+    /// conditioning; the transform is folded into the weights, so `predict`
+    /// takes raw features.
+    pub fn train(x: &DenseMatrix, y: &[usize], num_classes: usize, cfg: LogRegConfig) -> Self {
+        assert_eq!(x.rows(), y.len(), "row/label mismatch");
+        assert!(num_classes >= 1);
+        assert!(y.iter().all(|&c| c < num_classes), "label out of range");
+        let (n, d) = (x.rows(), x.cols());
+        // Column standardisation.
+        let mut mean = vec![0.0; d];
+        let mut std = vec![0.0; d];
+        for i in 0..n {
+            for (j, &v) in x.row(i).iter().enumerate() {
+                mean[j] += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n.max(1) as f64;
+        }
+        for i in 0..n {
+            for (j, &v) in x.row(i).iter().enumerate() {
+                std[j] += (v - mean[j]).powi(2);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n.max(1) as f64).sqrt().max(1e-9);
+        }
+        let xs = DenseMatrix::from_fn(n, d, |i, j| (x.get(i, j) - mean[j]) / std[j]);
+
+        let mut w = DenseMatrix::zeros(num_classes, d + 1);
+        let mut vel = DenseMatrix::zeros(num_classes, d + 1);
+        let momentum = 0.9;
+        let mut probs = vec![0.0; num_classes];
+        for _ in 0..cfg.iters {
+            let mut grad = DenseMatrix::zeros(num_classes, d + 1);
+            for i in 0..n {
+                softmax_row(&w, xs.row(i), &mut probs);
+                for c in 0..num_classes {
+                    let err = probs[c] - if y[i] == c { 1.0 } else { 0.0 };
+                    let grow = grad.row_mut(c);
+                    for (g, &f) in grow[..d].iter_mut().zip(xs.row(i)) {
+                        *g += err * f;
+                    }
+                    grow[d] += err;
+                }
+            }
+            let scale = 1.0 / n.max(1) as f64;
+            for c in 0..num_classes {
+                for j in 0..=d {
+                    let g = grad.get(c, j) * scale + cfg.l2 * w.get(c, j);
+                    let v = momentum * vel.get(c, j) - cfg.lr * g;
+                    vel.set(c, j, v);
+                    w.set(c, j, w.get(c, j) + v);
+                }
+            }
+        }
+        // Fold standardisation into the weights: w'·x = w·((x−μ)/σ).
+        let mut folded = DenseMatrix::zeros(num_classes, d + 1);
+        for c in 0..num_classes {
+            let mut bias = w.get(c, d);
+            for j in 0..d {
+                let wj = w.get(c, j) / std[j];
+                folded.set(c, j, wj);
+                bias -= w.get(c, j) * mean[j] / std[j];
+            }
+            folded.set(c, d, bias);
+        }
+        LogisticRegression { w: folded, num_classes }
+    }
+
+    /// Predicted class of one raw feature row.
+    pub fn predict_one(&self, x: &[f64]) -> usize {
+        let d = self.w.cols() - 1;
+        assert_eq!(x.len(), d);
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for c in 0..self.num_classes {
+            let row = self.w.row(c);
+            let score: f64 =
+                row[..d].iter().zip(x).map(|(w, f)| w * f).sum::<f64>() + row[d];
+            if score > best_score {
+                best_score = score;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Predicted classes for every row of `x`.
+    pub fn predict(&self, x: &DenseMatrix) -> Vec<usize> {
+        (0..x.rows()).map(|i| self.predict_one(x.row(i))).collect()
+    }
+}
+
+fn softmax_row(w: &DenseMatrix, x: &[f64], out: &mut [f64]) {
+    let d = x.len();
+    let mut maxv = f64::NEG_INFINITY;
+    for (c, o) in out.iter_mut().enumerate() {
+        let row = w.row(c);
+        let s: f64 = row[..d].iter().zip(x).map(|(a, b)| a * b).sum::<f64>() + row[d];
+        *o = s;
+        maxv = maxv.max(s);
+    }
+    let mut z = 0.0;
+    for o in out.iter_mut() {
+        *o = (*o - maxv).exp();
+        z += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= z;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn separable_two_class() {
+        // Class = sign of first coordinate.
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100;
+        let mut x = DenseMatrix::zeros(n, 3);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = i % 2;
+            let base = if cls == 0 { -2.0 } else { 2.0 };
+            x.set(i, 0, base + rng.gen_range(-0.5..0.5));
+            x.set(i, 1, rng.gen_range(-1.0..1.0));
+            x.set(i, 2, rng.gen_range(-1.0..1.0));
+            y.push(cls);
+        }
+        let clf = LogisticRegression::train(&x, &y, 2, LogRegConfig::default());
+        let pred = clf.predict(&x);
+        let acc = pred.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(acc >= 98, "accuracy {acc}/100");
+    }
+
+    #[test]
+    fn three_class_gaussians() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let centers = [(0.0, 3.0), (3.0, -2.0), (-3.0, -2.0)];
+        let n = 150;
+        let mut x = DenseMatrix::zeros(n, 2);
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % 3;
+            x.set(i, 0, centers[c].0 + rng.gen_range(-0.8..0.8));
+            x.set(i, 1, centers[c].1 + rng.gen_range(-0.8..0.8));
+            y.push(c);
+        }
+        let clf = LogisticRegression::train(&x, &y, 3, LogRegConfig::default());
+        let acc = clf
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(acc as f64 / n as f64 > 0.95);
+    }
+
+    #[test]
+    fn single_class_degenerate() {
+        let x = DenseMatrix::from_rows(&[&[1.0], &[2.0]]);
+        let clf = LogisticRegression::train(&x, &[0, 0], 1, LogRegConfig::default());
+        assert_eq!(clf.predict(&x), vec![0, 0]);
+    }
+
+    #[test]
+    fn scale_invariance_via_standardisation() {
+        // Multiplying a feature column by 1000 must not destroy training.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 80;
+        let mut x = DenseMatrix::zeros(n, 2);
+        let mut y = Vec::new();
+        for i in 0..n {
+            let cls = i % 2;
+            let v = if cls == 0 { -1.0 } else { 1.0 };
+            x.set(i, 0, v * 1000.0 + rng.gen_range(-100.0..100.0));
+            x.set(i, 1, rng.gen_range(-0.001..0.001));
+            y.push(cls);
+        }
+        let clf = LogisticRegression::train(&x, &y, 2, LogRegConfig::default());
+        let acc = clf.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(acc >= 78, "accuracy {acc}/80");
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let x = DenseMatrix::zeros(2, 2);
+        let _ = LogisticRegression::train(&x, &[0, 5], 2, LogRegConfig::default());
+    }
+}

@@ -1,0 +1,65 @@
+//! Edge events (Definition 2.1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Whether an edge event inserts or deletes the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The edge `u → v` is added to the graph.
+    Insert,
+    /// The edge `u → v` is removed from the graph.
+    Delete,
+}
+
+/// A single edge event `⟨u, v, kind⟩` from the paper's dynamic graph model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeEvent {
+    /// Source endpoint.
+    pub u: u32,
+    /// Target endpoint.
+    pub v: u32,
+    /// Insert or delete.
+    pub kind: EventKind,
+}
+
+impl EdgeEvent {
+    /// An insertion event for `u → v`.
+    #[inline]
+    pub fn insert(u: u32, v: u32) -> Self {
+        EdgeEvent { u, v, kind: EventKind::Insert }
+    }
+
+    /// A deletion event for `u → v`.
+    #[inline]
+    pub fn delete(u: u32, v: u32) -> Self {
+        EdgeEvent { u, v, kind: EventKind::Delete }
+    }
+
+    /// The same event on the reverse graph (`v → u`).
+    ///
+    /// Used to mirror updates into the transpose-PPR state.
+    #[inline]
+    pub fn reversed(&self) -> Self {
+        EdgeEvent { u: self.v, v: self.u, kind: self.kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversal_swaps_endpoints_keeps_kind() {
+        let e = EdgeEvent::insert(3, 7);
+        let r = e.reversed();
+        assert_eq!((r.u, r.v, r.kind), (7, 3, EventKind::Insert));
+        let d = EdgeEvent::delete(1, 2).reversed();
+        assert_eq!((d.u, d.v, d.kind), (2, 1, EventKind::Delete));
+    }
+
+    #[test]
+    fn double_reversal_is_identity() {
+        let e = EdgeEvent::delete(10, 20);
+        assert_eq!(e.reversed().reversed(), e);
+    }
+}

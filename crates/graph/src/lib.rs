@@ -1,0 +1,24 @@
+//! # tsvd-graph
+//!
+//! Dynamic directed graph substrate for the Tree-SVD reproduction.
+//!
+//! The paper (Definition 2.1) models a dynamic graph as an ordered set of
+//! snapshots `G^0, G^1, …, G^τ` where `G^0` is empty, `G^1` is the initial
+//! graph, and consecutive snapshots are separated by a batch `Δ^t` of edge
+//! *events* (insertions and deletions). This crate provides:
+//!
+//! * [`DynGraph`] — an adjacency-list directed graph supporting O(deg)
+//!   insert/delete and O(1) degree queries in both directions;
+//! * [`EdgeEvent`] / [`EventKind`] — the edge-event vocabulary of Def. 2.1;
+//! * [`SnapshotStream`] — a timestamped event log partitioned into snapshots;
+//! * [`par`] — a tiny scoped-thread parallel-map helper used by the PPR and
+//!   SVD layers (no rayon in the offline crate set).
+
+mod dyngraph;
+mod events;
+pub mod par;
+mod stream;
+
+pub use dyngraph::{Direction, DynGraph};
+pub use events::{EdgeEvent, EventKind};
+pub use stream::{SnapshotStream, TimedEvent};

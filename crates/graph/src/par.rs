@@ -1,0 +1,133 @@
+//! Minimal scoped-thread parallel helpers.
+//!
+//! The offline crate set has no rayon, so the PPR engine and the level-1
+//! block SVDs use these helpers instead. They split an index range into
+//! contiguous chunks, one per worker, and run them on `std::thread::scope`
+//! threads — deterministic output placement, no work stealing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: `TSVD_THREADS` env var if set, otherwise
+/// the machine's available parallelism (capped at 16 — the workloads here
+/// saturate memory bandwidth well before that).
+pub fn num_threads() -> usize {
+    if let Ok(s) = std::env::var("TSVD_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Apply `f(i)` for every `i` in `0..n`, collecting results in index order.
+///
+/// `f` runs on multiple threads; it must be `Sync` and is handed disjoint
+/// indices. Falls back to a sequential loop when `n` is small or only one
+/// thread is available.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let next = AtomicUsize::new(0);
+    // Dynamic chunking: workers grab small index blocks so skewed work (e.g.
+    // hub-heavy PPR sources) balances out.
+    let chunk = (n / (threads * 8)).max(1);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            let out_ptr = &out_ptr;
+            s.spawn(move || loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    let v = f(i);
+                    // SAFETY: each index i is claimed by exactly one worker
+                    // via the atomic counter, and `out` outlives the scope.
+                    unsafe { *out_ptr.0.add(i) = Some(v) };
+                }
+            });
+        }
+    });
+    out.into_iter().map(|v| v.expect("worker filled every slot")).collect()
+}
+
+/// Run `f(chunk_range)` over disjoint contiguous chunks of `0..n` in
+/// parallel, for workloads that want to amortise per-chunk setup (e.g. a
+/// scratch buffer per worker).
+pub fn par_chunks<F>(n: usize, min_chunk: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || n <= min_chunk {
+        f(0..n);
+        return;
+    }
+    let chunk = (n.div_ceil(threads)).max(min_chunk);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            s.spawn(move || f(start..end));
+            start = end;
+        }
+    });
+}
+
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced at disjoint indices (one writer
+// per index, enforced by the atomic counter) within the thread scope.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(1000, |i| i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_once() {
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        par_chunks(500, 7, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn num_threads_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

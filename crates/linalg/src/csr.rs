@@ -1,0 +1,303 @@
+//! Compressed sparse row matrix.
+
+use crate::dense::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A compressed-sparse-row `f64` matrix.
+///
+/// Used for the PPR proximity matrix `M_S` (|S| rows, one per subset node;
+/// n columns, one per graph node) and for adjacency/transition operators.
+/// Column indices within each row are kept sorted.
+///
+/// # Examples
+///
+/// ```
+/// use tsvd_linalg::CsrMatrix;
+///
+/// let m = CsrMatrix::from_rows(4, &[vec![(0, 1.0), (3, 2.0)], vec![(1, -1.0)]]);
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.get(0, 3), 2.0);
+/// assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0, 1.0]), vec![3.0, -1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    data: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// An empty (all-zero) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), data: Vec::new() }
+    }
+
+    /// Build from per-row `(col, value)` lists. Each row is sorted and
+    /// entries with duplicate columns are summed; explicit zeros are dropped.
+    pub fn from_rows(cols: usize, rows: &[Vec<(u32, f64)>]) -> Self {
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        for row in rows {
+            let mut r: Vec<(u32, f64)> = row.clone();
+            r.sort_unstable_by_key(|e| e.0);
+            let mut iter = r.into_iter().peekable();
+            while let Some((c, mut v)) = iter.next() {
+                assert!((c as usize) < cols, "column {c} out of range {cols}");
+                while iter.peek().is_some_and(|&(c2, _)| c2 == c) {
+                    v += iter.next().unwrap().1;
+                }
+                if v != 0.0 {
+                    indices.push(c);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix { rows: rows.len(), cols, indptr, indices, data }
+    }
+
+    /// Build from raw CSR arrays (columns must be sorted within each row).
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        data: Vec<f64>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1);
+        assert_eq!(indices.len(), data.len());
+        assert_eq!(*indptr.last().unwrap(), indices.len());
+        debug_assert!((0..rows).all(|i| {
+            indices[indptr[i]..indptr[i + 1]].windows(2).all(|w| w[0] < w[1])
+        }));
+        CsrMatrix { rows, cols, indptr, indices, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Sparse row `i` as parallel `(columns, values)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let (a, b) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[a..b], &self.data[a..b])
+    }
+
+    /// Entry `(i, j)` (binary search within the row).
+    pub fn get(&self, i: usize, j: u32) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(p) => vals[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dense product `self · B` (`cols × k` → `rows × k`).
+    pub fn mul_dense(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, b.rows(), "inner dimension mismatch");
+        let k = b.cols();
+        let mut out = DenseMatrix::zeros(self.rows, k);
+        for i in 0..self.rows {
+            let (cols, vals) = (
+                &self.indices[self.indptr[i]..self.indptr[i + 1]],
+                &self.data[self.indptr[i]..self.indptr[i + 1]],
+            );
+            let orow = &mut out.as_mut_slice()[i * k..(i + 1) * k];
+            for (&c, &v) in cols.iter().zip(vals) {
+                let brow = b.row(c as usize);
+                for (o, &bb) in orow.iter_mut().zip(brow) {
+                    *o += v * bb;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense product `selfᵀ · B` (`rows × k` → `cols × k`) without
+    /// materialising the transpose (scatter along rows).
+    pub fn t_mul_dense(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, b.rows(), "outer dimension mismatch");
+        let k = b.cols();
+        let mut out = DenseMatrix::zeros(self.cols, k);
+        for i in 0..self.rows {
+            let (cols, vals) = (
+                &self.indices[self.indptr[i]..self.indptr[i + 1]],
+                &self.data[self.indptr[i]..self.indptr[i + 1]],
+            );
+            let brow = b.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let orow = &mut out.as_mut_slice()[c as usize * k..(c as usize + 1) * k];
+                for (o, &bb) in orow.iter_mut().zip(brow) {
+                    *o += v * bb;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse matrix–vector product `self · x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len());
+        (0..self.rows)
+            .map(|i| {
+                let (cols, vals) = self.row(i);
+                cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum()
+            })
+            .collect()
+    }
+
+    /// Densified copy (tests and the exact-SVD path of HSVD).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                m.set(i, c as usize, v);
+            }
+        }
+        m
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Restrict to a contiguous column range, re-indexing columns to start
+    /// at zero. Used to slice the proximity matrix into Tree-SVD blocks.
+    pub fn slice_cols(&self, start: u32, end: u32) -> CsrMatrix {
+        assert!(start <= end && (end as usize) <= self.cols);
+        let mut rows = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let lo = cols.partition_point(|&c| c < start);
+            let hi = cols.partition_point(|&c| c < end);
+            rows.push(
+                cols[lo..hi]
+                    .iter()
+                    .zip(&vals[lo..hi])
+                    .map(|(&c, &v)| (c - start, v))
+                    .collect(),
+            );
+        }
+        CsrMatrix::from_rows((end - start) as usize, &rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [0 3 4]
+        CsrMatrix::from_rows(
+            3,
+            &[vec![(0, 1.0), (2, 2.0)], vec![], vec![(2, 4.0), (1, 3.0)]],
+        )
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let m = CsrMatrix::from_rows(4, &[vec![(3, 1.0), (1, 2.0), (3, 2.5)]]);
+        let (cols, vals) = m.row(0);
+        assert_eq!(cols, &[1, 3]);
+        assert_eq!(vals, &[2.0, 3.5]);
+    }
+
+    #[test]
+    fn zeros_dropped() {
+        let m = CsrMatrix::from_rows(3, &[vec![(0, 1.0), (1, 0.0)]]);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn get_and_nnz() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(2, 1), 3.0);
+    }
+
+    #[test]
+    fn mul_dense_matches_dense_mul() {
+        let m = sample();
+        let b = DenseMatrix::from_fn(3, 2, |i, j| (i + j + 1) as f64);
+        let sparse = m.mul_dense(&b);
+        let dense = m.to_dense().mul(&b);
+        assert!(sparse.sub(&dense).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn t_mul_dense_matches_dense() {
+        let m = sample();
+        let b = DenseMatrix::from_fn(3, 2, |i, j| (2 * i + j) as f64 - 1.0);
+        let sparse = m.t_mul_dense(&b);
+        let dense = m.to_dense().t_mul(&b);
+        assert!(sparse.sub(&dense).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = sample();
+        let x = vec![1.0, -2.0, 0.5];
+        let got = m.mul_vec(&x);
+        let want = m.to_dense().mul_vec(&x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slice_cols_reindexes() {
+        let m = sample();
+        let s = m.slice_cols(1, 3);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s.get(0, 1), 2.0); // old column 2
+        assert_eq!(s.get(2, 0), 3.0); // old column 1
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    fn frobenius() {
+        let m = sample();
+        let want = (1.0f64 + 4.0 + 9.0 + 16.0).sqrt();
+        assert!((m.frobenius_norm() - want).abs() < 1e-12);
+        assert!((m.frobenius_norm_sq() - want * want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slicing_partitions_norm() {
+        let m = sample();
+        let a = m.slice_cols(0, 1);
+        let b = m.slice_cols(1, 3);
+        let total = a.frobenius_norm_sq() + b.frobenius_norm_sq();
+        assert!((total - m.frobenius_norm_sq()).abs() < 1e-12);
+    }
+}

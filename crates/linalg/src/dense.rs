@@ -1,0 +1,365 @@
+//! Row-major dense matrix.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A row-major dense `f64` matrix.
+///
+/// The workhorse of every SVD in this workspace. Storage is a single
+/// contiguous `Vec<f64>`; row `i` occupies `data[i*cols .. (i+1)*cols]`.
+///
+/// # Examples
+///
+/// ```
+/// use tsvd_linalg::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = DenseMatrix::identity(2);
+/// assert_eq!(a.mul(&b), a);
+/// assert_eq!(a.transpose().get(0, 1), 3.0);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        let show_r = self.rows.min(6);
+        let show_c = self.cols.min(8);
+        for i in 0..show_r {
+            write!(f, "  ")?;
+            for j in 0..show_c {
+                write!(f, "{:>10.4} ", self.get(i, j))?;
+            }
+            writeln!(f, "{}", if self.cols > show_c { "…" } else { "" })?;
+        }
+        if self.rows > show_r {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl DenseMatrix {
+    /// An all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from a generator on `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer. Panics on size mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Build from nested row slices (mostly for tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Set entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The raw row-major buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// Plain i-k-j loop: with row-major storage both the `other` row and the
+    /// output row stream contiguously, which is all these sizes need.
+    pub fn mul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · other` without materialising the transpose.
+    pub fn t_mul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, other.rows, "outer dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = other.row(k);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len());
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Scale every column `j` by `s[j]` in place (i.e. `self · diag(s)`).
+    pub fn scale_cols(&mut self, s: &[f64]) {
+        assert_eq!(self.cols, s.len());
+        for i in 0..self.rows {
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (v, &f) in row.iter_mut().zip(s) {
+                *v *= f;
+            }
+        }
+    }
+
+    /// Keep only the first `k` columns.
+    pub fn take_cols(&self, k: usize) -> DenseMatrix {
+        assert!(k <= self.cols);
+        let mut out = DenseMatrix::zeros(self.rows, k);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[..k]);
+        }
+        out
+    }
+
+    /// Horizontally concatenate `blocks` (all with equal row counts).
+    pub fn hconcat(blocks: &[&DenseMatrix]) -> DenseMatrix {
+        assert!(!blocks.is_empty());
+        let rows = blocks[0].rows;
+        assert!(blocks.iter().all(|b| b.rows == rows), "row count mismatch");
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let mut out = DenseMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            let orow = out.row_mut(i);
+            let mut off = 0;
+            for b in blocks {
+                orow[off..off + b.cols].copy_from_slice(b.row(i));
+                off += b.cols;
+            }
+        }
+        out
+    }
+
+    /// `self − other` (elementwise).
+    pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        DenseMatrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Squared Euclidean norm of column `j`.
+    pub fn col_norm_sq(&self, j: usize) -> f64 {
+        (0..self.rows).map(|i| self.get(i, j).powi(2)).sum()
+    }
+
+    /// `true` if all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = DenseMatrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 12.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn identity_mul_is_noop() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let out = m.mul(&DenseMatrix::identity(2));
+        assert_eq!(out, m);
+        let out2 = DenseMatrix::identity(3).mul(&m);
+        assert_eq!(out2, m);
+    }
+
+    #[test]
+    fn mul_matches_hand_computation() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.mul(&b);
+        assert!(approx(c.get(0, 0), 19.0));
+        assert!(approx(c.get(0, 1), 22.0));
+        assert!(approx(c.get(1, 0), 43.0));
+        assert!(approx(c.get(1, 1), 50.0));
+    }
+
+    #[test]
+    fn t_mul_matches_explicit_transpose() {
+        let a = DenseMatrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64 * 0.5);
+        let b = DenseMatrix::from_fn(4, 2, |i, j| (i * j + 1) as f64);
+        let fast = a.t_mul(&b);
+        let slow = a.transpose().mul(&b);
+        assert!(fast.sub(&slow).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = DenseMatrix::from_fn(3, 5, |i, j| (i * j) as f64 - 1.5);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn hconcat_layout() {
+        let a = DenseMatrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = DenseMatrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = DenseMatrix::hconcat(&[&a, &b]);
+        assert_eq!(c.row(0), &[1.0, 3.0, 4.0]);
+        assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn scale_cols_and_take_cols() {
+        let mut m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        m.scale_cols(&[2.0, 0.0, -1.0]);
+        assert_eq!(m.row(0), &[2.0, 0.0, -3.0]);
+        let t = m.take_cols(2);
+        assert_eq!(t.row(1), &[8.0, 0.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_value() {
+        let m = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!(approx(m.frobenius_norm(), 5.0));
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = DenseMatrix::from_fn(3, 4, |i, j| (i + j) as f64);
+        let x = vec![1.0, -1.0, 2.0, 0.5];
+        let via_vec = a.mul_vec(&x);
+        let xm = DenseMatrix::from_vec(4, 1, x.clone());
+        let via_mat = a.mul(&xm);
+        for i in 0..3 {
+            assert!(approx(via_vec[i], via_mat.get(i, 0)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mul_dimension_checked() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        let _ = a.mul(&b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Cyclic Jacobi eigensolver for small symmetric matrices.
+//!
+//! Used for the Gram-matrix trick in the left-only randomized SVD (computing
+//! `U, Σ` of a short-fat `B` from the eigendecomposition of `B·Bᵀ`).
+
+use crate::dense::DenseMatrix;
+
+/// Eigendecomposition `A = V · diag(λ) · Vᵀ` of a symmetric matrix,
+/// eigenvalues sorted descending.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Column `j` of `vectors` is the eigenvector for `values[j]`.
+    pub vectors: DenseMatrix,
+}
+
+/// Jacobi eigendecomposition of symmetric `a`.
+///
+/// Cyclic sweeps of 2×2 rotations; converges quadratically. Panics if `a` is
+/// not square; symmetry is assumed (only the upper triangle drives the
+/// rotations, and the matrix is symmetrised up front to be safe).
+pub fn sym_eigen(a: &DenseMatrix) -> SymEigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigendecomposition needs a square matrix");
+    if n == 0 {
+        return SymEigen { values: Vec::new(), vectors: DenseMatrix::zeros(0, 0) };
+    }
+    // Symmetrise defensively (callers pass B·Bᵀ which is symmetric up to
+    // rounding).
+    let mut m = DenseMatrix::from_fn(n, n, |i, j| 0.5 * (a.get(i, j) + a.get(j, i)));
+    let mut v = DenseMatrix::identity(n);
+
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius mass.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m.get(i, j).powi(2);
+            }
+        }
+        let diag_scale: f64 = (0..n).map(|i| m.get(i, i).powi(2)).sum::<f64>().max(1e-300);
+        if off <= 1e-28 * diag_scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Rotation angle zeroing (p,q).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply rotation to rows/cols p,q of m.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Sort descending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m.get(j, j).partial_cmp(&m.get(i, i)).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
+    let vectors = DenseMatrix::from_fn(n, n, |i, j| v.get(i, order[j]));
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::gaussian_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is ±(1,1)/√2.
+        let v0 = (e.vectors.get(0, 0), e.vectors.get(1, 0));
+        assert!((v0.0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0.0 - v0.1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_random() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [1usize, 3, 8, 20] {
+            let g = gaussian_matrix(&mut rng, n, n);
+            let a = g.t_mul(&g); // symmetric PSD
+            let e = sym_eigen(&a);
+            // A == V Λ Vᵀ
+            let mut vl = e.vectors.clone();
+            vl.scale_cols(&e.values);
+            let back = vl.mul(&e.vectors.transpose());
+            assert!(back.sub(&a).max_abs() < 1e-8 * (1.0 + a.max_abs()), "n={n}");
+            // V orthonormal
+            let g2 = e.vectors.t_mul(&e.vectors);
+            assert!(g2.sub(&DenseMatrix::identity(n)).max_abs() < 1e-9);
+            // sorted descending
+            assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        }
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        let a = DenseMatrix::identity(4);
+        let e = sym_eigen(&a);
+        assert!(e.values.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+        let g = e.vectors.t_mul(&e.vectors);
+        assert!(g.sub(&DenseMatrix::identity(4)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_size() {
+        let e = sym_eigen(&DenseMatrix::zeros(0, 0));
+        assert!(e.values.is_empty());
+    }
+}

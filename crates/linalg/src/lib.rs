@@ -1,0 +1,42 @@
+//! # tsvd-linalg
+//!
+//! Self-contained dense/sparse linear algebra for the Tree-SVD reproduction.
+//! No linear-algebra crate exists in the offline set, so everything the paper
+//! needs is implemented here:
+//!
+//! * [`DenseMatrix`] — row-major dense matrix with the usual products;
+//! * [`CsrMatrix`] — compressed sparse row matrix (the proximity matrix and
+//!   adjacency operators);
+//! * [`qr`] — Householder QR (thin Q), the orthonormalisation kernel of
+//!   randomized SVD;
+//! * [`eigen`] — cyclic Jacobi eigensolver for small symmetric matrices;
+//! * [`svd`] — exact truncated SVD via one-sided Jacobi (with a QR
+//!   pre-reduction for tall matrices);
+//! * [`randomized`] — Halko–Martinsson–Tropp randomized SVD, including the
+//!   sparse variant the paper uses at Tree-SVD's first level (cost
+//!   `O(nnz·(d+p))` plus small dense work);
+//! * [`lanczos`] — Golub–Kahan–Lanczos bidiagonalization with full
+//!   reorthogonalisation, the deterministic alternative for sparse
+//!   truncated SVDs (level-1 ablation);
+//! * [`sketch`] — Frequent-Directions matrix sketching (the FREDE baseline);
+//! * [`rng`] — Gaussian sampling via Box–Muller on top of `rand`.
+//!
+//! All numerics are `f64`. Matrices are small enough in this system
+//! (`|S| ≤ a few thousand` rows) that cache-oblivious blocking is not needed;
+//! the hot loops are laid out for contiguous row access instead.
+
+mod csr;
+pub(crate) mod gr;
+mod dense;
+pub mod eigen;
+pub mod lanczos;
+pub mod qr;
+pub mod randomized;
+pub mod rng;
+pub mod sketch;
+pub mod svd;
+
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use randomized::{MatrixProduct, RandomizedSvdConfig};
+pub use svd::Svd;

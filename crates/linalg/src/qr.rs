@@ -1,0 +1,186 @@
+//! Householder QR factorisation (thin variant).
+//!
+//! `A = Q·R` with `Q` an `m × n` matrix with orthonormal columns and `R`
+//! upper-triangular `n × n` (requires `m ≥ n`). This is the
+//! orthonormalisation kernel used by the randomized range finder and by the
+//! tall-matrix pre-reduction in [`crate::svd`].
+
+use crate::dense::DenseMatrix;
+
+/// Result of a thin QR factorisation.
+#[derive(Debug, Clone)]
+pub struct QrResult {
+    /// `m × n` with orthonormal columns.
+    pub q: DenseMatrix,
+    /// `n × n` upper-triangular.
+    pub r: DenseMatrix,
+}
+
+/// Thin Householder QR of `a` (`m ≥ n`).
+///
+/// Numerically stable (Householder reflections, not Gram–Schmidt); cost
+/// `O(m·n²)`.
+pub fn qr(a: &DenseMatrix) -> QrResult {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n, "thin QR needs rows ≥ cols (got {m}×{n})");
+    // Work on a column-major copy: Householder ops walk columns.
+    let mut w = a.transpose(); // n × m, row i of w = column i of a
+    let mut taus = Vec::with_capacity(n);
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Build Householder vector for column k, rows k..m. The column is
+        // pre-scaled by its max-abs entry: a nearly-dependent column can
+        // leave a remainder around 1e-160 whose *squared* norm underflows
+        // to zero, which would turn τ = 2/‖v‖² into inf. The reflector
+        // H = I − τ·v·vᵀ is exact for any scaling of v with τ = 2/‖v‖²,
+        // so scaling changes nothing algebraically.
+        let col = &w.row(k)[k..];
+        let scale = col.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if scale == 0.0 {
+            // Zero column: identity reflector.
+            taus.push(0.0);
+            vs.push(vec![0.0; col.len()]);
+            continue;
+        }
+        let mut v: Vec<f64> = col.iter().map(|x| x / scale).collect();
+        let norm_x = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let alpha = if v[0] >= 0.0 { -norm_x } else { norm_x };
+        v[0] -= alpha;
+        let vnorm_sq: f64 = v.iter().map(|x| x * x).sum();
+        let tau = if vnorm_sq == 0.0 { 0.0 } else { 2.0 / vnorm_sq };
+        // Apply reflector H = I − τ v vᵀ to columns k..n (rows k..m).
+        for j in k..n {
+            let dot: f64 = v
+                .iter()
+                .zip(&w.row(j)[k..])
+                .map(|(a, b)| a * b)
+                .sum();
+            let f = tau * dot;
+            for (vi, wj) in v.iter().zip(&mut w.row_mut(j)[k..]) {
+                *wj -= f * vi;
+            }
+        }
+        taus.push(tau);
+        vs.push(v);
+    }
+
+    // Extract R from the transformed matrix (upper triangle).
+    let mut r = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r.set(i, j, w.get(j, i));
+        }
+    }
+
+    // Form thin Q by applying reflectors to the first n columns of I,
+    // in reverse order. Work column-major again.
+    let mut qt = DenseMatrix::zeros(n, m); // row j = column j of Q
+    for j in 0..n {
+        qt.set(j, j, 1.0);
+    }
+    for k in (0..n).rev() {
+        let tau = taus[k];
+        if tau == 0.0 {
+            continue;
+        }
+        let v = &vs[k];
+        for j in 0..n {
+            let dot: f64 = v
+                .iter()
+                .zip(&qt.row(j)[k..])
+                .map(|(a, b)| a * b)
+                .sum();
+            let f = tau * dot;
+            for (vi, qj) in v.iter().zip(&mut qt.row_mut(j)[k..]) {
+                *qj -= f * vi;
+            }
+        }
+    }
+    QrResult { q: qt.transpose(), r }
+}
+
+/// Orthonormalise the columns of `a`: returns just the thin `Q` factor.
+pub fn orthonormalize(a: &DenseMatrix) -> DenseMatrix {
+    qr(a).q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::gaussian_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_orthonormal(q: &DenseMatrix, tol: f64) {
+        let g = q.t_mul(q);
+        let eye = DenseMatrix::identity(q.cols());
+        assert!(
+            g.sub(&eye).max_abs() < tol,
+            "QᵀQ deviates from identity by {}",
+            g.sub(&eye).max_abs()
+        );
+    }
+
+    #[test]
+    fn reconstructs_small_matrix() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+        ]);
+        let QrResult { q, r } = qr(&a);
+        check_orthonormal(&q, 1e-12);
+        let back = q.mul(&r);
+        assert!(back.sub(&a).max_abs() < 1e-12);
+        // R upper-triangular
+        assert!(r.get(1, 0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn random_matrices_reconstruct() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, n) in &[(10usize, 10usize), (50, 20), (31, 7), (5, 1)] {
+            let a = gaussian_matrix(&mut rng, m, n);
+            let QrResult { q, r } = qr(&a);
+            check_orthonormal(&q, 1e-10);
+            assert!(q.mul(&r).sub(&a).max_abs() < 1e-10, "({m},{n})");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_input() {
+        // Column 2 = 2 × column 1.
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 2.0],
+            &[2.0, 4.0],
+            &[3.0, 6.0],
+        ]);
+        let QrResult { q, r } = qr(&a);
+        assert!(q.mul(&r).sub(&a).max_abs() < 1e-12);
+        // Second diagonal of R collapses.
+        assert!(r.get(1, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = DenseMatrix::zeros(4, 2);
+        let QrResult { q, r } = qr(&a);
+        assert!(r.max_abs() < 1e-15);
+        assert_eq!(q.rows(), 4);
+        assert_eq!(q.cols(), 2);
+    }
+
+    #[test]
+    fn orthonormalize_idempotent_on_q() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = gaussian_matrix(&mut rng, 20, 6);
+        let q1 = orthonormalize(&a);
+        let q2 = orthonormalize(&q1);
+        check_orthonormal(&q2, 1e-12);
+        // Spans agree: Q2ᵀQ1 is unitary ⇒ |det| related check via norms.
+        let p = q2.t_mul(&q1);
+        let pp = p.t_mul(&p);
+        assert!(pp.sub(&DenseMatrix::identity(6)).max_abs() < 1e-10);
+    }
+}

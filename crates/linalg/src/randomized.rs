@@ -1,0 +1,217 @@
+//! Randomized truncated SVD (Halko–Martinsson–Tropp).
+//!
+//! This is the "sparse randomized SVD" of the paper's level-1 Tree-SVD step
+//! and also the engine behind the FRPCA and STRAP baselines: when the input
+//! is a [`CsrMatrix`], every product with the `(d+p)`-column test matrix runs
+//! through sparse matvecs, so the cost is `O(nnz·(d+p))` plus dense work on
+//! `(d+p)`-sized factors — matching the `O(nnz(M) + |S|·d²/ε⁴)` bound the
+//! paper quotes from Clarkson–Woodruff-style analyses.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::qr::orthonormalize;
+use crate::rng::gaussian_matrix;
+use crate::svd::{exact_svd, Svd};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Anything that can multiply dense blocks from the left and (transposed)
+/// from the right — the only access pattern randomized SVD needs.
+pub trait MatrixProduct {
+    /// Number of rows of the operator.
+    fn n_rows(&self) -> usize;
+    /// Number of columns of the operator.
+    fn n_cols(&self) -> usize;
+    /// `A · B` where `B` is `n_cols × k`.
+    fn mul_dense(&self, b: &DenseMatrix) -> DenseMatrix;
+    /// `Aᵀ · B` where `B` is `n_rows × k`.
+    fn t_mul_dense(&self, b: &DenseMatrix) -> DenseMatrix;
+}
+
+impl MatrixProduct for DenseMatrix {
+    fn n_rows(&self) -> usize {
+        self.rows()
+    }
+    fn n_cols(&self) -> usize {
+        self.cols()
+    }
+    fn mul_dense(&self, b: &DenseMatrix) -> DenseMatrix {
+        self.mul(b)
+    }
+    fn t_mul_dense(&self, b: &DenseMatrix) -> DenseMatrix {
+        self.t_mul(b)
+    }
+}
+
+impl MatrixProduct for CsrMatrix {
+    fn n_rows(&self) -> usize {
+        self.rows()
+    }
+    fn n_cols(&self) -> usize {
+        self.cols()
+    }
+    fn mul_dense(&self, b: &DenseMatrix) -> DenseMatrix {
+        CsrMatrix::mul_dense(self, b)
+    }
+    fn t_mul_dense(&self, b: &DenseMatrix) -> DenseMatrix {
+        CsrMatrix::t_mul_dense(self, b)
+    }
+}
+
+/// Parameters of the randomized range finder.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RandomizedSvdConfig {
+    /// Target rank `d` of the truncated SVD.
+    pub rank: usize,
+    /// Oversampling `p` (columns of the test matrix beyond `d`). 8–16 is
+    /// plenty for the decaying PPR spectra this system factorises.
+    pub oversample: usize,
+    /// Subspace (power) iterations. 1–2 sharpen the spectrum of matrices
+    /// with slowly decaying singular values; each costs two extra passes.
+    pub power_iters: usize,
+}
+
+impl RandomizedSvdConfig {
+    /// A config with the given rank and the defaults `p = 10`, 1 power
+    /// iteration.
+    pub fn with_rank(rank: usize) -> Self {
+        RandomizedSvdConfig { rank, oversample: 10, power_iters: 1 }
+    }
+}
+
+/// Randomized truncated SVD of `a`, keeping `cfg.rank` triplets.
+///
+/// Returns `U (m×d)`, `σ (d)`, `Vᵀ (d×n)` with the `(1+ε)` Frobenius
+/// guarantee of Eqn. (1) in the paper (holding with high probability over
+/// the Gaussian test matrix).
+pub fn randomized_svd<A, R>(a: &A, cfg: &RandomizedSvdConfig, rng: &mut R) -> Svd
+where
+    A: MatrixProduct + ?Sized,
+    R: Rng + ?Sized,
+{
+    let (m, n) = (a.n_rows(), a.n_cols());
+    let full = m.min(n);
+    if full == 0 {
+        return Svd {
+            u: DenseMatrix::zeros(m, 0),
+            s: Vec::new(),
+            vt: DenseMatrix::zeros(0, n),
+        };
+    }
+    let l = (cfg.rank + cfg.oversample).min(full);
+    // Range finding: Y = A·Ω, Q = orth(Y), with optional power iterations
+    // (A·Aᵀ)^q applied with re-orthonormalisation to avoid losing digits.
+    let omega = gaussian_matrix(rng, n, l);
+    let mut q = orthonormalize(&a.mul_dense(&omega));
+    for _ in 0..cfg.power_iters {
+        let z = orthonormalize(&a.t_mul_dense(&q));
+        q = orthonormalize(&a.mul_dense(&z));
+    }
+    // Project: B = Qᵀ·A computed as (Aᵀ·Q)ᵀ, then exact SVD of the small B.
+    let bt = a.t_mul_dense(&q); // n × l
+    let svd_bt = exact_svd(&bt); // Bᵀ = U_bt Σ Vᵀ_bt  ⇒  B = V_bt Σ Uᵀ_bt
+    let d = cfg.rank.min(svd_bt.rank());
+    let tr = svd_bt.truncate(d);
+    let u = q.mul(&tr.vt.transpose()); // Q · V_bt
+    Svd { u, s: tr.s, vt: tr.u.transpose() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A random matrix with prescribed singular values.
+    fn matrix_with_spectrum(
+        rng: &mut StdRng,
+        m: usize,
+        n: usize,
+        spectrum: &[f64],
+    ) -> DenseMatrix {
+        let r = spectrum.len();
+        let u = orthonormalize(&gaussian_matrix(rng, m, r));
+        let v = orthonormalize(&gaussian_matrix(rng, n, r));
+        let mut us = u;
+        us.scale_cols(spectrum);
+        us.mul(&v.transpose())
+    }
+
+    #[test]
+    fn recovers_low_rank_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = matrix_with_spectrum(&mut rng, 40, 120, &[10.0, 5.0, 2.0]);
+        let cfg = RandomizedSvdConfig { rank: 3, oversample: 6, power_iters: 1 };
+        let svd = randomized_svd(&a, &cfg, &mut rng);
+        assert!((svd.s[0] - 10.0).abs() < 1e-8);
+        assert!((svd.s[1] - 5.0).abs() < 1e-8);
+        assert!((svd.s[2] - 2.0).abs() < 1e-8);
+        assert!(svd.reconstruct().sub(&a).frobenius_norm() < 1e-7);
+    }
+
+    #[test]
+    fn near_optimal_on_decaying_spectrum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec: Vec<f64> = (0..30).map(|i| 0.8f64.powi(i)).collect();
+        let a = matrix_with_spectrum(&mut rng, 60, 200, &spec);
+        let d = 8;
+        let cfg = RandomizedSvdConfig { rank: d, oversample: 10, power_iters: 2 };
+        let svd = randomized_svd(&a, &cfg, &mut rng);
+        let err = svd.reconstruct().sub(&a).frobenius_norm();
+        let opt: f64 = spec[d..].iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err <= 1.10 * opt, "err {err} vs optimal {opt}");
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        // Build a sparse matrix, run both code paths with the same seed.
+        let rows: Vec<Vec<(u32, f64)>> = (0..30)
+            .map(|i| {
+                (0..100)
+                    .filter(|j| (i * 7 + j * 13) % 11 == 0)
+                    .map(|j| (j as u32, ((i + j) % 5) as f64 + 0.5))
+                    .collect()
+            })
+            .collect();
+        let sp = CsrMatrix::from_rows(100, &rows);
+        let de = sp.to_dense();
+        let cfg = RandomizedSvdConfig { rank: 6, oversample: 8, power_iters: 1 };
+        let s1 = randomized_svd(&sp, &cfg, &mut StdRng::seed_from_u64(5));
+        let s2 = randomized_svd(&de, &cfg, &mut StdRng::seed_from_u64(5));
+        for (a, b) in s1.s.iter().zip(&s2.s) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!(s1.reconstruct().sub(&s2.reconstruct()).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn orthonormal_factors() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = gaussian_matrix(&mut rng, 25, 70);
+        let cfg = RandomizedSvdConfig::with_rank(5);
+        let svd = randomized_svd(&a, &cfg, &mut rng);
+        let gu = svd.u.t_mul(&svd.u);
+        assert!(gu.sub(&DenseMatrix::identity(5)).max_abs() < 1e-9);
+        let gv = svd.vt.mul(&svd.vt.transpose());
+        assert!(gv.sub(&DenseMatrix::identity(5)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_clamped_to_matrix_rank_dims() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = gaussian_matrix(&mut rng, 4, 50);
+        let cfg = RandomizedSvdConfig { rank: 10, oversample: 10, power_iters: 0 };
+        let svd = randomized_svd(&a, &cfg, &mut rng);
+        assert!(svd.rank() <= 4);
+        // A 4-row matrix is reconstructed exactly by a rank-4 SVD.
+        assert!(svd.reconstruct().sub(&a).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = DenseMatrix::zeros(0, 10);
+        let cfg = RandomizedSvdConfig::with_rank(3);
+        let svd = randomized_svd(&a, &cfg, &mut StdRng::seed_from_u64(0));
+        assert_eq!(svd.rank(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Gaussian sampling helpers on top of `rand` (no `rand_distr` offline).
+
+use crate::dense::DenseMatrix;
+use rand::Rng;
+
+/// Draw one standard-normal sample via the Box–Muller transform.
+///
+/// Two uniform draws per call; the second Box–Muller output is discarded to
+/// keep the generator state layout simple (throughput here is irrelevant —
+/// test matrices are tiny compared to the sparse products they feed).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0): sample u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A `rows × cols` matrix of i.i.d. standard-normal entries.
+pub fn gaussian_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |_, _| standard_normal(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn matrix_is_deterministic_per_seed() {
+        let a = gaussian_matrix(&mut StdRng::seed_from_u64(3), 4, 5);
+        let b = gaussian_matrix(&mut StdRng::seed_from_u64(3), 4, 5);
+        assert_eq!(a, b);
+        let c = gaussian_matrix(&mut StdRng::seed_from_u64(4), 4, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_finite() {
+        let m = gaussian_matrix(&mut StdRng::seed_from_u64(11), 50, 50);
+        assert!(m.is_finite());
+    }
+}

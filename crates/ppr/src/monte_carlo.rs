@@ -1,0 +1,143 @@
+//! Monte-Carlo PPR estimation by α-decay random-walk sampling.
+//!
+//! The third classic PPR estimator family (next to local push and power
+//! iteration): simulate `w` walks from the source, each terminating at every
+//! step with probability `α` (and immediately at dangling nodes); the
+//! empirical distribution of termination nodes estimates `π_s`. Unbiased,
+//! with additive error `O(sqrt(log n / w))` per entry — used here as an
+//! accuracy yardstick for the push engine and as the estimator several
+//! embedding papers (e.g. the random-walk baselines in §5) build on.
+
+use crate::state::PprState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tsvd_graph::{Direction, DynGraph};
+
+/// Monte-Carlo PPR parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloConfig {
+    /// Walk termination probability `α` (must match the push engine's to be
+    /// comparable).
+    pub alpha: f64,
+    /// Number of walks to simulate.
+    pub num_walks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Estimate `π_source(·)` from `cfg.num_walks` simulated α-decay walks.
+/// Returns a [`PprState`] whose estimates are the empirical termination
+/// frequencies (the residue vector is empty — there is nothing left to
+/// push).
+pub fn monte_carlo_ppr(
+    g: &DynGraph,
+    dir: Direction,
+    source: u32,
+    cfg: &MonteCarloConfig,
+) -> PprState {
+    assert!(cfg.alpha > 0.0 && cfg.alpha < 1.0, "alpha must be in (0,1)");
+    assert!(cfg.num_walks > 0, "need at least one walk");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut hits: HashMap<u32, u64> = HashMap::new();
+    for _ in 0..cfg.num_walks {
+        let mut cur = source;
+        loop {
+            let nbrs = g.neighbors(cur, dir);
+            if nbrs.is_empty() || rng.gen_bool(cfg.alpha) {
+                break; // dangling absorption or α-termination
+            }
+            cur = nbrs[rng.gen_range(0..nbrs.len())];
+        }
+        *hits.entry(cur).or_insert(0) += 1;
+    }
+    let mut state = PprState::new(source);
+    state.take_r(source); // walks fully account for the unit mass
+    let inv = 1.0 / cfg.num_walks as f64;
+    let mut entries: Vec<(u32, u64)> = hits.into_iter().collect();
+    entries.sort_unstable_by_key(|e| e.0); // deterministic accumulation
+    for (node, count) in entries {
+        state.add_p(node, count as f64 * inv);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_ppr_row;
+    use crate::push::forward_push_fresh;
+
+    fn test_graph() -> DynGraph {
+        let mut g = DynGraph::with_nodes(12);
+        for u in 0..12u32 {
+            g.insert_edge(u, (u + 1) % 12);
+            g.insert_edge(u, (u + 5) % 12);
+        }
+        g.insert_edge(3, 9);
+        g
+    }
+
+    #[test]
+    fn converges_to_exact_ppr() {
+        let g = test_graph();
+        let cfg = MonteCarloConfig { alpha: 0.2, num_walks: 200_000, seed: 7 };
+        let st = monte_carlo_ppr(&g, Direction::Out, 0, &cfg);
+        let exact = exact_ppr_row(&g, Direction::Out, 0, 0.2, 1e-13);
+        for u in 0..12u32 {
+            let err = (st.estimate(u) - exact[u as usize]).abs();
+            assert!(err < 5e-3, "node {u}: MC {} vs exact {}", st.estimate(u), exact[u as usize]);
+        }
+    }
+
+    #[test]
+    fn mass_is_exactly_one() {
+        let g = test_graph();
+        let cfg = MonteCarloConfig { alpha: 0.3, num_walks: 1000, seed: 1 };
+        let st = monte_carlo_ppr(&g, Direction::Out, 2, &cfg);
+        assert!((st.estimate_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(st.residue_mass(), 0.0, "MC leaves no residue");
+    }
+
+    #[test]
+    fn agrees_with_push_engine() {
+        // Push and MC estimate the same quantity: entrywise difference is
+        // bounded by push residual + MC sampling noise.
+        let g = test_graph();
+        let push = forward_push_fresh(&g, Direction::Out, 0.2, 1e-7, 4);
+        let mc = monte_carlo_ppr(
+            &g,
+            Direction::Out,
+            4,
+            &MonteCarloConfig { alpha: 0.2, num_walks: 100_000, seed: 3 },
+        );
+        for u in 0..12u32 {
+            let d = (push.estimate(u) - mc.estimate(u)).abs();
+            assert!(d < 8e-3, "node {u}: push {} vs MC {}", push.estimate(u), mc.estimate(u));
+        }
+    }
+
+    #[test]
+    fn dangling_source_terminates_immediately() {
+        let mut g = DynGraph::with_nodes(3);
+        g.insert_edge(1, 2); // node 0 dangling
+        let st = monte_carlo_ppr(
+            &g,
+            Direction::Out,
+            0,
+            &MonteCarloConfig { alpha: 0.2, num_walks: 100, seed: 5 },
+        );
+        assert_eq!(st.estimate(0), 1.0, "all walks stop at the dangling source");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = test_graph();
+        let cfg = MonteCarloConfig { alpha: 0.2, num_walks: 5000, seed: 11 };
+        let a = monte_carlo_ppr(&g, Direction::Out, 1, &cfg);
+        let b = monte_carlo_ppr(&g, Direction::Out, 1, &cfg);
+        for u in 0..12u32 {
+            assert_eq!(a.estimate(u), b.estimate(u));
+        }
+    }
+}

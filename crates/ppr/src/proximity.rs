@@ -1,0 +1,97 @@
+//! The STRAP-style log-scaled proximity transform.
+//!
+//! `M_S(s, v) = log(p_s(v)/r_max + pᵀ_s(v)/r_max)`, kept only where the
+//! argument exceeds 1 (so the stored matrix is sparse and non-negative).
+//! Dividing by `r_max` rescales estimates into "units of the push
+//! threshold"; the logarithm is the usual representation-power non-linearity
+//! (STRAP, Lemane).
+
+use crate::state::PprState;
+
+/// Build the sparse proximity row for one source from its forward and
+/// reverse push states. Returns `(node, value)` pairs sorted by node id.
+///
+/// Slightly negative estimates (possible transiently after deletions, before
+/// the re-push) are clamped to zero.
+pub fn proximity_row(fwd: &PprState, bwd: &PprState, r_max: f64) -> Vec<(u32, f64)> {
+    debug_assert_eq!(fwd.source, bwd.source);
+    let mut combined: Vec<(u32, f64)> = Vec::with_capacity(fwd.estimate_nnz() + bwd.estimate_nnz());
+    for (v, p) in fwd.estimates() {
+        if p > 0.0 {
+            combined.push((v, p));
+        }
+    }
+    for (v, p) in bwd.estimates() {
+        if p > 0.0 {
+            combined.push((v, p));
+        }
+    }
+    combined.sort_unstable_by_key(|e| e.0);
+    let mut out: Vec<(u32, f64)> = Vec::with_capacity(combined.len());
+    let mut iter = combined.into_iter().peekable();
+    while let Some((v, mut p)) = iter.next() {
+        while iter.peek().is_some_and(|&(v2, _)| v2 == v) {
+            p += iter.next().unwrap().1;
+        }
+        let scaled = p / r_max;
+        if scaled > 1.0 {
+            out.push((v, scaled.ln()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::PprState;
+
+    fn state_with(source: u32, entries: &[(u32, f64)]) -> PprState {
+        let mut s = PprState::new(source);
+        for &(v, p) in entries {
+            s.add_p(v, p);
+        }
+        s
+    }
+
+    #[test]
+    fn combines_directions_and_logs() {
+        let fwd = state_with(0, &[(1, 0.4), (2, 0.1)]);
+        let bwd = state_with(0, &[(1, 0.2), (3, 0.3)]);
+        let row = proximity_row(&fwd, &bwd, 0.01);
+        let cols: Vec<u32> = row.iter().map(|e| e.0).collect();
+        assert_eq!(cols, vec![1, 2, 3]);
+        let v1 = row[0].1;
+        assert!((v1 - (0.6_f64 / 0.01).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drops_subthreshold_entries() {
+        let fwd = state_with(0, &[(1, 0.005), (2, 0.02)]);
+        let bwd = state_with(0, &[]);
+        let row = proximity_row(&fwd, &bwd, 0.01);
+        // 0.005/0.01 = 0.5 ≤ 1 dropped; 0.02/0.01 = 2 kept.
+        assert_eq!(row.len(), 1);
+        assert_eq!(row[0].0, 2);
+        assert!(row[0].1 > 0.0, "retained entries are positive");
+    }
+
+    #[test]
+    fn negative_estimates_clamped() {
+        let fwd = state_with(0, &[(1, -0.3), (2, 0.05)]);
+        let bwd = state_with(0, &[(1, 0.002)]);
+        let row = proximity_row(&fwd, &bwd, 0.01);
+        // Node 1: only the positive bwd part counts → 0.2 ≤ 1 → dropped.
+        assert_eq!(row.len(), 1);
+        assert_eq!(row[0].0, 2);
+    }
+
+    #[test]
+    fn sorted_output() {
+        let fwd = state_with(0, &[(9, 0.5), (1, 0.5)]);
+        let bwd = state_with(0, &[(5, 0.5)]);
+        let row = proximity_row(&fwd, &bwd, 0.001);
+        let cols: Vec<u32> = row.iter().map(|e| e.0).collect();
+        assert_eq!(cols, vec![1, 5, 9]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-source push state: the estimate vector `p_s` and residue vector `r_s`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The local-push state of one PPR source: sparse estimate (`p`) and residue
+/// (`r`) vectors, per Algorithm 1 of the paper.
+///
+/// Both vectors are sparse hash maps — forward push touches `O(1/r_max)`
+/// nodes, a vanishing fraction of the graph. The `dirty` flag is set by any
+/// mutation and cleared by the consumer (the proximity-matrix layer uses it
+/// to rebuild only the rows that changed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PprState {
+    /// The source node `s`.
+    pub source: u32,
+    pub(crate) p: HashMap<u32, f64>,
+    pub(crate) r: HashMap<u32, f64>,
+    /// Set whenever `p` changes; cleared via [`PprState::clear_dirty`].
+    pub dirty: bool,
+}
+
+impl PprState {
+    /// Fresh state for `source`: `p = 0`, `r = 1_s` (one-hot residue).
+    pub fn new(source: u32) -> Self {
+        let mut r = HashMap::new();
+        r.insert(source, 1.0);
+        PprState { source, p: HashMap::new(), r, dirty: true }
+    }
+
+    /// Reset to the fresh state (used when an incremental update falls back
+    /// to a from-scratch push).
+    pub fn reset(&mut self) {
+        self.p.clear();
+        self.r.clear();
+        self.r.insert(self.source, 1.0);
+        self.dirty = true;
+    }
+
+    /// Current estimate `p_s(u)` of `π_s(u)`.
+    #[inline]
+    pub fn estimate(&self, u: u32) -> f64 {
+        self.p.get(&u).copied().unwrap_or(0.0)
+    }
+
+    /// Current residue `r_s(u)`.
+    #[inline]
+    pub fn residue(&self, u: u32) -> f64 {
+        self.r.get(&u).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate non-zero estimate entries.
+    pub fn estimates(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.p.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterate non-zero residue entries.
+    pub fn residues(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.r.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of non-zero estimate entries.
+    pub fn estimate_nnz(&self) -> usize {
+        self.p.len()
+    }
+
+    /// Sum of all estimates (≤ 1 + O(r_max·pushes) for a fresh push).
+    pub fn estimate_mass(&self) -> f64 {
+        self.p.values().sum()
+    }
+
+    /// Total absolute residue mass.
+    pub fn residue_mass(&self) -> f64 {
+        self.r.values().map(|v| v.abs()).sum()
+    }
+
+    /// Clear the dirty flag, returning its previous value.
+    pub fn clear_dirty(&mut self) -> bool {
+        std::mem::replace(&mut self.dirty, false)
+    }
+
+    #[inline]
+    pub(crate) fn add_p(&mut self, u: u32, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        let e = self.p.entry(u).or_insert(0.0);
+        *e += delta;
+        if *e == 0.0 {
+            self.p.remove(&u);
+        }
+        self.dirty = true;
+    }
+
+    #[inline]
+    pub(crate) fn scale_p(&mut self, u: u32, factor: f64) {
+        if let Some(e) = self.p.get_mut(&u) {
+            *e *= factor;
+            if *e == 0.0 {
+                self.p.remove(&u);
+            }
+            self.dirty = true;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn add_r(&mut self, u: u32, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        let e = self.r.entry(u).or_insert(0.0);
+        *e += delta;
+        if *e == 0.0 {
+            self.r.remove(&u);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn take_r(&mut self, u: u32) -> f64 {
+        self.r.remove(&u).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_is_one_hot() {
+        let s = PprState::new(7);
+        assert_eq!(s.residue(7), 1.0);
+        assert_eq!(s.residue(3), 0.0);
+        assert_eq!(s.estimate(7), 0.0);
+        assert_eq!(s.estimate_mass(), 0.0);
+        assert_eq!(s.residue_mass(), 1.0);
+    }
+
+    #[test]
+    fn add_and_remove_entries() {
+        let mut s = PprState::new(0);
+        s.add_p(4, 0.5);
+        assert_eq!(s.estimate(4), 0.5);
+        s.add_p(4, -0.5);
+        assert_eq!(s.estimate_nnz(), 0, "exact-zero entries are dropped");
+        s.add_r(2, 0.25);
+        assert_eq!(s.take_r(2), 0.25);
+        assert_eq!(s.residue(2), 0.0);
+    }
+
+    #[test]
+    fn dirty_flag_lifecycle() {
+        let mut s = PprState::new(1);
+        assert!(s.clear_dirty());
+        assert!(!s.clear_dirty());
+        s.add_p(9, 0.1);
+        assert!(s.dirty);
+        s.clear_dirty();
+        s.scale_p(9, 2.0);
+        assert!(s.dirty);
+        assert_eq!(s.estimate(9), 0.2);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut s = PprState::new(5);
+        s.add_p(1, 0.3);
+        s.add_r(2, 0.4);
+        s.reset();
+        assert_eq!(s.estimate_nnz(), 0);
+        assert_eq!(s.residue(5), 1.0);
+        assert_eq!(s.residue(2), 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Subset PPR maintenance: forward + reverse push states for every source
+//! in `S`, kept current across snapshots.
+
+use crate::dynamic::{dynamic_update, record_events};
+use crate::proximity::proximity_row;
+use crate::push::FreshPushWorkspace;
+use crate::state::PprState;
+use serde::{Deserialize, Serialize};
+use tsvd_graph::par::par_map;
+use tsvd_graph::{Direction, DynGraph, EdgeEvent};
+
+/// Send wrapper for the disjoint-index write pattern in `build`.
+struct SendSlots(*mut Option<PprState>);
+// SAFETY: workers write disjoint indices only (atomic counter).
+unsafe impl Send for SendSlots {}
+unsafe impl Sync for SendSlots {}
+
+/// PPR parameters (Table 2): decay factor `α` and push threshold `r_max`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PprConfig {
+    /// Stop probability of the α-decay walk. The literature default is 0.15–0.2.
+    pub alpha: f64,
+    /// Push threshold; smaller is more accurate and more expensive
+    /// (`O(1/r_max)` per source).
+    pub r_max: f64,
+}
+
+impl Default for PprConfig {
+    fn default() -> Self {
+        PprConfig { alpha: 0.2, r_max: 1e-4 }
+    }
+}
+
+/// Maintains approximate PPR for a fixed subset `S` of sources, in both
+/// graph directions, across graph updates.
+///
+/// This is the substrate under every proximity-matrix method in the paper:
+/// `build` is the static Forward-Push pass (used by Tree-SVD-S,
+/// Subset-STRAP, DynPPE, FREDE), `update` is the incremental Algorithm-2
+/// pass (used by dynamic Tree-SVD and DynPPE).
+///
+/// # Examples
+///
+/// ```
+/// use tsvd_graph::{DynGraph, EdgeEvent};
+/// use tsvd_ppr::{PprConfig, SubsetPpr};
+///
+/// let mut g = DynGraph::with_nodes(4);
+/// g.insert_edge(0, 1);
+/// g.insert_edge(1, 2);
+/// let mut ppr = SubsetPpr::build(&g, &[0], PprConfig { alpha: 0.2, r_max: 1e-6 });
+/// let before = ppr.forward_state(0).estimate(2);
+/// ppr.update(&mut g, &[EdgeEvent::insert(0, 3)]);
+/// // Node 0 now splits its walk mass: node 2 becomes less likely.
+/// assert!(ppr.forward_state(0).estimate(2) < before);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubsetPpr {
+    cfg: PprConfig,
+    sources: Vec<u32>,
+    fwd: Vec<PprState>,
+    bwd: Vec<PprState>,
+}
+
+impl SubsetPpr {
+    /// Run a fresh Forward-Push (both directions) for every source on `g`.
+    /// Pushes are parallelised over sources, one reusable dense workspace
+    /// per worker thread.
+    pub fn build(g: &DynGraph, sources: &[u32], cfg: PprConfig) -> Self {
+        let total = sources.len() * 2;
+        let mut slots: Vec<Option<PprState>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+        // Workers pull indices from a shared counter; each keeps one dense
+        // workspace for its whole run.
+        let n = g.num_nodes();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots_ptr = SendSlots(slots.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for _ in 0..tsvd_graph::par::num_threads().min(total.max(1)) {
+                let next = &next;
+                let slots_ptr = &slots_ptr;
+                scope.spawn(move || {
+                    let mut ws = FreshPushWorkspace::new(n);
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let (src, dir) = if i < sources.len() {
+                            (sources[i], Direction::Out)
+                        } else {
+                            (sources[i - sources.len()], Direction::In)
+                        };
+                        let st = ws.run(g, dir, cfg.alpha, cfg.r_max, src);
+                        // SAFETY: each index is claimed by exactly one
+                        // worker via the atomic counter; `slots` outlives
+                        // the scope.
+                        unsafe { *slots_ptr.0.add(i) = Some(st) };
+                    }
+                });
+            }
+        });
+        let mut states: Vec<PprState> =
+            slots.into_iter().map(|s| s.expect("worker filled slot")).collect();
+        let bwd = states.split_off(sources.len());
+        SubsetPpr { cfg, sources: sources.to_vec(), fwd: states, bwd }
+    }
+
+    /// The PPR configuration.
+    #[inline]
+    pub fn config(&self) -> PprConfig {
+        self.cfg
+    }
+
+    /// The subset `S`, in row order.
+    #[inline]
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// Number of sources `|S|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// `true` if the subset is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Forward-direction state of row `idx`.
+    pub fn forward_state(&self, idx: usize) -> &PprState {
+        &self.fwd[idx]
+    }
+
+    /// Reverse-direction state of row `idx`.
+    pub fn backward_state(&self, idx: usize) -> &PprState {
+        &self.bwd[idx]
+    }
+
+    /// Apply an event batch: mutates `g` (the shared graph), replays the
+    /// per-event adjustments on every source state, and re-pushes.
+    /// Sources are processed in parallel; cost per source is
+    /// `O(|Δ| + 1/r_max)` (Algorithm 2).
+    pub fn update(&mut self, g: &mut DynGraph, events: &[EdgeEvent]) {
+        let (fwd_rec, bwd_rec) = record_events(g, events);
+        if fwd_rec.is_empty() {
+            return;
+        }
+        let cfg = self.cfg;
+        let n = self.sources.len();
+        let g_ref: &DynGraph = g;
+        std::thread::scope(|s| {
+            let chunk = n.div_ceil(tsvd_graph::par::num_threads()).max(1);
+            for states in self.fwd.chunks_mut(chunk) {
+                let rec = &fwd_rec;
+                s.spawn(move || {
+                    for st in states {
+                        dynamic_update(g_ref, Direction::Out, cfg.alpha, cfg.r_max, st, rec);
+                    }
+                });
+            }
+            for states in self.bwd.chunks_mut(chunk) {
+                let rec = &bwd_rec;
+                s.spawn(move || {
+                    for st in states {
+                        dynamic_update(g_ref, Direction::In, cfg.alpha, cfg.r_max, st, rec);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Row indices whose proximity row may have changed since the flags were
+    /// last cleared. Clears the flags.
+    pub fn take_dirty_rows(&mut self) -> Vec<usize> {
+        let mut dirty = Vec::new();
+        for i in 0..self.sources.len() {
+            let f = self.fwd[i].clear_dirty();
+            let b = self.bwd[i].clear_dirty();
+            if f || b {
+                dirty.push(i);
+            }
+        }
+        dirty
+    }
+
+    /// The log-scaled proximity row of source `idx`
+    /// (`M_S(s,·)`, sorted sparse entries).
+    pub fn proximity_row(&self, idx: usize) -> Vec<(u32, f64)> {
+        proximity_row(&self.fwd[idx], &self.bwd[idx], self.cfg.r_max)
+    }
+
+    /// All proximity rows (parallel). Row order matches `sources()`.
+    pub fn proximity_rows(&self) -> Vec<Vec<(u32, f64)>> {
+        par_map(self.sources.len(), |i| self.proximity_row(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
+        let mut g = DynGraph::with_nodes(n);
+        while g.num_edges() < m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v {
+                g.insert_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn build_populates_both_directions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_graph(&mut rng, 50, 200);
+        let cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+        let ppr = SubsetPpr::build(&g, &[0, 7, 13], cfg);
+        assert_eq!(ppr.len(), 3);
+        for i in 0..3 {
+            assert!(ppr.forward_state(i).estimate_mass() > 0.5);
+            assert!(ppr.backward_state(i).estimate_mass() > 0.0);
+            assert_eq!(ppr.forward_state(i).source, ppr.sources()[i]);
+        }
+    }
+
+    #[test]
+    fn dynamic_update_matches_fresh_build() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = random_graph(&mut rng, 40, 120);
+        let cfg = PprConfig { alpha: 0.2, r_max: 1e-5 };
+        let sources = vec![1u32, 5, 9];
+        let mut ppr = SubsetPpr::build(&g, &sources, cfg);
+        // Apply a batch of events.
+        let mut events = Vec::new();
+        for _ in 0..20 {
+            let u = rng.gen_range(0..40) as u32;
+            let v = rng.gen_range(0..40) as u32;
+            if u != v {
+                events.push(if rng.gen_bool(0.8) {
+                    EdgeEvent::insert(u, v)
+                } else {
+                    EdgeEvent::delete(u, v)
+                });
+            }
+        }
+        ppr.update(&mut g, &events);
+        // A from-scratch build on the final graph must agree closely:
+        // both carry ≤ residue-mass error against the same exact PPR.
+        let fresh = SubsetPpr::build(&g, &sources, cfg);
+        for i in 0..sources.len() {
+            let dyn_st = ppr.forward_state(i);
+            let fresh_st = fresh.forward_state(i);
+            let bound = dyn_st.residue_mass() + fresh_st.residue_mass() + 1e-9;
+            let keys: Vec<u32> = dyn_st
+                .estimates()
+                .map(|e| e.0)
+                .chain(fresh_st.estimates().map(|e| e.0))
+                .collect();
+            for k in keys {
+                let d = (dyn_st.estimate(k) - fresh_st.estimate(k)).abs();
+                assert!(d <= bound, "source {i} node {k}: diff {d} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_rows_reported_once() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = random_graph(&mut rng, 30, 90);
+        let cfg = PprConfig::default();
+        let mut ppr = SubsetPpr::build(&g, &[2, 4], cfg);
+        let first = ppr.take_dirty_rows();
+        assert_eq!(first, vec![0, 1], "fresh build dirties everything");
+        assert!(ppr.take_dirty_rows().is_empty());
+        ppr.update(&mut g, &[EdgeEvent::insert(2, 29)]);
+        let dirty = ppr.take_dirty_rows();
+        assert!(dirty.contains(&0), "source 2's own row must change");
+    }
+
+    #[test]
+    fn empty_event_batch_is_noop() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut g = random_graph(&mut rng, 20, 40);
+        let mut ppr = SubsetPpr::build(&g, &[0], PprConfig::default());
+        ppr.take_dirty_rows();
+        ppr.update(&mut g, &[]);
+        assert!(ppr.take_dirty_rows().is_empty());
+    }
+
+    #[test]
+    fn proximity_rows_sorted_and_positive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_graph(&mut rng, 60, 240);
+        let ppr = SubsetPpr::build(&g, &[0, 1, 2, 3], PprConfig { alpha: 0.2, r_max: 1e-3 });
+        for row in ppr.proximity_rows() {
+            assert!(row.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(row.iter().all(|e| e.1 > 0.0));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Checkpoint / restart: persist the full pipeline state between runs so a
+//! periodically-scheduled embedding job never pays the static rebuild cost
+//! after a restart.
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_restart
+//! ```
+
+use std::time::Instant;
+use tree_svd::datasets::DatasetConfig;
+use tree_svd::prelude::*;
+
+fn main() {
+    let mut cfg = DatasetConfig::youtube();
+    cfg.num_nodes = 2000;
+    cfg.num_edges = 8000;
+    cfg.tau = 4;
+    let data = SyntheticDataset::generate(&cfg);
+    let mut g = data.stream.snapshot(2);
+    let subset = data.sample_subset(100, 5);
+    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+    let tree_cfg = TreeSvdConfig { dim: 16, num_blocks: 8, ..TreeSvdConfig::default() };
+
+    // Day 1: build, absorb one batch, checkpoint.
+    let t0 = Instant::now();
+    let mut pipe = TreeSvdPipeline::new(&g, &subset, ppr_cfg, tree_cfg);
+    println!("initial build: {:.0}ms", t0.elapsed().as_secs_f64() * 1e3);
+    pipe.update(&mut g, data.stream.batch(3));
+    let path = std::env::temp_dir().join("tree_svd_checkpoint.json");
+    pipe.save(&path).expect("checkpoint");
+    println!(
+        "checkpointed {} bytes to {}",
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        path.display()
+    );
+
+    // Day 2 (a fresh process): restore and continue incrementally.
+    let t1 = Instant::now();
+    let mut restored = TreeSvdPipeline::load(&path).expect("restore");
+    println!("restore from checkpoint: {:.0}ms (vs rebuilding from scratch)", t1.elapsed().as_secs_f64() * 1e3);
+    let same = pipe.embedding().left().sub(&restored.embedding().left()).max_abs();
+    println!("embedding drift across checkpoint: {same:e} (lossless)");
+
+    let t2 = Instant::now();
+    let stats = restored.update(&mut g, data.stream.batch(4));
+    println!(
+        "next batch after restart: {:.0}ms, {}/{} blocks re-factorised",
+        t2.elapsed().as_secs_f64() * 1e3,
+        stats.blocks_recomputed,
+        stats.blocks_total
+    );
+    let timings = restored.timings();
+    println!(
+        "phase breakdown since restart: PPR {:.0}ms | rows {:.0}ms | SVD {:.0}ms",
+        timings.ppr_secs * 1e3,
+        timings.rows_secs * 1e3,
+        timings.svd_secs * 1e3
+    );
+    std::fs::remove_file(&path).ok();
+}

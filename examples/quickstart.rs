@@ -1,0 +1,94 @@
+//! Quickstart: embed a subset of nodes of a small dynamic graph with
+//! Tree-SVD and keep the embedding fresh as edges arrive.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tree_svd::prelude::*;
+
+fn main() {
+    // 1. A toy directed graph: two loose communities bridged by one edge.
+    let mut g = DynGraph::with_nodes(12);
+    for (u, v) in [
+        (0, 1), (1, 2), (2, 0), (0, 3), (3, 1), (4, 2), // community A
+        (6, 7), (7, 8), (8, 6), (9, 7), (10, 8), (8, 9), // community B
+        (2, 6), // bridge
+    ] {
+        g.insert_edge(u, v);
+    }
+
+    // 2. The subset we care about — say, four "VIP" nodes.
+    let subset = vec![0u32, 2, 7, 8];
+
+    // 3. Build the end-to-end pipeline: Forward-Push PPR (both directions),
+    //    the log-scaled proximity matrix, and the hierarchical Tree-SVD.
+    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-5 };
+    let tree_cfg = TreeSvdConfig {
+        dim: 4,
+        branching: 2,
+        num_blocks: 4,
+        // Eager per-block updates so this demo visibly reacts to every
+        // event; production uses the default lazy policy
+        // (`UpdatePolicy::Lazy { delta: 0.65 }`), which skips blocks whose
+        // change is negligible in Frobenius norm.
+        policy: UpdatePolicy::ChangedOnly,
+        ..TreeSvdConfig::default()
+    };
+    let mut pipeline = TreeSvdPipeline::new(&g, &subset, ppr_cfg, tree_cfg);
+
+    println!("initial embedding X = U·√Σ  (one row per subset node):");
+    print_embedding(&pipeline);
+
+    // 4. The graph changes: a few edge events arrive. The pipeline updates
+    //    PPR incrementally (Algorithm 2) and re-factorises only the proximity
+    //    blocks that moved past the lazy threshold (Algorithm 4).
+    let events = vec![
+        EdgeEvent::insert(0, 7),
+        EdgeEvent::insert(7, 0),
+        EdgeEvent::delete(2, 6),
+    ];
+    let stats = pipeline.update(&mut g, &events);
+    println!(
+        "\nafter {} events: {}/{} blocks re-factorised, {} tree merges redone",
+        events.len(),
+        stats.blocks_recomputed,
+        stats.blocks_total,
+        stats.merges_recomputed,
+    );
+    print_embedding(&pipeline);
+
+    // 5. Embeddings feed downstream tasks directly; e.g. cosine similarity
+    //    between subset nodes.
+    let x = pipeline.embedding().left();
+    let cos = |a: &[f64], b: &[f64]| {
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    };
+    println!(
+        "\ncos(node {}, node {}) = {:+.3}   (same community)",
+        subset[2],
+        subset[3],
+        cos(x.row(2), x.row(3))
+    );
+    println!(
+        "cos(node {}, node {}) = {:+.3}   (node 0 now links to 7)",
+        subset[0],
+        subset[2],
+        cos(x.row(0), x.row(2))
+    );
+}
+
+fn print_embedding(pipeline: &TreeSvdPipeline) {
+    let x = pipeline.embedding().left();
+    for (i, &node) in pipeline.sources().iter().enumerate() {
+        let row: Vec<String> = x.row(i).iter().map(|v| format!("{v:+.3}")).collect();
+        println!("  node {node:>2}: [{}]", row.join(", "));
+    }
+}

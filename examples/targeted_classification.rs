@@ -1,0 +1,50 @@
+//! Classify a target user group from subset embeddings — the paper's other
+//! motivating task. We embed a subset of a labelled graph snapshot by
+//! snapshot and watch classification quality improve as the graph matures
+//! (the point of the paper's Exp. 3).
+//!
+//! ```sh
+//! cargo run --release --example targeted_classification
+//! ```
+
+use tree_svd::datasets::DatasetConfig;
+use tree_svd::prelude::*;
+
+fn main() {
+    let mut cfg = DatasetConfig::patent();
+    cfg.num_nodes = 5000;
+    cfg.num_edges = 25_000;
+    cfg.tau = 5;
+    let data = SyntheticDataset::generate(&cfg);
+    let subset = data.sample_subset(250, 21);
+    let labels = data.subset_labels(&subset);
+    println!(
+        "classifying {} target users into {} classes, 50% training ratio\n",
+        subset.len(),
+        cfg.num_classes
+    );
+
+    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+    let tree_cfg = TreeSvdConfig {
+        dim: 32,
+        branching: 4,
+        num_blocks: 16,
+        ..TreeSvdConfig::default()
+    };
+    let task = NodeClassificationTask::new(&labels, 0.5, 3);
+
+    println!("{:>9} {:>8} {:>10} {:>10}", "snapshot", "edges", "micro-F1", "macro-F1");
+    for t in 1..=data.stream.num_snapshots() {
+        let g = data.stream.snapshot(t);
+        let pipeline = TreeSvdPipeline::new(&g, &subset, ppr_cfg, tree_cfg);
+        let scores = task.evaluate(&pipeline.embedding().left());
+        println!(
+            "{:>9} {:>8} {:>9.1}% {:>9.1}%",
+            t,
+            g.num_edges(),
+            scores.micro * 100.0,
+            scores.macro_ * 100.0
+        );
+    }
+    println!("\nquality climbs with the evolving graph — embeddings must be kept fresh.");
+}

@@ -1,0 +1,58 @@
+//! The paper's motivating scenario: an IT company wants better
+//! recommendations for a set of VIP users. We embed only the VIP subset
+//! (with the whole graph as context), hold out 30% of their outgoing edges,
+//! and rank candidate targets by embedding dot products — comparing the
+//! subset embedding against a budget-equalised *global* embedding to show
+//! why subset embedding wins (Table 1's mechanism).
+//!
+//! ```sh
+//! cargo run --release --example vip_recommendation
+//! ```
+
+use tree_svd::baselines::GlobalStrap;
+use tree_svd::datasets::DatasetConfig;
+use tree_svd::prelude::*;
+
+fn main() {
+    // A YouTube-like social graph, scaled down further for a fast example.
+    let mut cfg = DatasetConfig::youtube();
+    cfg.num_nodes = 3000;
+    cfg.num_edges = 12_000;
+    let data = SyntheticDataset::generate(&cfg);
+    let g = data.stream.snapshot(data.stream.num_snapshots());
+    println!("graph: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+
+    // 120 random VIP users.
+    let vips = data.sample_subset(120, 42);
+    println!("VIP subset: {} users", vips.len());
+
+    // Hold out 30% of VIP outgoing edges as the recommendation test set.
+    let task = LinkPredictionTask::from_graph(&g, &vips, 0.3, 7);
+    println!("held-out VIP edges: {}", task.num_positives());
+
+    // --- Subset embedding (Tree-SVD) on the training graph ---
+    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+    let tree_cfg = TreeSvdConfig {
+        dim: 32,
+        branching: 4,
+        num_blocks: 16,
+        ..TreeSvdConfig::default()
+    };
+    let pipeline = TreeSvdPipeline::new(&task.train_graph, &vips, ppr_cfg, tree_cfg);
+    let left = pipeline.embedding().left();
+    let right = pipeline.embedding().right(&pipeline.proximity_csr());
+    let subset_precision = task.precision(&left, &right);
+
+    // --- Global embedding under the same total memory budget ---
+    let global = GlobalStrap::new(32, 42).embed(&task.train_graph, &vips, 0.2, 2e-5);
+    let global_precision =
+        task.precision(&global.left, global.right.as_ref().expect("right embedding"));
+
+    println!("\nrecommendation precision@{}:", task.num_positives());
+    println!("  Tree-SVD subset embedding : {:.1}%", subset_precision * 100.0);
+    println!("  budget-equalised global   : {:.1}%", global_precision * 100.0);
+    println!(
+        "\nfocusing the budget on the VIP rows {} the global embedding.",
+        if subset_precision > global_precision { "beats" } else { "ties" }
+    );
+}

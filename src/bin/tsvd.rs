@@ -1,0 +1,272 @@
+//! `tsvd` — command-line front end for the Tree-SVD subset-embedding system.
+//!
+//! ```text
+//! tsvd generate --dataset patent --out edges.txt [--labels labels.txt]
+//! tsvd embed    --edges edges.txt [--tau N] [--subset-size K | --subset-file F]
+//!               [--dim D] [--blocks B] [--branching K] [--r-max X] [--alpha A]
+//!               [--out emb.tsv] [--right right.tsv]
+//! tsvd stream   --edges edges.txt --tau N --from T [embed options]
+//! ```
+//!
+//! `generate` writes a synthetic dynamic graph (timestamped edge list, one
+//! event per line). `embed` builds a static subset embedding of the final
+//! snapshot and writes it as TSV (`node<TAB>v_1<TAB>…<TAB>v_d`). `stream`
+//! starts at snapshot `--from` and replays the remaining batches through
+//! the lazy dynamic pipeline, reporting per-batch work.
+
+use std::collections::HashMap;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tree_svd::datasets::io::{read_edge_list, write_edge_list};
+use tree_svd::datasets::{DatasetConfig, SyntheticDataset};
+use tree_svd::linalg::DenseMatrix;
+use tree_svd::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "embed" => cmd_embed(&opts),
+        "stream" => cmd_stream(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "tsvd — Tree-SVD subset node embedding
+
+USAGE:
+  tsvd generate --dataset <patent|mag-authors|wikipedia|youtube|flickr|twitter>
+                --out <edges.txt> [--labels <labels.txt>]
+  tsvd embed    --edges <edges.txt> [--tau <N>]
+                [--subset-size <K> | --subset-file <file>] [--dim <D>]
+                [--blocks <B>] [--branching <K>] [--alpha <A>] [--r-max <X>]
+                [--seed <S>] [--out <emb.tsv>] [--right <right.tsv>]
+  tsvd stream   --edges <edges.txt> --tau <N> --from <T> [embed options]
+
+The edge-list format is `u v [t [+|-]]` per line; `#`/`%` lines are comments.";
+
+/// Parsed `--key value` options.
+struct Options(HashMap<String, String>);
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --option, got {key:?}"));
+            };
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Options(map))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(|s| s.as_str())
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+}
+
+fn cmd_generate(opts: &Options) -> Result<(), String> {
+    let name = opts.required("dataset")?;
+    let cfg = match name {
+        "patent" => DatasetConfig::patent(),
+        "mag-authors" => DatasetConfig::mag_authors(),
+        "wikipedia" => DatasetConfig::wikipedia(),
+        "youtube" => DatasetConfig::youtube(),
+        "flickr" => DatasetConfig::flickr(),
+        "twitter" => DatasetConfig::twitter(),
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    let out = PathBuf::from(opts.required("out")?);
+    let data = SyntheticDataset::generate(&cfg);
+    let file = std::fs::File::create(&out).map_err(|e| format!("create {out:?}: {e}"))?;
+    write_edge_list(&data.stream, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} events over {} nodes ({} snapshots) to {}",
+        data.stream.num_events(),
+        data.stream.num_nodes(),
+        data.stream.num_snapshots(),
+        out.display()
+    );
+    if let Some(labels_path) = opts.get("labels") {
+        let mut w = BufWriter::new(
+            std::fs::File::create(labels_path).map_err(|e| format!("create labels: {e}"))?,
+        );
+        for (node, label) in data.labels.iter().enumerate() {
+            writeln!(w, "{node} {label}").map_err(|e| e.to_string())?;
+        }
+        eprintln!("wrote labels to {labels_path}");
+    }
+    Ok(())
+}
+
+/// Common setup shared by `embed` and `stream`.
+struct EmbedSetup {
+    stream: tree_svd::graph::SnapshotStream,
+    subset: Vec<u32>,
+    ppr_cfg: PprConfig,
+    tree_cfg: TreeSvdConfig,
+}
+
+fn build_setup(opts: &Options) -> Result<EmbedSetup, String> {
+    let edges = PathBuf::from(opts.required("edges")?);
+    let tau: usize = opts.parse_or("tau", 1)?;
+    let stream = read_edge_list(&edges, tau).map_err(|e| e.to_string())?;
+    if stream.num_events() == 0 {
+        return Err("edge list is empty".into());
+    }
+    let final_graph = stream.snapshot(stream.num_snapshots());
+    let subset: Vec<u32> = if let Some(path) = opts.get("subset-file") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        let mut nodes: Vec<u32> = text
+            .split_whitespace()
+            .map(|tok| tok.parse().map_err(|_| format!("bad node id {tok:?}")))
+            .collect::<Result<_, _>>()?;
+        nodes.sort_unstable();
+        nodes.dedup();
+        for &u in &nodes {
+            if u as usize >= final_graph.num_nodes() {
+                return Err(format!("subset node {u} out of range"));
+            }
+        }
+        nodes
+    } else {
+        let size: usize = opts.parse_or("subset-size", 100)?;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut candidates: Vec<u32> = (0..final_graph.num_nodes() as u32)
+            .filter(|&u| final_graph.out_degree(u) + final_graph.in_degree(u) > 0)
+            .collect();
+        let seed: u64 = opts.parse_or("seed", 42u64)?;
+        candidates.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        candidates.truncate(size);
+        candidates.sort_unstable();
+        candidates
+    };
+    if subset.is_empty() {
+        return Err("subset is empty".into());
+    }
+    let ppr_cfg = PprConfig {
+        alpha: opts.parse_or("alpha", 0.2)?,
+        r_max: opts.parse_or("r-max", 1e-4)?,
+    };
+    let tree_cfg = TreeSvdConfig {
+        dim: opts.parse_or("dim", 64)?,
+        branching: opts.parse_or("branching", 4)?,
+        num_blocks: opts.parse_or("blocks", 16)?,
+        seed: opts.parse_or("seed", 42u64)?,
+        ..TreeSvdConfig::default()
+    };
+    tree_cfg.validate();
+    Ok(EmbedSetup { stream, subset, ppr_cfg, tree_cfg })
+}
+
+fn write_tsv(path: &str, ids: Option<&[u32]>, m: &DenseMatrix) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    for i in 0..m.rows() {
+        let id = ids.map_or(i as u32, |s| s[i]);
+        write!(w, "{id}").map_err(|e| e.to_string())?;
+        for v in m.row(i) {
+            write!(w, "\t{v:.6}").map_err(|e| e.to_string())?;
+        }
+        writeln!(w).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_embed(opts: &Options) -> Result<(), String> {
+    let setup = build_setup(opts)?;
+    let g = setup.stream.snapshot(setup.stream.num_snapshots());
+    eprintln!(
+        "embedding {} subset nodes of a {}-node / {}-edge graph (d = {})",
+        setup.subset.len(),
+        g.num_nodes(),
+        g.num_edges(),
+        setup.tree_cfg.dim
+    );
+    let pipe = TreeSvdPipeline::new(&g, &setup.subset, setup.ppr_cfg, setup.tree_cfg);
+    let out = opts.get("out").unwrap_or("embedding.tsv");
+    write_tsv(out, Some(&setup.subset), &pipe.embedding().left())?;
+    eprintln!("wrote left embedding to {out}");
+    if let Some(right_path) = opts.get("right") {
+        let right = pipe.embedding().right(&pipe.proximity_csr());
+        write_tsv(right_path, None, &right)?;
+        eprintln!("wrote right embedding to {right_path}");
+    }
+    Ok(())
+}
+
+fn cmd_stream(opts: &Options) -> Result<(), String> {
+    let setup = build_setup(opts)?;
+    let from: usize = opts.parse_or("from", 1)?;
+    let tau = setup.stream.num_snapshots();
+    if from < 1 || from >= tau {
+        return Err(format!("--from must be in 1..{tau}"));
+    }
+    let mut g = setup.stream.snapshot(from);
+    let mut pipe = TreeSvdPipeline::new(&g, &setup.subset, setup.ppr_cfg, setup.tree_cfg);
+    eprintln!(
+        "streaming snapshots {}..={} over {} subset nodes",
+        from + 1,
+        tau,
+        setup.subset.len()
+    );
+    for t in (from + 1)..=tau {
+        let batch = setup.stream.batch(t);
+        let start = std::time::Instant::now();
+        let stats = pipe.update(&mut g, batch);
+        eprintln!(
+            "snapshot {t}: {} events, {}/{} blocks re-factorised, {} merges, {:.1}ms",
+            batch.len(),
+            stats.blocks_recomputed,
+            stats.blocks_total,
+            stats.merges_recomputed,
+            start.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    let t = pipe.timings();
+    eprintln!(
+        "phase totals: PPR {:.2}s | proximity rows {:.2}s | tree-SVD {:.2}s",
+        t.ppr_secs, t.rows_secs, t.svd_secs
+    );
+    let out = opts.get("out").unwrap_or("embedding.tsv");
+    write_tsv(out, Some(&setup.subset), &pipe.embedding().left())?;
+    eprintln!("wrote final embedding to {out}");
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # tree-svd
+//!
+//! Umbrella crate for the Tree-SVD reproduction (SIGMOD 2023: *Efficient
+//! Tree-SVD for Subset Node Embedding over Large Dynamic Graphs*).
+//!
+//! Re-exports the workspace crates under stable module names so examples and
+//! downstream users need a single dependency:
+//!
+//! ```
+//! use tree_svd::prelude::*;
+//! ```
+
+pub use tsvd_baselines as baselines;
+pub use tsvd_core as core;
+pub use tsvd_datasets as datasets;
+pub use tsvd_eval as eval;
+pub use tsvd_graph as graph;
+pub use tsvd_linalg as linalg;
+pub use tsvd_ppr as ppr;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use tsvd_core::{
+        BlockedProximityMatrix, DynamicTreeSvd, Level1Method, TreeSvd, TreeSvdConfig,
+        TreeSvdPipeline, UpdatePolicy,
+    };
+    pub use tsvd_datasets::{DatasetConfig, SyntheticDataset};
+    pub use tsvd_eval::{LinkPredictionTask, NodeClassificationTask};
+    pub use tsvd_graph::{DynGraph, EdgeEvent, EventKind, SnapshotStream};
+    pub use tsvd_linalg::{CsrMatrix, DenseMatrix, Svd};
+    pub use tsvd_ppr::{PprConfig, SubsetPpr};
+}
