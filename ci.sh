@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Pre-PR gate for the tree-svd workspace. Run from the repo root:
+#
+#     ./ci.sh
+#
+# Steps (all must pass):
+#   1. hermeticity — no external crate dependencies may reappear;
+#   2. cargo fmt --check;
+#   3. cargo clippy --workspace --all-targets -D warnings;
+#   4. cargo build --release;
+#   5. cargo test --workspace (tier-1 gate);
+#   6. bench smoke — every rt::bench target runs once, no timing paid.
+#
+# The workspace builds offline by design (.cargo/config.toml pins
+# `net.offline`); every dependency is an in-tree `tsvd-*` path crate, with
+# `tsvd-rt` providing the runtime substrate (rng/json/check/bench).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "hermeticity: only tsvd-* path dependencies allowed"
+# Any dependency line in any manifest must reference a tsvd-* crate (or be a
+# section header/field). Catches a reintroduced `rand = "0.8"` before the
+# (offline) build fails with a confusing resolution error.
+bad=$(find . -name Cargo.toml -not -path "./target/*" -print0 \
+  | xargs -0 awk '
+      /^\[(dev-|build-)?dependencies/ { indeps = 1; next }
+      /^\[workspace.dependencies\]/   { indeps = 1; next }
+      /^\[/                           { indeps = 0 }
+      indeps && /^[a-zA-Z0-9_-]+ *=/ && !/^tsvd-/ {
+        printf "%s: %s\n", FILENAME, $0
+      }') || true
+if [ -n "$bad" ]; then
+  echo "non-tsvd dependencies found:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+echo "ok"
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+step "cargo build --release"
+cargo build --release -q
+
+step "cargo test --workspace"
+cargo test --workspace -q
+
+step "bench smoke (1 iteration per benchmark)"
+TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench svd_kernels
+
+printf '\nci.sh: all checks passed\n'

@@ -37,7 +37,13 @@ pub struct DynPpe {
 
 impl DynPpe {
     /// Build on graph `g`: one forward push per source, then hash.
-    pub fn build(g: &DynGraph, sources: &[u32], cfg: PprConfig, dim: usize, hash_seed: u64) -> Self {
+    pub fn build(
+        g: &DynGraph,
+        sources: &[u32],
+        cfg: PprConfig,
+        dim: usize,
+        hash_seed: u64,
+    ) -> Self {
         let states: Vec<PprState> = par_map(sources.len(), |i| {
             let mut st = PprState::new(sources[i]);
             forward_push(g, Direction::Out, cfg.alpha, cfg.r_max, &mut st);
@@ -145,8 +151,8 @@ impl DynPpe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tsvd_rt::rng::StdRng;
+    use tsvd_rt::rng::{Rng, SeedableRng};
 
     fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
         let mut g = DynGraph::with_nodes(n);
@@ -180,18 +186,27 @@ mod tests {
         // ‖h(x)‖² has expectation ‖x‖². Check within a loose factor.
         let mut rng = StdRng::seed_from_u64(2);
         let g = random_graph(&mut rng, 200, 1000);
-        let cfg = PprConfig { alpha: 0.2, r_max: 1e-5 };
+        let cfg = PprConfig {
+            alpha: 0.2,
+            r_max: 1e-5,
+        };
         let d = DynPpe::build(&g, &[0], cfg, 64, 3);
         let hashed_sq: f64 = d.emb.row(0).iter().map(|v| v * v).sum();
         let true_sq: f64 = d.states[0]
             .estimates()
             .map(|(_, p)| {
                 let sc = p / cfg.r_max;
-                if sc > 1.0 { sc.ln().powi(2) } else { 0.0 }
+                if sc > 1.0 {
+                    sc.ln().powi(2)
+                } else {
+                    0.0
+                }
             })
             .sum();
-        assert!(hashed_sq > 0.3 * true_sq && hashed_sq < 3.0 * true_sq,
-            "{hashed_sq} vs {true_sq}");
+        assert!(
+            hashed_sq > 0.3 * true_sq && hashed_sq < 3.0 * true_sq,
+            "{hashed_sq} vs {true_sq}"
+        );
     }
 
     #[test]
@@ -213,7 +228,16 @@ mod tests {
                 }
             }
         }
-        let mut d = DynPpe::build(&g, &[0, 25], PprConfig { alpha: 0.2, r_max: 1e-4 }, 8, 1);
+        let mut d = DynPpe::build(
+            &g,
+            &[0, 25],
+            PprConfig {
+                alpha: 0.2,
+                r_max: 1e-4,
+            },
+            8,
+            1,
+        );
         // Event entirely inside the second clique: source 0 must be quiet.
         let rehashed = d.update(&mut g, &[EdgeEvent::insert(21, 39)]);
         assert!(rehashed <= 1, "only the affected source re-hashes");
@@ -223,10 +247,14 @@ mod tests {
     fn update_matches_fresh_build_hash() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut g = random_graph(&mut rng, 50, 150);
-        let cfg = PprConfig { alpha: 0.2, r_max: 1e-5 };
+        let cfg = PprConfig {
+            alpha: 0.2,
+            r_max: 1e-5,
+        };
         let mut d = DynPpe::build(&g, &[3, 7], cfg, 32, 9);
-        let events: Vec<EdgeEvent> =
-            (0..10).map(|i| EdgeEvent::insert(i as u32, (i + 11) as u32)).collect();
+        let events: Vec<EdgeEvent> = (0..10)
+            .map(|i| EdgeEvent::insert(i as u32, (i + 11) as u32))
+            .collect();
         d.update(&mut g, &events);
         let fresh = DynPpe::build(&g, &[3, 7], cfg, 32, 9);
         // Hashes of nearly identical PPR vectors are nearly identical.
@@ -243,6 +271,9 @@ mod tests {
         let b = DynPpe::build(&g, &[0], PprConfig::default(), 8, 42);
         assert!(a.emb.sub(&b.emb).max_abs() == 0.0);
         let c = DynPpe::build(&g, &[0], PprConfig::default(), 8, 43);
-        assert!(a.emb.sub(&c.emb).max_abs() > 0.0, "different seed, different hash");
+        assert!(
+            a.emb.sub(&c.emb).max_abs() > 0.0,
+            "different seed, different hash"
+        );
     }
 }

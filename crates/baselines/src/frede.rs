@@ -61,8 +61,8 @@ impl Frede {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tsvd_rt::rng::StdRng;
+    use tsvd_rt::rng::{Rng, SeedableRng};
 
     fn random_csr(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> CsrMatrix {
         let data: Vec<Vec<(u32, f64)>> = (0..rows)

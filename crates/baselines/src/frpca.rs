@@ -7,10 +7,10 @@
 
 use crate::pair::EmbeddingPair;
 use crate::strap::pad_cols;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tsvd_linalg::randomized::randomized_svd;
 use tsvd_linalg::{CsrMatrix, RandomizedSvdConfig, Svd};
+use tsvd_rt::rng::SeedableRng;
+use tsvd_rt::rng::StdRng;
 
 /// The FRPCA factoriser.
 #[derive(Debug, Clone, Copy)]
@@ -29,7 +29,12 @@ pub struct FrPca {
 impl FrPca {
     /// Defaults: oversample 10, 4 power iterations.
     pub fn new(dim: usize, seed: u64) -> Self {
-        FrPca { dim, oversample: 10, power_iters: 4, seed }
+        FrPca {
+            dim,
+            oversample: 10,
+            power_iters: 4,
+            seed,
+        }
     }
 
     /// The raw truncated SVD of `m`.
@@ -50,15 +55,18 @@ impl FrPca {
         let mut right = svd.vt.transpose();
         let sq: Vec<f64> = svd.s.iter().map(|s| s.max(0.0).sqrt()).collect();
         right.scale_cols(&sq);
-        EmbeddingPair { left, right: Some(pad_cols(right, self.dim)) }
+        EmbeddingPair {
+            left,
+            right: Some(pad_cols(right, self.dim)),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use tsvd_linalg::svd::exact_svd;
+    use tsvd_rt::rng::Rng;
 
     #[test]
     fn near_optimal_factorization() {

@@ -8,12 +8,12 @@
 //! accuracy — the paper's Exp. 1 shows it trailing the MF methods.
 
 use crate::pair::EmbeddingPair;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tsvd_graph::{Direction, DynGraph};
 use tsvd_linalg::qr::orthonormalize;
 use tsvd_linalg::rng::gaussian_matrix;
 use tsvd_linalg::{CsrMatrix, DenseMatrix};
+use tsvd_rt::rng::SeedableRng;
+use tsvd_rt::rng::StdRng;
 
 /// RandNE parameters.
 #[derive(Debug, Clone)]
@@ -31,7 +31,11 @@ pub struct RandNeConfig {
 impl RandNeConfig {
     /// Default: order 3 with the reference implementation's weights.
     pub fn new(dim: usize, seed: u64) -> Self {
-        RandNeConfig { dim, weights: vec![1.0, 1e2, 1e4, 1e5], seed }
+        RandNeConfig {
+            dim,
+            weights: vec![1.0, 1e2, 1e4, 1e5],
+            seed,
+        }
     }
 }
 
@@ -66,7 +70,10 @@ impl RandNe {
         for (i, &s) in sources.iter().enumerate() {
             left.row_mut(i).copy_from_slice(x.row(s as usize));
         }
-        EmbeddingPair { left, right: Some(x) }
+        EmbeddingPair {
+            left,
+            right: Some(x),
+        }
     }
 }
 
@@ -103,8 +110,8 @@ fn add_scaled(acc: &mut DenseMatrix, m: &DenseMatrix, a: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tsvd_rt::rng::StdRng;
+    use tsvd_rt::rng::{Rng, SeedableRng};
 
     fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
         let mut g = DynGraph::with_nodes(n);
@@ -165,10 +172,18 @@ mod tests {
         for u in 0..9u32 {
             g.insert_edge(u, u + 1);
         }
-        let flat = RandNe::new(RandNeConfig { dim: 8, weights: vec![1.0], seed: 1 })
-            .embed(&g, &[0, 1]);
-        let mixed = RandNe::new(RandNeConfig { dim: 8, weights: vec![1.0, 1.0], seed: 1 })
-            .embed(&g, &[0, 1]);
+        let flat = RandNe::new(RandNeConfig {
+            dim: 8,
+            weights: vec![1.0],
+            seed: 1,
+        })
+        .embed(&g, &[0, 1]);
+        let mixed = RandNe::new(RandNeConfig {
+            dim: 8,
+            weights: vec![1.0, 1.0],
+            seed: 1,
+        })
+        .embed(&g, &[0, 1]);
         let dot = |m: &DenseMatrix| {
             m.row(0)
                 .iter()

@@ -9,12 +9,12 @@
 //! why Table 1 shows global embeddings losing badly to subset embeddings.
 
 use crate::pair::EmbeddingPair;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tsvd_graph::DynGraph;
 use tsvd_linalg::randomized::randomized_svd;
 use tsvd_linalg::{CsrMatrix, RandomizedSvdConfig};
 use tsvd_ppr::{PprConfig, SubsetPpr};
+use tsvd_rt::rng::SeedableRng;
+use tsvd_rt::rng::StdRng;
 
 /// Subset-STRAP: randomized SVD over the subset proximity matrix.
 #[derive(Debug, Clone, Copy)]
@@ -32,7 +32,12 @@ pub struct SubsetStrap {
 impl SubsetStrap {
     /// Defaults matching the Tree-SVD comparisons.
     pub fn new(dim: usize, seed: u64) -> Self {
-        SubsetStrap { dim, oversample: 10, power_iters: 2, seed }
+        SubsetStrap {
+            dim,
+            oversample: 10,
+            power_iters: 2,
+            seed,
+        }
     }
 
     /// Factorise an already-built proximity matrix (`|S| × n` CSR).
@@ -49,7 +54,10 @@ impl SubsetStrap {
         let mut right = svd.vt.transpose();
         let sq: Vec<f64> = svd.s.iter().map(|s| s.max(0.0).sqrt()).collect();
         right.scale_cols(&sq);
-        EmbeddingPair { left, right: Some(pad_cols(right, self.dim)) }
+        EmbeddingPair {
+            left,
+            right: Some(pad_cols(right, self.dim)),
+        }
     }
 
     /// Full pipeline from the graph: fresh PPR push + factorisation
@@ -90,7 +98,10 @@ impl GlobalStrap {
     ) -> EmbeddingPair {
         let n = g.num_nodes();
         let scale = (n as f64 / sources.len().max(1) as f64).max(1.0);
-        let cfg = PprConfig { alpha, r_max: subset_r_max * scale };
+        let cfg = PprConfig {
+            alpha,
+            r_max: subset_r_max * scale,
+        };
         let all: Vec<u32> = (0..n as u32).collect();
         let ppr = SubsetPpr::build(g, &all, cfg);
         let m = proximity_csr(&ppr, n);
@@ -101,7 +112,10 @@ impl GlobalStrap {
         for (i, &s) in sources.iter().enumerate() {
             left.row_mut(i).copy_from_slice(pair.left.row(s as usize));
         }
-        EmbeddingPair { left, right: pair.right }
+        EmbeddingPair {
+            left,
+            right: pair.right,
+        }
     }
 }
 
@@ -127,9 +141,9 @@ pub(crate) fn pad_cols(m: tsvd_linalg::DenseMatrix, dim: usize) -> tsvd_linalg::
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use tsvd_linalg::svd::exact_svd;
+    use tsvd_rt::rng::StdRng;
+    use tsvd_rt::rng::{Rng, SeedableRng};
 
     fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
         let mut g = DynGraph::with_nodes(n);
@@ -148,7 +162,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let g = random_graph(&mut rng, 80, 400);
         let sources: Vec<u32> = (0..10).collect();
-        let ppr = SubsetPpr::build(&g, &sources, PprConfig { alpha: 0.2, r_max: 1e-4 });
+        let ppr = SubsetPpr::build(
+            &g,
+            &sources,
+            PprConfig {
+                alpha: 0.2,
+                r_max: 1e-4,
+            },
+        );
         let m = proximity_csr(&ppr, 80);
         let strap = SubsetStrap::new(6, 5);
         let pair = strap.factorize(&m);
@@ -183,13 +204,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = random_graph(&mut rng, 100, 500);
         let sources: Vec<u32> = (0..5).collect();
-        let subset_ppr = SubsetPpr::build(&g, &sources, PprConfig { alpha: 0.2, r_max: 1e-4 });
+        let subset_ppr = SubsetPpr::build(
+            &g,
+            &sources,
+            PprConfig {
+                alpha: 0.2,
+                r_max: 1e-4,
+            },
+        );
         let subset_m = proximity_csr(&subset_ppr, 100);
         let all: Vec<u32> = (0..100).collect();
         let global_ppr = SubsetPpr::build(
             &g,
             &all,
-            PprConfig { alpha: 0.2, r_max: 1e-4 * (100.0 / 5.0) },
+            PprConfig {
+                alpha: 0.2,
+                r_max: 1e-4 * (100.0 / 5.0),
+            },
         );
         let global_m = proximity_csr(&global_ppr, 100);
         let subset_nnz_per_row = subset_m.nnz() as f64 / 5.0;

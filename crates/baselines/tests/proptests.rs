@@ -1,54 +1,70 @@
 //! Property-based tests for the baseline embedders: shape contracts,
 //! determinism, and method-specific invariants on arbitrary graphs.
 
-use proptest::prelude::*;
 use tsvd_baselines::{DynPpe, FrPca, Frede, RandNe, RandNeConfig, SubsetStrap};
 use tsvd_graph::DynGraph;
 use tsvd_linalg::CsrMatrix;
 use tsvd_ppr::PprConfig;
+use tsvd_rt::check::{Checker, Gen};
+use tsvd_rt::{ensure, ensure_eq};
 
-fn graph_strategy() -> impl Strategy<Value = DynGraph> {
-    (6usize..30).prop_flat_map(|n| {
-        proptest::collection::vec(
-            (0..n as u32, 0..n as u32).prop_filter("no self-loop", |(u, v)| u != v),
-            n..4 * n,
-        )
-        .prop_map(move |edges| DynGraph::from_edges(n, &edges))
-    })
+fn random_graph(g: &mut Gen) -> DynGraph {
+    let n = g.usize_in(6..30);
+    let m = g.usize_in(n..4 * n);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = g.u32_in(0..n as u32);
+        let v = g.u32_in(0..n as u32);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    DynGraph::from_edges(n, &edges)
 }
 
-fn sparse_matrix() -> impl Strategy<Value = CsrMatrix> {
-    (2usize..10, 8usize..40).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(
-            proptest::collection::btree_map(0..n as u32, 0.1..3.0f64, 1..n.min(8))
-                .prop_map(|r| r.into_iter().collect::<Vec<_>>()),
-            m,
-        )
-        .prop_map(move |rows| CsrMatrix::from_rows(n, &rows))
-    })
+fn sparse_matrix(g: &mut Gen) -> CsrMatrix {
+    let m = g.usize_in(2..10);
+    let n = g.usize_in(8..40);
+    let rows: Vec<Vec<(u32, f64)>> = (0..m)
+        .map(|_| loop {
+            // Rows need at least one entry (the old strategy drew 1..).
+            let row = g.sparse_row(n as u32, n.min(8), 0.1..3.0);
+            if !row.is_empty() {
+                break row;
+            }
+        })
+        .collect();
+    CsrMatrix::from_rows(n, &rows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn dynppe_shapes_and_determinism(g in graph_strategy(), dim in 2usize..12) {
+#[test]
+fn dynppe_shapes_and_determinism() {
+    Checker::new(24).run("dynppe_shapes_and_determinism", |gen| {
+        let g = random_graph(gen);
+        let dim = gen.usize_in(2..12);
         let sources: Vec<u32> = (0..3.min(g.num_nodes() as u32)).collect();
-        let cfg = PprConfig { alpha: 0.2, r_max: 1e-3 };
+        let cfg = PprConfig {
+            alpha: 0.2,
+            r_max: 1e-3,
+        };
         let a = DynPpe::build(&g, &sources, cfg, dim, 5);
         let b = DynPpe::build(&g, &sources, cfg, dim, 5);
         let ea = a.embedding();
-        prop_assert_eq!(ea.left.rows(), sources.len());
-        prop_assert_eq!(ea.left.cols(), dim);
-        prop_assert!(ea.left.is_finite());
-        prop_assert!(ea.left.sub(&b.embedding().left).max_abs() == 0.0);
-    }
+        ensure_eq!(ea.left.rows(), sources.len());
+        ensure_eq!(ea.left.cols(), dim);
+        ensure!(ea.left.is_finite());
+        ensure!(ea.left.sub(&b.embedding().left).max_abs() == 0.0);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn strap_reconstruction_beats_frede_or_ties(m in sparse_matrix()) {
+#[test]
+fn strap_reconstruction_beats_frede_or_ties() {
+    Checker::new(24).run("strap_reconstruction_beats_frede_or_ties", |gen| {
         // STRAP's randomized SVD carries a (1+ε) Frobenius guarantee; FREDE
         // does not. On any input, STRAP's X·Yᵀ reconstruction must not be
         // substantially worse than FREDE's.
+        let m = sparse_matrix(gen);
         let d = 3;
         let strap = SubsetStrap::new(d, 2).factorize(&m);
         let frede = Frede::new(d).factorize(&m);
@@ -59,28 +75,37 @@ proptest! {
                 .sub(&dense)
                 .frobenius_norm()
         };
-        prop_assert!(err(&strap) <= err(&frede) * 1.05 + 1e-9);
-    }
+        ensure!(err(&strap) <= err(&frede) * 1.05 + 1e-9);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn frpca_matches_strap_spectrum(m in sparse_matrix()) {
+#[test]
+fn frpca_matches_strap_spectrum() {
+    Checker::new(24).run("frpca_matches_strap_spectrum", |gen| {
         // Same kernel family, same guarantee: singular values agree closely.
+        let m = sparse_matrix(gen);
         let d = 3;
         let a = FrPca::new(d, 7).svd(&m);
         let b = FrPca::new(d, 8).svd(&m); // different seed
         for (x, y) in a.s.iter().zip(&b.s) {
-            prop_assert!((x - y).abs() < 0.05 * (1.0 + y), "{x} vs {y}");
+            ensure!((x - y).abs() < 0.05 * (1.0 + y), "{x} vs {y}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn randne_left_rows_are_right_rows(g in graph_strategy()) {
+#[test]
+fn randne_left_rows_are_right_rows() {
+    Checker::new(24).run("randne_left_rows_are_right_rows", |gen| {
+        let g = random_graph(gen);
         let sources: Vec<u32> = (0..4.min(g.num_nodes() as u32)).collect();
         let pair = RandNe::new(RandNeConfig::new(6, 3)).embed(&g, &sources);
         let right = pair.right.as_ref().unwrap();
-        prop_assert_eq!(right.rows(), g.num_nodes());
+        ensure_eq!(right.rows(), g.num_nodes());
         for (i, &s) in sources.iter().enumerate() {
-            prop_assert_eq!(pair.left.row(i), right.row(s as usize));
+            ensure_eq!(pair.left.row(i), right.row(s as usize));
         }
-    }
+        Ok(())
+    });
 }

@@ -1,16 +1,16 @@
-//! Criterion benchmark of the dynamic update path: lazy Tree-SVD vs the
-//! eager (changed-only) policy vs a full static rebuild, per event batch —
-//! the micro-scale version of the paper's Exp. 4.
+//! Benchmark of the dynamic update path: lazy Tree-SVD vs the eager
+//! (changed-only) policy vs a full static rebuild, per event batch — the
+//! micro-scale version of the paper's Exp. 4.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tsvd_bench::setup::standard_setup;
 use tsvd_core::{TreeSvd, TreeSvdConfig, TreeSvdPipeline, UpdatePolicy};
 use tsvd_datasets::DatasetConfig;
 use tsvd_graph::EdgeEvent;
+use tsvd_rt::bench::BenchHarness;
+use tsvd_rt::rng::StdRng;
+use tsvd_rt::rng::{Rng, SeedableRng};
 
-fn bench_update_policies(c: &mut Criterion) {
+fn main() {
     let mut cfg = DatasetConfig::patent();
     cfg.num_nodes = 6000;
     cfg.num_edges = 30_000;
@@ -18,44 +18,38 @@ fn bench_update_policies(c: &mut Criterion) {
     let s = standard_setup(&cfg);
     let g0 = s.dataset.stream.snapshot(2);
 
-    let mut group = c.benchmark_group("dynamic_update_per_batch");
-    group.sample_size(10);
+    let mut h = BenchHarness::from_args("dynamic_update");
     for (name, policy) in [
         ("lazy_065", UpdatePolicy::Lazy { delta: 0.65 }),
         ("eager_changed_only", UpdatePolicy::ChangedOnly),
         ("rebuild_all", UpdatePolicy::All),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
-            b.iter_with_setup(
-                || {
-                    let tree_cfg = TreeSvdConfig { policy, ..s.tree_cfg };
-                    let g = g0.clone();
-                    let pipe = TreeSvdPipeline::new(&g, &s.subset, s.ppr_cfg, tree_cfg);
-                    let mut rng = StdRng::seed_from_u64(5);
-                    let events: Vec<EdgeEvent> = (0..200)
-                        .map(|_| {
-                            let u = rng.gen_range(0..g.num_nodes()) as u32;
-                            let v = rng.gen_range(0..g.num_nodes()) as u32;
-                            EdgeEvent::insert(u, v)
-                        })
-                        .collect();
-                    (g, pipe, events)
-                },
-                |(mut g, mut pipe, events)| {
-                    pipe.update(&mut g, &events);
-                    pipe
-                },
-            )
+        // Each iteration rebuilds the pipeline from the same snapshot so the
+        // timed region covers exactly one batch update from a fixed state.
+        h.bench(&format!("dynamic_update_per_batch/{name}"), || {
+            let tree_cfg = TreeSvdConfig {
+                policy,
+                ..s.tree_cfg
+            };
+            let mut g = g0.clone();
+            let mut pipe = TreeSvdPipeline::new(&g, &s.subset, s.ppr_cfg, tree_cfg);
+            let mut rng = StdRng::seed_from_u64(5);
+            let events: Vec<EdgeEvent> = (0..200)
+                .map(|_| {
+                    let u = rng.gen_range(0..g.num_nodes()) as u32;
+                    let v = rng.gen_range(0..g.num_nodes()) as u32;
+                    EdgeEvent::insert(u, v)
+                })
+                .collect();
+            pipe.update(&mut g, &events);
+            pipe
         });
     }
     // Baseline anchor: a full static Tree-SVD factorisation (no PPR work).
-    group.bench_function("static_factorise_only", |b| {
-        let pipe = TreeSvdPipeline::new(&g0, &s.subset, s.ppr_cfg, s.tree_cfg);
-        let tree = TreeSvd::new(s.tree_cfg);
-        b.iter(|| tree.embed(pipe.matrix()))
+    let pipe = TreeSvdPipeline::new(&g0, &s.subset, s.ppr_cfg, s.tree_cfg);
+    let tree = TreeSvd::new(s.tree_cfg);
+    h.bench("dynamic_update_per_batch/static_factorise_only", || {
+        tree.embed(pipe.matrix())
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_update_policies);
-criterion_main!(benches);

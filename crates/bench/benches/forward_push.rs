@@ -1,14 +1,14 @@
-//! Criterion micro-benchmarks for the PPR engine: fresh pushes (dense
-//! workspace vs sparse state) and dynamic updates at several batch sizes.
+//! Micro-benchmarks for the PPR engine: fresh pushes (dense workspace vs
+//! sparse state) and dynamic updates at several batch sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tsvd_datasets::{DatasetConfig, SyntheticDataset};
 use tsvd_graph::{Direction, DynGraph, EdgeEvent};
 use tsvd_ppr::dynamic::{dynamic_update, record_events};
 use tsvd_ppr::FreshPushWorkspace;
 use tsvd_ppr::{forward_push, PprState};
+use tsvd_rt::bench::BenchHarness;
+use tsvd_rt::rng::StdRng;
+use tsvd_rt::rng::{Rng, SeedableRng};
 
 fn test_graph() -> (SyntheticDataset, DynGraph) {
     let mut cfg = DatasetConfig::patent();
@@ -20,64 +20,49 @@ fn test_graph() -> (SyntheticDataset, DynGraph) {
     (ds, g)
 }
 
-fn bench_fresh_push(c: &mut Criterion) {
-    let (_, g) = test_graph();
-    let mut group = c.benchmark_group("fresh_push");
+fn bench_fresh_push(h: &mut BenchHarness, g: &DynGraph) {
     for &r_max in &[1e-4_f64, 1e-5] {
-        group.bench_with_input(
-            BenchmarkId::new("dense_workspace", format!("{r_max:.0e}")),
-            &r_max,
-            |b, &r_max| {
-                let mut ws = FreshPushWorkspace::new(g.num_nodes());
-                b.iter(|| ws.run(&g, Direction::Out, 0.2, r_max, 17))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sparse_state", format!("{r_max:.0e}")),
-            &r_max,
-            |b, &r_max| {
-                b.iter(|| {
-                    let mut st = PprState::new(17);
-                    forward_push(&g, Direction::Out, 0.2, r_max, &mut st);
-                    st
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_dynamic_update(c: &mut Criterion) {
-    let (_, g0) = test_graph();
-    let mut group = c.benchmark_group("dynamic_push_update");
-    group.sample_size(20);
-    for &batch in &[10usize, 100, 1000] {
-        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
-            b.iter_with_setup(
-                || {
-                    let mut g = g0.clone();
-                    let mut st = PprState::new(17);
-                    forward_push(&g, Direction::Out, 0.2, 1e-5, &mut st);
-                    let mut rng = StdRng::seed_from_u64(9);
-                    let events: Vec<EdgeEvent> = (0..batch)
-                        .map(|_| {
-                            let u = rng.gen_range(0..g.num_nodes()) as u32;
-                            let v = rng.gen_range(0..g.num_nodes()) as u32;
-                            EdgeEvent::insert(u, v)
-                        })
-                        .collect();
-                    let (rec, _) = record_events(&mut g, &events);
-                    (g, st, rec)
-                },
-                |(g, mut st, rec)| {
-                    dynamic_update(&g, Direction::Out, 0.2, 1e-5, &mut st, &rec);
-                    st
-                },
-            )
+        let mut ws = FreshPushWorkspace::new(g.num_nodes());
+        h.bench(&format!("fresh_push/dense_workspace/{r_max:.0e}"), || {
+            ws.run(g, Direction::Out, 0.2, r_max, 17)
+        });
+        h.bench(&format!("fresh_push/sparse_state/{r_max:.0e}"), || {
+            let mut st = PprState::new(17);
+            forward_push(g, Direction::Out, 0.2, r_max, &mut st);
+            st
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_fresh_push, bench_dynamic_update);
-criterion_main!(benches);
+fn bench_dynamic_update(h: &mut BenchHarness, g0: &DynGraph) {
+    for &batch in &[10usize, 100, 1000] {
+        // Setup (graph clone + fresh push + event recording) is rebuilt per
+        // iteration and excluded from the timed region by doing it eagerly
+        // here and timing only the incremental update on clones.
+        let mut base = g0.clone();
+        let mut st0 = PprState::new(17);
+        forward_push(&base, Direction::Out, 0.2, 1e-5, &mut st0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let events: Vec<EdgeEvent> = (0..batch)
+            .map(|_| {
+                let u = rng.gen_range(0..base.num_nodes()) as u32;
+                let v = rng.gen_range(0..base.num_nodes()) as u32;
+                EdgeEvent::insert(u, v)
+            })
+            .collect();
+        let (rec, _) = record_events(&mut base, &events);
+        h.bench(&format!("dynamic_push_update/{batch}"), || {
+            let mut st = st0.clone();
+            dynamic_update(&base, Direction::Out, 0.2, 1e-5, &mut st, &rec);
+            st
+        });
+    }
+}
+
+fn main() {
+    let (_, g) = test_graph();
+    let mut h = BenchHarness::from_args("forward_push");
+    bench_fresh_push(&mut h, &g);
+    bench_dynamic_update(&mut h, &g);
+    h.finish();
+}

@@ -1,16 +1,16 @@
-//! Criterion micro-benchmarks for the SVD kernels: Householder QR, exact
-//! SVD (Golub–Reinsch), randomized SVD dense vs sparse, and the
+//! Micro-benchmarks for the SVD kernels: Householder QR, exact SVD
+//! (Golub–Reinsch), randomized SVD dense vs sparse, and the
 //! Frequent-Directions sketch.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tsvd_linalg::qr::qr;
 use tsvd_linalg::randomized::randomized_svd;
 use tsvd_linalg::rng::gaussian_matrix;
 use tsvd_linalg::sketch::FrequentDirections;
 use tsvd_linalg::svd::exact_svd;
 use tsvd_linalg::{CsrMatrix, RandomizedSvdConfig};
+use tsvd_rt::bench::BenchHarness;
+use tsvd_rt::rng::StdRng;
+use tsvd_rt::rng::{Rng, SeedableRng};
 
 fn random_csr(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> CsrMatrix {
     let data: Vec<Vec<(u32, f64)>> = (0..rows)
@@ -27,47 +27,42 @@ fn random_csr(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> CsrMa
     CsrMatrix::from_rows(cols, &data)
 }
 
-fn bench_qr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qr");
+fn bench_qr(h: &mut BenchHarness) {
     for &(m, n) in &[(300usize, 72usize), (300, 288)] {
         let a = gaussian_matrix(&mut StdRng::seed_from_u64(1), m, n);
-        group.bench_with_input(BenchmarkId::new("householder", format!("{m}x{n}")), &a, |b, a| {
-            b.iter(|| qr(a))
-        });
+        h.bench(&format!("qr/householder/{m}x{n}"), || qr(&a));
     }
-    group.finish();
 }
 
-fn bench_exact_svd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exact_svd");
+fn bench_exact_svd(h: &mut BenchHarness) {
     // 300×288 is the merge-matrix shape Tree-SVD factorises at interior
     // levels (k·d columns).
     for &(m, n) in &[(300usize, 64usize), (300, 288), (128, 128)] {
         let a = gaussian_matrix(&mut StdRng::seed_from_u64(2), m, n);
-        group.bench_with_input(BenchmarkId::new("golub_reinsch", format!("{m}x{n}")), &a, |b, a| {
-            b.iter(|| exact_svd(a))
+        h.bench(&format!("exact_svd/golub_reinsch/{m}x{n}"), || {
+            exact_svd(&a)
         });
     }
-    group.finish();
 }
 
-fn bench_randomized_svd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("randomized_svd");
-    group.sample_size(20);
+fn bench_randomized_svd(h: &mut BenchHarness) {
     let mut rng = StdRng::seed_from_u64(3);
     let sparse = random_csr(&mut rng, 300, 4000, 0.05);
     let dense = sparse.to_dense();
-    let cfg = RandomizedSvdConfig { rank: 64, oversample: 8, power_iters: 1 };
-    group.bench_function("sparse_300x4000_d64", |b| {
-        b.iter(|| randomized_svd(&sparse, &cfg, &mut StdRng::seed_from_u64(7)))
+    let cfg = RandomizedSvdConfig {
+        rank: 64,
+        oversample: 8,
+        power_iters: 1,
+    };
+    h.bench("randomized_svd/sparse_300x4000_d64", || {
+        randomized_svd(&sparse, &cfg, &mut StdRng::seed_from_u64(7))
     });
-    group.bench_function("dense_300x4000_d64", |b| {
-        b.iter(|| randomized_svd(&dense, &cfg, &mut StdRng::seed_from_u64(7)))
+    h.bench("randomized_svd/dense_300x4000_d64", || {
+        randomized_svd(&dense, &cfg, &mut StdRng::seed_from_u64(7))
     });
-    group.finish();
 }
 
-fn bench_frequent_directions(c: &mut Criterion) {
+fn bench_frequent_directions(h: &mut BenchHarness) {
     let mut rng = StdRng::seed_from_u64(4);
     let rows: Vec<Vec<(u32, f64)>> = (0..300)
         .map(|_| {
@@ -80,22 +75,20 @@ fn bench_frequent_directions(c: &mut Criterion) {
             r
         })
         .collect();
-    c.bench_function("frequent_directions_300x2000_l64", |b| {
-        b.iter(|| {
-            let mut fd = FrequentDirections::new(64, 2000);
-            for r in &rows {
-                fd.append_sparse(r);
-            }
-            fd.sketch()
-        })
+    h.bench("frequent_directions_300x2000_l64", || {
+        let mut fd = FrequentDirections::new(64, 2000);
+        for r in &rows {
+            fd.append_sparse(r);
+        }
+        fd.sketch()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_qr,
-    bench_exact_svd,
-    bench_randomized_svd,
-    bench_frequent_directions
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = BenchHarness::from_args("svd_kernels");
+    bench_qr(&mut h);
+    bench_exact_svd(&mut h);
+    bench_randomized_svd(&mut h);
+    bench_frequent_directions(&mut h);
+    h.finish();
+}

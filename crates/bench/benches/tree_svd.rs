@@ -1,16 +1,16 @@
-//! Criterion benchmarks of the static factorisation frameworks on one
-//! shared proximity matrix: Tree-SVD-S vs HSVD vs flat randomized SVD
-//! (FRPCA) vs Subset-STRAP's factoriser — the kernel comparison behind
-//! the paper's Figure 5.
+//! Benchmarks of the static factorisation frameworks on one shared
+//! proximity matrix: Tree-SVD-S vs HSVD vs flat randomized SVD (FRPCA) vs
+//! Subset-STRAP's factoriser — the kernel comparison behind the paper's
+//! Figure 5.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tsvd_baselines::{FrPca, SubsetStrap};
 use tsvd_bench::methods::blocked_proximity;
 use tsvd_bench::setup::standard_setup;
 use tsvd_core::{Level1Method, TreeSvd, TreeSvdConfig};
 use tsvd_datasets::DatasetConfig;
+use tsvd_rt::bench::BenchHarness;
 
-fn bench_frameworks(c: &mut Criterion) {
+fn main() {
     let mut cfg = DatasetConfig::patent();
     cfg.num_nodes = 6000;
     cfg.num_edges = 30_000;
@@ -19,28 +19,26 @@ fn bench_frameworks(c: &mut Criterion) {
     let g = s.dataset.stream.snapshot(2);
     let m = blocked_proximity(&g, &s.subset, s.ppr_cfg, s.tree_cfg.num_blocks);
     let csr = m.to_csr();
-    eprintln!("proximity matrix: {}x{} nnz {}", csr.rows(), csr.cols(), csr.nnz());
+    eprintln!(
+        "proximity matrix: {}x{} nnz {}",
+        csr.rows(),
+        csr.cols(),
+        csr.nnz()
+    );
 
-    let mut group = c.benchmark_group("factorisation");
-    group.sample_size(10);
-    group.bench_function("tree_svd_s", |b| {
-        let tree = TreeSvd::new(s.tree_cfg);
-        b.iter(|| tree.embed(&m))
+    let mut h = BenchHarness::from_args("tree_svd");
+    let tree = TreeSvd::new(s.tree_cfg);
+    h.bench("factorisation/tree_svd_s", || tree.embed(&m));
+    let hsvd = TreeSvd::new(TreeSvdConfig {
+        level1: Level1Method::Exact,
+        ..s.tree_cfg
     });
-    group.bench_function("hsvd_exact_level1", |b| {
-        let tree = TreeSvd::new(TreeSvdConfig { level1: Level1Method::Exact, ..s.tree_cfg });
-        b.iter(|| tree.embed(&m))
+    h.bench("factorisation/hsvd_exact_level1", || hsvd.embed(&m));
+    let frpca = FrPca::new(s.tree_cfg.dim, 7);
+    h.bench("factorisation/frpca_flat", || frpca.factorize(&csr));
+    let strap = SubsetStrap::new(s.tree_cfg.dim, 7);
+    h.bench("factorisation/subset_strap_factorize", || {
+        strap.factorize(&csr)
     });
-    group.bench_function("frpca_flat", |b| {
-        let f = FrPca::new(s.tree_cfg.dim, 7);
-        b.iter(|| f.factorize(&csr))
-    });
-    group.bench_function("subset_strap_factorize", |b| {
-        let strap = SubsetStrap::new(s.tree_cfg.dim, 7);
-        b.iter(|| strap.factorize(&csr))
-    });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_frameworks);
-criterion_main!(benches);

@@ -112,8 +112,17 @@ pub fn run_batch_updates(
     // DynPPE maintains its own PPR state over its own graph copy.
     let mut dynppe_g = g.clone();
     let mut dynppe = if methods.contains(&BatchMethod::DynPpe) {
-        let cfg = PprConfig { alpha: s.ppr_cfg.alpha, r_max: s.ppr_cfg.r_max * 0.5 };
-        Some(DynPpe::build(&g, &s.subset, cfg, tree_cfg.dim, tree_cfg.seed))
+        let cfg = PprConfig {
+            alpha: s.ppr_cfg.alpha,
+            r_max: s.ppr_cfg.r_max * 0.5,
+        };
+        Some(DynPpe::build(
+            &g,
+            &s.subset,
+            cfg,
+            tree_cfg.dim,
+            tree_cfg.seed,
+        ))
     } else {
         None
     };
@@ -179,9 +188,7 @@ pub fn run_batch_updates(
                         .unwrap_or_else(|| strap.factorize(&csr));
                     (p.left, p.right)
                 }
-                BatchMethod::DynPpe => {
-                    (dynppe.as_ref().unwrap().embedding().left, None)
-                }
+                BatchMethod::DynPpe => (dynppe.as_ref().unwrap().embedding().left, None),
             };
             BatchOutcome {
                 method: m,
@@ -196,15 +203,26 @@ pub fn run_batch_updates(
             }
         })
         .collect();
-    BatchRun { outcomes, num_batches, events_applied: events.len(), final_graph: g }
+    BatchRun {
+        outcomes,
+        num_batches,
+        events_applied: events.len(),
+        final_graph: g,
+    }
 }
 
 /// Standard knobs: batch size (`TSVD_BATCH_SIZE`, default 500) and batch
 /// count (`TSVD_BATCHES`, default 20) — the scaled analogue of the paper's
 /// 100 × 10⁴-event protocol.
 pub fn batch_params() -> (usize, usize) {
-    let size = std::env::var("TSVD_BATCH_SIZE").ok().and_then(|v| v.parse().ok()).unwrap_or(500);
-    let count = std::env::var("TSVD_BATCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
+    let size = std::env::var("TSVD_BATCH_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let count = std::env::var("TSVD_BATCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
     (size, count)
 }
 
@@ -255,8 +273,11 @@ mod tests {
         skip.insert((first_insert.u, first_insert.v));
         let filtered = future_events(&s, 1, usize::MAX, &skip);
         assert!(filtered.len() < all.len());
-        assert!(!filtered
-            .iter()
-            .any(|e| e.kind == EventKind::Insert && (e.u, e.v) == (first_insert.u, first_insert.v)));
+        assert!(
+            !filtered
+                .iter()
+                .any(|e| e.kind == EventKind::Insert
+                    && (e.u, e.v) == (first_insert.u, first_insert.v))
+        );
     }
 }

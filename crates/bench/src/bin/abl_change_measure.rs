@@ -20,16 +20,35 @@ fn main() {
     let (batch_size, max_batches) = batch_params();
     let limit = batch_size * max_batches;
     let policies: Vec<(String, UpdatePolicy)> = vec![
-        ("frobenius δ=0.45".into(), UpdatePolicy::Lazy { delta: 0.45 }),
-        ("frobenius δ=0.65".into(), UpdatePolicy::Lazy { delta: 0.65 }),
-        ("frobenius δ=0.85".into(), UpdatePolicy::Lazy { delta: 0.85 }),
-        ("nnz-count 10%".into(), UpdatePolicy::LazyNnz { threshold: 0.1 }),
-        ("nnz-count 50%".into(), UpdatePolicy::LazyNnz { threshold: 0.5 }),
+        (
+            "frobenius δ=0.45".into(),
+            UpdatePolicy::Lazy { delta: 0.45 },
+        ),
+        (
+            "frobenius δ=0.65".into(),
+            UpdatePolicy::Lazy { delta: 0.65 },
+        ),
+        (
+            "frobenius δ=0.85".into(),
+            UpdatePolicy::Lazy { delta: 0.85 },
+        ),
+        (
+            "nnz-count 10%".into(),
+            UpdatePolicy::LazyNnz { threshold: 0.1 },
+        ),
+        (
+            "nnz-count 50%".into(),
+            UpdatePolicy::LazyNnz { threshold: 0.5 },
+        ),
         ("eager (any change)".into(), UpdatePolicy::ChangedOnly),
         ("rebuild (all)".into(), UpdatePolicy::All),
     ];
     let mut table = Table::new(&[
-        "dataset", "policy", "micro-F1@50%", "avg-update-time", "blocks-recomputed",
+        "dataset",
+        "policy",
+        "micro-F1@50%",
+        "avg-update-time",
+        "blocks-recomputed",
     ]);
     for cfg in [DatasetConfig::patent(), DatasetConfig::wikipedia()] {
         eprintln!("[abl-measure] dataset {} …", cfg.name);

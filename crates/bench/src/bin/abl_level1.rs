@@ -21,7 +21,11 @@ fn main() {
         ("exact (HSVD)", Level1Method::Exact),
     ];
     let mut table = Table::new(&[
-        "dataset", "level-1", "micro-F1@50%", "proj-residual/‖M‖", "svd-time",
+        "dataset",
+        "level-1",
+        "micro-F1@50%",
+        "proj-residual/‖M‖",
+        "svd-time",
     ]);
     for cfg in all_nc_datasets() {
         eprintln!("[abl-level1] dataset {} …", cfg.name);
@@ -32,7 +36,10 @@ fn main() {
         let norm = csr.frobenius_norm();
         let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
         for (name, level1) in methods {
-            let tree_cfg = TreeSvdConfig { level1, ..s.tree_cfg };
+            let tree_cfg = TreeSvdConfig {
+                level1,
+                ..s.tree_cfg
+            };
             let (emb, secs) = timed(|| TreeSvd::new(tree_cfg).embed(&m));
             let f1 = task.evaluate(&emb.left());
             let resid = emb.projection_residual(&csr) / norm.max(1e-12);

@@ -35,7 +35,10 @@ fn main() {
         let events = future_events(&s, t_mid, limit, &HashSet::new());
         let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
         for strategy in [PartitionStrategy::EqualWidth, PartitionStrategy::EqualMass] {
-            let tree_cfg = TreeSvdConfig { partition: strategy, ..s.tree_cfg };
+            let tree_cfg = TreeSvdConfig {
+                partition: strategy,
+                ..s.tree_cfg
+            };
             let mut g = s.dataset.stream.snapshot(t_mid);
             let (mut pipe, build_secs) =
                 timed(|| TreeSvdPipeline::new(&g, &s.subset, s.ppr_cfg, tree_cfg));

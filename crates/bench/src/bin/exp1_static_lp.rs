@@ -29,7 +29,10 @@ fn main() {
         eprintln!("[exp1-lp]   {} positive pairs", task.num_positives());
         for m in methods {
             let (pair, secs) = run_static(m, &task.train_graph, &s);
-            let right = pair.right.as_ref().expect("LP methods provide right embeddings");
+            let right = pair
+                .right
+                .as_ref()
+                .expect("LP methods provide right embeddings");
             let prec = task.precision(&pair.left, right);
             let auc = task.auc(&pair.left, right);
             table.row(vec![

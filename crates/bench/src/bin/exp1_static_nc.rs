@@ -21,7 +21,12 @@ fn main() {
         Method::TreeSvdS,
     ];
     let mut table = Table::new(&[
-        "dataset", "method", "micro-F1@50%", "macro-F1@50%", "micro-F1@70%", "time",
+        "dataset",
+        "method",
+        "micro-F1@50%",
+        "macro-F1@50%",
+        "micro-F1@70%",
+        "time",
     ]);
     for cfg in all_nc_datasets() {
         eprintln!("[exp1-nc] dataset {} …", cfg.name);

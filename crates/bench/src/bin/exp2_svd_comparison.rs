@@ -21,17 +21,26 @@ fn factorizations(
     let mut out = Vec::new();
     let (pair, secs) = timed(|| FrPca::new(cfg.dim, cfg.seed).factorize(&csr));
     out.push(("FRPCA", pair, secs));
-    let hsvd_cfg = TreeSvdConfig { level1: Level1Method::Exact, ..*cfg };
+    let hsvd_cfg = TreeSvdConfig {
+        level1: Level1Method::Exact,
+        ..*cfg
+    };
     let (emb, secs) = timed(|| TreeSvd::new(hsvd_cfg).embed(m));
     out.push((
         "HSVD",
-        EmbeddingPair { left: emb.left(), right: Some(emb.right(&csr)) },
+        EmbeddingPair {
+            left: emb.left(),
+            right: Some(emb.right(&csr)),
+        },
         secs,
     ));
     let (emb, secs) = timed(|| TreeSvd::new(*cfg).embed(m));
     out.push((
         "Tree-SVD-S",
-        EmbeddingPair { left: emb.left(), right: Some(emb.right(&csr)) },
+        EmbeddingPair {
+            left: emb.left(),
+            right: Some(emb.right(&csr)),
+        },
         secs,
     ));
     out
@@ -48,7 +57,12 @@ fn main() {
         let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
         for (name, pair, secs) in factorizations(&m, &s.tree_cfg) {
             let f1 = task.evaluate(&pair.left);
-            nc.row(vec![cfg.name.clone(), name.into(), fmt_pct(f1.micro), fmt_secs(secs)]);
+            nc.row(vec![
+                cfg.name.clone(),
+                name.into(),
+                fmt_pct(f1.micro),
+                fmt_secs(secs),
+            ]);
         }
     }
     nc.print("Exp. 2 — SVD comparison, node classification (Table 5 / Figure 5)");
@@ -60,16 +74,26 @@ fn main() {
         let s = standard_setup(&cfg);
         let g = s.dataset.stream.snapshot(s.dataset.stream.num_snapshots());
         let task = LinkPredictionTask::from_graph(&g, &s.subset, 0.3, 321);
-        let m = blocked_proximity(&task.train_graph, &s.subset, s.ppr_cfg, s.tree_cfg.num_blocks);
+        let m = blocked_proximity(
+            &task.train_graph,
+            &s.subset,
+            s.ppr_cfg,
+            s.tree_cfg.num_blocks,
+        );
         for (name, pair, secs) in factorizations(&m, &s.tree_cfg) {
             let prec = task.precision(&pair.left, pair.right.as_ref().unwrap());
-            lp.row(vec![cfg.name.clone(), name.into(), fmt_pct(prec), fmt_secs(secs)]);
+            lp.row(vec![
+                cfg.name.clone(),
+                name.into(),
+                fmt_pct(prec),
+                fmt_secs(secs),
+            ]);
         }
     }
     lp.print("Exp. 2 — SVD comparison, link prediction (Table 6 / Figure 5)");
 
     save_json(
         "exp2_svd_comparison",
-        &serde_json::json!({ "nc": nc.to_json(), "lp": lp.to_json() }),
+        &tsvd_rt::json::Json::object([("nc", nc.to_json()), ("lp", lp.to_json())]),
     );
 }

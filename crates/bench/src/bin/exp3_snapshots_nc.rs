@@ -13,9 +13,18 @@ use tsvd_datasets::all_nc_datasets;
 use tsvd_eval::NodeClassificationTask;
 
 fn main() {
-    let methods = [Method::RandNe, Method::DynPpe, Method::SubsetStrap, Method::TreeSvdS];
+    let methods = [
+        Method::RandNe,
+        Method::DynPpe,
+        Method::SubsetStrap,
+        Method::TreeSvdS,
+    ];
     let mut table = Table::new(&[
-        "dataset", "snapshot", "method", "micro-F1@50%", "micro-F1@70%",
+        "dataset",
+        "snapshot",
+        "method",
+        "micro-F1@50%",
+        "micro-F1@70%",
     ]);
     for cfg in all_nc_datasets() {
         eprintln!("[exp3-nc] dataset {} …", cfg.name);

@@ -33,7 +33,11 @@ fn main() {
         BatchMethod::TreeSvdDynamic,
     ];
     let mut fig10 = Table::new(&[
-        "dataset", "method", "avg-update-time", "micro-F1@50%", "blocks-recomputed",
+        "dataset",
+        "method",
+        "avg-update-time",
+        "micro-F1@50%",
+        "blocks-recomputed",
     ]);
     for cfg in all_nc_datasets() {
         eprintln!("[exp4] NC dataset {} …", cfg.name);
@@ -45,7 +49,10 @@ fn main() {
             continue;
         }
         let run = run_batch_updates(&s, t_mid, &events, batch_size, &nc_methods, None);
-        eprintln!("[exp4]   {} events in {} batches", run.events_applied, run.num_batches);
+        eprintln!(
+            "[exp4]   {} events in {} batches",
+            run.events_applied, run.num_batches
+        );
         let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
         for o in &run.outcomes {
             let f1 = task.evaluate(&o.left);
@@ -94,8 +101,8 @@ fn main() {
         let events = future_events(&s, t_mid, limit, &skip);
         let run = run_batch_updates(&s, t_mid, &events, batch_size, &lp_methods, None);
         // Negatives: non-edges of the final graph.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(555);
+        use tsvd_rt::rng::{Rng, SeedableRng};
+        let mut rng = tsvd_rt::rng::StdRng::seed_from_u64(555);
         let n = run.final_graph.num_nodes() as u32;
         let mut negatives = Vec::new();
         let mut seen = HashSet::new();
@@ -111,11 +118,7 @@ fn main() {
             }
             negatives.push((i, v));
         }
-        let task = LinkPredictionTask::from_pairs(
-            run.final_graph.clone(),
-            positives,
-            negatives,
-        );
+        let task = LinkPredictionTask::from_pairs(run.final_graph.clone(), positives, negatives);
         eprintln!(
             "[exp4]   {} positives, {} events in {} batches",
             task.num_positives(),
@@ -137,6 +140,6 @@ fn main() {
 
     save_json(
         "exp4_batch_updates",
-        &serde_json::json!({ "fig10": fig10.to_json(), "table7": table7.to_json() }),
+        &tsvd_rt::json::Json::object([("fig10", fig10.to_json()), ("table7", table7.to_json())]),
     );
 }

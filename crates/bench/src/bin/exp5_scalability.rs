@@ -70,8 +70,8 @@ fn main() {
         BatchMethod::TreeSvdStatic,
     ];
     let run = run_batch_updates(&s, t_mid, &events, batch_size, &lp_methods, None);
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(808);
+    use tsvd_rt::rng::{Rng, SeedableRng};
+    let mut rng = tsvd_rt::rng::StdRng::seed_from_u64(808);
     let n = run.final_graph.num_nodes() as u32;
     let mut negatives = Vec::new();
     let mut seen = HashSet::new();
@@ -93,12 +93,19 @@ fn main() {
     let mut table8 = Table::new(&["method", "precision", "avg-update-time"]);
     for o in &run.outcomes {
         let prec = task.precision(&o.left, o.right.as_ref().unwrap());
-        table8.row(vec![o.method.name().into(), fmt_pct(prec), fmt_secs(o.avg_secs)]);
+        table8.row(vec![
+            o.method.name().into(),
+            fmt_pct(prec),
+            fmt_secs(o.avg_secs),
+        ]);
     }
     table8.print("Exp. 5 — Twitter-like batch updates (Table 8)");
 
     save_json(
         "exp5_scalability",
-        &serde_json::json!({ "fig9_twitter": fig9.to_json(), "table8": table8.to_json() }),
+        &tsvd_rt::json::Json::object([
+            ("fig9_twitter", fig9.to_json()),
+            ("table8", table8.to_json()),
+        ]),
     );
 }

@@ -9,14 +9,14 @@
 //! uniformly random subset vs (b) a subset drawn from two communities,
 //! under subset Tree-SVD and the budget-equalised global embedding.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use tsvd_baselines::GlobalStrap;
 use tsvd_bench::harness::{fmt_pct, save_json, Table};
 use tsvd_bench::setup::{standard_setup, subset_size};
 use tsvd_core::TreeSvdPipeline;
 use tsvd_datasets::DatasetConfig;
 use tsvd_eval::{LinkPredictionTask, NodeClassificationTask};
+use tsvd_rt::rng::SeedableRng;
+use tsvd_rt::rng::SliceRandom;
 
 fn community_subset(
     labels: &[usize],
@@ -31,7 +31,7 @@ fn community_subset(
         .filter(|(i, l)| classes.contains(l) && eligible(*i as u32))
         .map(|(i, _)| i as u32)
         .collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = tsvd_rt::rng::StdRng::seed_from_u64(seed);
     nodes.shuffle(&mut rng);
     nodes.truncate(size);
     nodes.sort_unstable();
@@ -40,7 +40,11 @@ fn community_subset(
 
 fn main() {
     let mut table = Table::new(&[
-        "dataset", "subset-type", "method", "LP-precision", "micro-F1@50%",
+        "dataset",
+        "subset-type",
+        "method",
+        "LP-precision",
+        "micro-F1@50%",
     ]);
     for cfg in [DatasetConfig::patent(), DatasetConfig::youtube()] {
         eprintln!("[exp6] dataset {} …", cfg.name);
@@ -49,20 +53,14 @@ fn main() {
         let g1 = s.dataset.stream.snapshot(1);
         let eligible = |u: u32| g1.out_degree(u) + g1.in_degree(u) > 0;
         let random_subset = s.subset.clone();
-        let coherent_subset = community_subset(
-            &s.dataset.labels,
-            &[0, 1],
-            subset_size(),
-            99,
-            &eligible,
-        );
+        let coherent_subset =
+            community_subset(&s.dataset.labels, &[0, 1], subset_size(), 99, &eligible);
         for (kind, subset) in [("random", &random_subset), ("coherent", &coherent_subset)] {
             let labels = s.dataset.subset_labels(subset);
             let lp = LinkPredictionTask::from_graph(&g, subset, 0.3, 321);
             let nc = NodeClassificationTask::new(&labels, 0.5, 123);
             // Subset Tree-SVD.
-            let pipe =
-                TreeSvdPipeline::new(&lp.train_graph, subset, s.ppr_cfg, s.tree_cfg);
+            let pipe = TreeSvdPipeline::new(&lp.train_graph, subset, s.ppr_cfg, s.tree_cfg);
             let left = pipe.embedding().left();
             let right = pipe.embedding().right(&pipe.proximity_csr());
             let prec = lp.precision(&left, &right);

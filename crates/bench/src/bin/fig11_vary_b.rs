@@ -21,10 +21,15 @@ fn main() {
         let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
         for &b in &bs {
             let m = blocked_proximity(&g, &s.subset, s.ppr_cfg, b);
-            for (name, level1) in
-                [("HSVD", Level1Method::Exact), ("Tree-SVD-S", Level1Method::Randomized)]
-            {
-                let tree_cfg = TreeSvdConfig { num_blocks: b, level1, ..s.tree_cfg };
+            for (name, level1) in [
+                ("HSVD", Level1Method::Exact),
+                ("Tree-SVD-S", Level1Method::Randomized),
+            ] {
+                let tree_cfg = TreeSvdConfig {
+                    num_blocks: b,
+                    level1,
+                    ..s.tree_cfg
+                };
                 let (emb, secs) = timed(|| TreeSvd::new(tree_cfg).embed(&m));
                 let f1 = task.evaluate(&emb.left());
                 table.row(vec![

@@ -4,10 +4,10 @@
 //! thresholds are faster but degrade both methods' downstream quality;
 //! Tree-SVD-S stays consistently faster at equal quality.
 
+use tsvd_baselines::SubsetStrap;
 use tsvd_bench::harness::{fmt_pct, fmt_secs, save_json, timed, Table};
 use tsvd_bench::methods::blocked_proximity;
 use tsvd_bench::setup::standard_setup;
-use tsvd_baselines::SubsetStrap;
 use tsvd_core::TreeSvd;
 use tsvd_datasets::{all_nc_datasets, DatasetConfig};
 use tsvd_eval::{LinkPredictionTask, NodeClassificationTask};
@@ -24,7 +24,10 @@ fn main() {
         let g = s.dataset.stream.snapshot(s.dataset.stream.num_snapshots());
         let task = NodeClassificationTask::new(&s.labels, 0.5, 123);
         for &r_max in &RMAXES {
-            let ppr_cfg = PprConfig { alpha: s.ppr_cfg.alpha, r_max };
+            let ppr_cfg = PprConfig {
+                alpha: s.ppr_cfg.alpha,
+                r_max,
+            };
             let (m, ppr_secs) =
                 timed(|| blocked_proximity(&g, &s.subset, ppr_cfg, s.tree_cfg.num_blocks));
             let (emb, tree_secs) = timed(|| TreeSvd::new(s.tree_cfg).embed(&m));
@@ -59,7 +62,10 @@ fn main() {
     let g = s.dataset.stream.snapshot(s.dataset.stream.num_snapshots());
     let task = LinkPredictionTask::from_graph(&g, &s.subset, 0.3, 321);
     for &r_max in &RMAXES {
-        let ppr_cfg = PprConfig { alpha: s.ppr_cfg.alpha, r_max };
+        let ppr_cfg = PprConfig {
+            alpha: s.ppr_cfg.alpha,
+            r_max,
+        };
         let (m, ppr_secs) = timed(|| {
             blocked_proximity(&task.train_graph, &s.subset, ppr_cfg, s.tree_cfg.num_blocks)
         });
@@ -89,6 +95,6 @@ fn main() {
 
     save_json(
         "fig12_vary_rmax",
-        &serde_json::json!({ "nc": nc.to_json(), "lp": lp.to_json() }),
+        &tsvd_rt::json::Json::object([("nc", nc.to_json()), ("lp", lp.to_json())]),
     );
 }

@@ -17,7 +17,11 @@ fn main() {
     let (batch_size, max_batches) = batch_params();
     let limit = batch_size * max_batches;
     let mut table = Table::new(&[
-        "dataset", "delta", "micro-F1@50%", "avg-update-time", "blocks-recomputed",
+        "dataset",
+        "delta",
+        "micro-F1@50%",
+        "avg-update-time",
+        "blocks-recomputed",
     ]);
     for cfg in all_nc_datasets() {
         eprintln!("[fig13] dataset {} …", cfg.name);
@@ -46,7 +50,10 @@ fn main() {
                 fmt_secs(o.avg_secs),
                 o.blocks_recomputed.to_string(),
             ]);
-            eprintln!("[fig13]   δ = {delta} done ({} blocks)", o.blocks_recomputed);
+            eprintln!(
+                "[fig13]   δ = {delta} done ({} blocks)",
+                o.blocks_recomputed
+            );
         }
     }
     table.print("Figure 13 — varying the lazy-update threshold δ");

@@ -51,9 +51,8 @@ fn main() {
             let dyn_total = run.outcomes[0].avg_secs * run.num_batches as f64;
             // Static arm: one from-scratch pipeline build (fresh PPR +
             // Tree-SVD) on the final graph.
-            let (_, static_total) = timed(|| {
-                TreeSvdPipeline::new(&run.final_graph, &s.subset, s.ppr_cfg, s.tree_cfg)
-            });
+            let (_, static_total) =
+                timed(|| TreeSvdPipeline::new(&run.final_graph, &s.subset, s.ppr_cfg, s.tree_cfg));
             table.row(vec![
                 cfg.name.clone(),
                 events.len().to_string(),

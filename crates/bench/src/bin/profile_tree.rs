@@ -15,10 +15,21 @@ fn main() {
     println!("tree embed total: {t:.3}s");
     // level-1 only
     let (l1, t) = timed(|| {
-        (0..m.num_blocks()).map(|j| {
-            let b = m.block_csr(j);
-            tsvd_linalg::randomized::randomized_svd(&b, &tsvd_linalg::RandomizedSvdConfig{rank: 64, oversample: 8, power_iters: 1}, &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1)).u_sigma()
-        }).collect::<Vec<_>>()
+        (0..m.num_blocks())
+            .map(|j| {
+                let b = m.block_csr(j);
+                tsvd_linalg::randomized::randomized_svd(
+                    &b,
+                    &tsvd_linalg::RandomizedSvdConfig {
+                        rank: 64,
+                        oversample: 8,
+                        power_iters: 1,
+                    },
+                    &mut <tsvd_rt::rng::StdRng as tsvd_rt::rng::SeedableRng>::seed_from_u64(1),
+                )
+                .u_sigma()
+            })
+            .collect::<Vec<_>>()
     });
     println!("level-1 sequential: {t:.3}s");
     let (_, t) = timed(|| {
@@ -26,5 +37,5 @@ fn main() {
         let c = tsvd_linalg::DenseMatrix::hconcat(&refs);
         tsvd_linalg::svd::exact_truncated_svd(&c, 64)
     });
-    println!("one merge (4x -> {} cols): {t:.3}s", 4*72);
+    println!("one merge (4x -> {} cols): {t:.3}s", 4 * 72);
 }

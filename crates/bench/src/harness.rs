@@ -1,6 +1,7 @@
 //! Timing, table printing, and result persistence.
 
 use std::time::Instant;
+use tsvd_rt::json::Json;
 
 /// Wall-clock timer returning seconds.
 pub struct Timer(Instant);
@@ -34,7 +35,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row (must match the header count).
@@ -69,35 +73,32 @@ impl Table {
     }
 
     /// Rows as JSON (array of objects keyed by header).
-    pub fn to_json(&self) -> serde_json::Value {
-        let arr: Vec<serde_json::Value> = self
-            .rows
-            .iter()
-            .map(|row| {
-                let obj: serde_json::Map<String, serde_json::Value> = self
-                    .headers
-                    .iter()
-                    .zip(row)
-                    .map(|(h, c)| (h.clone(), serde_json::Value::String(c.clone())))
-                    .collect();
-                serde_json::Value::Object(obj)
-            })
-            .collect();
-        serde_json::Value::Array(arr)
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|row| {
+                    Json::object(
+                        self.headers
+                            .iter()
+                            .zip(row)
+                            .map(|(h, c)| (h.clone(), Json::Str(c.clone()))),
+                    )
+                })
+                .collect(),
+        )
     }
 }
 
 /// Persist an experiment record under `target/experiments/<name>.json`.
-pub fn save_json(name: &str, value: &serde_json::Value) {
+pub fn save_json(name: &str, value: &Json) {
     let dir = std::path::Path::new("target/experiments");
     if std::fs::create_dir_all(dir).is_err() {
         return; // persistence is best-effort; the printed tables are canon
     }
     let path = dir.join(format!("{name}.json"));
-    if let Ok(s) = serde_json::to_string_pretty(value) {
-        let _ = std::fs::write(&path, s);
-        eprintln!("[saved {}]", path.display());
-    }
+    let _ = std::fs::write(&path, value.to_string_pretty());
+    eprintln!("[saved {}]", path.display());
 }
 
 /// Format seconds compactly (`ms` below one second).

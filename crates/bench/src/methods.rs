@@ -80,18 +80,27 @@ pub fn run_static(method: Method, g: &DynGraph, s: &ExpSetup) -> (EmbeddingPair,
             let m = blocked_proximity(g, &s.subset, s.ppr_cfg, s.tree_cfg.num_blocks);
             let emb = TreeSvd::new(s.tree_cfg).embed(&m);
             let csr = m.to_csr();
-            EmbeddingPair { left: emb.left(), right: Some(emb.right(&csr)) }
+            EmbeddingPair {
+                left: emb.left(),
+                right: Some(emb.right(&csr)),
+            }
         }),
         Method::Hsvd => timed(|| {
-            let cfg = TreeSvdConfig { level1: Level1Method::Exact, ..s.tree_cfg };
+            let cfg = TreeSvdConfig {
+                level1: Level1Method::Exact,
+                ..s.tree_cfg
+            };
             let m = blocked_proximity(g, &s.subset, s.ppr_cfg, cfg.num_blocks);
             let emb = TreeSvd::new(cfg).embed(&m);
             let csr = m.to_csr();
-            EmbeddingPair { left: emb.left(), right: Some(emb.right(&csr)) }
+            EmbeddingPair {
+                left: emb.left(),
+                right: Some(emb.right(&csr)),
+            }
         }),
-        Method::SubsetStrap => timed(|| {
-            SubsetStrap::new(dim, s.tree_cfg.seed).embed(g, &s.subset, s.ppr_cfg)
-        }),
+        Method::SubsetStrap => {
+            timed(|| SubsetStrap::new(dim, s.tree_cfg.seed).embed(g, &s.subset, s.ppr_cfg))
+        }
         Method::GlobalStrap => timed(|| {
             GlobalStrap::new(dim, s.tree_cfg.seed).embed(
                 g,
@@ -103,16 +112,19 @@ pub fn run_static(method: Method, g: &DynGraph, s: &ExpSetup) -> (EmbeddingPair,
         Method::DynPpe => timed(|| {
             // DynPPE tunes a finer r_max for accuracy (the paper notes its
             // higher static cost for this reason).
-            let cfg = PprConfig { alpha: s.ppr_cfg.alpha, r_max: s.ppr_cfg.r_max * 0.5 };
+            let cfg = PprConfig {
+                alpha: s.ppr_cfg.alpha,
+                r_max: s.ppr_cfg.r_max * 0.5,
+            };
             DynPpe::build(g, &s.subset, cfg, dim, s.tree_cfg.seed).embedding()
         }),
         Method::Frede => timed(|| {
             let m = proximity(g, &s.subset, s.ppr_cfg);
             Frede::new(dim).factorize(&m)
         }),
-        Method::RandNe => timed(|| {
-            RandNe::new(RandNeConfig::new(dim, s.tree_cfg.seed)).embed(g, &s.subset)
-        }),
+        Method::RandNe => {
+            timed(|| RandNe::new(RandNeConfig::new(dim, s.tree_cfg.seed)).embed(g, &s.subset))
+        }
         Method::FrPca => timed(|| {
             let m = proximity(g, &s.subset, s.ppr_cfg);
             FrPca::new(dim, s.tree_cfg.seed).factorize(&m)

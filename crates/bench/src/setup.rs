@@ -31,7 +31,10 @@ pub fn embed_dim() -> usize {
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The per-dataset push threshold (the paper tunes `r_max` per dataset;
@@ -52,7 +55,10 @@ pub fn standard_setup(cfg: &DatasetConfig) -> ExpSetup {
     let dataset = SyntheticDataset::generate(cfg);
     let subset = dataset.sample_subset(subset_size(), 777);
     let labels = dataset.subset_labels(&subset);
-    let ppr_cfg = PprConfig { alpha: 0.2, r_max: r_max_for(&cfg.name) };
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: r_max_for(&cfg.name),
+    };
     let tree_cfg = TreeSvdConfig {
         dim: embed_dim(),
         branching: 4,
@@ -64,7 +70,13 @@ pub fn standard_setup(cfg: &DatasetConfig) -> ExpSetup {
         partition: PartitionStrategy::EqualWidth,
         seed: 42,
     };
-    ExpSetup { dataset, subset, labels, ppr_cfg, tree_cfg }
+    ExpSetup {
+        dataset,
+        subset,
+        labels,
+        ppr_cfg,
+        tree_cfg,
+    }
 }
 
 #[cfg(test)]

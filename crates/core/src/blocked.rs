@@ -14,7 +14,7 @@
 use tsvd_linalg::CsrMatrix;
 
 /// Blocked sparse `|S| × n` proximity matrix with norm/version tracking.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockedProximityMatrix {
     num_rows: usize,
     num_cols: usize,
@@ -28,6 +28,16 @@ pub struct BlockedProximityMatrix {
     versions: Vec<Vec<u64>>,
     clock: u64,
 }
+
+tsvd_rt::impl_json_struct!(BlockedProximityMatrix {
+    num_rows,
+    num_cols,
+    bounds,
+    cells,
+    block_normsq,
+    versions,
+    clock
+});
 
 impl BlockedProximityMatrix {
     /// An all-zero matrix with `num_blocks` equal-width column blocks.
@@ -46,8 +56,15 @@ impl BlockedProximityMatrix {
     pub fn with_boundaries(num_rows: usize, num_cols: usize, bounds: Vec<u32>) -> Self {
         assert!(bounds.len() >= 2, "need at least one block");
         assert_eq!(bounds[0], 0, "boundaries must start at 0");
-        assert_eq!(*bounds.last().unwrap() as usize, num_cols, "boundaries must end at n");
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "boundaries must strictly increase");
+        assert_eq!(
+            *bounds.last().unwrap() as usize,
+            num_cols,
+            "boundaries must end at n"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must strictly increase"
+        );
         let num_blocks = bounds.len() - 1;
         BlockedProximityMatrix {
             num_rows,
@@ -152,7 +169,10 @@ impl BlockedProximityMatrix {
     /// Replace row `i` with `entries` (global columns, sorted ascending).
     /// Only blocks whose cell content changes are re-normed and re-stamped.
     pub fn set_row(&mut self, i: usize, entries: &[(u32, f64)]) {
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "row not sorted");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "row not sorted"
+        );
         // A single NaN would silently poison every downstream norm, diff,
         // and factorisation; fail loudly at the boundary instead.
         assert!(
@@ -325,7 +345,10 @@ mod tests {
         m.set_row(1, &[(1, 1.0), (6, 2.0)]);
         for j in 0..3 {
             let want = m.block_csr(j).frobenius_norm_sq();
-            assert!((m.block_norm_sq(j) - want).abs() < 1e-12, "block {j} after update");
+            assert!(
+                (m.block_norm_sq(j) - want).abs() < 1e-12,
+                "block {j} after update"
+            );
         }
         assert!((m.frobenius_norm_sq() - m.to_csr().frobenius_norm_sq()).abs() < 1e-12);
     }
@@ -386,13 +409,17 @@ mod tests {
     fn mass_balanced_boundaries_balance() {
         // All mass in the first 10 columns of 100: the cuts concentrate
         // there instead of splitting uniformly.
-        let rows: Vec<Vec<(u32, f64)>> =
-            (0..5).map(|_| (0..10u32).map(|c| (c, 2.0)).collect()).collect();
+        let rows: Vec<Vec<(u32, f64)>> = (0..5)
+            .map(|_| (0..10u32).map(|c| (c, 2.0)).collect())
+            .collect();
         let bounds = BlockedProximityMatrix::mass_balanced_boundaries(100, 4, &rows);
         assert_eq!(bounds.len(), 5);
         assert_eq!(bounds[0], 0);
         assert_eq!(bounds[4], 100);
-        assert!(bounds[3] <= 10, "cuts should cluster in the massive region: {bounds:?}");
+        assert!(
+            bounds[3] <= 10,
+            "cuts should cluster in the massive region: {bounds:?}"
+        );
         // Matrix built from them keeps exact norms.
         let mut m = BlockedProximityMatrix::with_boundaries(5, 100, bounds);
         for (i, r) in rows.iter().enumerate() {

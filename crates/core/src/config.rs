@@ -1,9 +1,7 @@
 //! Tree-SVD configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// How the first (leaf) level of the tree factorises its sparse blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Level1Method {
     /// Sparse randomized SVD — Tree-SVD proper. Cost `O(nnz·(d+p))` per
     /// block, the paper's headline speedup over HSVD.
@@ -16,8 +14,14 @@ pub enum Level1Method {
     Lanczos,
 }
 
+tsvd_rt::impl_json_enum!(Level1Method {
+    Randomized,
+    Exact,
+    Lanczos
+});
+
 /// When the dynamic algorithm re-factorises a first-level block.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum UpdatePolicy {
     /// The paper's lazy rule (Lemma 3.4): recompute block `j` only when
     /// `‖(B^{t−i}_j)_d − B^{t−i}_j‖_F + ‖D_j‖_F > √2·δ·‖B^t_j‖_F`.
@@ -41,12 +45,61 @@ pub enum UpdatePolicy {
     All,
 }
 
+// `UpdatePolicy` mixes unit and struct variants, which the unit-only
+// `impl_json_enum!` macro cannot express, so its codec is written out in the
+// externally-tagged form: unit variants as bare strings, struct variants as
+// single-key objects (`{"Lazy":{"delta":0.65}}`).
+impl tsvd_rt::json::ToJson for UpdatePolicy {
+    fn to_json(&self) -> tsvd_rt::json::Json {
+        use tsvd_rt::json::Json;
+        match self {
+            UpdatePolicy::Lazy { delta } => {
+                Json::object([("Lazy", Json::object([("delta", delta.to_json())]))])
+            }
+            UpdatePolicy::LazyNnz { threshold } => Json::object([(
+                "LazyNnz",
+                Json::object([("threshold", threshold.to_json())]),
+            )]),
+            UpdatePolicy::ChangedOnly => Json::Str("ChangedOnly".to_string()),
+            UpdatePolicy::All => Json::Str("All".to_string()),
+        }
+    }
+}
+
+impl tsvd_rt::json::FromJson for UpdatePolicy {
+    fn from_json(j: &tsvd_rt::json::Json) -> Result<Self, tsvd_rt::json::JsonError> {
+        use tsvd_rt::json::{field, Json, JsonError};
+        match j {
+            Json::Str(s) => match s.as_str() {
+                "ChangedOnly" => Ok(UpdatePolicy::ChangedOnly),
+                "All" => Ok(UpdatePolicy::All),
+                other => Err(JsonError(format!("unknown UpdatePolicy variant `{other}`"))),
+            },
+            Json::Obj(pairs) if pairs.len() == 1 => {
+                let (tag, body) = &pairs[0];
+                match tag.as_str() {
+                    "Lazy" => Ok(UpdatePolicy::Lazy {
+                        delta: field(body, "delta")?,
+                    }),
+                    "LazyNnz" => Ok(UpdatePolicy::LazyNnz {
+                        threshold: field(body, "threshold")?,
+                    }),
+                    other => Err(JsonError(format!("unknown UpdatePolicy variant `{other}`"))),
+                }
+            }
+            _ => Err(JsonError(
+                "expected UpdatePolicy string or single-key object".into(),
+            )),
+        }
+    }
+}
+
 /// Full Tree-SVD parameterisation.
 ///
 /// The paper's defaults are `d = 128`, `b = 64`, `k = 8` (so `q = 3`
 /// levels) and `δ = 0.65`; scaled-down experiments in this repository use
 /// smaller `d`/`b` but the same shape.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TreeSvdConfig {
     /// Embedding dimension `d` (rank of every truncated SVD in the tree).
     pub dim: usize,
@@ -69,8 +122,20 @@ pub struct TreeSvdConfig {
     pub seed: u64,
 }
 
+tsvd_rt::impl_json_struct!(TreeSvdConfig {
+    dim,
+    branching,
+    num_blocks,
+    oversample,
+    power_iters,
+    level1,
+    policy,
+    partition,
+    seed
+});
+
 /// How the proximity matrix's columns are cut into first-level blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PartitionStrategy {
     /// `b` equal-width contiguous column ranges (the paper's layout).
     EqualWidth,
@@ -82,6 +147,11 @@ pub enum PartitionStrategy {
     /// for lazy updates; this is the corresponding layout ablation.)
     EqualMass,
 }
+
+tsvd_rt::impl_json_enum!(PartitionStrategy {
+    EqualWidth,
+    EqualMass
+});
 
 impl Default for TreeSvdConfig {
     fn default() -> Self {
@@ -102,7 +172,10 @@ impl Default for TreeSvdConfig {
 impl TreeSvdConfig {
     /// Config with the given dimension, keeping other defaults.
     pub fn with_dim(dim: usize) -> Self {
-        TreeSvdConfig { dim, ..Default::default() }
+        TreeSvdConfig {
+            dim,
+            ..Default::default()
+        }
     }
 
     /// Number of tree levels `q` (SVD rounds from leaves to root):
@@ -142,16 +215,28 @@ mod tests {
     #[test]
     fn levels_match_paper_example() {
         // b = 64, k = 8 ⇒ q = 3 (the paper's Figure 1 configuration).
-        let cfg = TreeSvdConfig { num_blocks: 64, branching: 8, ..Default::default() };
+        let cfg = TreeSvdConfig {
+            num_blocks: 64,
+            branching: 8,
+            ..Default::default()
+        };
         assert_eq!(cfg.levels(), 3);
     }
 
     #[test]
     fn levels_handle_non_powers() {
-        let cfg = TreeSvdConfig { num_blocks: 10, branching: 4, ..Default::default() };
+        let cfg = TreeSvdConfig {
+            num_blocks: 10,
+            branching: 4,
+            ..Default::default()
+        };
         // 10 → 3 → 1: q = 3.
         assert_eq!(cfg.levels(), 3);
-        let one = TreeSvdConfig { num_blocks: 1, branching: 4, ..Default::default() };
+        let one = TreeSvdConfig {
+            num_blocks: 1,
+            branching: 4,
+            ..Default::default()
+        };
         assert_eq!(one.levels(), 1);
     }
 
@@ -163,6 +248,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "branching")]
     fn rejects_degenerate_branching() {
-        TreeSvdConfig { branching: 1, ..Default::default() }.validate();
+        TreeSvdConfig {
+            branching: 1,
+            ..Default::default()
+        }
+        .validate();
     }
 }

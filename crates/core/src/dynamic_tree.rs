@@ -19,13 +19,12 @@ use crate::blocked::{sparse_row_dist_sq, BlockedProximityMatrix};
 use crate::config::{TreeSvdConfig, UpdatePolicy};
 use crate::embedding::Embedding;
 use crate::static_tree::{level1_factor, merge_group};
-use serde::{Deserialize, Serialize};
 use tsvd_graph::par::par_map;
 use tsvd_linalg::DenseMatrix;
 
 /// Work accounting for one dynamic update (drives the paper's update-time
 /// plots and the lazy-vs-eager ablations).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct UpdateStats {
     /// Total first-level blocks.
     pub blocks_total: usize,
@@ -39,8 +38,16 @@ pub struct UpdateStats {
     pub cells_rediffed: usize,
 }
 
+tsvd_rt::impl_json_struct!(UpdateStats {
+    blocks_total,
+    blocks_changed,
+    blocks_recomputed,
+    merges_recomputed,
+    cells_rediffed
+});
+
 /// Per-block dynamic cache.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct BlockCache {
     /// Block contents at the last factorisation, one sparse row per source.
     rows: Vec<Vec<(u32, f64)>>,
@@ -55,8 +62,16 @@ struct BlockCache {
     residsq: f64,
 }
 
+tsvd_rt::impl_json_struct!(BlockCache {
+    rows,
+    seen,
+    row_diffsq,
+    diffsq,
+    residsq
+});
+
 /// Dynamic Tree-SVD (Algorithm 4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DynamicTreeSvd {
     cfg: TreeSvdConfig,
     caches: Vec<BlockCache>,
@@ -66,11 +81,23 @@ pub struct DynamicTreeSvd {
     root: Option<Embedding>,
 }
 
+tsvd_rt::impl_json_struct!(DynamicTreeSvd {
+    cfg,
+    caches,
+    levels,
+    root
+});
+
 impl DynamicTreeSvd {
     /// Fresh dynamic state; call [`DynamicTreeSvd::build`] before `update`.
     pub fn new(cfg: TreeSvdConfig) -> Self {
         cfg.validate();
-        DynamicTreeSvd { cfg, caches: Vec::new(), levels: Vec::new(), root: None }
+        DynamicTreeSvd {
+            cfg,
+            caches: Vec::new(),
+            levels: Vec::new(),
+            root: None,
+        }
     }
 
     /// The configuration.
@@ -119,7 +146,10 @@ impl DynamicTreeSvd {
         assert_eq!(m.num_blocks(), self.cfg.num_blocks, "block count mismatch");
         let cfg = self.cfg;
         let b = m.num_blocks();
-        let mut stats = UpdateStats { blocks_total: b, ..Default::default() };
+        let mut stats = UpdateStats {
+            blocks_total: b,
+            ..Default::default()
+        };
 
         // Phase 1: refresh ‖D_j‖² from cells whose version moved.
         for j in 0..b {
@@ -202,8 +232,7 @@ impl DynamicTreeSvd {
         // Phase 4: bubble the changes up — re-merge only affected parents.
         let mut affected: Vec<usize> = z;
         for lvl in 1..self.levels.len() {
-            let mut parents: Vec<usize> =
-                affected.iter().map(|&j| j / cfg.branching).collect();
+            let mut parents: Vec<usize> = affected.iter().map(|&j| j / cfg.branching).collect();
             parents.sort_unstable();
             parents.dedup();
             let children = &self.levels[lvl - 1];
@@ -247,8 +276,8 @@ mod tests {
     use super::*;
     use crate::config::Level1Method;
     use crate::static_tree::TreeSvd;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tsvd_rt::rng::StdRng;
+    use tsvd_rt::rng::{Rng, SeedableRng};
 
     fn cfg(policy: UpdatePolicy) -> TreeSvdConfig {
         TreeSvdConfig {
@@ -264,7 +293,12 @@ mod tests {
         }
     }
 
-    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize, blocks: usize) -> BlockedProximityMatrix {
+    fn random_matrix(
+        rng: &mut StdRng,
+        rows: usize,
+        cols: usize,
+        blocks: usize,
+    ) -> BlockedProximityMatrix {
         let mut m = BlockedProximityMatrix::new(rows, cols, blocks);
         for i in 0..rows {
             let mut entries: Vec<(u32, f64)> = Vec::new();
@@ -349,7 +383,11 @@ mod tests {
         let mut full: Vec<(u32, f64)> = Vec::new();
         for j in 0..m.num_blocks() {
             let (start, _) = m.block_range(j);
-            let cell = if j == 0 { row.clone() } else { m.cell(0, j).to_vec() };
+            let cell = if j == 0 {
+                row.clone()
+            } else {
+                m.cell(0, j).to_vec()
+            };
             for (c, v) in cell {
                 full.push((start + c, v));
             }
@@ -459,7 +497,10 @@ mod tests {
                 }
             }
             let got = dt.caches[j].diffsq;
-            assert!((got - want).abs() < 1e-9 * (1.0 + want), "block {j}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-9 * (1.0 + want),
+                "block {j}: {got} vs {want}"
+            );
         }
     }
 

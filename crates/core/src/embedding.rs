@@ -1,6 +1,5 @@
 //! The subset embedding produced at the tree root.
 
-use serde::{Deserialize, Serialize};
 use tsvd_linalg::{CsrMatrix, DenseMatrix, Svd};
 
 /// The output of (static or dynamic) Tree-SVD: the root truncated SVD and
@@ -11,7 +10,7 @@ use tsvd_linalg::{CsrMatrix, DenseMatrix, Svd};
 /// right factor over the original `n` columns is *restored* as in
 /// Theorem 3.2: `Ṽ = Σ⁻¹·Uᵀ·M_S`, giving the right embedding
 /// `Y = Ṽᵀ·√Σ = M_Sᵀ·U·Σ^{-1/2}` used by link prediction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Embedding {
     /// Left singular vectors at the root, `|S| × r` with `r ≤ d`.
     pub u: DenseMatrix,
@@ -21,11 +20,17 @@ pub struct Embedding {
     pub dim: usize,
 }
 
+tsvd_rt::impl_json_struct!(Embedding { u, sigma, dim });
+
 impl Embedding {
     /// Build from a root SVD, remembering the requested dimension.
     pub fn from_root_svd(svd: &Svd, dim: usize) -> Self {
         let t = svd.truncate(dim);
-        Embedding { u: t.u, sigma: t.s, dim }
+        Embedding {
+            u: t.u,
+            sigma: t.s,
+            dim,
+        }
     }
 
     /// Number of embedded nodes `|S|`.
@@ -60,7 +65,13 @@ impl Embedding {
         let inv_sqrt: Vec<f64> = self
             .sigma
             .iter()
-            .map(|&s| if s > 1e-12 * smax && s > 0.0 { 1.0 / s.sqrt() } else { 0.0 })
+            .map(|&s| {
+                if s > 1e-12 * smax && s > 0.0 {
+                    1.0 / s.sqrt()
+                } else {
+                    0.0
+                }
+            })
             .collect();
         y.scale_cols(&inv_sqrt);
         // Pad to dim columns.

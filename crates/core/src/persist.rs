@@ -10,8 +10,8 @@
 //! incremental updates from where it stopped.
 
 use crate::pipeline::TreeSvdPipeline;
-use std::io::{BufReader, BufWriter};
 use std::path::Path;
+use tsvd_rt::json::{FromJson, Json, JsonError, ToJson};
 
 /// Persistence failures.
 #[derive(Debug)]
@@ -19,7 +19,7 @@ pub enum PersistError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// Serialisation/deserialisation failure (corrupt or mismatched file).
-    Codec(serde_json::Error),
+    Codec(JsonError),
 }
 
 impl std::fmt::Display for PersistError {
@@ -39,8 +39,8 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-impl From<serde_json::Error> for PersistError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for PersistError {
+    fn from(e: JsonError) -> Self {
         PersistError::Codec(e)
     }
 }
@@ -48,15 +48,14 @@ impl From<serde_json::Error> for PersistError {
 impl TreeSvdPipeline {
     /// Serialise the full pipeline state to `path` (JSON).
     pub fn save(&self, path: &Path) -> Result<(), PersistError> {
-        let file = std::fs::File::create(path)?;
-        serde_json::to_writer(BufWriter::new(file), self)?;
+        std::fs::write(path, self.to_json().to_string())?;
         Ok(())
     }
 
     /// Restore a pipeline previously written with [`TreeSvdPipeline::save`].
     pub fn load(path: &Path) -> Result<TreeSvdPipeline, PersistError> {
-        let file = std::fs::File::open(path)?;
-        Ok(serde_json::from_reader(BufReader::new(file))?)
+        let text = std::fs::read_to_string(path)?;
+        Ok(TreeSvdPipeline::from_json(&Json::parse(&text)?)?)
     }
 }
 
@@ -64,10 +63,10 @@ impl TreeSvdPipeline {
 mod tests {
     use super::*;
     use crate::config::TreeSvdConfig;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use tsvd_graph::{DynGraph, EdgeEvent};
     use tsvd_ppr::PprConfig;
+    use tsvd_rt::rng::StdRng;
+    use tsvd_rt::rng::{Rng, SeedableRng};
 
     fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
         let mut g = DynGraph::with_nodes(n);
@@ -86,10 +85,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut g = random_graph(&mut rng, 120, 500);
         let sources: Vec<u32> = (0..10).collect();
-        let cfg = TreeSvdConfig { dim: 8, branching: 2, num_blocks: 4, ..Default::default() };
+        let cfg = TreeSvdConfig {
+            dim: 8,
+            branching: 2,
+            num_blocks: 4,
+            ..Default::default()
+        };
         let mut pipe = TreeSvdPipeline::new(&g, &sources, PprConfig::default(), cfg);
         // Mutate once so the caches are non-trivial.
-        pipe.update(&mut g, &[EdgeEvent::insert(0, 119), EdgeEvent::insert(1, 118)]);
+        pipe.update(
+            &mut g,
+            &[EdgeEvent::insert(0, 119), EdgeEvent::insert(1, 118)],
+        );
 
         let dir = std::env::temp_dir().join(format!("tsvd_persist_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -99,17 +106,26 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
 
         // Identical embedding after reload.
-        let diff = pipe.embedding().left().sub(&restored.embedding().left()).max_abs();
+        let diff = pipe
+            .embedding()
+            .left()
+            .sub(&restored.embedding().left())
+            .max_abs();
         assert_eq!(diff, 0.0, "reload must be lossless");
 
         // Both continue identically through the same future events.
         let mut g2 = g.clone();
-        let events: Vec<EdgeEvent> =
-            (0..15).map(|i| EdgeEvent::insert(i as u32, (i + 60) as u32)).collect();
+        let events: Vec<EdgeEvent> = (0..15)
+            .map(|i| EdgeEvent::insert(i as u32, (i + 60) as u32))
+            .collect();
         let s1 = pipe.update(&mut g, &events);
         let s2 = restored.update(&mut g2, &events);
         assert_eq!(s1, s2, "update stats diverged after reload");
-        let diff = pipe.embedding().left().sub(&restored.embedding().left()).max_abs();
+        let diff = pipe
+            .embedding()
+            .left()
+            .sub(&restored.embedding().left())
+            .max_abs();
         assert_eq!(diff, 0.0, "post-update embeddings diverged");
     }
 

@@ -5,14 +5,13 @@ use crate::blocked::BlockedProximityMatrix;
 use crate::config::{PartitionStrategy, TreeSvdConfig};
 use crate::dynamic_tree::{DynamicTreeSvd, UpdateStats};
 use crate::embedding::Embedding;
-use serde::{Deserialize, Serialize};
 use tsvd_graph::{DynGraph, EdgeEvent};
 use tsvd_linalg::CsrMatrix;
 use tsvd_ppr::{PprConfig, SubsetPpr};
 
 /// Cumulative wall-clock accounting of the pipeline's update phases —
 /// where a deployment's maintenance budget actually goes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PipelineTimings {
     /// Seconds in Dynamic Forward-Push (Algorithm 2) across all updates.
     pub ppr_secs: f64,
@@ -23,6 +22,13 @@ pub struct PipelineTimings {
     /// Number of update calls accounted.
     pub updates: usize,
 }
+
+tsvd_rt::impl_json_struct!(PipelineTimings {
+    ppr_secs,
+    rows_secs,
+    svd_secs,
+    updates
+});
 
 impl PipelineTimings {
     /// Total accounted seconds.
@@ -58,24 +64,47 @@ impl PipelineTimings {
 /// let stats = pipe.update(&mut g, &[EdgeEvent::insert(19, 0)]);
 /// assert!(stats.blocks_recomputed <= stats.blocks_total);
 /// ```
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreeSvdPipeline {
     ppr: SubsetPpr,
     matrix: BlockedProximityMatrix,
     tree: DynamicTreeSvd,
     embedding: Embedding,
-    #[serde(default)]
     timings: PipelineTimings,
+}
+
+// `timings` was added after the first on-disk snapshots were written, so the
+// decoder tolerates its absence (the moral equivalent of serde's
+// `#[serde(default)]`) via [`tsvd_rt::json::field_or_default`].
+impl tsvd_rt::json::ToJson for TreeSvdPipeline {
+    fn to_json(&self) -> tsvd_rt::json::Json {
+        use tsvd_rt::json::Json;
+        Json::object([
+            ("ppr", self.ppr.to_json()),
+            ("matrix", self.matrix.to_json()),
+            ("tree", self.tree.to_json()),
+            ("embedding", self.embedding.to_json()),
+            ("timings", self.timings.to_json()),
+        ])
+    }
+}
+
+impl tsvd_rt::json::FromJson for TreeSvdPipeline {
+    fn from_json(j: &tsvd_rt::json::Json) -> Result<Self, tsvd_rt::json::JsonError> {
+        use tsvd_rt::json::{field, field_or_default};
+        Ok(TreeSvdPipeline {
+            ppr: field(j, "ppr")?,
+            matrix: field(j, "matrix")?,
+            tree: field(j, "tree")?,
+            embedding: field(j, "embedding")?,
+            timings: field_or_default(j, "timings")?,
+        })
+    }
 }
 
 impl TreeSvdPipeline {
     /// Build the pipeline on graph `g` for subset `sources`.
-    pub fn new(
-        g: &DynGraph,
-        sources: &[u32],
-        ppr_cfg: PprConfig,
-        tree_cfg: TreeSvdConfig,
-    ) -> Self {
+    pub fn new(g: &DynGraph, sources: &[u32], ppr_cfg: PprConfig, tree_cfg: TreeSvdConfig) -> Self {
         tree_cfg.validate();
         assert!(!sources.is_empty(), "subset must be non-empty");
         assert!(
@@ -103,7 +132,13 @@ impl TreeSvdPipeline {
         ppr.take_dirty_rows(); // initial build handled all rows
         let mut tree = DynamicTreeSvd::new(tree_cfg);
         let embedding = tree.build(&matrix);
-        TreeSvdPipeline { ppr, matrix, tree, embedding, timings: PipelineTimings::default() }
+        TreeSvdPipeline {
+            ppr,
+            matrix,
+            tree,
+            embedding,
+            timings: PipelineTimings::default(),
+        }
     }
 
     /// Apply an event batch (mutating the shared graph `g`) and refresh the
@@ -187,8 +222,8 @@ impl TreeSvdPipeline {
 mod tests {
     use super::*;
     use crate::config::{Level1Method, UpdatePolicy};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tsvd_rt::rng::StdRng;
+    use tsvd_rt::rng::{Rng, SeedableRng};
 
     fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
         let mut g = DynGraph::with_nodes(n);
@@ -224,7 +259,10 @@ mod tests {
         let p = TreeSvdPipeline::new(
             &g,
             &sources,
-            PprConfig { alpha: 0.2, r_max: 1e-4 },
+            PprConfig {
+                alpha: 0.2,
+                r_max: 1e-4,
+            },
             tree_cfg(),
         );
         let x = p.embedding().left();
@@ -239,7 +277,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut g = random_graph(&mut rng, 80, 240);
         let sources: Vec<u32> = (0..8).collect();
-        let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-5 };
+        let ppr_cfg = PprConfig {
+            alpha: 0.2,
+            r_max: 1e-5,
+        };
         let mut cfg = tree_cfg();
         cfg.policy = UpdatePolicy::ChangedOnly; // exact tracking mode
         let mut pipe = TreeSvdPipeline::new(&g, &sources, ppr_cfg, cfg);
@@ -276,8 +317,15 @@ mod tests {
         let sources: Vec<u32> = (0..12).collect();
         let mut cfg = tree_cfg();
         cfg.policy = UpdatePolicy::Lazy { delta: 0.65 };
-        let mut pipe =
-            TreeSvdPipeline::new(&g, &sources, PprConfig { alpha: 0.2, r_max: 1e-4 }, cfg);
+        let mut pipe = TreeSvdPipeline::new(
+            &g,
+            &sources,
+            PprConfig {
+                alpha: 0.2,
+                r_max: 1e-4,
+            },
+            cfg,
+        );
         // One tiny event far from most sources: most blocks should be quiet.
         let stats = pipe.update(&mut g, &[EdgeEvent::insert(100, 119)]);
         assert!(stats.blocks_recomputed <= stats.blocks_changed);
@@ -312,8 +360,9 @@ mod tests {
         let mut cfg = tree_cfg();
         cfg.policy = UpdatePolicy::LazyNnz { threshold: 0.25 };
         let mut pipe = TreeSvdPipeline::new(&g, &sources, PprConfig::default(), cfg);
-        let events: Vec<EdgeEvent> =
-            (0..20).map(|i| EdgeEvent::insert(i as u32, (i + 31) as u32)).collect();
+        let events: Vec<EdgeEvent> = (0..20)
+            .map(|i| EdgeEvent::insert(i as u32, (i + 31) as u32))
+            .collect();
         let stats = pipe.update(&mut g, &events);
         assert!(stats.blocks_recomputed <= stats.blocks_changed);
         assert!(pipe.embedding().left().is_finite());
@@ -341,7 +390,10 @@ mod tests {
         let sources: Vec<u32> = (0..6).collect();
         let mut pipe = TreeSvdPipeline::new(&g, &sources, PprConfig::default(), tree_cfg());
         assert_eq!(pipe.timings(), super::PipelineTimings::default());
-        pipe.update(&mut g, &[EdgeEvent::insert(0, 79), EdgeEvent::insert(1, 78)]);
+        pipe.update(
+            &mut g,
+            &[EdgeEvent::insert(0, 79), EdgeEvent::insert(1, 78)],
+        );
         let t = pipe.timings();
         assert_eq!(t.updates, 1);
         assert!(t.ppr_secs > 0.0);
@@ -358,8 +410,15 @@ mod tests {
         let sources: Vec<u32> = (0..6).collect();
         let mut cfg = tree_cfg();
         cfg.policy = UpdatePolicy::All;
-        let mut pipe =
-            TreeSvdPipeline::new(&g, &sources, PprConfig { alpha: 0.2, r_max: 1e-4 }, cfg);
+        let mut pipe = TreeSvdPipeline::new(
+            &g,
+            &sources,
+            PprConfig {
+                alpha: 0.2,
+                r_max: 1e-4,
+            },
+            cfg,
+        );
         let events = vec![EdgeEvent::insert(0, 59), EdgeEvent::insert(1, 58)];
         pipe.update(&mut g, &events);
         let after_update = pipe.embedding().left();

@@ -8,12 +8,12 @@
 use crate::blocked::BlockedProximityMatrix;
 use crate::config::{Level1Method, TreeSvdConfig};
 use crate::embedding::Embedding;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tsvd_graph::par::par_map;
 use tsvd_linalg::randomized::randomized_svd;
 use tsvd_linalg::svd::{exact_truncated_svd, Svd};
 use tsvd_linalg::{CsrMatrix, DenseMatrix, RandomizedSvdConfig};
+use tsvd_rt::rng::SeedableRng;
+use tsvd_rt::rng::StdRng;
 
 /// Static Tree-SVD runner (Algorithm 3).
 #[derive(Debug, Clone)]
@@ -42,8 +42,9 @@ impl TreeSvd {
             "matrix blocked differently than the config"
         );
         let cfg = &self.cfg;
-        let usigmas: Vec<DenseMatrix> =
-            par_map(m.num_blocks(), |j| level1_factor(&m.block_csr(j), cfg, j as u64).u_sigma());
+        let usigmas: Vec<DenseMatrix> = par_map(m.num_blocks(), |j| {
+            level1_factor(&m.block_csr(j), cfg, j as u64).u_sigma()
+        });
         let root = merge_to_root(usigmas, cfg);
         Embedding::from_usigma(&root, cfg.dim)
     }
@@ -60,9 +61,8 @@ pub(crate) fn level1_factor(block: &CsrMatrix, cfg: &TreeSvdConfig, salt: u64) -
                 oversample: cfg.oversample,
                 power_iters: cfg.power_iters,
             };
-            let mut rng = StdRng::seed_from_u64(
-                cfg.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             randomized_svd(block, &rcfg, &mut rng)
         }
         Level1Method::Exact => exact_truncated_svd(&block.to_dense(), cfg.dim),
@@ -122,7 +122,11 @@ impl Embedding {
         order.sort_by(|&a, &b| sigma[b].partial_cmp(&sigma[a]).unwrap());
         let sorted_u = DenseMatrix::from_fn(u.rows(), r, |i, j| u.get(i, order[j]));
         let sorted_s: Vec<f64> = order.iter().map(|&j| sigma[j]).collect();
-        let emb = Embedding { u: sorted_u, sigma: sorted_s, dim };
+        let emb = Embedding {
+            u: sorted_u,
+            sigma: sorted_s,
+            dim,
+        };
         // Truncate to dim.
         if r > dim {
             Embedding {
@@ -140,8 +144,8 @@ impl Embedding {
 mod tests {
     use super::*;
     use crate::config::UpdatePolicy;
-    use rand::Rng;
     use tsvd_linalg::svd::exact_svd;
+    use tsvd_rt::rng::Rng;
 
     /// A random sparse blocked matrix for testing.
     fn random_blocked(
@@ -243,7 +247,10 @@ mod tests {
         let csr = m.to_csr();
         let r_rand = rand_emb.projection_residual(&csr);
         let r_lan = lan_emb.projection_residual(&csr);
-        assert!(r_lan <= 1.1 * r_rand + 1e-9, "lanczos {r_lan} vs randomized {r_rand}");
+        assert!(
+            r_lan <= 1.1 * r_rand + 1e-9,
+            "lanczos {r_lan} vs randomized {r_rand}"
+        );
         // Deterministic: two runs agree bit-for-bit.
         let again = TreeSvd::new(lcfg).embed(&m);
         assert!(lan_emb.left().sub(&again.left()).max_abs() == 0.0);

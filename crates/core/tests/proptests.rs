@@ -2,30 +2,35 @@
 //! empirical Theorem 3.2 bound, and dynamic-vs-static equivalence under the
 //! eager policy, on arbitrary matrices and update sequences.
 
-use proptest::prelude::*;
 use tsvd_core::{
     BlockedProximityMatrix, DynamicTreeSvd, Level1Method, TreeSvd, TreeSvdConfig, UpdatePolicy,
 };
 use tsvd_linalg::svd::exact_svd;
+use tsvd_rt::check::{Checker, Gen};
+use tsvd_rt::{ensure, ensure_eq};
 
-/// Strategy: a row's sparse entries over `cols` columns (sorted, distinct).
-fn sparse_row(cols: usize) -> impl Strategy<Value = Vec<(u32, f64)>> {
-    proptest::collection::btree_map(0..cols as u32, 0.1..5.0f64, 0..cols.min(10))
-        .prop_map(|m| m.into_iter().collect())
+fn checker() -> Checker {
+    Checker::new(48).with_regressions("tests/proptests.proptest-regressions")
 }
 
 type SparseRows = Vec<Vec<(u32, f64)>>;
 type RowRewrites = Vec<(usize, Vec<(u32, f64)>)>;
 
-/// Strategy: a blocked matrix plus a sequence of row rewrites.
-fn matrix_and_updates(
-) -> impl Strategy<Value = (usize, usize, usize, SparseRows, RowRewrites)> {
-    (2usize..8, 8usize..40, 1usize..6).prop_flat_map(|(rows, cols, blocks)| {
-        let blocks = blocks.min(cols);
-        let initial = proptest::collection::vec(sparse_row(cols), rows);
-        let updates = proptest::collection::vec((0..rows, sparse_row(cols)), 0..8);
-        (Just(rows), Just(cols), Just(blocks), initial, updates)
-    })
+/// A blocked matrix plus a sequence of row rewrites.
+fn matrix_and_updates(g: &mut Gen) -> (usize, usize, usize, SparseRows, RowRewrites) {
+    let rows = g.usize_in(2..8);
+    let cols = g.usize_in(8..40);
+    let blocks = g.usize_in(1..6).min(cols);
+    let initial: SparseRows = (0..rows)
+        .map(|_| g.sparse_row(cols as u32, cols.min(10), 0.1..5.0))
+        .collect();
+    let updates: RowRewrites = g.vec(0..8, |g| {
+        (
+            g.usize_in(0..rows),
+            g.sparse_row(cols as u32, cols.min(10), 0.1..5.0),
+        )
+    });
+    (rows, cols, blocks, initial, updates)
 }
 
 fn cfg(blocks: usize, dim: usize) -> TreeSvdConfig {
@@ -42,13 +47,10 @@ fn cfg(blocks: usize, dim: usize) -> TreeSvdConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn norm_bookkeeping_is_exact(
-        (rows, cols, blocks, initial, updates) in matrix_and_updates()
-    ) {
+#[test]
+fn norm_bookkeeping_is_exact() {
+    checker().run("norm_bookkeeping_is_exact", |g| {
+        let (rows, cols, blocks, initial, updates) = matrix_and_updates(g);
         let mut m = BlockedProximityMatrix::new(rows, cols, blocks);
         for (i, row) in initial.iter().enumerate() {
             m.set_row(i, row);
@@ -58,18 +60,20 @@ proptest! {
         }
         // Per-block and total Frobenius norms match a from-scratch CSR.
         let csr = m.to_csr();
-        prop_assert!((m.frobenius_norm_sq() - csr.frobenius_norm_sq()).abs() < 1e-9);
+        ensure!((m.frobenius_norm_sq() - csr.frobenius_norm_sq()).abs() < 1e-9);
         for j in 0..blocks {
             let want = m.block_csr(j).frobenius_norm_sq();
-            prop_assert!((m.block_norm_sq(j) - want).abs() < 1e-9, "block {j}");
+            ensure!((m.block_norm_sq(j) - want).abs() < 1e-9, "block {j}");
         }
-        prop_assert_eq!(csr.nnz(), m.nnz());
-    }
+        ensure_eq!(csr.nnz(), m.nnz());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn theorem_3_2_bound_holds(
-        (rows, cols, blocks, initial, _) in matrix_and_updates()
-    ) {
+#[test]
+fn theorem_3_2_bound_holds() {
+    checker().run("theorem_3_2_bound_holds", |g| {
+        let (rows, cols, blocks, initial, _) = matrix_and_updates(g);
         let mut m = BlockedProximityMatrix::new(rows, cols, blocks);
         for (i, row) in initial.iter().enumerate() {
             m.set_row(i, row);
@@ -88,16 +92,18 @@ proptest! {
         // The absolute floor covers rank ≤ d inputs, where opt == 0 but the
         // randomized level-1 factorisation leaves rounding-level residue.
         let floor = 1e-6 * (1.0 + csr.frobenius_norm());
-        prop_assert!(
+        ensure!(
             resid <= bound + floor,
             "residual {resid} exceeds Thm 3.2 bound {bound} (opt {opt}, q {q})"
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn eager_dynamic_equals_fresh_static(
-        (rows, cols, blocks, initial, updates) in matrix_and_updates()
-    ) {
+#[test]
+fn eager_dynamic_equals_fresh_static() {
+    checker().run("eager_dynamic_equals_fresh_static", |g| {
+        let (rows, cols, blocks, initial, updates) = matrix_and_updates(g);
         let mut m = BlockedProximityMatrix::new(rows, cols, blocks);
         for (i, row) in initial.iter().enumerate() {
             m.set_row(i, row);
@@ -111,17 +117,19 @@ proptest! {
         }
         let (emb, stats) = dt.update(&m);
         let fresh = TreeSvd::new(c).embed(&m);
-        prop_assert!(
+        ensure!(
             emb.left().sub(&fresh.left()).max_abs() < 1e-10,
             "eager dynamic != fresh static ({} blocks redone)",
             stats.blocks_recomputed
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lazy_never_recomputes_more_than_eager(
-        (rows, cols, blocks, initial, updates) in matrix_and_updates()
-    ) {
+#[test]
+fn lazy_never_recomputes_more_than_eager() {
+    checker().run("lazy_never_recomputes_more_than_eager", |g| {
+        let (rows, cols, blocks, initial, updates) = matrix_and_updates(g);
         let mut m1 = BlockedProximityMatrix::new(rows, cols, blocks);
         for (i, row) in initial.iter().enumerate() {
             m1.set_row(i, row);
@@ -141,14 +149,16 @@ proptest! {
         }
         let (_, ls) = lazy.update(&m1);
         let (_, es) = eager.update(&m2);
-        prop_assert!(ls.blocks_recomputed <= es.blocks_recomputed);
-        prop_assert_eq!(ls.blocks_changed, es.blocks_changed);
-    }
+        ensure!(ls.blocks_recomputed <= es.blocks_recomputed);
+        ensure_eq!(ls.blocks_changed, es.blocks_changed);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn update_stats_are_consistent(
-        (rows, cols, blocks, initial, updates) in matrix_and_updates()
-    ) {
+#[test]
+fn update_stats_are_consistent() {
+    checker().run("update_stats_are_consistent", |g| {
+        let (rows, cols, blocks, initial, updates) = matrix_and_updates(g);
         let mut m = BlockedProximityMatrix::new(rows, cols, blocks);
         for (i, row) in initial.iter().enumerate() {
             m.set_row(i, row);
@@ -160,11 +170,12 @@ proptest! {
             m.set_row(*i, row);
         }
         let (_, stats) = dt.update(&m);
-        prop_assert_eq!(stats.blocks_total, blocks);
-        prop_assert!(stats.blocks_recomputed <= stats.blocks_changed);
-        prop_assert!(stats.blocks_changed <= blocks);
+        ensure_eq!(stats.blocks_total, blocks);
+        ensure!(stats.blocks_recomputed <= stats.blocks_changed);
+        ensure!(stats.blocks_changed <= blocks);
         if stats.blocks_recomputed == 0 {
-            prop_assert_eq!(stats.merges_recomputed, 0);
+            ensure_eq!(stats.merges_recomputed, 0);
         }
-    }
+        Ok(())
+    });
 }

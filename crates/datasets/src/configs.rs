@@ -5,10 +5,8 @@
 //! roughly 500–1000×; snapshot counts `τ` are kept in the paper's range
 //! but capped so the full per-snapshot experiment suite stays fast.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of one synthetic dynamic-graph dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetConfig {
     /// Human-readable name (e.g. `"patent"`).
     pub name: String,
@@ -34,6 +32,18 @@ pub struct DatasetConfig {
     /// Generator seed.
     pub seed: u64,
 }
+
+tsvd_rt::impl_json_struct!(DatasetConfig {
+    name,
+    num_nodes,
+    num_edges,
+    num_classes,
+    tau,
+    p_intra,
+    delete_frac,
+    label_noise,
+    seed
+});
 
 impl DatasetConfig {
     fn new(
@@ -93,12 +103,20 @@ impl DatasetConfig {
 
 /// The three labelled datasets used for node classification (Exp. 1, 3).
 pub fn all_nc_datasets() -> Vec<DatasetConfig> {
-    vec![DatasetConfig::patent(), DatasetConfig::mag_authors(), DatasetConfig::wikipedia()]
+    vec![
+        DatasetConfig::patent(),
+        DatasetConfig::mag_authors(),
+        DatasetConfig::wikipedia(),
+    ]
 }
 
 /// The three datasets used for link prediction (Exp. 1, 3).
 pub fn all_lp_datasets() -> Vec<DatasetConfig> {
-    vec![DatasetConfig::youtube(), DatasetConfig::flickr(), DatasetConfig::mag_authors()]
+    vec![
+        DatasetConfig::youtube(),
+        DatasetConfig::flickr(),
+        DatasetConfig::mag_authors(),
+    ]
 }
 
 #[cfg(test)]

@@ -1,9 +1,9 @@
 //! The dynamic-graph generator.
 
 use crate::configs::DatasetConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tsvd_graph::{EdgeEvent, SnapshotStream, TimedEvent};
+use tsvd_rt::rng::StdRng;
+use tsvd_rt::rng::{Rng, SeedableRng};
 
 /// A generated dynamic graph with node labels.
 #[derive(Debug, Clone)]
@@ -27,7 +27,10 @@ impl SyntheticDataset {
     /// of additional events delete a random earlier surviving edge.
     pub fn generate(cfg: &DatasetConfig) -> SyntheticDataset {
         assert!(cfg.num_nodes >= cfg.num_classes.max(4));
-        assert!(cfg.num_edges >= cfg.num_nodes, "need ≥ 1 edge per node on average");
+        assert!(
+            cfg.num_edges >= cfg.num_nodes,
+            "need ≥ 1 edge per node on average"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let n = cfg.num_nodes;
         let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..cfg.num_classes)).collect();
@@ -50,19 +53,22 @@ impl SyntheticDataset {
         }
 
         let emit_insert = |u: u32,
-                               v: u32,
-                               time: &mut u64,
-                               log: &mut Vec<TimedEvent>,
-                               alive: &mut Vec<(u32, u32)>,
-                               present: &mut std::collections::HashSet<(u32, u32)>,
-                               global_pool: &mut Vec<u32>,
-                               comm_pool: &mut Vec<Vec<u32>>| {
+                           v: u32,
+                           time: &mut u64,
+                           log: &mut Vec<TimedEvent>,
+                           alive: &mut Vec<(u32, u32)>,
+                           present: &mut std::collections::HashSet<(u32, u32)>,
+                           global_pool: &mut Vec<u32>,
+                           comm_pool: &mut Vec<Vec<u32>>| {
             if u == v || present.contains(&(u, v)) {
                 return false;
             }
             present.insert((u, v));
             alive.push((u, v));
-            log.push(TimedEvent { time: *time, event: EdgeEvent::insert(u, v) });
+            log.push(TimedEvent {
+                time: *time,
+                event: EdgeEvent::insert(u, v),
+            });
             *time += 1;
             global_pool.push(u);
             global_pool.push(v);
@@ -73,8 +79,8 @@ impl SyntheticDataset {
 
         for u in 1..n as u32 {
             // Fractional edges-per-node accumulate across nodes.
-            let quota = ((u as f64 + 1.0) * edges_per_node) as usize
-                - (u as f64 * edges_per_node) as usize;
+            let quota =
+                ((u as f64 + 1.0) * edges_per_node) as usize - (u as f64 * edges_per_node) as usize;
             let quota = quota.max(1);
             let c = labels[u as usize];
             for _ in 0..quota {
@@ -89,17 +95,30 @@ impl SyntheticDataset {
                 if partner >= u {
                     continue; // only link to already-arrived nodes
                 }
-                let (a, b) = if rng.gen_bool(0.5) { (u, partner) } else { (partner, u) };
+                let (a, b) = if rng.gen_bool(0.5) {
+                    (u, partner)
+                } else {
+                    (partner, u)
+                };
                 emit_insert(
-                    a, b, &mut time, &mut log, &mut alive, &mut present,
-                    &mut global_pool, &mut comm_pool,
+                    a,
+                    b,
+                    &mut time,
+                    &mut log,
+                    &mut alive,
+                    &mut present,
+                    &mut global_pool,
+                    &mut comm_pool,
                 );
                 // Deletion churn.
                 if cfg.delete_frac > 0.0 && !alive.is_empty() && rng.gen_bool(cfg.delete_frac) {
                     let k = rng.gen_range(0..alive.len());
                     let (du, dv) = alive.swap_remove(k);
                     present.remove(&(du, dv));
-                    log.push(TimedEvent { time, event: EdgeEvent::delete(du, dv) });
+                    log.push(TimedEvent {
+                        time,
+                        event: EdgeEvent::delete(du, dv),
+                    });
                     time += 1;
                 }
             }
@@ -118,8 +137,14 @@ impl SyntheticDataset {
                 global_pool[rng.gen_range(0..global_pool.len())]
             };
             emit_insert(
-                u, v, &mut time, &mut log, &mut alive, &mut present,
-                &mut global_pool, &mut comm_pool,
+                u,
+                v,
+                &mut time,
+                &mut log,
+                &mut alive,
+                &mut present,
+                &mut global_pool,
+                &mut comm_pool,
             );
         }
 
@@ -135,7 +160,11 @@ impl SyntheticDataset {
                 }
             }
         }
-        SyntheticDataset { config: cfg.clone(), stream, labels }
+        SyntheticDataset {
+            config: cfg.clone(),
+            stream,
+            labels,
+        }
     }
 
     /// Sample `size` distinct subset nodes present (i.e. with at least one
@@ -147,7 +176,7 @@ impl SyntheticDataset {
             .filter(|&u| g1.out_degree(u) + g1.in_degree(u) > 0)
             .collect();
         let mut rng = StdRng::seed_from_u64(seed);
-        use rand::seq::SliceRandom;
+        use tsvd_rt::rng::SliceRandom;
         candidates.shuffle(&mut rng);
         candidates.truncate(size.min(candidates.len()));
         candidates.sort_unstable();
@@ -206,7 +235,9 @@ mod tests {
         // Preferential attachment ⇒ max degree far above the average.
         let ds = SyntheticDataset::generate(&small_cfg());
         let g = ds.stream.snapshot(5);
-        let degs: Vec<usize> = (0..500u32).map(|u| g.out_degree(u) + g.in_degree(u)).collect();
+        let degs: Vec<usize> = (0..500u32)
+            .map(|u| g.out_degree(u) + g.in_degree(u))
+            .collect();
         let avg = degs.iter().sum::<usize>() as f64 / 500.0;
         let max = *degs.iter().max().unwrap() as f64;
         assert!(max > 4.0 * avg, "max {max} vs avg {avg}");
@@ -248,7 +279,10 @@ mod tests {
         assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
         let g1 = ds.stream.snapshot(1);
         for &u in &s {
-            assert!(g1.out_degree(u) + g1.in_degree(u) > 0, "node {u} isolated at t=1");
+            assert!(
+                g1.out_degree(u) + g1.in_degree(u) > 0,
+                "node {u} isolated at t=1"
+            );
         }
         let labels = ds.subset_labels(&s);
         assert_eq!(labels.len(), 50);

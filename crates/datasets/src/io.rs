@@ -46,10 +46,7 @@ pub fn read_edge_list(path: &Path, tau: usize) -> Result<SnapshotStream, EdgeLis
 }
 
 /// Parse an edge list from any reader (see module docs for the format).
-pub fn parse_edge_list<R: BufRead>(
-    reader: R,
-    tau: usize,
-) -> Result<SnapshotStream, EdgeListError> {
+pub fn parse_edge_list<R: BufRead>(reader: R, tau: usize) -> Result<SnapshotStream, EdgeListError> {
     let mut log: Vec<TimedEvent> = Vec::new();
     let mut max_node = 0u32;
     for (lineno, line) in reader.lines().enumerate() {
@@ -59,7 +56,10 @@ pub fn parse_edge_list<R: BufRead>(
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let bad = || EdgeListError::Parse { line: lineno + 1, content: trimmed.to_string() };
+        let bad = || EdgeListError::Parse {
+            line: lineno + 1,
+            content: trimmed.to_string(),
+        };
         let u: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let v: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let t: u64 = match parts.next() {

@@ -1,41 +1,40 @@
 //! Property-based tests for the dataset generator and edge-list I/O.
 
-use proptest::prelude::*;
 use std::io::Cursor;
 use tsvd_datasets::io::{parse_edge_list, write_edge_list};
 use tsvd_datasets::{DatasetConfig, SyntheticDataset};
+use tsvd_rt::check::{Checker, Gen};
+use tsvd_rt::{ensure, ensure_eq};
 
-fn config_strategy() -> impl Strategy<Value = DatasetConfig> {
-    (50usize..300, 2usize..6, 1usize..5, 0u64..50, 0.3f64..0.9).prop_map(
-        |(n, classes, tau, seed, p_intra)| DatasetConfig {
-            name: "prop".into(),
-            num_nodes: n,
-            num_edges: n * 4,
-            num_classes: classes,
-            tau,
-            p_intra,
-            delete_frac: 0.02,
-            label_noise: 0.1,
-            seed,
-        },
-    )
+fn random_config(g: &mut Gen) -> DatasetConfig {
+    let n = g.usize_in(50..300);
+    DatasetConfig {
+        name: "prop".into(),
+        num_nodes: n,
+        num_edges: n * 4,
+        num_classes: g.usize_in(2..6),
+        tau: g.usize_in(1..5),
+        p_intra: g.f64_in(0.3..0.9),
+        delete_frac: 0.02,
+        label_noise: 0.1,
+        seed: g.u64_in(0..50),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generator_invariants(cfg in config_strategy()) {
+#[test]
+fn generator_invariants() {
+    Checker::new(24).run("generator_invariants", |gen| {
+        let cfg = random_config(gen);
         let ds = SyntheticDataset::generate(&cfg);
-        prop_assert_eq!(ds.labels.len(), cfg.num_nodes);
-        prop_assert!(ds.labels.iter().all(|&l| l < cfg.num_classes));
-        prop_assert_eq!(ds.stream.num_snapshots(), cfg.tau);
+        ensure_eq!(ds.labels.len(), cfg.num_nodes);
+        ensure!(ds.labels.iter().all(|&l| l < cfg.num_classes));
+        ensure_eq!(ds.stream.num_snapshots(), cfg.tau);
         // Every event references valid nodes; the final graph is consistent.
         let g = ds.stream.snapshot(cfg.tau);
-        prop_assert_eq!(g.num_nodes(), cfg.num_nodes);
-        prop_assert!(g.num_edges() > 0);
+        ensure_eq!(g.num_nodes(), cfg.num_nodes);
+        ensure!(g.num_edges() > 0);
         let out_sum: usize = (0..g.num_nodes() as u32).map(|u| g.out_degree(u)).sum();
-        prop_assert_eq!(out_sum, g.num_edges());
+        ensure_eq!(out_sum, g.num_edges());
         // No duplicate live edges (DynGraph would have rejected them, but
         // the generator promises not to emit duplicate inserts at all).
         let mut seen = std::collections::HashSet::new();
@@ -43,39 +42,49 @@ proptest! {
             for e in ds.stream.batch(t) {
                 match e.kind {
                     tsvd_graph::EventKind::Insert => {
-                        prop_assert!(seen.insert((e.u, e.v)), "duplicate insert {e:?}");
+                        ensure!(seen.insert((e.u, e.v)), "duplicate insert {e:?}");
                     }
                     tsvd_graph::EventKind::Delete => {
-                        prop_assert!(seen.remove(&(e.u, e.v)), "delete of absent edge {e:?}");
+                        ensure!(seen.remove(&(e.u, e.v)), "delete of absent edge {e:?}");
                     }
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn edge_list_round_trip(cfg in config_strategy()) {
+#[test]
+fn edge_list_round_trip() {
+    Checker::new(24).run("edge_list_round_trip", |gen| {
+        let cfg = random_config(gen);
         let ds = SyntheticDataset::generate(&cfg);
         let mut buf = Vec::new();
         write_edge_list(&ds.stream, &mut buf).unwrap();
         let back = parse_edge_list(Cursor::new(buf), cfg.tau).unwrap();
-        prop_assert_eq!(back.num_events(), ds.stream.num_events());
+        ensure_eq!(back.num_events(), ds.stream.num_events());
         let g1 = ds.stream.snapshot(cfg.tau);
         let g2 = back.snapshot(cfg.tau);
         let mut a: Vec<_> = g1.edges().collect();
         let mut b: Vec<_> = g2.edges().collect();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
-    }
+        ensure_eq!(a, b);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn subset_sampling_deterministic(cfg in config_strategy(), size in 5usize..40) {
+#[test]
+fn subset_sampling_deterministic() {
+    Checker::new(24).run("subset_sampling_deterministic", |gen| {
+        let cfg = random_config(gen);
+        let size = gen.usize_in(5..40);
         let ds = SyntheticDataset::generate(&cfg);
         let a = ds.sample_subset(size, 3);
         let b = ds.sample_subset(size, 3);
-        prop_assert_eq!(&a, &b);
-        prop_assert!(a.len() <= size);
-        prop_assert!(a.windows(2).all(|w| w[0] < w[1]));
-    }
+        ensure_eq!(&a, &b);
+        ensure!(a.len() <= size);
+        ensure!(a.windows(2).all(|w| w[0] < w[1]));
+        Ok(())
+    });
 }

@@ -6,11 +6,11 @@
 //! embed on what remains, then rank all test pairs by the dot product
 //! `⟨x_s, y_v⟩` and report precision among the top-|positives| pairs.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use tsvd_graph::DynGraph;
 use tsvd_linalg::DenseMatrix;
+use tsvd_rt::rng::SliceRandom;
+use tsvd_rt::rng::StdRng;
+use tsvd_rt::rng::{Rng, SeedableRng};
 
 /// A prepared link-prediction task: the training graph (positives removed)
 /// plus the labelled test pairs.
@@ -64,7 +64,11 @@ impl LinkPredictionTask {
             }
             negatives.push((i, v));
         }
-        LinkPredictionTask { train_graph, positives, negatives }
+        LinkPredictionTask {
+            train_graph,
+            positives,
+            negatives,
+        }
     }
 
     /// Build a task from explicit pair lists (used by the batch-update
@@ -75,7 +79,11 @@ impl LinkPredictionTask {
         positives: Vec<(usize, u32)>,
         negatives: Vec<(usize, u32)>,
     ) -> Self {
-        LinkPredictionTask { train_graph, positives, negatives }
+        LinkPredictionTask {
+            train_graph,
+            positives,
+            negatives,
+        }
     }
 
     /// Number of positive test pairs.

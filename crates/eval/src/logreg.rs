@@ -28,7 +28,11 @@ pub struct LogRegConfig {
 
 impl Default for LogRegConfig {
     fn default() -> Self {
-        LogRegConfig { iters: 300, lr: 0.5, l2: 1e-4 }
+        LogRegConfig {
+            iters: 300,
+            lr: 0.5,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -69,10 +73,10 @@ impl LogisticRegression {
         let mut probs = vec![0.0; num_classes];
         for _ in 0..cfg.iters {
             let mut grad = DenseMatrix::zeros(num_classes, d + 1);
-            for i in 0..n {
+            for (i, &yi) in y.iter().enumerate().take(n) {
                 softmax_row(&w, xs.row(i), &mut probs);
-                for c in 0..num_classes {
-                    let err = probs[c] - if y[i] == c { 1.0 } else { 0.0 };
+                for (c, &pc) in probs.iter().enumerate() {
+                    let err = pc - if yi == c { 1.0 } else { 0.0 };
                     let grow = grad.row_mut(c);
                     for (g, &f) in grow[..d].iter_mut().zip(xs.row(i)) {
                         *g += err * f;
@@ -101,7 +105,10 @@ impl LogisticRegression {
             }
             folded.set(c, d, bias);
         }
-        LogisticRegression { w: folded, num_classes }
+        LogisticRegression {
+            w: folded,
+            num_classes,
+        }
     }
 
     /// Predicted class of one raw feature row.
@@ -112,8 +119,7 @@ impl LogisticRegression {
         let mut best_score = f64::NEG_INFINITY;
         for c in 0..self.num_classes {
             let row = self.w.row(c);
-            let score: f64 =
-                row[..d].iter().zip(x).map(|(w, f)| w * f).sum::<f64>() + row[d];
+            let score: f64 = row[..d].iter().zip(x).map(|(w, f)| w * f).sum::<f64>() + row[d];
             if score > best_score {
                 best_score = score;
                 best = c;
@@ -150,8 +156,8 @@ fn softmax_row(w: &DenseMatrix, x: &[f64], out: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tsvd_rt::rng::StdRng;
+    use tsvd_rt::rng::{Rng, SeedableRng};
 
     #[test]
     fn separable_two_class() {
@@ -219,7 +225,12 @@ mod tests {
             y.push(cls);
         }
         let clf = LogisticRegression::train(&x, &y, 2, LogRegConfig::default());
-        let acc = clf.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
+        let acc = clf
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(acc >= 78, "accuracy {acc}/80");
     }
 

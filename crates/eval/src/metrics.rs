@@ -17,7 +17,10 @@ pub struct F1Scores {
 pub fn f1_scores(truth: &[usize], pred: &[usize]) -> F1Scores {
     assert_eq!(truth.len(), pred.len(), "label length mismatch");
     if truth.is_empty() {
-        return F1Scores { micro: 0.0, macro_: 0.0 };
+        return F1Scores {
+            micro: 0.0,
+            macro_: 0.0,
+        };
     }
     let num_classes = truth
         .iter()
@@ -58,7 +61,11 @@ pub fn f1_scores(truth: &[usize], pred: &[usize]) -> F1Scores {
             macro_sum += 2.0 * tp[c] as f64 / denom as f64;
         }
     }
-    let macro_ = if active == 0 { 0.0 } else { macro_sum / active as f64 };
+    let macro_ = if active == 0 {
+        0.0
+    } else {
+        macro_sum / active as f64
+    };
     F1Scores { micro, macro_ }
 }
 
@@ -156,8 +163,8 @@ mod tests {
         let truth = vec![0, 1, 2, 2, 1, 0, 0];
         let pred = vec![0, 2, 2, 2, 1, 1, 0];
         let s = f1_scores(&truth, &pred);
-        let acc = truth.iter().zip(&pred).filter(|(a, b)| a == b).count() as f64
-            / truth.len() as f64;
+        let acc =
+            truth.iter().zip(&pred).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64;
         assert!((s.micro - acc).abs() < 1e-12);
     }
 
@@ -198,8 +205,7 @@ mod tests {
     fn auc_random_is_half() {
         // Alternating scores: every positive ties exactly one negative
         // above and one below on average.
-        let scores: Vec<(f64, bool)> =
-            (0..100).map(|i| (i as f64, i % 2 == 0)).collect();
+        let scores: Vec<(f64, bool)> = (0..100).map(|i| (i as f64, i % 2 == 0)).collect();
         let auc = roc_auc(&scores);
         assert!((auc - 0.5).abs() < 0.02, "auc {auc}");
     }

@@ -6,10 +6,10 @@
 
 use crate::logreg::{LogRegConfig, LogisticRegression};
 use crate::metrics::{f1_scores, F1Scores};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use tsvd_linalg::DenseMatrix;
+use tsvd_rt::rng::SeedableRng;
+use tsvd_rt::rng::SliceRandom;
+use tsvd_rt::rng::StdRng;
 
 /// A reusable node-classification task: fixed labels and a fixed split per
 /// `(train_ratio, seed)`, so different methods are compared on identical
@@ -86,7 +86,7 @@ impl NodeClassificationTask {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use tsvd_rt::rng::Rng;
 
     /// Embedding where class is linearly decodable.
     fn informative_embedding(labels: &[usize], d: usize, seed: u64) -> DenseMatrix {

@@ -1,7 +1,6 @@
 //! Directed dynamic graph with O(deg) edge insert/delete.
 
 use crate::events::{EdgeEvent, EventKind};
-use serde::{Deserialize, Serialize};
 
 /// Which adjacency direction a traversal follows.
 ///
@@ -10,13 +9,15 @@ use serde::{Deserialize, Serialize};
 /// in-edges, [`Direction::In`]), so [`DynGraph`] maintains both adjacency
 /// lists and every traversal API is parameterised by a direction instead of
 /// materialising a second reversed graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Follow edges u → v (the forward graph).
     Out,
     /// Follow edges v → u (the reverse/transpose graph).
     In,
 }
+
+tsvd_rt::impl_json_enum!(Direction { Out, In });
 
 impl Direction {
     /// The opposite direction.
@@ -49,12 +50,18 @@ impl Direction {
 /// g.delete_edge(0, 1);
 /// assert!(!g.has_edge(0, 1));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DynGraph {
     out: Vec<Vec<u32>>,
     inn: Vec<Vec<u32>>,
     num_edges: usize,
 }
+
+tsvd_rt::impl_json_struct!(DynGraph {
+    out,
+    inn,
+    num_edges
+});
 
 impl DynGraph {
     /// An empty graph with `n` isolated nodes.
@@ -118,7 +125,10 @@ impl DynGraph {
 
     /// Delete edge `u → v`. Returns `false` if the edge was not present.
     pub fn delete_edge(&mut self, u: u32, v: u32) -> bool {
-        let Some(pos) = self.out.get(u as usize).and_then(|l| l.iter().position(|&x| x == v))
+        let Some(pos) = self
+            .out
+            .get(u as usize)
+            .and_then(|l| l.iter().position(|&x| x == v))
         else {
             return false;
         };
@@ -135,9 +145,7 @@ impl DynGraph {
     /// `true` if edge `u → v` is present.
     #[inline]
     pub fn has_edge(&self, u: u32, v: u32) -> bool {
-        self.out
-            .get(u as usize)
-            .is_some_and(|l| l.contains(&v))
+        self.out.get(u as usize).is_some_and(|l| l.contains(&v))
     }
 
     /// Apply a single edge event (growing the node set for inserts).

@@ -1,9 +1,7 @@
 //! Edge events (Definition 2.1 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Whether an edge event inserts or deletes the edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// The edge `u → v` is added to the graph.
     Insert,
@@ -12,7 +10,7 @@ pub enum EventKind {
 }
 
 /// A single edge event `⟨u, v, kind⟩` from the paper's dynamic graph model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EdgeEvent {
     /// Source endpoint.
     pub u: u32,
@@ -22,17 +20,28 @@ pub struct EdgeEvent {
     pub kind: EventKind,
 }
 
+tsvd_rt::impl_json_enum!(EventKind { Insert, Delete });
+tsvd_rt::impl_json_struct!(EdgeEvent { u, v, kind });
+
 impl EdgeEvent {
     /// An insertion event for `u → v`.
     #[inline]
     pub fn insert(u: u32, v: u32) -> Self {
-        EdgeEvent { u, v, kind: EventKind::Insert }
+        EdgeEvent {
+            u,
+            v,
+            kind: EventKind::Insert,
+        }
     }
 
     /// A deletion event for `u → v`.
     #[inline]
     pub fn delete(u: u32, v: u32) -> Self {
-        EdgeEvent { u, v, kind: EventKind::Delete }
+        EdgeEvent {
+            u,
+            v,
+            kind: EventKind::Delete,
+        }
     }
 
     /// The same event on the reverse graph (`v → u`).
@@ -40,7 +49,11 @@ impl EdgeEvent {
     /// Used to mirror updates into the transpose-PPR state.
     #[inline]
     pub fn reversed(&self) -> Self {
-        EdgeEvent { u: self.v, v: self.u, kind: self.kind }
+        EdgeEvent {
+            u: self.v,
+            v: self.u,
+            kind: self.kind,
+        }
     }
 }
 

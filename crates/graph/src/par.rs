@@ -63,7 +63,9 @@ where
             });
         }
     });
-    out.into_iter().map(|v| v.expect("worker filled every slot")).collect()
+    out.into_iter()
+        .map(|v| v.expect("worker filled every slot"))
+        .collect()
 }
 
 /// Run `f(chunk_range)` over disjoint contiguous chunks of `0..n` in

@@ -3,16 +3,17 @@
 
 use crate::dyngraph::DynGraph;
 use crate::events::EdgeEvent;
-use serde::{Deserialize, Serialize};
 
 /// An edge event tagged with a (logical) timestamp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimedEvent {
     /// Monotonically non-decreasing logical time.
     pub time: u64,
     /// The event itself.
     pub event: EdgeEvent,
 }
+
+tsvd_rt::impl_json_struct!(TimedEvent { time, event });
 
 /// A dynamic graph presented as `τ` snapshots over a timestamped event log
 /// (Definition 2.1). Snapshot `0` is the empty graph; snapshot `t ≥ 1` is the
@@ -31,12 +32,14 @@ pub struct TimedEvent {
 /// assert_eq!(stream.snapshot(1).num_edges(), 1);
 /// assert_eq!(stream.snapshot(2).num_edges(), 2);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SnapshotStream {
     num_nodes: usize,
     /// `batches[t-1]` is `Δ^t`, the events between snapshot `t-1` and `t`.
     batches: Vec<Vec<EdgeEvent>>,
 }
+
+tsvd_rt::impl_json_struct!(SnapshotStream { num_nodes, batches });
 
 impl SnapshotStream {
     /// Partition a time-sorted event log into `tau` batches of (roughly)
@@ -78,7 +81,10 @@ impl SnapshotStream {
 
     /// The event batch `Δ^t` for `t ∈ 1..=τ`.
     pub fn batch(&self, t: usize) -> &[EdgeEvent] {
-        assert!(t >= 1 && t <= self.batches.len(), "snapshot {t} out of range");
+        assert!(
+            t >= 1 && t <= self.batches.len(),
+            "snapshot {t} out of range"
+        );
         &self.batches[t - 1]
     }
 
@@ -101,7 +107,10 @@ impl SnapshotStream {
 
     /// Iterate `(t, Δ^t)` pairs for `t = 1..=τ`.
     pub fn iter_batches(&self) -> impl Iterator<Item = (usize, &[EdgeEvent])> {
-        self.batches.iter().enumerate().map(|(i, b)| (i + 1, b.as_slice()))
+        self.batches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i + 1, b.as_slice()))
     }
 
     /// Split every batch into sub-batches of at most `size` events, producing
@@ -119,7 +128,10 @@ impl SnapshotStream {
                 batches.push(chunk.to_vec());
             }
         }
-        SnapshotStream { num_nodes: self.num_nodes, batches }
+        SnapshotStream {
+            num_nodes: self.num_nodes,
+            batches,
+        }
     }
 }
 
@@ -129,10 +141,22 @@ mod tests {
 
     fn log3() -> Vec<TimedEvent> {
         vec![
-            TimedEvent { time: 0, event: EdgeEvent::insert(0, 1) },
-            TimedEvent { time: 1, event: EdgeEvent::insert(1, 2) },
-            TimedEvent { time: 2, event: EdgeEvent::insert(2, 0) },
-            TimedEvent { time: 3, event: EdgeEvent::delete(0, 1) },
+            TimedEvent {
+                time: 0,
+                event: EdgeEvent::insert(0, 1),
+            },
+            TimedEvent {
+                time: 1,
+                event: EdgeEvent::insert(1, 2),
+            },
+            TimedEvent {
+                time: 2,
+                event: EdgeEvent::insert(2, 0),
+            },
+            TimedEvent {
+                time: 3,
+                event: EdgeEvent::delete(0, 1),
+            },
         ]
     }
 

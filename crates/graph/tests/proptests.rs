@@ -2,83 +2,97 @@
 //! consistency under arbitrary event sequences, snapshot determinism, and
 //! CSR export invariants.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 use tsvd_graph::{Direction, DynGraph, EdgeEvent, SnapshotStream, TimedEvent};
+use tsvd_rt::check::{Checker, Gen};
+use tsvd_rt::{assume, ensure, ensure_eq};
 
-fn event_sequence() -> impl Strategy<Value = (usize, Vec<(u32, u32, bool)>)> {
-    (2usize..20).prop_flat_map(|n| {
-        let events = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, prop::bool::ANY),
-            0..60,
-        );
-        (Just(n), events)
-    })
+fn event_sequence(g: &mut Gen) -> (usize, Vec<(u32, u32, bool)>) {
+    let n = g.usize_in(2..20);
+    let evs = g.vec(0..60, |g| {
+        (g.u32_in(0..n as u32), g.u32_in(0..n as u32), g.bool())
+    });
+    (n, evs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn adjacency_matches_reference_set((n, evs) in event_sequence()) {
+#[test]
+fn adjacency_matches_reference_set() {
+    Checker::new(64).run("adjacency_matches_reference_set", |gen| {
+        let (n, evs) = event_sequence(gen);
         let mut g = DynGraph::with_nodes(n);
         let mut reference: HashSet<(u32, u32)> = HashSet::new();
         for (u, v, ins) in evs {
             if ins {
                 let changed = g.apply_event(&EdgeEvent::insert(u, v));
-                prop_assert_eq!(changed, reference.insert((u, v)));
+                ensure_eq!(changed, reference.insert((u, v)));
             } else {
                 let changed = g.apply_event(&EdgeEvent::delete(u, v));
-                prop_assert_eq!(changed, reference.remove(&(u, v)));
+                ensure_eq!(changed, reference.remove(&(u, v)));
             }
         }
-        prop_assert_eq!(g.num_edges(), reference.len());
+        ensure_eq!(g.num_edges(), reference.len());
         // Out-lists, in-lists, has_edge, and the iterator all agree.
         let mut from_iter: Vec<(u32, u32)> = g.edges().collect();
         from_iter.sort_unstable();
         let mut from_ref: Vec<(u32, u32)> = reference.iter().copied().collect();
         from_ref.sort_unstable();
-        prop_assert_eq!(&from_iter, &from_ref);
+        ensure_eq!(&from_iter, &from_ref);
         for &(u, v) in &reference {
-            prop_assert!(g.has_edge(u, v));
-            prop_assert!(g.out_neighbors(u).contains(&v));
-            prop_assert!(g.in_neighbors(v).contains(&u));
+            ensure!(g.has_edge(u, v));
+            ensure!(g.out_neighbors(u).contains(&v));
+            ensure!(g.in_neighbors(v).contains(&u));
         }
         // Degree sums both equal the edge count.
         let out_sum: usize = (0..g.num_nodes() as u32).map(|u| g.out_degree(u)).sum();
         let in_sum: usize = (0..g.num_nodes() as u32).map(|u| g.in_degree(u)).sum();
-        prop_assert_eq!(out_sum, reference.len());
-        prop_assert_eq!(in_sum, reference.len());
-    }
+        ensure_eq!(out_sum, reference.len());
+        ensure_eq!(in_sum, reference.len());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn csr_export_is_sorted_and_complete((n, evs) in event_sequence()) {
+#[test]
+fn csr_export_is_sorted_and_complete() {
+    Checker::new(64).run("csr_export_is_sorted_and_complete", |gen| {
+        let (n, evs) = event_sequence(gen);
         let mut g = DynGraph::with_nodes(n);
         for (u, v, ins) in evs {
-            let e = if ins { EdgeEvent::insert(u, v) } else { EdgeEvent::delete(u, v) };
+            let e = if ins {
+                EdgeEvent::insert(u, v)
+            } else {
+                EdgeEvent::delete(u, v)
+            };
             g.apply_event(&e);
         }
         for dir in [Direction::Out, Direction::In] {
             let (indptr, indices) = g.to_csr_arrays(dir);
-            prop_assert_eq!(indptr.len(), g.num_nodes() + 1);
-            prop_assert_eq!(*indptr.last().unwrap(), g.num_edges());
+            ensure_eq!(indptr.len(), g.num_nodes() + 1);
+            ensure_eq!(*indptr.last().unwrap(), g.num_edges());
             for u in 0..g.num_nodes() {
                 let row = &indices[indptr[u]..indptr[u + 1]];
-                prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row {u} unsorted");
-                prop_assert_eq!(row.len(), g.degree(u as u32, dir));
+                ensure!(row.windows(2).all(|w| w[0] < w[1]), "row {u} unsorted");
+                ensure_eq!(row.len(), g.degree(u as u32, dir));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn snapshot_replay_is_deterministic_and_incremental((n, evs) in event_sequence()) {
-        prop_assume!(!evs.is_empty());
+#[test]
+fn snapshot_replay_is_deterministic_and_incremental() {
+    Checker::new(64).run("snapshot_replay_is_deterministic_and_incremental", |gen| {
+        let (n, evs) = event_sequence(gen);
+        assume!(!evs.is_empty());
         let log: Vec<TimedEvent> = evs
             .iter()
             .enumerate()
             .map(|(t, &(u, v, ins))| TimedEvent {
                 time: t as u64,
-                event: if ins { EdgeEvent::insert(u, v) } else { EdgeEvent::delete(u, v) },
+                event: if ins {
+                    EdgeEvent::insert(u, v)
+                } else {
+                    EdgeEvent::delete(u, v)
+                },
             })
             .collect();
         let tau = 3.min(log.len());
@@ -94,12 +108,13 @@ proptest! {
             let mut b: Vec<_> = fresh.edges().collect();
             a.sort_unstable();
             b.sort_unstable();
-            prop_assert_eq!(a, b, "snapshot {}", t);
+            ensure_eq!(a, b, "snapshot {}", t);
         }
         // Rebatching preserves the final graph.
         let fine = stream.rebatched(1);
         let g1 = stream.snapshot(stream.num_snapshots());
         let g2 = fine.snapshot(fine.num_snapshots());
-        prop_assert_eq!(g1.num_edges(), g2.num_edges());
-    }
+        ensure_eq!(g1.num_edges(), g2.num_edges());
+        Ok(())
+    });
 }

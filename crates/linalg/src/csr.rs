@@ -1,7 +1,6 @@
 //! Compressed sparse row matrix.
 
 use crate::dense::DenseMatrix;
-use serde::{Deserialize, Serialize};
 
 /// A compressed-sparse-row `f64` matrix.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.get(0, 3), 2.0);
 /// assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0, 1.0]), vec![3.0, -1.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
@@ -28,10 +27,24 @@ pub struct CsrMatrix {
     data: Vec<f64>,
 }
 
+tsvd_rt::impl_json_struct!(CsrMatrix {
+    rows,
+    cols,
+    indptr,
+    indices,
+    data
+});
+
 impl CsrMatrix {
     /// An empty (all-zero) matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CsrMatrix { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), data: Vec::new() }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            data: Vec::new(),
+        }
     }
 
     /// Build from per-row `(col, value)` lists. Each row is sorted and
@@ -57,7 +70,13 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        CsrMatrix { rows: rows.len(), cols, indptr, indices, data }
+        CsrMatrix {
+            rows: rows.len(),
+            cols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Build from raw CSR arrays (columns must be sorted within each row).
@@ -72,9 +91,17 @@ impl CsrMatrix {
         assert_eq!(indices.len(), data.len());
         assert_eq!(*indptr.last().unwrap(), indices.len());
         debug_assert!((0..rows).all(|i| {
-            indices[indptr[i]..indptr[i + 1]].windows(2).all(|w| w[0] < w[1])
+            indices[indptr[i]..indptr[i + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1])
         }));
-        CsrMatrix { rows, cols, indptr, indices, data }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -160,7 +187,10 @@ impl CsrMatrix {
         (0..self.rows)
             .map(|i| {
                 let (cols, vals) = self.row(i);
-                cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum()
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| v * x[c as usize])
+                    .sum()
             })
             .collect()
     }

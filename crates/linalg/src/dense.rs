@@ -1,6 +1,5 @@
 //! Row-major dense matrix.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A row-major dense `f64` matrix.
@@ -18,12 +17,14 @@ use std::fmt;
 /// assert_eq!(a.mul(&b), a);
 /// assert_eq!(a.transpose().get(0, 1), 3.0);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct DenseMatrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
+
+tsvd_rt::impl_json_struct!(DenseMatrix { rows, cols, data });
 
 impl fmt::Debug for DenseMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -47,7 +48,11 @@ impl fmt::Debug for DenseMatrix {
 impl DenseMatrix {
     /// An all-zero `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -85,7 +90,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        DenseMatrix { rows: r, cols: c, data }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -242,8 +251,17 @@ impl DenseMatrix {
     /// `self − other` (elementwise).
     pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        DenseMatrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Frobenius norm.
@@ -350,8 +368,8 @@ mod tests {
         let via_vec = a.mul_vec(&x);
         let xm = DenseMatrix::from_vec(4, 1, x.clone());
         let via_mat = a.mul(&xm);
-        for i in 0..3 {
-            assert!(approx(via_vec[i], via_mat.get(i, 0)));
+        for (i, &v) in via_vec.iter().enumerate() {
+            assert!(approx(v, via_mat.get(i, 0)));
         }
     }
 

@@ -24,7 +24,10 @@ pub fn sym_eigen(a: &DenseMatrix) -> SymEigen {
     let n = a.rows();
     assert_eq!(n, a.cols(), "eigendecomposition needs a square matrix");
     if n == 0 {
-        return SymEigen { values: Vec::new(), vectors: DenseMatrix::zeros(0, 0) };
+        return SymEigen {
+            values: Vec::new(),
+            vectors: DenseMatrix::zeros(0, 0),
+        };
     }
     // Symmetrise defensively (callers pass B·Bᵀ which is symmetric up to
     // rounding).
@@ -97,8 +100,8 @@ pub fn sym_eigen(a: &DenseMatrix) -> SymEigen {
 mod tests {
     use super::*;
     use crate::rng::gaussian_matrix;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsvd_rt::rng::SeedableRng;
+    use tsvd_rt::rng::StdRng;
 
     #[test]
     fn diagonal_matrix() {

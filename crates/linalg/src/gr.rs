@@ -368,8 +368,8 @@ pub(crate) fn golub_reinsch(a: &DenseMatrix) -> Option<(DenseMatrix, Vec<f64>, D
 mod tests {
     use super::*;
     use crate::rng::gaussian_matrix;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsvd_rt::rng::SeedableRng;
+    use tsvd_rt::rng::StdRng;
 
     #[test]
     fn pythag_safe() {
@@ -393,9 +393,15 @@ mod tests {
             assert!(back.sub(&a).max_abs() < 1e-9, "({m},{n})");
             // Orthogonality.
             let gu = u.t_mul(&u);
-            assert!(gu.sub(&DenseMatrix::identity(n)).max_abs() < 1e-9, "U ({m},{n})");
+            assert!(
+                gu.sub(&DenseMatrix::identity(n)).max_abs() < 1e-9,
+                "U ({m},{n})"
+            );
             let gv = v.t_mul(&v);
-            assert!(gv.sub(&DenseMatrix::identity(n)).max_abs() < 1e-9, "V ({m},{n})");
+            assert!(
+                gv.sub(&DenseMatrix::identity(n)).max_abs() < 1e-9,
+                "V ({m},{n})"
+            );
             // All singular values non-negative.
             assert!(w.iter().all(|&x| x >= 0.0));
         }

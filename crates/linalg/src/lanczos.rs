@@ -31,7 +31,10 @@ pub struct LanczosConfig {
 impl LanczosConfig {
     /// Config with the given rank and 12 extra steps.
     pub fn with_rank(rank: usize) -> Self {
-        LanczosConfig { rank, extra_steps: 12 }
+        LanczosConfig {
+            rank,
+            extra_steps: 12,
+        }
     }
 }
 
@@ -166,7 +169,11 @@ pub fn lanczos_svd<A: MatrixProduct + ?Sized>(a: &A, cfg: &LanczosConfig) -> Svd
             }
         }
     }
-    Svd { u: u_out, s: inner.s, vt: vt_out }
+    Svd {
+        u: u_out,
+        s: inner.s,
+        vt: vt_out,
+    }
 }
 
 /// Convenience: Lanczos SVD of a CSR matrix.
@@ -223,15 +230,10 @@ mod tests {
     use super::*;
     use crate::qr::orthonormalize;
     use crate::rng::gaussian_matrix;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tsvd_rt::rng::StdRng;
+    use tsvd_rt::rng::{Rng, SeedableRng};
 
-    fn matrix_with_spectrum(
-        rng: &mut StdRng,
-        m: usize,
-        n: usize,
-        spectrum: &[f64],
-    ) -> DenseMatrix {
+    fn matrix_with_spectrum(rng: &mut StdRng, m: usize, n: usize, spectrum: &[f64]) -> DenseMatrix {
         let r = spectrum.len();
         let u = orthonormalize(&gaussian_matrix(rng, m, r));
         let v = orthonormalize(&gaussian_matrix(rng, n, r));
@@ -245,7 +247,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let spec: Vec<f64> = (0..20).map(|i| 10.0 * 0.7f64.powi(i)).collect();
         let a = matrix_with_spectrum(&mut rng, 50, 120, &spec);
-        let svd = lanczos_svd(&a, &LanczosConfig { rank: 6, extra_steps: 14 });
+        let svd = lanczos_svd(
+            &a,
+            &LanczosConfig {
+                rank: 6,
+                extra_steps: 14,
+            },
+        );
         for j in 0..6 {
             assert!(
                 (svd.s[j] - spec[j]).abs() < 1e-6 * spec[0],
@@ -278,7 +286,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a = matrix_with_spectrum(&mut rng, 40, 70, &[5.0, 2.0, 1.0]);
         // Ask for more than the true rank: breakdown must stop cleanly.
-        let svd = lanczos_svd(&a, &LanczosConfig { rank: 8, extra_steps: 10 });
+        let svd = lanczos_svd(
+            &a,
+            &LanczosConfig {
+                rank: 8,
+                extra_steps: 10,
+            },
+        );
         assert!(svd.reconstruct().sub(&a).max_abs() < 1e-8);
         let effective = svd.s.iter().filter(|&&s| s > 1e-9).count();
         assert_eq!(effective, 3);
@@ -312,7 +326,13 @@ mod tests {
     fn matches_exact_svd_spectrum() {
         let mut rng = StdRng::seed_from_u64(5);
         let a = gaussian_matrix(&mut rng, 30, 45);
-        let lan = lanczos_svd(&a, &LanczosConfig { rank: 5, extra_steps: 25 });
+        let lan = lanczos_svd(
+            &a,
+            &LanczosConfig {
+                rank: 5,
+                extra_steps: 25,
+            },
+        );
         let ex = exact_svd(&a);
         for j in 0..5 {
             assert!(

@@ -26,9 +26,9 @@
 //! the hot loops are laid out for contiguous row access instead.
 
 mod csr;
-pub(crate) mod gr;
 mod dense;
 pub mod eigen;
+pub(crate) mod gr;
 pub mod lanczos;
 pub mod qr;
 pub mod randomized;

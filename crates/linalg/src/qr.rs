@@ -51,11 +51,7 @@ pub fn qr(a: &DenseMatrix) -> QrResult {
         let tau = if vnorm_sq == 0.0 { 0.0 } else { 2.0 / vnorm_sq };
         // Apply reflector H = I − τ v vᵀ to columns k..n (rows k..m).
         for j in k..n {
-            let dot: f64 = v
-                .iter()
-                .zip(&w.row(j)[k..])
-                .map(|(a, b)| a * b)
-                .sum();
+            let dot: f64 = v.iter().zip(&w.row(j)[k..]).map(|(a, b)| a * b).sum();
             let f = tau * dot;
             for (vi, wj) in v.iter().zip(&mut w.row_mut(j)[k..]) {
                 *wj -= f * vi;
@@ -86,18 +82,17 @@ pub fn qr(a: &DenseMatrix) -> QrResult {
         }
         let v = &vs[k];
         for j in 0..n {
-            let dot: f64 = v
-                .iter()
-                .zip(&qt.row(j)[k..])
-                .map(|(a, b)| a * b)
-                .sum();
+            let dot: f64 = v.iter().zip(&qt.row(j)[k..]).map(|(a, b)| a * b).sum();
             let f = tau * dot;
             for (vi, qj) in v.iter().zip(&mut qt.row_mut(j)[k..]) {
                 *qj -= f * vi;
             }
         }
     }
-    QrResult { q: qt.transpose(), r }
+    QrResult {
+        q: qt.transpose(),
+        r,
+    }
 }
 
 /// Orthonormalise the columns of `a`: returns just the thin `Q` factor.
@@ -109,8 +104,8 @@ pub fn orthonormalize(a: &DenseMatrix) -> DenseMatrix {
 mod tests {
     use super::*;
     use crate::rng::gaussian_matrix;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsvd_rt::rng::SeedableRng;
+    use tsvd_rt::rng::StdRng;
 
     fn check_orthonormal(q: &DenseMatrix, tol: f64) {
         let g = q.t_mul(q);
@@ -124,11 +119,7 @@ mod tests {
 
     #[test]
     fn reconstructs_small_matrix() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let QrResult { q, r } = qr(&a);
         check_orthonormal(&q, 1e-12);
         let back = q.mul(&r);
@@ -151,11 +142,7 @@ mod tests {
     #[test]
     fn rank_deficient_input() {
         // Column 2 = 2 × column 1.
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 2.0],
-            &[2.0, 4.0],
-            &[3.0, 6.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
         let QrResult { q, r } = qr(&a);
         assert!(q.mul(&r).sub(&a).max_abs() < 1e-12);
         // Second diagonal of R collapses.

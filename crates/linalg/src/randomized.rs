@@ -12,8 +12,7 @@ use crate::dense::DenseMatrix;
 use crate::qr::orthonormalize;
 use crate::rng::gaussian_matrix;
 use crate::svd::{exact_svd, Svd};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use tsvd_rt::rng::Rng;
 
 /// Anything that can multiply dense blocks from the left and (transposed)
 /// from the right — the only access pattern randomized SVD needs.
@@ -59,7 +58,7 @@ impl MatrixProduct for CsrMatrix {
 }
 
 /// Parameters of the randomized range finder.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RandomizedSvdConfig {
     /// Target rank `d` of the truncated SVD.
     pub rank: usize,
@@ -71,11 +70,21 @@ pub struct RandomizedSvdConfig {
     pub power_iters: usize,
 }
 
+tsvd_rt::impl_json_struct!(RandomizedSvdConfig {
+    rank,
+    oversample,
+    power_iters
+});
+
 impl RandomizedSvdConfig {
     /// A config with the given rank and the defaults `p = 10`, 1 power
     /// iteration.
     pub fn with_rank(rank: usize) -> Self {
-        RandomizedSvdConfig { rank, oversample: 10, power_iters: 1 }
+        RandomizedSvdConfig {
+            rank,
+            oversample: 10,
+            power_iters: 1,
+        }
     }
 }
 
@@ -113,22 +122,21 @@ where
     let d = cfg.rank.min(svd_bt.rank());
     let tr = svd_bt.truncate(d);
     let u = q.mul(&tr.vt.transpose()); // Q · V_bt
-    Svd { u, s: tr.s, vt: tr.u.transpose() }
+    Svd {
+        u,
+        s: tr.s,
+        vt: tr.u.transpose(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsvd_rt::rng::SeedableRng;
+    use tsvd_rt::rng::StdRng;
 
     /// A random matrix with prescribed singular values.
-    fn matrix_with_spectrum(
-        rng: &mut StdRng,
-        m: usize,
-        n: usize,
-        spectrum: &[f64],
-    ) -> DenseMatrix {
+    fn matrix_with_spectrum(rng: &mut StdRng, m: usize, n: usize, spectrum: &[f64]) -> DenseMatrix {
         let r = spectrum.len();
         let u = orthonormalize(&gaussian_matrix(rng, m, r));
         let v = orthonormalize(&gaussian_matrix(rng, n, r));
@@ -141,7 +149,11 @@ mod tests {
     fn recovers_low_rank_exactly() {
         let mut rng = StdRng::seed_from_u64(1);
         let a = matrix_with_spectrum(&mut rng, 40, 120, &[10.0, 5.0, 2.0]);
-        let cfg = RandomizedSvdConfig { rank: 3, oversample: 6, power_iters: 1 };
+        let cfg = RandomizedSvdConfig {
+            rank: 3,
+            oversample: 6,
+            power_iters: 1,
+        };
         let svd = randomized_svd(&a, &cfg, &mut rng);
         assert!((svd.s[0] - 10.0).abs() < 1e-8);
         assert!((svd.s[1] - 5.0).abs() < 1e-8);
@@ -155,7 +167,11 @@ mod tests {
         let spec: Vec<f64> = (0..30).map(|i| 0.8f64.powi(i)).collect();
         let a = matrix_with_spectrum(&mut rng, 60, 200, &spec);
         let d = 8;
-        let cfg = RandomizedSvdConfig { rank: d, oversample: 10, power_iters: 2 };
+        let cfg = RandomizedSvdConfig {
+            rank: d,
+            oversample: 10,
+            power_iters: 2,
+        };
         let svd = randomized_svd(&a, &cfg, &mut rng);
         let err = svd.reconstruct().sub(&a).frobenius_norm();
         let opt: f64 = spec[d..].iter().map(|v| v * v).sum::<f64>().sqrt();
@@ -175,7 +191,11 @@ mod tests {
             .collect();
         let sp = CsrMatrix::from_rows(100, &rows);
         let de = sp.to_dense();
-        let cfg = RandomizedSvdConfig { rank: 6, oversample: 8, power_iters: 1 };
+        let cfg = RandomizedSvdConfig {
+            rank: 6,
+            oversample: 8,
+            power_iters: 1,
+        };
         let s1 = randomized_svd(&sp, &cfg, &mut StdRng::seed_from_u64(5));
         let s2 = randomized_svd(&de, &cfg, &mut StdRng::seed_from_u64(5));
         for (a, b) in s1.s.iter().zip(&s2.s) {
@@ -200,7 +220,11 @@ mod tests {
     fn rank_clamped_to_matrix_rank_dims() {
         let mut rng = StdRng::seed_from_u64(6);
         let a = gaussian_matrix(&mut rng, 4, 50);
-        let cfg = RandomizedSvdConfig { rank: 10, oversample: 10, power_iters: 0 };
+        let cfg = RandomizedSvdConfig {
+            rank: 10,
+            oversample: 10,
+            power_iters: 0,
+        };
         let svd = randomized_svd(&a, &cfg, &mut rng);
         assert!(svd.rank() <= 4);
         // A 4-row matrix is reconstructed exactly by a rank-4 SVD.

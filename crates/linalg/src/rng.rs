@@ -1,47 +1,22 @@
-//! Gaussian sampling helpers on top of `rand` (no `rand_distr` offline).
+//! Gaussian sampling helpers on top of [`tsvd_rt::rng`].
 
 use crate::dense::DenseMatrix;
-use rand::Rng;
+use tsvd_rt::rng::RngCore;
 
-/// Draw one standard-normal sample via the Box–Muller transform.
-///
-/// Two uniform draws per call; the second Box–Muller output is discarded to
-/// keep the generator state layout simple (throughput here is irrelevant —
-/// test matrices are tiny compared to the sparse products they feed).
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // Avoid ln(0): sample u1 from (0, 1].
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
+pub use tsvd_rt::rng::standard_normal;
 
 /// A `rows × cols` matrix of i.i.d. standard-normal entries.
-pub fn gaussian_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> DenseMatrix {
+pub fn gaussian_matrix<R: RngCore + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> DenseMatrix {
     DenseMatrix::from_fn(rows, cols, |_, _| standard_normal(rng))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsvd_rt::rng::{SeedableRng, StdRng};
 
-    #[test]
-    fn moments_roughly_standard() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let n = 200_000;
-        let mut sum = 0.0;
-        let mut sumsq = 0.0;
-        for _ in 0..n {
-            let x = standard_normal(&mut rng);
-            sum += x;
-            sumsq += x * x;
-        }
-        let mean = sum / n as f64;
-        let var = sumsq / n as f64 - mean * mean;
-        assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var - 1.0).abs() < 0.02, "var {var}");
-    }
+    // The distribution moment test for `standard_normal` lives with the
+    // generator itself, in `tsvd_rt::rng`.
 
     #[test]
     fn matrix_is_deterministic_per_seed() {

@@ -23,7 +23,12 @@ impl FrequentDirections {
     /// A fresh sketch retaining `l ≥ 1` directions over `cols` columns.
     pub fn new(l: usize, cols: usize) -> Self {
         assert!(l >= 1, "sketch size must be positive");
-        FrequentDirections { l, cols, buf: DenseMatrix::zeros(2 * l, cols), filled: 0 }
+        FrequentDirections {
+            l,
+            cols,
+            buf: DenseMatrix::zeros(2 * l, cols),
+            filled: 0,
+        }
     }
 
     /// Sketch size `ℓ`.
@@ -103,8 +108,8 @@ impl FrequentDirections {
 mod tests {
     use super::*;
     use crate::rng::gaussian_matrix;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsvd_rt::rng::SeedableRng;
+    use tsvd_rt::rng::StdRng;
 
     /// Spectral norm via power iteration (test helper).
     fn spectral_norm(a: &DenseMatrix) -> f64 {
@@ -151,7 +156,10 @@ mod tests {
         let diff = a.t_mul(&a).sub(&b.t_mul(&b));
         let bound = a.frobenius_norm().powi(2) / l as f64;
         let err = spectral_norm(&diff);
-        assert!(err <= bound * 1.0001, "FD guarantee violated: {err} > {bound}");
+        assert!(
+            err <= bound * 1.0001,
+            "FD guarantee violated: {err} > {bound}"
+        );
     }
 
     #[test]

@@ -10,7 +10,6 @@
 
 use crate::dense::DenseMatrix;
 use crate::qr::qr;
-use serde::{Deserialize, Serialize};
 
 /// A (possibly truncated) singular value decomposition `A ≈ U·diag(σ)·Vᵀ`.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((svd.s[0] - 4.0).abs() < 1e-12);
 /// assert!(svd.reconstruct().sub(&a).max_abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Svd {
     /// Left singular vectors, `m × r`, orthonormal columns.
     pub u: DenseMatrix,
@@ -33,6 +32,8 @@ pub struct Svd {
     /// Right singular vectors transposed, `r × n`, orthonormal rows.
     pub vt: DenseMatrix,
 }
+
+tsvd_rt::impl_json_struct!(Svd { u, s, vt });
 
 impl Svd {
     /// Rank of this decomposition (number of retained singular triplets).
@@ -94,18 +95,30 @@ impl Svd {
 pub fn exact_svd(a: &DenseMatrix) -> Svd {
     let (m, n) = (a.rows(), a.cols());
     if m == 0 || n == 0 {
-        return Svd { u: DenseMatrix::zeros(m, 0), s: Vec::new(), vt: DenseMatrix::zeros(0, n) };
+        return Svd {
+            u: DenseMatrix::zeros(m, 0),
+            s: Vec::new(),
+            vt: DenseMatrix::zeros(0, n),
+        };
     }
     if m < n {
         // SVD of the transpose, then swap factors: A = (Uᵀ' Σ V'ᵀ)ᵀ = V' Σ U'ᵀ.
         let t = exact_svd(&a.transpose());
-        return Svd { u: t.vt.transpose(), s: t.s, vt: t.u.transpose() };
+        return Svd {
+            u: t.vt.transpose(),
+            s: t.s,
+            vt: t.u.transpose(),
+        };
     }
     if m > 2 * n {
         // Very tall: A = Q·R, SVD of R (n×n), U = Q·U_R.
         let f = qr(a);
         let inner = dense_svd_tall(&f.r);
-        return Svd { u: f.q.mul(&inner.u), s: inner.s, vt: inner.vt };
+        return Svd {
+            u: f.q.mul(&inner.u),
+            s: inner.s,
+            vt: inner.vt,
+        };
     }
     dense_svd_tall(a)
 }
@@ -137,7 +150,11 @@ pub(crate) fn exact_svd_jacobi_for_tests(a: &DenseMatrix) -> Svd {
     let (m, n) = (a.rows(), a.cols());
     if m < n {
         let t = exact_svd_jacobi_for_tests(&a.transpose());
-        return Svd { u: t.vt.transpose(), s: t.s, vt: t.u.transpose() };
+        return Svd {
+            u: t.vt.transpose(),
+            s: t.s,
+            vt: t.u.transpose(),
+        };
     }
     jacobi_svd(a)
 }
@@ -259,8 +276,8 @@ fn jacobi_svd(a: &DenseMatrix) -> Svd {
 mod tests {
     use super::*;
     use crate::rng::gaussian_matrix;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsvd_rt::rng::SeedableRng;
+    use tsvd_rt::rng::StdRng;
 
     fn check_svd(a: &DenseMatrix, svd: &Svd, tol: f64) {
         let back = svd.reconstruct();
@@ -273,9 +290,15 @@ mod tests {
         let r = svd.s.iter().filter(|&&x| x > 1e-9).count();
         let tr = svd.truncate(r);
         let gu = tr.u.t_mul(&tr.u);
-        assert!(gu.sub(&DenseMatrix::identity(r)).max_abs() < 1e-8, "U not orthonormal");
+        assert!(
+            gu.sub(&DenseMatrix::identity(r)).max_abs() < 1e-8,
+            "U not orthonormal"
+        );
         let gv = tr.vt.mul(&tr.vt.transpose());
-        assert!(gv.sub(&DenseMatrix::identity(r)).max_abs() < 1e-8, "V not orthonormal");
+        assert!(
+            gv.sub(&DenseMatrix::identity(r)).max_abs() < 1e-8,
+            "V not orthonormal"
+        );
         // Descending.
         assert!(svd.s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
     }
@@ -292,7 +315,15 @@ mod tests {
     #[test]
     fn random_shapes() {
         let mut rng = StdRng::seed_from_u64(99);
-        for &(m, n) in &[(1usize, 1usize), (5, 5), (20, 7), (7, 20), (40, 3), (3, 40), (16, 16)] {
+        for &(m, n) in &[
+            (1usize, 1usize),
+            (5, 5),
+            (20, 7),
+            (7, 20),
+            (40, 3),
+            (3, 40),
+            (16, 16),
+        ] {
             let a = gaussian_matrix(&mut rng, m, n);
             let svd = exact_svd(&a);
             assert_eq!(svd.rank(), m.min(n));

@@ -1,150 +1,193 @@
 //! Property-based tests for the linear-algebra kernels: every invariant a
 //! numerics stack must keep, checked on arbitrary inputs.
 
-use proptest::prelude::*;
 use tsvd_linalg::qr::qr;
 use tsvd_linalg::randomized::randomized_svd;
 use tsvd_linalg::sketch::FrequentDirections;
 use tsvd_linalg::svd::{exact_svd, exact_truncated_svd};
 use tsvd_linalg::{CsrMatrix, DenseMatrix, RandomizedSvdConfig};
+use tsvd_rt::check::{Checker, Gen};
+use tsvd_rt::rng::{SeedableRng, StdRng};
+use tsvd_rt::{ensure, ensure_eq};
 
-/// Strategy: a dense matrix with bounded entries and dims in `1..=max_dim`.
-fn dense_matrix(max_dim: usize) -> impl Strategy<Value = DenseMatrix> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(-10.0..10.0f64, m * n)
-            .prop_map(move |data| DenseMatrix::from_vec(m, n, data))
-    })
+/// A dense matrix with bounded entries and dims in `1..=max_dim`.
+fn dense_matrix(g: &mut Gen, max_dim: usize) -> DenseMatrix {
+    let m = g.usize_in(1..max_dim + 1);
+    let n = g.usize_in(1..max_dim + 1);
+    let data: Vec<f64> = (0..m * n).map(|_| g.f64_in(-10.0..10.0)).collect();
+    DenseMatrix::from_vec(m, n, data)
 }
 
-/// Strategy: a sparse matrix as per-row (col, val) lists.
-fn sparse_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = CsrMatrix> {
-    (1..=max_rows, 1..=max_cols).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(
-            proptest::collection::vec((0..n as u32, -5.0..5.0f64), 0..=n.min(12)),
-            m,
-        )
-        .prop_map(move |rows| CsrMatrix::from_rows(n, &rows))
-    })
+/// A sparse matrix as per-row (col, val) lists.
+fn sparse_matrix(g: &mut Gen, max_rows: usize, max_cols: usize) -> CsrMatrix {
+    let m = g.usize_in(1..max_rows + 1);
+    let n = g.usize_in(1..max_cols + 1);
+    let rows: Vec<Vec<(u32, f64)>> = (0..m)
+        .map(|_| g.sparse_row(n as u32, n.min(12), -5.0..5.0))
+        .collect();
+    CsrMatrix::from_rows(n, &rows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn qr_reconstructs_and_q_is_orthonormal(a in dense_matrix(20)) {
+#[test]
+fn qr_reconstructs_and_q_is_orthonormal() {
+    Checker::new(64).run("qr_reconstructs_and_q_is_orthonormal", |g| {
+        let a = dense_matrix(g, 20);
         // Thin QR needs rows ≥ cols.
-        let a = if a.rows() >= a.cols() { a } else { a.transpose() };
+        let a = if a.rows() >= a.cols() {
+            a
+        } else {
+            a.transpose()
+        };
         let f = qr(&a);
         let back = f.q.mul(&f.r);
-        prop_assert!(back.sub(&a).max_abs() < 1e-8 * (1.0 + a.max_abs()));
-        let g = f.q.t_mul(&f.q);
-        prop_assert!(g.sub(&DenseMatrix::identity(a.cols())).max_abs() < 1e-8);
+        ensure!(back.sub(&a).max_abs() < 1e-8 * (1.0 + a.max_abs()));
+        let gram = f.q.t_mul(&f.q);
+        ensure!(gram.sub(&DenseMatrix::identity(a.cols())).max_abs() < 1e-8);
         // R upper-triangular.
         for i in 0..f.r.rows() {
             for j in 0..i {
-                prop_assert!(f.r.get(i, j).abs() < 1e-10);
+                ensure!(f.r.get(i, j).abs() < 1e-10);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn svd_reconstructs_any_matrix(a in dense_matrix(24)) {
+#[test]
+fn svd_reconstructs_any_matrix() {
+    Checker::new(64).run("svd_reconstructs_any_matrix", |g| {
+        let a = dense_matrix(g, 24);
         let svd = exact_svd(&a);
         let back = svd.reconstruct();
-        prop_assert!(
+        ensure!(
             back.sub(&a).max_abs() < 1e-7 * (1.0 + a.max_abs()),
-            "reconstruction error {}", back.sub(&a).max_abs()
+            "reconstruction error {}",
+            back.sub(&a).max_abs()
         );
         // Descending, non-negative spectrum.
-        prop_assert!(svd.s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
-        prop_assert!(svd.s.iter().all(|&x| x >= 0.0));
-    }
+        ensure!(svd.s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        ensure!(svd.s.iter().all(|&x| x >= 0.0));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn svd_frobenius_identity(a in dense_matrix(16)) {
+#[test]
+fn svd_frobenius_identity() {
+    Checker::new(64).run("svd_frobenius_identity", |g| {
         // ‖A‖_F² == Σ σ_i² — the identity the lazy-update residual
         // bookkeeping relies on.
+        let a = dense_matrix(g, 16);
         let svd = exact_svd(&a);
         let frob_sq = a.frobenius_norm().powi(2);
         let spec_sq: f64 = svd.s.iter().map(|s| s * s).sum();
-        prop_assert!((frob_sq - spec_sq).abs() < 1e-7 * (1.0 + frob_sq));
-    }
+        ensure!((frob_sq - spec_sq).abs() < 1e-7 * (1.0 + frob_sq));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn eckart_young_optimality(a in dense_matrix(14), d in 1usize..6) {
-        // Truncated SVD residual equals the tail of the spectrum, and no
-        // projection does better (checked against a random projector).
+#[test]
+fn eckart_young_optimality() {
+    Checker::new(64).run("eckart_young_optimality", |g| {
+        // Truncated SVD residual equals the tail of the spectrum.
+        let a = dense_matrix(g, 14);
+        let d = g.usize_in(1..6);
         let svd = exact_svd(&a);
         let t = exact_truncated_svd(&a, d);
         let resid = t.reconstruct().sub(&a).frobenius_norm();
         let tail: f64 = svd.s.iter().skip(d).map(|s| s * s).sum::<f64>().sqrt();
-        prop_assert!((resid - tail).abs() < 1e-6 * (1.0 + tail));
-    }
+        ensure!((resid - tail).abs() < 1e-6 * (1.0 + tail));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn transpose_has_same_spectrum(a in dense_matrix(16)) {
+#[test]
+fn transpose_has_same_spectrum() {
+    Checker::new(64).run("transpose_has_same_spectrum", |g| {
+        let a = dense_matrix(g, 16);
         let s1 = exact_svd(&a);
         let s2 = exact_svd(&a.transpose());
         for (x, y) in s1.s.iter().zip(&s2.s) {
-            prop_assert!((x - y).abs() < 1e-8 * (1.0 + x));
+            ensure!((x - y).abs() < 1e-8 * (1.0 + x));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn randomized_svd_matches_exact_on_small(a in dense_matrix(16)) {
+#[test]
+fn randomized_svd_matches_exact_on_small() {
+    Checker::new(64).run("randomized_svd_matches_exact_on_small", |g| {
         // With rank ≥ min-dim the randomized SVD is exact (up to rounding).
+        let a = dense_matrix(g, 16);
         let full = a.rows().min(a.cols());
-        let cfg = RandomizedSvdConfig { rank: full, oversample: 6, power_iters: 2 };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        use rand::SeedableRng;
+        let cfg = RandomizedSvdConfig {
+            rank: full,
+            oversample: 6,
+            power_iters: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
         let rs = randomized_svd(&a, &cfg, &mut rng);
         let ex = exact_svd(&a);
         for (x, y) in rs.s.iter().zip(&ex.s) {
-            prop_assert!((x - y).abs() < 1e-6 * (1.0 + y), "{x} vs {y}");
+            ensure!((x - y).abs() < 1e-6 * (1.0 + y), "{x} vs {y}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sparse_dense_svd_agree(m in sparse_matrix(12, 20)) {
-        let cfg = RandomizedSvdConfig { rank: 4, oversample: 6, power_iters: 2 };
-        use rand::SeedableRng;
-        let s1 = randomized_svd(&m, &cfg, &mut rand::rngs::StdRng::seed_from_u64(2));
-        let s2 = randomized_svd(&m.to_dense(), &cfg, &mut rand::rngs::StdRng::seed_from_u64(2));
+#[test]
+fn sparse_dense_svd_agree() {
+    Checker::new(64).run("sparse_dense_svd_agree", |g| {
+        let m = sparse_matrix(g, 12, 20);
+        let cfg = RandomizedSvdConfig {
+            rank: 4,
+            oversample: 6,
+            power_iters: 2,
+        };
+        let s1 = randomized_svd(&m, &cfg, &mut StdRng::seed_from_u64(2));
+        let s2 = randomized_svd(&m.to_dense(), &cfg, &mut StdRng::seed_from_u64(2));
         for (x, y) in s1.s.iter().zip(&s2.s) {
-            prop_assert!((x - y).abs() < 1e-8 * (1.0 + y));
+            ensure!((x - y).abs() < 1e-8 * (1.0 + y));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn csr_products_match_dense(m in sparse_matrix(10, 15), k in 1usize..5) {
+#[test]
+fn csr_products_match_dense() {
+    Checker::new(64).run("csr_products_match_dense", |g| {
+        let m = sparse_matrix(g, 10, 15);
+        let k = g.usize_in(1..5);
         let b = DenseMatrix::from_fn(m.cols(), k, |i, j| ((i * 3 + j * 7) % 5) as f64 - 2.0);
         let fast = m.mul_dense(&b);
         let slow = m.to_dense().mul(&b);
-        prop_assert!(fast.sub(&slow).max_abs() < 1e-10);
+        ensure!(fast.sub(&slow).max_abs() < 1e-10);
         let bt = DenseMatrix::from_fn(m.rows(), k, |i, j| ((i + j) % 4) as f64 - 1.5);
         let fast_t = m.t_mul_dense(&bt);
         let slow_t = m.to_dense().t_mul(&bt);
-        prop_assert!(fast_t.sub(&slow_t).max_abs() < 1e-10);
-    }
+        ensure!(fast_t.sub(&slow_t).max_abs() < 1e-10);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn csr_column_slices_partition(m in sparse_matrix(8, 30), cut in 1u32..29) {
-        let cut = cut.min(m.cols() as u32 - 1);
+#[test]
+fn csr_column_slices_partition() {
+    Checker::new(64).run("csr_column_slices_partition", |g| {
+        let m = sparse_matrix(g, 8, 30);
+        let cut = g.u32_in(1..29).min(m.cols() as u32 - 1);
         let a = m.slice_cols(0, cut);
         let b = m.slice_cols(cut, m.cols() as u32);
-        prop_assert_eq!(a.nnz() + b.nnz(), m.nnz());
+        ensure_eq!(a.nnz() + b.nnz(), m.nnz());
         let total = a.frobenius_norm_sq() + b.frobenius_norm_sq();
-        prop_assert!((total - m.frobenius_norm_sq()).abs() < 1e-9 * (1.0 + total));
-    }
+        ensure!((total - m.frobenius_norm_sq()).abs() < 1e-9 * (1.0 + total));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn frequent_directions_covariance_bound(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(-3.0..3.0f64, 10),
-            1..40,
-        ),
-        l in 2usize..8,
-    ) {
+#[test]
+fn frequent_directions_covariance_bound() {
+    Checker::new(64).run("frequent_directions_covariance_bound", |g| {
+        let rows: Vec<Vec<f64>> = g.vec(1..40, |g| (0..10).map(|_| g.f64_in(-3.0..3.0)).collect());
+        let l = g.usize_in(2..8);
         let mut fd = FrequentDirections::new(l, 10);
         let mut frob_sq = 0.0;
         for r in &rows {
@@ -165,6 +208,11 @@ proptest! {
         }
         let b_cov = b.t_mul(&b);
         let err = a_cov.sub(&b_cov).max_abs();
-        prop_assert!(err <= frob_sq / l as f64 + 1e-9, "{err} > {}", frob_sq / l as f64);
-    }
+        ensure!(
+            err <= frob_sq / l as f64 + 1e-9,
+            "{err} > {}",
+            frob_sq / l as f64
+        );
+        Ok(())
+    });
 }

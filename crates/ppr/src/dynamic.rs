@@ -21,7 +21,6 @@
 
 use crate::push::forward_push;
 use crate::state::PprState;
-use serde::{Deserialize, Serialize};
 use tsvd_graph::{Direction, DynGraph, EdgeEvent, EventKind};
 
 /// An edge event annotated with the updated endpoint's degree *after* the
@@ -30,7 +29,7 @@ use tsvd_graph::{Direction, DynGraph, EdgeEvent, EventKind};
 /// Recording degrees at apply time lets per-source adjustments replay a whole
 /// batch without consulting (or locking) the evolving graph — the graph is
 /// mutated once, then sources are adjusted in parallel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecordedEvent {
     /// Updated endpoint (whose out-distribution changed in this direction).
     pub u: u32,
@@ -41,6 +40,13 @@ pub struct RecordedEvent {
     /// `deg(u)` in the push direction, after the event.
     pub deg_after: usize,
 }
+
+tsvd_rt::impl_json_struct!(RecordedEvent {
+    u,
+    v,
+    kind,
+    deg_after
+});
 
 /// Apply `events` to `g`, producing per-direction recorded event lists:
 /// `.0` replays on forward-direction states, `.1` on reverse-direction
@@ -134,9 +140,9 @@ pub fn dynamic_update(
 mod tests {
     use super::*;
     use crate::exact::exact_ppr_row;
-    use rand::rngs::StdRng;
-    use rand::seq::SliceRandom;
-    use rand::{Rng, SeedableRng};
+    use tsvd_rt::rng::SliceRandom;
+    use tsvd_rt::rng::StdRng;
+    use tsvd_rt::rng::{Rng, SeedableRng};
 
     const ALPHA: f64 = 0.2;
 
@@ -191,7 +197,10 @@ mod tests {
                 adjust_for_event(&mut st, ev, ALPHA);
             }
             let err = invariant_error(&g, Direction::Out, &st);
-            assert!(err < 1e-9, "trial {trial}: invariant error {err} after insert");
+            assert!(
+                err < 1e-9,
+                "trial {trial}: invariant error {err} after insert"
+            );
         }
     }
 
@@ -210,7 +219,10 @@ mod tests {
                 adjust_for_event(&mut st, ev, ALPHA);
             }
             let err = invariant_error(&g, Direction::Out, &st);
-            assert!(err < 1e-9, "trial {trial}: invariant error {err} after delete");
+            assert!(
+                err < 1e-9,
+                "trial {trial}: invariant error {err} after delete"
+            );
         }
     }
 
@@ -276,10 +288,7 @@ mod tests {
     fn noop_events_are_dropped() {
         let mut g = DynGraph::with_nodes(3);
         g.insert_edge(0, 1);
-        let (fwd, bwd) = record_events(
-            &mut g,
-            &[EdgeEvent::insert(0, 1), EdgeEvent::delete(1, 2)],
-        );
+        let (fwd, bwd) = record_events(&mut g, &[EdgeEvent::insert(0, 1), EdgeEvent::delete(1, 2)]);
         assert!(fwd.is_empty());
         assert!(bwd.is_empty());
     }

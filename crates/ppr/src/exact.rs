@@ -8,13 +8,7 @@ use tsvd_graph::{Direction, DynGraph};
 ///
 /// Semantics match the push engine: a walk at a node with no neighbors in
 /// `dir` terminates there (dangling absorption).
-pub fn exact_ppr_row(
-    g: &DynGraph,
-    dir: Direction,
-    source: u32,
-    alpha: f64,
-    tol: f64,
-) -> Vec<f64> {
+pub fn exact_ppr_row(g: &DynGraph, dir: Direction, source: u32, alpha: f64, tol: f64) -> Vec<f64> {
     let n = g.num_nodes();
     let mut pi = vec![0.0; n];
     // Residue formulation of power iteration: walk mass `w` still in flight.

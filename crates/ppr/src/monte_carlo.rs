@@ -9,10 +9,10 @@
 //! embedding papers (e.g. the random-walk baselines in §5) build on.
 
 use crate::state::PprState;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use tsvd_graph::{Direction, DynGraph};
+use tsvd_rt::rng::StdRng;
+use tsvd_rt::rng::{Rng, SeedableRng};
 
 /// Monte-Carlo PPR parameters.
 #[derive(Debug, Clone, Copy)]
@@ -81,19 +81,32 @@ mod tests {
     #[test]
     fn converges_to_exact_ppr() {
         let g = test_graph();
-        let cfg = MonteCarloConfig { alpha: 0.2, num_walks: 200_000, seed: 7 };
+        let cfg = MonteCarloConfig {
+            alpha: 0.2,
+            num_walks: 200_000,
+            seed: 7,
+        };
         let st = monte_carlo_ppr(&g, Direction::Out, 0, &cfg);
         let exact = exact_ppr_row(&g, Direction::Out, 0, 0.2, 1e-13);
         for u in 0..12u32 {
             let err = (st.estimate(u) - exact[u as usize]).abs();
-            assert!(err < 5e-3, "node {u}: MC {} vs exact {}", st.estimate(u), exact[u as usize]);
+            assert!(
+                err < 5e-3,
+                "node {u}: MC {} vs exact {}",
+                st.estimate(u),
+                exact[u as usize]
+            );
         }
     }
 
     #[test]
     fn mass_is_exactly_one() {
         let g = test_graph();
-        let cfg = MonteCarloConfig { alpha: 0.3, num_walks: 1000, seed: 1 };
+        let cfg = MonteCarloConfig {
+            alpha: 0.3,
+            num_walks: 1000,
+            seed: 1,
+        };
         let st = monte_carlo_ppr(&g, Direction::Out, 2, &cfg);
         assert!((st.estimate_mass() - 1.0).abs() < 1e-12);
         assert_eq!(st.residue_mass(), 0.0, "MC leaves no residue");
@@ -109,11 +122,20 @@ mod tests {
             &g,
             Direction::Out,
             4,
-            &MonteCarloConfig { alpha: 0.2, num_walks: 100_000, seed: 3 },
+            &MonteCarloConfig {
+                alpha: 0.2,
+                num_walks: 100_000,
+                seed: 3,
+            },
         );
         for u in 0..12u32 {
             let d = (push.estimate(u) - mc.estimate(u)).abs();
-            assert!(d < 8e-3, "node {u}: push {} vs MC {}", push.estimate(u), mc.estimate(u));
+            assert!(
+                d < 8e-3,
+                "node {u}: push {} vs MC {}",
+                push.estimate(u),
+                mc.estimate(u)
+            );
         }
     }
 
@@ -125,7 +147,11 @@ mod tests {
             &g,
             Direction::Out,
             0,
-            &MonteCarloConfig { alpha: 0.2, num_walks: 100, seed: 5 },
+            &MonteCarloConfig {
+                alpha: 0.2,
+                num_walks: 100,
+                seed: 5,
+            },
         );
         assert_eq!(st.estimate(0), 1.0, "all walks stop at the dangling source");
     }
@@ -133,7 +159,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = test_graph();
-        let cfg = MonteCarloConfig { alpha: 0.2, num_walks: 5000, seed: 11 };
+        let cfg = MonteCarloConfig {
+            alpha: 0.2,
+            num_walks: 5000,
+            seed: 11,
+        };
         let a = monte_carlo_ppr(&g, Direction::Out, 1, &cfg);
         let b = monte_carlo_ppr(&g, Direction::Out, 1, &cfg);
         for u in 0..12u32 {

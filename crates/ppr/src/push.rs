@@ -17,13 +17,7 @@ use tsvd_graph::{Direction, DynGraph};
 ///
 /// Cost: `O(total pushed mass / (α·r_max))`; for a fresh one-hot residue
 /// this is the classic `O(1/(α·r_max))`.
-pub fn forward_push(
-    g: &DynGraph,
-    dir: Direction,
-    alpha: f64,
-    r_max: f64,
-    state: &mut PprState,
-) {
+pub fn forward_push(g: &DynGraph, dir: Direction, alpha: f64, r_max: f64, state: &mut PprState) {
     assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
     assert!(r_max > 0.0, "r_max must be positive");
     let mut queue: VecDeque<u32> = VecDeque::new();
@@ -98,8 +92,13 @@ impl FreshPushWorkspace {
         assert!(r_max > 0.0, "r_max must be positive");
         debug_assert!(self.p.len() >= g.num_nodes());
         debug_assert!(self.p.iter().all(|&x| x == 0.0), "workspace not clean");
-        let (p, r, in_queue, touched, queue) =
-            (&mut self.p, &mut self.r, &mut self.in_queue, &mut self.touched, &mut self.queue);
+        let (p, r, in_queue, touched, queue) = (
+            &mut self.p,
+            &mut self.r,
+            &mut self.in_queue,
+            &mut self.touched,
+            &mut self.queue,
+        );
         // `touched` records every node whose residue transitioned away from
         // zero; duplicates are possible (a residue can be drained back to
         // exactly zero and refilled) and are harmless — cleanup zeroes the
@@ -134,7 +133,11 @@ impl FreshPushWorkspace {
                 }
                 *rv += spread;
                 let dv = g.degree(v, dir);
-                let pushable = if dv == 0 { *rv > r_max } else { *rv > r_max * dv as f64 };
+                let pushable = if dv == 0 {
+                    *rv > r_max
+                } else {
+                    *rv > r_max * dv as f64
+                };
                 if pushable && !in_queue[v as usize] {
                     in_queue[v as usize] = true;
                     queue.push_back(v);
@@ -277,7 +280,10 @@ mod tests {
         forward_push(&g, Direction::Out, 0.2, r_max, &mut st);
         for (u, r) in st.residues() {
             let d = g.out_degree(u).max(1);
-            assert!(r.abs() / d as f64 <= r_max + 1e-15, "node {u} still pushable");
+            assert!(
+                r.abs() / d as f64 <= r_max + 1e-15,
+                "node {u} still pushable"
+            );
         }
     }
 
@@ -350,12 +356,12 @@ mod tests {
             let pis: Vec<Vec<f64>> = (0..12u32)
                 .map(|v| exact_ppr_row(&g, Direction::Out, v, alpha, 1e-13))
                 .collect();
-            for x in 0..12usize {
+            for (x, &truth) in pis[s as usize].iter().enumerate() {
                 let mut rhs = dense.estimate(x as u32);
                 for (v, rv) in dense.residues() {
                     rhs += rv * pis[v as usize][x];
                 }
-                assert!((rhs - pis[s as usize][x]).abs() < 1e-9, "invariant at {x}");
+                assert!((rhs - truth).abs() < 1e-9, "invariant at {x}");
             }
         }
     }

@@ -1,6 +1,5 @@
 //! Per-source push state: the estimate vector `p_s` and residue vector `r_s`.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The local-push state of one PPR source: sparse estimate (`p`) and residue
@@ -10,7 +9,7 @@ use std::collections::HashMap;
 /// nodes, a vanishing fraction of the graph. The `dirty` flag is set by any
 /// mutation and cleared by the consumer (the proximity-matrix layer uses it
 /// to rebuild only the rows that changed).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PprState {
     /// The source node `s`.
     pub source: u32,
@@ -20,12 +19,24 @@ pub struct PprState {
     pub dirty: bool,
 }
 
+tsvd_rt::impl_json_struct!(PprState {
+    source,
+    p,
+    r,
+    dirty
+});
+
 impl PprState {
     /// Fresh state for `source`: `p = 0`, `r = 1_s` (one-hot residue).
     pub fn new(source: u32) -> Self {
         let mut r = HashMap::new();
         r.insert(source, 1.0);
-        PprState { source, p: HashMap::new(), r, dirty: true }
+        PprState {
+            source,
+            p: HashMap::new(),
+            r,
+            dirty: true,
+        }
     }
 
     /// Reset to the fresh state (used when an incremental update falls back

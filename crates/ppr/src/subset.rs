@@ -5,7 +5,6 @@ use crate::dynamic::{dynamic_update, record_events};
 use crate::proximity::proximity_row;
 use crate::push::FreshPushWorkspace;
 use crate::state::PprState;
-use serde::{Deserialize, Serialize};
 use tsvd_graph::par::par_map;
 use tsvd_graph::{Direction, DynGraph, EdgeEvent};
 
@@ -16,7 +15,7 @@ unsafe impl Send for SendSlots {}
 unsafe impl Sync for SendSlots {}
 
 /// PPR parameters (Table 2): decay factor `α` and push threshold `r_max`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PprConfig {
     /// Stop probability of the α-decay walk. The literature default is 0.15–0.2.
     pub alpha: f64,
@@ -25,9 +24,14 @@ pub struct PprConfig {
     pub r_max: f64,
 }
 
+tsvd_rt::impl_json_struct!(PprConfig { alpha, r_max });
+
 impl Default for PprConfig {
     fn default() -> Self {
-        PprConfig { alpha: 0.2, r_max: 1e-4 }
+        PprConfig {
+            alpha: 0.2,
+            r_max: 1e-4,
+        }
     }
 }
 
@@ -54,13 +58,20 @@ impl Default for PprConfig {
 /// // Node 0 now splits its walk mass: node 2 becomes less likely.
 /// assert!(ppr.forward_state(0).estimate(2) < before);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SubsetPpr {
     cfg: PprConfig,
     sources: Vec<u32>,
     fwd: Vec<PprState>,
     bwd: Vec<PprState>,
 }
+
+tsvd_rt::impl_json_struct!(SubsetPpr {
+    cfg,
+    sources,
+    fwd,
+    bwd
+});
 
 impl SubsetPpr {
     /// Run a fresh Forward-Push (both directions) for every source on `g`.
@@ -100,10 +111,17 @@ impl SubsetPpr {
                 });
             }
         });
-        let mut states: Vec<PprState> =
-            slots.into_iter().map(|s| s.expect("worker filled slot")).collect();
+        let mut states: Vec<PprState> = slots
+            .into_iter()
+            .map(|s| s.expect("worker filled slot"))
+            .collect();
         let bwd = states.split_off(sources.len());
-        SubsetPpr { cfg, sources: sources.to_vec(), fwd: states, bwd }
+        SubsetPpr {
+            cfg,
+            sources: sources.to_vec(),
+            fwd: states,
+            bwd,
+        }
     }
 
     /// The PPR configuration.
@@ -202,8 +220,8 @@ impl SubsetPpr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tsvd_rt::rng::StdRng;
+    use tsvd_rt::rng::{Rng, SeedableRng};
 
     fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
         let mut g = DynGraph::with_nodes(n);
@@ -221,7 +239,10 @@ mod tests {
     fn build_populates_both_directions() {
         let mut rng = StdRng::seed_from_u64(1);
         let g = random_graph(&mut rng, 50, 200);
-        let cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+        let cfg = PprConfig {
+            alpha: 0.2,
+            r_max: 1e-4,
+        };
         let ppr = SubsetPpr::build(&g, &[0, 7, 13], cfg);
         assert_eq!(ppr.len(), 3);
         for i in 0..3 {
@@ -235,7 +256,10 @@ mod tests {
     fn dynamic_update_matches_fresh_build() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut g = random_graph(&mut rng, 40, 120);
-        let cfg = PprConfig { alpha: 0.2, r_max: 1e-5 };
+        let cfg = PprConfig {
+            alpha: 0.2,
+            r_max: 1e-5,
+        };
         let sources = vec![1u32, 5, 9];
         let mut ppr = SubsetPpr::build(&g, &sources, cfg);
         // Apply a batch of events.
@@ -299,7 +323,14 @@ mod tests {
     fn proximity_rows_sorted_and_positive() {
         let mut rng = StdRng::seed_from_u64(5);
         let g = random_graph(&mut rng, 60, 240);
-        let ppr = SubsetPpr::build(&g, &[0, 1, 2, 3], PprConfig { alpha: 0.2, r_max: 1e-3 });
+        let ppr = SubsetPpr::build(
+            &g,
+            &[0, 1, 2, 3],
+            PprConfig {
+                alpha: 0.2,
+                r_max: 1e-3,
+            },
+        );
         for row in ppr.proximity_rows() {
             assert!(row.windows(2).all(|w| w[0].0 < w[1].0));
             assert!(row.iter().all(|e| e.1 > 0.0));

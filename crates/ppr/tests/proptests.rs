@@ -2,23 +2,28 @@
 //! dynamic-update invariant, and threshold/termination guarantees on
 //! arbitrary graphs and event sequences.
 
-use proptest::prelude::*;
 use tsvd_graph::{Direction, DynGraph, EdgeEvent};
 use tsvd_ppr::dynamic::{adjust_for_event, record_events};
 use tsvd_ppr::exact::exact_ppr_row;
 use tsvd_ppr::{forward_push, forward_push_fresh, PprState};
+use tsvd_rt::check::{Checker, Gen};
+use tsvd_rt::ensure;
 
 const ALPHA: f64 = 0.2;
 
-/// Strategy: a small random directed graph as an edge list over `n` nodes.
-fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (3usize..15).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32).prop_filter("no self-loop", |(u, v)| u != v),
-            1..40,
-        );
-        (Just(n), edges)
-    })
+/// A small random directed graph as an edge list over `n` nodes.
+fn random_graph(g: &mut Gen) -> (usize, Vec<(u32, u32)>) {
+    let n = g.usize_in(3..15);
+    let mut edges = Vec::new();
+    let m = g.usize_in(1..40);
+    while edges.len() < m {
+        let u = g.u32_in(0..n as u32);
+        let v = g.u32_in(0..n as u32);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    (n, edges)
 }
 
 /// Max invariant violation `|π_s(x) − (p_s(x) + Σ_v r_s(v)·π_v(x))|`.
@@ -39,54 +44,49 @@ fn invariant_error(g: &DynGraph, st: &PprState) -> f64 {
         .fold(0.0, f64::max)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn push_invariant_on_arbitrary_graphs(
-        (n, edges) in graph_strategy(),
-        source in 0u32..3,
-        r_max_exp in 2u32..5,
-    ) {
+#[test]
+fn push_invariant_on_arbitrary_graphs() {
+    Checker::new(48).run("push_invariant_on_arbitrary_graphs", |gen| {
+        let (n, edges) = random_graph(gen);
+        let source = gen.u32_in(0..3).min(n as u32 - 1);
+        let r_max_exp = gen.u32_in(2..5);
         let g = DynGraph::from_edges(n, &edges);
-        let source = source.min(n as u32 - 1);
         let r_max = 10f64.powi(-(r_max_exp as i32));
         let mut st = PprState::new(source);
         forward_push(&g, Direction::Out, ALPHA, r_max, &mut st);
-        prop_assert!(invariant_error(&g, &st) < 1e-9);
+        ensure!(invariant_error(&g, &st) < 1e-9);
         // Threshold respected everywhere.
         for (u, r) in st.residues() {
             let d = g.out_degree(u).max(1);
-            prop_assert!(r.abs() / d as f64 <= r_max + 1e-15);
+            ensure!(r.abs() / d as f64 <= r_max + 1e-15);
         }
         // Mass conservation: estimates + residues sum to 1.
-        let total: f64 = st.estimate_mass()
-            + st.residues().map(|(_, r)| r).sum::<f64>();
-        prop_assert!((total - 1.0).abs() < 1e-9, "mass {total}");
-    }
+        let total: f64 = st.estimate_mass() + st.residues().map(|(_, r)| r).sum::<f64>();
+        ensure!((total - 1.0).abs() < 1e-9, "mass {total}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dense_fresh_push_invariant(
-        (n, edges) in graph_strategy(),
-        source in 0u32..3,
-    ) {
+#[test]
+fn dense_fresh_push_invariant() {
+    Checker::new(48).run("dense_fresh_push_invariant", |gen| {
+        let (n, edges) = random_graph(gen);
+        let source = gen.u32_in(0..3).min(n as u32 - 1);
         let g = DynGraph::from_edges(n, &edges);
-        let source = source.min(n as u32 - 1);
         let st = forward_push_fresh(&g, Direction::Out, ALPHA, 1e-3, source);
-        prop_assert!(invariant_error(&g, &st) < 1e-9);
-    }
+        ensure!(invariant_error(&g, &st) < 1e-9);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dynamic_adjustment_restores_invariant_exactly(
-        (n, edges) in graph_strategy(),
-        extra in proptest::collection::vec(
-            ((0u32..15, 0u32..15), prop::bool::ANY),
-            1..12,
-        ),
-        source in 0u32..3,
-    ) {
+#[test]
+fn dynamic_adjustment_restores_invariant_exactly() {
+    Checker::new(48).run("dynamic_adjustment_restores_invariant_exactly", |gen| {
+        let (n, edges) = random_graph(gen);
+        let extra: Vec<((u32, u32), bool)> =
+            gen.vec(1..12, |g| ((g.u32_in(0..15), g.u32_in(0..15)), g.bool()));
+        let source = gen.u32_in(0..3).min(n as u32 - 1);
         let mut g = DynGraph::from_edges(n, &edges);
-        let source = source.min(n as u32 - 1);
         let mut st = PprState::new(source);
         forward_push(&g, Direction::Out, ALPHA, 1e-2, &mut st);
         // Arbitrary insert/delete sequence (bounded to the node range).
@@ -97,7 +97,11 @@ proptest! {
                 if u == v {
                     return None;
                 }
-                Some(if ins { EdgeEvent::insert(u, v) } else { EdgeEvent::delete(u, v) })
+                Some(if ins {
+                    EdgeEvent::insert(u, v)
+                } else {
+                    EdgeEvent::delete(u, v)
+                })
             })
             .collect();
         let (recorded, _) = record_events(&mut g, &events);
@@ -105,16 +109,17 @@ proptest! {
             adjust_for_event(&mut st, ev, ALPHA);
         }
         // The invariant must hold *exactly* (to rounding) — no push needed.
-        prop_assert!(invariant_error(&g, &st) < 1e-8);
-    }
+        ensure!(invariant_error(&g, &st) < 1e-8);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn reverse_direction_is_ppr_of_transpose(
-        (n, edges) in graph_strategy(),
-        source in 0u32..3,
-    ) {
+#[test]
+fn reverse_direction_is_ppr_of_transpose() {
+    Checker::new(48).run("reverse_direction_is_ppr_of_transpose", |gen| {
+        let (n, edges) = random_graph(gen);
+        let source = gen.u32_in(0..3).min(n as u32 - 1);
         let g = DynGraph::from_edges(n, &edges);
-        let source = source.min(n as u32 - 1);
         // PPR on (g, In) == PPR on (transpose(g), Out).
         let mut gt = DynGraph::with_nodes(g.num_nodes());
         for (u, v) in g.edges() {
@@ -123,7 +128,8 @@ proptest! {
         let a = exact_ppr_row(&g, Direction::In, source, ALPHA, 1e-13);
         let b = exact_ppr_row(&gt, Direction::Out, source, ALPHA, 1e-13);
         for (x, y) in a.iter().zip(&b) {
-            prop_assert!((x - y).abs() < 1e-10);
+            ensure!((x - y).abs() < 1e-10);
         }
-    }
+        Ok(())
+    });
 }

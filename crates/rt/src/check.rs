@@ -1,0 +1,407 @@
+//! Seeded property testing: the workspace's `proptest` replacement.
+//!
+//! A property is a closure `Fn(&mut Gen) -> Result<(), String>`: it draws
+//! its own input from the supplied deterministic generator and returns
+//! `Err` (usually via [`ensure!`](crate::ensure)) when the property is
+//! violated. The [`Checker`] runs the property over a budget of cases, each
+//! derived from `(base seed, test name, case index)`, so:
+//!
+//! - every run of the suite executes the identical case list (deterministic
+//!   CI), unless `TSVD_CHECK_SEED` overrides the base seed to explore;
+//! - a failure report names the *case seed*, which replays that exact input
+//!   regardless of its index — append it to the crate's regression file and
+//!   it runs first on every subsequent invocation, forever;
+//! - panics inside the property are caught and reported with the same seed,
+//!   so an index-out-of-bounds in code under test is as diagnosable as a
+//!   failed assertion.
+//!
+//! Regression files use the `proptest` line format the seed repo already
+//! checked in (`cc <hex> # comment`): the leading 16 hex digits of each
+//! `cc` entry are interpreted as the case seed to replay. Existing
+//! `*.proptest-regressions` files therefore keep working as seed carriers.
+
+use crate::rng::{splitmix64, SeedableRng, StdRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Environment variable overriding the base seed (decimal or `0x…` hex).
+pub const SEED_ENV: &str = "TSVD_CHECK_SEED";
+
+/// Default number of cases when the caller does not specify one.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Fixed base seed: runs are reproducible by default, exploration is opt-in
+/// via [`SEED_ENV`].
+const DEFAULT_BASE_SEED: u64 = 0x7533_7664_2d72_7431; // "tsvd-rt1"
+
+/// A deterministic input generator handed to every property case.
+///
+/// Thin sugar over [`StdRng`]; the helpers mirror the `proptest` strategies
+/// the old suites used (ranges, collections, probability flips).
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    /// A generator for an explicit seed (the harness does this for you).
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying RNG, for code that takes `&mut StdRng` directly.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Uniform `usize` in `lo..hi`.
+    pub fn usize_in(&mut self, r: std::ops::Range<usize>) -> usize {
+        use crate::rng::Rng;
+        self.rng.gen_range(r)
+    }
+
+    /// Uniform `u32` in `lo..hi`.
+    pub fn u32_in(&mut self, r: std::ops::Range<u32>) -> u32 {
+        use crate::rng::Rng;
+        self.rng.gen_range(r)
+    }
+
+    /// Uniform `u64` in `lo..hi`.
+    pub fn u64_in(&mut self, r: std::ops::Range<u64>) -> u64 {
+        use crate::rng::Rng;
+        self.rng.gen_range(r)
+    }
+
+    /// Uniform `f64` in `lo..hi`.
+    pub fn f64_in(&mut self, r: std::ops::Range<f64>) -> f64 {
+        use crate::rng::Rng;
+        self.rng.gen_range(r)
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        use crate::rng::Rng;
+        self.rng.gen::<bool>()
+    }
+
+    /// `true` with probability `p`.
+    pub fn prob(&mut self, p: f64) -> bool {
+        use crate::rng::Rng;
+        self.rng.gen_bool(p)
+    }
+
+    /// A vector with uniformly chosen length in `len`, elements drawn by
+    /// `f` — the analogue of `proptest::collection::vec`.
+    pub fn vec<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A sorted, deduplicated `(key, value)` list with at most `max_len`
+    /// entries and keys below `key_bound` — the analogue of
+    /// `proptest::collection::btree_map` over `0..key_bound`.
+    pub fn sparse_row(
+        &mut self,
+        key_bound: u32,
+        max_len: usize,
+        val: std::ops::Range<f64>,
+    ) -> Vec<(u32, f64)> {
+        let mut m = std::collections::BTreeMap::new();
+        let n = self.usize_in(0..max_len + 1);
+        for _ in 0..n {
+            let k = self.u32_in(0..key_bound);
+            let v = self.f64_in(val.clone());
+            m.insert(k, v);
+        }
+        m.into_iter().collect()
+    }
+}
+
+/// Seed for case `index` of test `name` under `base` — a pure function, so
+/// a reported seed replays the same input with no index bookkeeping.
+fn case_seed(base: u64, name: &str, index: u64) -> u64 {
+    let mut h = base;
+    for b in name.bytes() {
+        h = splitmix64(&mut h) ^ b as u64;
+    }
+    let mut s = h ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s)
+}
+
+/// Property-test runner: case budget, base seed, optional regression file.
+pub struct Checker {
+    cases: usize,
+    base_seed: u64,
+    regressions: Option<PathBuf>,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker::new(DEFAULT_CASES)
+    }
+}
+
+impl Checker {
+    /// A runner executing `cases` generated cases per property.
+    pub fn new(cases: usize) -> Checker {
+        let base_seed = std::env::var(SEED_ENV)
+            .ok()
+            .and_then(|s| {
+                let s = s.trim();
+                if let Some(hex) = s.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).ok()
+                } else {
+                    s.parse().ok()
+                }
+            })
+            .unwrap_or(DEFAULT_BASE_SEED);
+        Checker {
+            cases,
+            base_seed,
+            regressions: None,
+        }
+    }
+
+    /// Replay the `cc` seeds in `path` (proptest regression-file format)
+    /// before generating novel cases. A missing file is fine; it only has
+    /// to exist once a failure has been recorded.
+    pub fn with_regressions(mut self, path: impl Into<PathBuf>) -> Checker {
+        self.regressions = Some(path.into());
+        self
+    }
+
+    /// Run `prop` on every regression seed, then on `cases` fresh cases.
+    /// Panics with a replayable seed report on the first failure.
+    pub fn run(&self, name: &str, prop: impl Fn(&mut Gen) -> Result<(), String>) {
+        for seed in self.regression_seeds() {
+            self.run_case(name, seed, "regression", &prop);
+        }
+        for i in 0..self.cases {
+            let seed = case_seed(self.base_seed, name, i as u64);
+            self.run_case(name, seed, "generated", &prop);
+        }
+    }
+
+    fn run_case(
+        &self,
+        name: &str,
+        seed: u64,
+        kind: &str,
+        prop: &impl Fn(&mut Gen) -> Result<(), String>,
+    ) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut gen = Gen::from_seed(seed);
+            prop(&mut gen)
+        }));
+        let failure = match outcome {
+            Ok(Ok(())) => return,
+            Ok(Err(msg)) => msg,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                format!("panicked: {msg}")
+            }
+        };
+        panic!(
+            "property '{name}' failed on {kind} case (seed {seed:#018x}): {failure}\n\
+             replay: add the line 'cc {seed:016x}' to this crate's regression file\n\
+             (tests/proptests.proptest-regressions), or set {SEED_ENV} to explore."
+        );
+    }
+
+    fn regression_seeds(&self) -> Vec<u64> {
+        let Some(path) = &self.regressions else {
+            return Vec::new();
+        };
+        parse_regression_file(path)
+    }
+}
+
+/// Extract replay seeds from a proptest-format regression file: every line
+/// `cc <hex…>` contributes its first 16 hex digits as a u64 seed.
+pub fn parse_regression_file(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if hex.len() < 16 {
+                return None;
+            }
+            u64::from_str_radix(&hex[..16], 16).ok()
+        })
+        .collect()
+}
+
+/// Fail the surrounding property unless `cond` holds; formats like
+/// `assert!` but returns `Err` so the harness can report the case seed.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("condition failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// [`ensure!`](crate::ensure) for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "{} != {} ({a:?} vs {b:?})", stringify!($a), stringify!($b)
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!("{} ({a:?} vs {b:?})", format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Discard the current case (counts as a pass) unless `cond` holds — the
+/// analogue of `prop_assume!`.
+#[macro_export]
+macro_rules! assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0usize);
+        Checker::new(32).run("always_true", |g| {
+            count.set(count.get() + 1);
+            let x = g.f64_in(0.0..1.0);
+            ensure!((0.0..1.0).contains(&x));
+            Ok(())
+        });
+        assert_eq!(count.get(), 32);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_replays() {
+        // Find the seed the harness reports, then replay it directly.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Checker::new(64).run("finds_big", |g| {
+                let v = g.usize_in(0..100);
+                ensure!(v < 90, "drew {v}");
+                Ok(())
+            });
+        }));
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().unwrap().clone(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("finds_big"), "{msg}");
+        let hex = msg.split("seed 0x").nth(1).unwrap()[..16].to_string();
+        let seed = u64::from_str_radix(&hex, 16).unwrap();
+        let mut gen = Gen::from_seed(seed);
+        assert!(
+            gen.usize_in(0..100) >= 90,
+            "reported seed must replay the failure"
+        );
+    }
+
+    #[test]
+    fn panics_are_caught_and_attributed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Checker::new(4).run("explodes", |g| {
+                let v: Vec<u32> = g.vec(0..3, |g| g.u32_in(0..10));
+                let _ = v[10]; // out of bounds
+                Ok(())
+            });
+        }));
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().unwrap().clone(),
+            Ok(()) => panic!("should have panicked"),
+        };
+        assert!(
+            msg.contains("explodes") && msg.contains("panicked"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let draw = |name: &str| {
+            let out = std::cell::RefCell::new(Vec::new());
+            Checker::new(8).run(name, |g| {
+                out.borrow_mut().push(g.u64_in(0..u64::MAX));
+                Ok(())
+            });
+            out.into_inner()
+        };
+        assert_eq!(draw("a"), draw("a"));
+        assert_ne!(draw("a"), draw("b"), "different tests see different cases");
+    }
+
+    #[test]
+    fn regression_file_parsing() {
+        let dir = std::env::temp_dir().join(format!("tsvd_rt_regress_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# comment\n\
+             cc 98d4c6ccc99e405bf8eef8edc1a19fe9f888eb4d564d61df1dc7c868c5a507f4 # shrinks to x\n\
+             cc 0000000000000001\n\
+             cc short\n\
+             not a seed line\n",
+        )
+        .unwrap();
+        let seeds = parse_regression_file(&path);
+        assert_eq!(seeds, vec![0x98d4_c6cc_c99e_405b, 1]);
+
+        // Replayed before generated cases.
+        let seen = std::cell::RefCell::new(Vec::new());
+        Checker::new(2).with_regressions(&path).run("order", |g| {
+            seen.borrow_mut().push(g.u64_in(0..u64::MAX));
+            Ok(())
+        });
+        assert_eq!(seen.borrow().len(), 4);
+        let mut direct = Gen::from_seed(0x98d4_c6cc_c99e_405b);
+        assert_eq!(seen.borrow()[0], direct.u64_in(0..u64::MAX));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sparse_row_sorted_distinct_bounded() {
+        Checker::new(64).run("sparse_row_shape", |g| {
+            let row = g.sparse_row(30, 10, 0.1..5.0);
+            ensure!(row.len() <= 10);
+            ensure!(
+                row.windows(2).all(|w| w[0].0 < w[1].0),
+                "unsorted or duplicate keys"
+            );
+            ensure!(row.iter().all(|&(k, v)| k < 30 && (0.1..5.0).contains(&v)));
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,23 @@
+//! `tsvd-rt` — the runtime substrate every other crate in this workspace
+//! stands on.
+//!
+//! DESIGN.md commits to building every substrate from scratch because there
+//! is no usable crate stack in the offline build environment. This crate is
+//! where that commitment lands for the *infrastructure* dependencies the
+//! seed still declared: it replaces `rand` ([`rng`]), `serde`/`serde_json`
+//! ([`json`]), `proptest` ([`check`]), and `criterion` ([`bench`]) with
+//! in-tree implementations small enough to audit and deterministic by
+//! construction. The workspace builds hermetically: `cargo build` touches no
+//! registry, no network, no vendored sources.
+//!
+//! Determinism is the organising principle, not a nice-to-have: every
+//! experiment in the Tree-SVD reproduction (and in the dynamic forward-push
+//! line of work it follows) depends on seeded reproducibility. [`rng`] is a
+//! counter-seeded xoshiro256++ whose stream is fixed forever by this file;
+//! [`check`] derives every test case from an explicit seed and reports the
+//! failing seed on error; [`bench`] never samples timers for control flow.
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;

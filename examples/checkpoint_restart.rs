@@ -18,8 +18,15 @@ fn main() {
     let data = SyntheticDataset::generate(&cfg);
     let mut g = data.stream.snapshot(2);
     let subset = data.sample_subset(100, 5);
-    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
-    let tree_cfg = TreeSvdConfig { dim: 16, num_blocks: 8, ..TreeSvdConfig::default() };
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: 1e-4,
+    };
+    let tree_cfg = TreeSvdConfig {
+        dim: 16,
+        num_blocks: 8,
+        ..TreeSvdConfig::default()
+    };
 
     // Day 1: build, absorb one batch, checkpoint.
     let t0 = Instant::now();
@@ -37,8 +44,15 @@ fn main() {
     // Day 2 (a fresh process): restore and continue incrementally.
     let t1 = Instant::now();
     let mut restored = TreeSvdPipeline::load(&path).expect("restore");
-    println!("restore from checkpoint: {:.0}ms (vs rebuilding from scratch)", t1.elapsed().as_secs_f64() * 1e3);
-    let same = pipe.embedding().left().sub(&restored.embedding().left()).max_abs();
+    println!(
+        "restore from checkpoint: {:.0}ms (vs rebuilding from scratch)",
+        t1.elapsed().as_secs_f64() * 1e3
+    );
+    let same = pipe
+        .embedding()
+        .left()
+        .sub(&restored.embedding().left())
+        .max_abs();
     println!("embedding drift across checkpoint: {same:e} (lossless)");
 
     let t2 = Instant::now();

@@ -22,7 +22,10 @@ fn main() {
     let t_mid = 3;
     let mut g = data.stream.snapshot(t_mid);
     let subset = data.sample_subset(200, 9);
-    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: 1e-4,
+    };
     let tree_cfg = TreeSvdConfig {
         dim: 32,
         branching: 4,
@@ -87,7 +90,9 @@ fn main() {
     // proximity matrix almost as well as a fresh factorisation.
     let csr = pipeline.proximity_csr();
     let lazy_resid = pipeline.embedding().projection_residual(&csr);
-    let fresh_resid = static_tree.embed(pipeline.matrix()).projection_residual(&csr);
+    let fresh_resid = static_tree
+        .embed(pipeline.matrix())
+        .projection_residual(&csr);
     println!(
         "projection residual: lazy {:.2} vs fresh {:.2} (‖M‖_F = {:.2})",
         lazy_resid,

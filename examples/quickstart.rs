@@ -11,8 +11,18 @@ fn main() {
     // 1. A toy directed graph: two loose communities bridged by one edge.
     let mut g = DynGraph::with_nodes(12);
     for (u, v) in [
-        (0, 1), (1, 2), (2, 0), (0, 3), (3, 1), (4, 2), // community A
-        (6, 7), (7, 8), (8, 6), (9, 7), (10, 8), (8, 9), // community B
+        (0, 1),
+        (1, 2),
+        (2, 0),
+        (0, 3),
+        (3, 1),
+        (4, 2), // community A
+        (6, 7),
+        (7, 8),
+        (8, 6),
+        (9, 7),
+        (10, 8),
+        (8, 9), // community B
         (2, 6), // bridge
     ] {
         g.insert_edge(u, v);
@@ -23,7 +33,10 @@ fn main() {
 
     // 3. Build the end-to-end pipeline: Forward-Push PPR (both directions),
     //    the log-scaled proximity matrix, and the hierarchical Tree-SVD.
-    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-5 };
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: 1e-5,
+    };
     let tree_cfg = TreeSvdConfig {
         dim: 4,
         branching: 2,

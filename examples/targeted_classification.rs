@@ -24,7 +24,10 @@ fn main() {
         cfg.num_classes
     );
 
-    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: 1e-4,
+    };
     let tree_cfg = TreeSvdConfig {
         dim: 32,
         branching: 4,
@@ -33,7 +36,10 @@ fn main() {
     };
     let task = NodeClassificationTask::new(&labels, 0.5, 3);
 
-    println!("{:>9} {:>8} {:>10} {:>10}", "snapshot", "edges", "micro-F1", "macro-F1");
+    println!(
+        "{:>9} {:>8} {:>10} {:>10}",
+        "snapshot", "edges", "micro-F1", "macro-F1"
+    );
     for t in 1..=data.stream.num_snapshots() {
         let g = data.stream.snapshot(t);
         let pipeline = TreeSvdPipeline::new(&g, &subset, ppr_cfg, tree_cfg);

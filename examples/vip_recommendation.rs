@@ -31,7 +31,10 @@ fn main() {
     println!("held-out VIP edges: {}", task.num_positives());
 
     // --- Subset embedding (Tree-SVD) on the training graph ---
-    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: 1e-4,
+    };
     let tree_cfg = TreeSvdConfig {
         dim: 32,
         branching: 4,
@@ -45,14 +48,26 @@ fn main() {
 
     // --- Global embedding under the same total memory budget ---
     let global = GlobalStrap::new(32, 42).embed(&task.train_graph, &vips, 0.2, 2e-5);
-    let global_precision =
-        task.precision(&global.left, global.right.as_ref().expect("right embedding"));
+    let global_precision = task.precision(
+        &global.left,
+        global.right.as_ref().expect("right embedding"),
+    );
 
     println!("\nrecommendation precision@{}:", task.num_positives());
-    println!("  Tree-SVD subset embedding : {:.1}%", subset_precision * 100.0);
-    println!("  budget-equalised global   : {:.1}%", global_precision * 100.0);
+    println!(
+        "  Tree-SVD subset embedding : {:.1}%",
+        subset_precision * 100.0
+    );
+    println!(
+        "  budget-equalised global   : {:.1}%",
+        global_precision * 100.0
+    );
     println!(
         "\nfocusing the budget on the VIP rows {} the global embedding.",
-        if subset_precision > global_precision { "beats" } else { "ties" }
+        if subset_precision > global_precision {
+            "beats"
+        } else {
+            "ties"
+        }
     );
 }

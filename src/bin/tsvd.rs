@@ -90,13 +90,16 @@ impl Options {
     }
 
     fn required(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v:?}")),
         }
     }
 }
@@ -167,13 +170,13 @@ fn build_setup(opts: &Options) -> Result<EmbedSetup, String> {
         nodes
     } else {
         let size: usize = opts.parse_or("subset-size", 100)?;
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+        use tsvd_rt::rng::SeedableRng;
+        use tsvd_rt::rng::SliceRandom;
         let mut candidates: Vec<u32> = (0..final_graph.num_nodes() as u32)
             .filter(|&u| final_graph.out_degree(u) + final_graph.in_degree(u) > 0)
             .collect();
         let seed: u64 = opts.parse_or("seed", 42u64)?;
-        candidates.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        candidates.shuffle(&mut tsvd_rt::rng::StdRng::seed_from_u64(seed));
         candidates.truncate(size);
         candidates.sort_unstable();
         candidates
@@ -193,7 +196,12 @@ fn build_setup(opts: &Options) -> Result<EmbedSetup, String> {
         ..TreeSvdConfig::default()
     };
     tree_cfg.validate();
-    Ok(EmbedSetup { stream, subset, ppr_cfg, tree_cfg })
+    Ok(EmbedSetup {
+        stream,
+        subset,
+        ppr_cfg,
+        tree_cfg,
+    })
 }
 
 fn write_tsv(path: &str, ids: Option<&[u32]>, m: &DenseMatrix) -> Result<(), String> {

@@ -4,9 +4,9 @@
 //! tests — every substrate (graph, PPR, proximity, SVD tree, eval) is on
 //! the path.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tree_svd::prelude::*;
+use tsvd_rt::rng::StdRng;
+use tsvd_rt::rng::{Rng, SeedableRng};
 
 fn clean_dataset() -> SyntheticDataset {
     let mut cfg = DatasetConfig::patent();
@@ -24,8 +24,16 @@ fn pipeline_on(data: &SyntheticDataset, subset: &[u32]) -> TreeSvdPipeline {
     TreeSvdPipeline::new(
         &g,
         subset,
-        PprConfig { alpha: 0.2, r_max: 5e-5 },
-        TreeSvdConfig { dim: 16, branching: 4, num_blocks: 8, ..TreeSvdConfig::default() },
+        PprConfig {
+            alpha: 0.2,
+            r_max: 5e-5,
+        },
+        TreeSvdConfig {
+            dim: 16,
+            branching: 4,
+            num_blocks: 8,
+            ..TreeSvdConfig::default()
+        },
     )
 }
 
@@ -53,8 +61,16 @@ fn link_prediction_beats_random_scoring() {
     let pipe = TreeSvdPipeline::new(
         &task.train_graph,
         &subset,
-        PprConfig { alpha: 0.2, r_max: 5e-5 },
-        TreeSvdConfig { dim: 16, branching: 4, num_blocks: 8, ..TreeSvdConfig::default() },
+        PprConfig {
+            alpha: 0.2,
+            r_max: 5e-5,
+        },
+        TreeSvdConfig {
+            dim: 16,
+            branching: 4,
+            num_blocks: 8,
+            ..TreeSvdConfig::default()
+        },
     );
     let left = pipe.embedding().left();
     let right = pipe.embedding().right(&pipe.proximity_csr());

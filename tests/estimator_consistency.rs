@@ -36,7 +36,11 @@ fn three_ppr_estimators_agree() {
             &g,
             Direction::Out,
             source,
-            &MonteCarloConfig { alpha, num_walks: 150_000, seed: 3 },
+            &MonteCarloConfig {
+                alpha,
+                num_walks: 150_000,
+                seed: 3,
+            },
         );
         for u in 0..g.num_nodes() as u32 {
             let truth = exact[u as usize];
@@ -57,17 +61,34 @@ fn three_ppr_estimators_agree() {
 fn four_svd_kernels_agree_on_proximity_matrix() {
     let (ds, g) = small_graph();
     let subset = ds.sample_subset(40, 1);
-    let ppr = SubsetPpr::build(&g, &subset, PprConfig { alpha: 0.2, r_max: 1e-4 });
+    let ppr = SubsetPpr::build(
+        &g,
+        &subset,
+        PprConfig {
+            alpha: 0.2,
+            r_max: 1e-4,
+        },
+    );
     let m = CsrMatrix::from_rows(g.num_nodes(), &ppr.proximity_rows());
     let d = 8;
 
     let exact = exact_svd(&m.to_dense());
     let rand = randomized_svd(
         &m,
-        &RandomizedSvdConfig { rank: d, oversample: 10, power_iters: 3 },
-        &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1),
+        &RandomizedSvdConfig {
+            rank: d,
+            oversample: 10,
+            power_iters: 3,
+        },
+        &mut <tsvd_rt::rng::StdRng as tsvd_rt::rng::SeedableRng>::seed_from_u64(1),
     );
-    let lanczos = lanczos_svd_csr(&m, &LanczosConfig { rank: d, extra_steps: 20 });
+    let lanczos = lanczos_svd_csr(
+        &m,
+        &LanczosConfig {
+            rank: d,
+            extra_steps: 20,
+        },
+    );
 
     for j in 0..d {
         let truth = exact.s[j];
@@ -95,13 +116,20 @@ fn lp_metrics_are_mutually_consistent() {
     let pipe = TreeSvdPipeline::new(
         &task.train_graph,
         &subset,
-        PprConfig { alpha: 0.2, r_max: 5e-5 },
-        TreeSvdConfig { dim: 16, num_blocks: 8, ..Default::default() },
+        PprConfig {
+            alpha: 0.2,
+            r_max: 5e-5,
+        },
+        TreeSvdConfig {
+            dim: 16,
+            num_blocks: 8,
+            ..Default::default()
+        },
     );
     let left = pipe.embedding().left();
     let right = pipe.embedding().right(&pipe.proximity_csr());
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    use tsvd_rt::rng::{Rng, SeedableRng};
+    let mut rng = tsvd_rt::rng::StdRng::seed_from_u64(9);
     let rl = DenseMatrix::from_fn(left.rows(), 16, |_, _| rng.gen_range(-1.0..1.0));
     let rr = DenseMatrix::from_fn(right.rows(), 16, |_, _| rng.gen_range(-1.0..1.0));
     assert!(task.precision(&left, &right) > task.precision(&rl, &rr));
@@ -109,7 +137,5 @@ fn lp_metrics_are_mutually_consistent() {
     assert!(task.average_precision(&left, &right) > task.average_precision(&rl, &rr));
     // precision_at with k = |pos| equals the headline precision.
     let k = task.num_positives();
-    assert!(
-        (task.precision_at(&left, &right, k) - task.precision(&left, &right)).abs() < 1e-12
-    );
+    assert!((task.precision_at(&left, &right, k) - task.precision(&left, &right)).abs() < 1e-12);
 }

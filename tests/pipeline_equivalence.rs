@@ -1,9 +1,9 @@
 //! Cross-crate integration tests: the dynamic pipeline must agree with
 //! from-scratch reconstruction at every snapshot.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tree_svd::prelude::*;
+use tsvd_rt::rng::StdRng;
+use tsvd_rt::rng::{Rng, SeedableRng};
 
 fn small_dataset() -> SyntheticDataset {
     let mut cfg = DatasetConfig::youtube();
@@ -27,7 +27,10 @@ fn tree_cfg(policy: UpdatePolicy) -> TreeSvdConfig {
 fn eager_dynamic_pipeline_equals_fresh_factorisation_every_snapshot() {
     let data = small_dataset();
     let subset = data.sample_subset(60, 5);
-    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: 1e-4,
+    };
     let cfg = tree_cfg(UpdatePolicy::ChangedOnly);
     let mut g = data.stream.snapshot(1);
     let mut pipe = TreeSvdPipeline::new(&g, &subset, ppr_cfg, cfg);
@@ -47,7 +50,10 @@ fn eager_dynamic_pipeline_equals_fresh_factorisation_every_snapshot() {
 fn dynamic_ppr_maintenance_matches_from_scratch_proximity() {
     let data = small_dataset();
     let subset = data.sample_subset(40, 6);
-    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: 1e-4,
+    };
     let cfg = tree_cfg(UpdatePolicy::Lazy { delta: 0.65 });
     let mut g = data.stream.snapshot(1);
     let mut pipe = TreeSvdPipeline::new(&g, &subset, ppr_cfg, cfg);
@@ -62,8 +68,15 @@ fn dynamic_ppr_maintenance_matches_from_scratch_proximity() {
     let fresh = CsrMatrix::from_rows(final_graph.num_nodes(), &fresh_ppr.proximity_rows());
     let maintained = pipe.proximity_csr();
     let denom = fresh.frobenius_norm().max(1.0);
-    let diff = maintained.to_dense().sub(&fresh.to_dense()).frobenius_norm();
-    assert!(diff / denom < 0.25, "relative proximity drift {}", diff / denom);
+    let diff = maintained
+        .to_dense()
+        .sub(&fresh.to_dense())
+        .frobenius_norm();
+    assert!(
+        diff / denom < 0.25,
+        "relative proximity drift {}",
+        diff / denom
+    );
     // And the dynamic embedding's projection quality matches a fresh one.
     let dyn_resid = pipe.embedding().projection_residual(&maintained);
     let fresh_emb = TreeSvd::new(cfg).embed(pipe.matrix());
@@ -82,7 +95,10 @@ fn lazy_update_never_worse_than_delta_guarantee() {
     let data = small_dataset();
     let subset = data.sample_subset(50, 7);
     let delta = 0.5;
-    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: 1e-4,
+    };
     let cfg = tree_cfg(UpdatePolicy::Lazy { delta });
     let mut g = data.stream.snapshot(1);
     let mut pipe = TreeSvdPipeline::new(&g, &subset, ppr_cfg, cfg);
@@ -99,7 +115,10 @@ fn lazy_update_never_worse_than_delta_guarantee() {
         * (1.0 + std::f64::consts::SQRT_2).powi(q - 1)
         - 1.0)
         * csr.frobenius_norm();
-    assert!(resid <= bound, "residual {resid} exceeds Theorem 3.6 bound {bound}");
+    assert!(
+        resid <= bound,
+        "residual {resid} exceeds Theorem 3.6 bound {bound}"
+    );
 }
 
 #[test]
@@ -118,7 +137,10 @@ fn delete_heavy_stream_stays_consistent() {
         }
     }
     let subset: Vec<u32> = (0..30).collect();
-    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-4 };
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: 1e-4,
+    };
     let cfg = tree_cfg(UpdatePolicy::ChangedOnly);
     let mut pipe = TreeSvdPipeline::new(&g, &subset, ppr_cfg, cfg);
     // Delete half the edges, insert a few new ones, in interleaved batches.
@@ -139,7 +161,10 @@ fn delete_heavy_stream_stays_consistent() {
         }
         pipe.update(&mut g, &events);
         let x = pipe.embedding().left();
-        assert!(x.is_finite(), "non-finite embedding after delete-heavy batch {chunk}");
+        assert!(
+            x.is_finite(),
+            "non-finite embedding after delete-heavy batch {chunk}"
+        );
     }
     // Final equivalence with a fresh factorisation.
     let fresh = TreeSvd::new(cfg).embed(pipe.matrix());

@@ -4,10 +4,10 @@
 //!
 //! Ignored by default (≈30–60s); run with `cargo test --release -- --ignored`.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use tree_svd::prelude::*;
+use tsvd_rt::rng::SliceRandom;
+use tsvd_rt::rng::StdRng;
+use tsvd_rt::rng::{Rng, SeedableRng};
 
 #[test]
 #[ignore = "long-running stress test; run with -- --ignored"]
@@ -27,7 +27,10 @@ fn hundred_batches_without_drift() {
     // A tighter r_max keeps the signed-residue envelope small: the paper
     // notes directed-graph push has no per-entry guarantee, so the drift
     // check below is calibrated to this threshold.
-    let ppr_cfg = PprConfig { alpha: 0.2, r_max: 1e-5 };
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: 1e-5,
+    };
     let cfg = TreeSvdConfig {
         dim: 16,
         num_blocks: 16,
