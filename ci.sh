@@ -9,7 +9,10 @@
 #   3. cargo clippy --workspace --all-targets -D warnings;
 #   4. cargo build --release;
 #   5. cargo test --workspace (tier-1 gate);
-#   6. bench smoke — every rt::bench target runs once, no timing paid.
+#   6. cargo test --workspace with TSVD_THREADS=1 — the serial fallbacks of
+#      rt::pool must stay equivalent to the parallel paths;
+#   7. bench smoke — every rt::bench target runs once, no timing paid,
+#      including the spawn-vs-pool dispatch microbench.
 #
 # The workspace builds offline by design (.cargo/config.toml pins
 # `net.offline`); every dependency is an in-tree `tsvd-*` path crate, with
@@ -51,7 +54,11 @@ cargo build --release -q
 step "cargo test --workspace"
 cargo test --workspace -q
 
+step "cargo test --workspace (TSVD_THREADS=1, serial fallbacks)"
+TSVD_THREADS=1 cargo test --workspace -q
+
 step "bench smoke (1 iteration per benchmark)"
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench svd_kernels
+TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench pool_dispatch
 
 printf '\nci.sh: all checks passed\n'

@@ -9,11 +9,11 @@
 //! (Table 1 / Exp. 4 of the paper).
 
 use crate::pair::EmbeddingPair;
-use tsvd_graph::par::par_map;
 use tsvd_graph::{Direction, DynGraph, EdgeEvent};
 use tsvd_linalg::DenseMatrix;
 use tsvd_ppr::dynamic::{dynamic_update, record_events};
 use tsvd_ppr::{forward_push, PprConfig, PprState};
+use tsvd_rt::pool::{par_for_each_mut, par_map};
 
 /// Deterministic 32-bit mix (xorshift-multiply finaliser, splitmix-style).
 #[inline]
@@ -112,20 +112,8 @@ impl DynPpe {
         }
         let cfg = self.cfg;
         let g_ref: &DynGraph = g;
-        std::thread::scope(|s| {
-            let chunk = self
-                .states
-                .len()
-                .div_ceil(tsvd_graph::par::num_threads())
-                .max(1);
-            for states in self.states.chunks_mut(chunk) {
-                let rec = &recorded;
-                s.spawn(move || {
-                    for st in states {
-                        dynamic_update(g_ref, Direction::Out, cfg.alpha, cfg.r_max, st, rec);
-                    }
-                });
-            }
+        par_for_each_mut(&mut self.states, |st| {
+            dynamic_update(g_ref, Direction::Out, cfg.alpha, cfg.r_max, st, &recorded);
         });
         let mut rehashed = 0;
         for i in 0..self.sources.len() {

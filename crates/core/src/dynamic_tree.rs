@@ -19,8 +19,8 @@ use crate::blocked::{sparse_row_dist_sq, BlockedProximityMatrix};
 use crate::config::{TreeSvdConfig, UpdatePolicy};
 use crate::embedding::Embedding;
 use crate::static_tree::{level1_factor, merge_group};
-use tsvd_graph::par::par_map;
 use tsvd_linalg::DenseMatrix;
+use tsvd_rt::pool::par_map;
 
 /// Work accounting for one dynamic update (drives the paper's update-time
 /// plots and the lazy-vs-eager ablations).

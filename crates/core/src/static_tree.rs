@@ -8,10 +8,10 @@
 use crate::blocked::BlockedProximityMatrix;
 use crate::config::{Level1Method, TreeSvdConfig};
 use crate::embedding::Embedding;
-use tsvd_graph::par::par_map;
 use tsvd_linalg::randomized::randomized_svd;
 use tsvd_linalg::svd::{exact_truncated_svd, Svd};
 use tsvd_linalg::{CsrMatrix, DenseMatrix, RandomizedSvdConfig};
+use tsvd_rt::pool::par_map;
 use tsvd_rt::rng::SeedableRng;
 use tsvd_rt::rng::StdRng;
 

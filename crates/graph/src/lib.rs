@@ -11,8 +11,9 @@
 //!   insert/delete and O(1) degree queries in both directions;
 //! * [`EdgeEvent`] / [`EventKind`] — the edge-event vocabulary of Def. 2.1;
 //! * [`SnapshotStream`] — a timestamped event log partitioned into snapshots;
-//! * [`par`] — a tiny scoped-thread parallel-map helper used by the PPR and
-//!   SVD layers (no rayon in the offline crate set).
+//! * [`par`] — a compatibility re-export of the [`tsvd_rt::pool`] parallel
+//!   primitives (parallelism lives in the persistent work-stealing pool of
+//!   the runtime substrate; this shim keeps older imports working).
 
 mod dyngraph;
 mod events;

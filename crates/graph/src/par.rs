@@ -1,107 +1,23 @@
-//! Minimal scoped-thread parallel helpers.
+//! Parallel helpers — now a thin re-export of [`tsvd_rt::pool`].
 //!
-//! The offline crate set has no rayon, so the PPR engine and the level-1
-//! block SVDs use these helpers instead. They split an index range into
-//! contiguous chunks, one per worker, and run them on `std::thread::scope`
-//! threads — deterministic output placement, no work stealing.
+//! The per-call `std::thread::scope` loops that used to live here moved
+//! into the persistent work-stealing pool in `tsvd-rt` (see DESIGN.md §3):
+//! parallelism is runtime infrastructure, not a graph concern, and spawning
+//! fresh OS threads per region put spawn/join overhead on the small-batch
+//! dynamic-update path. This shim keeps `tsvd_graph::par::{num_threads,
+//! par_map, par_chunks}` imports working so downstream call sites didn't
+//! all have to churn at once; new code should use [`tsvd_rt::pool`]
+//! directly, which also offers scratch-state and slice-mutation variants.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Number of worker threads to use: `TSVD_THREADS` env var if set, otherwise
-/// the machine's available parallelism (capped at 16 — the workloads here
-/// saturate memory bandwidth well before that).
-pub fn num_threads() -> usize {
-    if let Ok(s) = std::env::var("TSVD_THREADS") {
-        if let Ok(n) = s.parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(16)
-}
-
-/// Apply `f(i)` for every `i` in `0..n`, collecting results in index order.
-///
-/// `f` runs on multiple threads; it must be `Sync` and is handed disjoint
-/// indices. Falls back to a sequential loop when `n` is small or only one
-/// thread is available.
-pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = num_threads().min(n.max(1));
-    if threads <= 1 || n < 2 {
-        return (0..n).map(f).collect();
-    }
-    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    let next = AtomicUsize::new(0);
-    // Dynamic chunking: workers grab small index blocks so skewed work (e.g.
-    // hub-heavy PPR sources) balances out.
-    let chunk = (n / (threads * 8)).max(1);
-    let out_ptr = SendPtr(out.as_mut_ptr());
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            let next = &next;
-            let f = &f;
-            let out_ptr = &out_ptr;
-            s.spawn(move || loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                for i in start..end {
-                    let v = f(i);
-                    // SAFETY: each index i is claimed by exactly one worker
-                    // via the atomic counter, and `out` outlives the scope.
-                    unsafe { *out_ptr.0.add(i) = Some(v) };
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|v| v.expect("worker filled every slot"))
-        .collect()
-}
-
-/// Run `f(chunk_range)` over disjoint contiguous chunks of `0..n` in
-/// parallel, for workloads that want to amortise per-chunk setup (e.g. a
-/// scratch buffer per worker).
-pub fn par_chunks<F>(n: usize, min_chunk: usize, f: F)
-where
-    F: Fn(std::ops::Range<usize>) + Sync,
-{
-    let threads = num_threads();
-    if threads <= 1 || n <= min_chunk {
-        f(0..n);
-        return;
-    }
-    let chunk = (n.div_ceil(threads)).max(min_chunk);
-    std::thread::scope(|s| {
-        let f = &f;
-        let mut start = 0;
-        while start < n {
-            let end = (start + chunk).min(n);
-            s.spawn(move || f(start..end));
-            start = end;
-        }
-    });
-}
-
-struct SendPtr<T>(*mut T);
-// SAFETY: the pointer is only dereferenced at disjoint indices (one writer
-// per index, enforced by the atomic counter) within the thread scope.
-unsafe impl<T: Send> Send for SendPtr<T> {}
-unsafe impl<T: Send> Sync for SendPtr<T> {}
+pub use tsvd_rt::pool::{num_threads, par_chunks, par_map};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // Smoke tests that the re-exported surface behaves; the pool's own unit
+    // tests (tsvd-rt) cover nesting, panics, and scratch states.
 
     #[test]
     fn par_map_preserves_order() {

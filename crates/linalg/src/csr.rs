@@ -1,6 +1,13 @@
 //! Compressed sparse row matrix.
 
 use crate::dense::DenseMatrix;
+use tsvd_rt::pool::{self, SendPtr};
+
+/// Below this `nnz · k` work estimate the dense products run serially —
+/// pool dispatch would cost more than the multiply. The threshold depends
+/// only on the operands (never on the thread count), so a given product
+/// always takes the same serial/parallel split.
+const PAR_MATVEC_WORK_CUTOFF: usize = 1 << 14;
 
 /// A compressed-sparse-row `f64` matrix.
 ///
@@ -139,45 +146,87 @@ impl CsrMatrix {
     }
 
     /// Dense product `self · B` (`cols × k` → `rows × k`).
+    ///
+    /// Parallelised over disjoint row bands when the work is large enough;
+    /// each output row keeps the serial loop's per-row accumulation order,
+    /// so the result is bitwise identical for every thread count.
     pub fn mul_dense(&self, b: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, b.rows(), "inner dimension mismatch");
         let k = b.cols();
         let mut out = DenseMatrix::zeros(self.rows, k);
-        for i in 0..self.rows {
-            let (cols, vals) = (
-                &self.indices[self.indptr[i]..self.indptr[i + 1]],
-                &self.data[self.indptr[i]..self.indptr[i + 1]],
-            );
-            let orow = &mut out.as_mut_slice()[i * k..(i + 1) * k];
-            for (&c, &v) in cols.iter().zip(vals) {
-                let brow = b.row(c as usize);
-                for (o, &bb) in orow.iter_mut().zip(brow) {
-                    *o += v * bb;
+        if self.rows == 0 || k == 0 {
+            return out;
+        }
+        let min_rows = if self.nnz().saturating_mul(k) < PAR_MATVEC_WORK_CUTOFF {
+            self.rows
+        } else {
+            32
+        };
+        let out_ptr = SendPtr::new(out.as_mut_slice().as_mut_ptr());
+        pool::par_chunks(self.rows, min_rows, |band| {
+            // SAFETY: row bands are disjoint, so each output row has
+            // exactly one writer; `out` outlives the parallel region.
+            let out_band = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(band.start * k), band.len() * k)
+            };
+            let lo = band.start;
+            for i in band {
+                let (cols, vals) = self.row(i);
+                let orow = &mut out_band[(i - lo) * k..(i - lo + 1) * k];
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let brow = b.row(c as usize);
+                    for (o, &bb) in orow.iter_mut().zip(brow) {
+                        *o += v * bb;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Dense product `selfᵀ · B` (`rows × k` → `cols × k`) without
-    /// materialising the transpose (scatter along rows).
+    /// materialising the transpose.
+    ///
+    /// Parallelised over disjoint *output column* bands: every band scans
+    /// all rows and accumulates only the entries that land in its columns
+    /// (a binary search per row finds them, cheap because `|S|` rows are
+    /// few). Each output cell thus accumulates in ascending-row order —
+    /// the serial order — so the result is bitwise identical for every
+    /// thread count, unlike a per-thread-partial reduction.
     pub fn t_mul_dense(&self, b: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.rows, b.rows(), "outer dimension mismatch");
         let k = b.cols();
         let mut out = DenseMatrix::zeros(self.cols, k);
-        for i in 0..self.rows {
-            let (cols, vals) = (
-                &self.indices[self.indptr[i]..self.indptr[i + 1]],
-                &self.data[self.indptr[i]..self.indptr[i + 1]],
-            );
-            let brow = b.row(i);
-            for (&c, &v) in cols.iter().zip(vals) {
-                let orow = &mut out.as_mut_slice()[c as usize * k..(c as usize + 1) * k];
-                for (o, &bb) in orow.iter_mut().zip(brow) {
-                    *o += v * bb;
+        if self.cols == 0 || k == 0 {
+            return out;
+        }
+        let min_cols = if self.nnz().saturating_mul(k) < PAR_MATVEC_WORK_CUTOFF {
+            self.cols
+        } else {
+            64
+        };
+        let out_ptr = SendPtr::new(out.as_mut_slice().as_mut_ptr());
+        pool::par_chunks(self.cols, min_cols, |band| {
+            // SAFETY: column bands are disjoint, so each output row (one
+            // per matrix column) has exactly one writer; `out` outlives
+            // the parallel region.
+            let out_band = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(band.start * k), band.len() * k)
+            };
+            for i in 0..self.rows {
+                let (cols, vals) = self.row(i);
+                let lo = cols.partition_point(|&c| (c as usize) < band.start);
+                let hi = cols.partition_point(|&c| (c as usize) < band.end);
+                let brow = b.row(i);
+                for (&c, &v) in cols[lo..hi].iter().zip(&vals[lo..hi]) {
+                    let off = (c as usize - band.start) * k;
+                    let orow = &mut out_band[off..off + k];
+                    for (o, &bb) in orow.iter_mut().zip(brow) {
+                        *o += v * bb;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -291,6 +340,65 @@ mod tests {
         let sparse = m.t_mul_dense(&b);
         let dense = m.to_dense().t_mul(&b);
         assert!(sparse.sub(&dense).frobenius_norm() < 1e-12);
+    }
+
+    /// A matrix big enough that `nnz · k` crosses the parallel cutoff.
+    fn large() -> CsrMatrix {
+        let rows: Vec<Vec<(u32, f64)>> = (0..120)
+            .map(|i| {
+                (0..400u32)
+                    .filter(|c| (i * 31 + *c as usize * 17).is_multiple_of(7))
+                    .map(|c| (c, ((i as f64) - c as f64 * 0.25).sin()))
+                    .collect()
+            })
+            .collect();
+        CsrMatrix::from_rows(400, &rows)
+    }
+
+    #[test]
+    fn parallel_mul_dense_is_bitwise_serial() {
+        let m = large();
+        let b = DenseMatrix::from_fn(400, 8, |i, j| ((i * 3 + j) as f64).cos());
+        assert!(
+            m.nnz() * 8 >= PAR_MATVEC_WORK_CUTOFF,
+            "must hit parallel path"
+        );
+        let got = m.mul_dense(&b);
+        // Reference: the plain serial row loop.
+        let mut want = DenseMatrix::zeros(m.rows(), 8);
+        for i in 0..m.rows() {
+            let (cols, vals) = m.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                for j in 0..8 {
+                    let cur = want.get(i, j);
+                    want.set(i, j, cur + v * b.get(c as usize, j));
+                }
+            }
+        }
+        assert!(got.sub(&want).max_abs() == 0.0, "must match serial bitwise");
+    }
+
+    #[test]
+    fn parallel_t_mul_dense_is_bitwise_serial() {
+        let m = large();
+        let b = DenseMatrix::from_fn(120, 8, |i, j| ((i * 5 + j) as f64).sin());
+        assert!(
+            m.nnz() * 8 >= PAR_MATVEC_WORK_CUTOFF,
+            "must hit parallel path"
+        );
+        let got = m.t_mul_dense(&b);
+        // Reference: serial scatter along rows (ascending-row accumulation).
+        let mut want = DenseMatrix::zeros(m.cols(), 8);
+        for i in 0..m.rows() {
+            let (cols, vals) = m.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                for j in 0..8 {
+                    let cur = want.get(c as usize, j);
+                    want.set(c as usize, j, cur + v * b.get(i, j));
+                }
+            }
+        }
+        assert!(got.sub(&want).max_abs() == 0.0, "must match serial bitwise");
     }
 
     #[test]

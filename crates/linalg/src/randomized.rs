@@ -5,7 +5,11 @@
 //! is a [`CsrMatrix`], every product with the `(d+p)`-column test matrix runs
 //! through sparse matvecs, so the cost is `O(nnz·(d+p))` plus dense work on
 //! `(d+p)`-sized factors — matching the `O(nnz(M) + |S|·d²/ε⁴)` bound the
-//! paper quotes from Clarkson–Woodruff-style analyses.
+//! paper quotes from Clarkson–Woodruff-style analyses. The CSR products
+//! themselves dispatch over `tsvd_rt::pool` in deterministic disjoint bands
+//! (see [`CsrMatrix::mul_dense`]), so top-level randomized SVDs (FRPCA,
+//! STRAP) parallelise while level-1 calls nested inside the Tree-SVD block
+//! fan-out fall back to running inline on their worker.
 
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;

@@ -5,14 +5,8 @@ use crate::dynamic::{dynamic_update, record_events};
 use crate::proximity::proximity_row;
 use crate::push::FreshPushWorkspace;
 use crate::state::PprState;
-use tsvd_graph::par::par_map;
 use tsvd_graph::{Direction, DynGraph, EdgeEvent};
-
-/// Send wrapper for the disjoint-index write pattern in `build`.
-struct SendSlots(*mut Option<PprState>);
-// SAFETY: workers write disjoint indices only (atomic counter).
-unsafe impl Send for SendSlots {}
-unsafe impl Sync for SendSlots {}
+use tsvd_rt::pool::{par_for_each_mut, par_map, par_map_init};
 
 /// PPR parameters (Table 2): decay factor `α` and push threshold `r_max`.
 #[derive(Debug, Clone, Copy)]
@@ -75,46 +69,23 @@ tsvd_rt::impl_json_struct!(SubsetPpr {
 
 impl SubsetPpr {
     /// Run a fresh Forward-Push (both directions) for every source on `g`.
-    /// Pushes are parallelised over sources, one reusable dense workspace
-    /// per worker thread.
+    /// Pushes are parallelised over sources through the shared worker pool,
+    /// one reusable dense workspace per participating thread.
     pub fn build(g: &DynGraph, sources: &[u32], cfg: PprConfig) -> Self {
         let total = sources.len() * 2;
-        let mut slots: Vec<Option<PprState>> = Vec::with_capacity(total);
-        slots.resize_with(total, || None);
-        // Workers pull indices from a shared counter; each keeps one dense
-        // workspace for its whole run.
         let n = g.num_nodes();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots_ptr = SendSlots(slots.as_mut_ptr());
-        std::thread::scope(|scope| {
-            for _ in 0..tsvd_graph::par::num_threads().min(total.max(1)) {
-                let next = &next;
-                let slots_ptr = &slots_ptr;
-                scope.spawn(move || {
-                    let mut ws = FreshPushWorkspace::new(n);
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= total {
-                            break;
-                        }
-                        let (src, dir) = if i < sources.len() {
-                            (sources[i], Direction::Out)
-                        } else {
-                            (sources[i - sources.len()], Direction::In)
-                        };
-                        let st = ws.run(g, dir, cfg.alpha, cfg.r_max, src);
-                        // SAFETY: each index is claimed by exactly one
-                        // worker via the atomic counter; `slots` outlives
-                        // the scope.
-                        unsafe { *slots_ptr.0.add(i) = Some(st) };
-                    }
-                });
-            }
-        });
-        let mut states: Vec<PprState> = slots
-            .into_iter()
-            .map(|s| s.expect("worker filled slot"))
-            .collect();
+        let mut states: Vec<PprState> = par_map_init(
+            total,
+            || FreshPushWorkspace::new(n),
+            |ws, i| {
+                let (src, dir) = if i < sources.len() {
+                    (sources[i], Direction::Out)
+                } else {
+                    (sources[i - sources.len()], Direction::In)
+                };
+                ws.run(g, dir, cfg.alpha, cfg.r_max, src)
+            },
+        );
         let bwd = states.split_off(sources.len());
         SubsetPpr {
             cfg,
@@ -168,26 +139,12 @@ impl SubsetPpr {
             return;
         }
         let cfg = self.cfg;
-        let n = self.sources.len();
         let g_ref: &DynGraph = g;
-        std::thread::scope(|s| {
-            let chunk = n.div_ceil(tsvd_graph::par::num_threads()).max(1);
-            for states in self.fwd.chunks_mut(chunk) {
-                let rec = &fwd_rec;
-                s.spawn(move || {
-                    for st in states {
-                        dynamic_update(g_ref, Direction::Out, cfg.alpha, cfg.r_max, st, rec);
-                    }
-                });
-            }
-            for states in self.bwd.chunks_mut(chunk) {
-                let rec = &bwd_rec;
-                s.spawn(move || {
-                    for st in states {
-                        dynamic_update(g_ref, Direction::In, cfg.alpha, cfg.r_max, st, rec);
-                    }
-                });
-            }
+        par_for_each_mut(&mut self.fwd, |st| {
+            dynamic_update(g_ref, Direction::Out, cfg.alpha, cfg.r_max, st, &fwd_rec);
+        });
+        par_for_each_mut(&mut self.bwd, |st| {
+            dynamic_update(g_ref, Direction::In, cfg.alpha, cfg.r_max, st, &bwd_rec);
         });
     }
 

@@ -155,6 +155,17 @@ impl BenchHarness {
         &self.results
     }
 
+    /// The JSON record [`BenchHarness::finish`] persists. Carries the
+    /// resolved pool thread count so perf trajectories stay comparable
+    /// across machines and `TSVD_THREADS` settings.
+    fn suite_record(&self) -> Json {
+        Json::object([
+            ("suite", Json::Str(self.suite.clone())),
+            ("threads", Json::Int(crate::pool::num_threads() as i64)),
+            ("results", self.results.to_json()),
+        ])
+    }
+
     /// Print the summary table and persist `target/rt-bench/<suite>.json`.
     pub fn finish(self) {
         println!("\n## bench suite: {}\n", self.suite);
@@ -180,10 +191,7 @@ impl BenchHarness {
                 fmt_ns(r.p95_ns),
             );
         }
-        let record = Json::object([
-            ("suite", Json::Str(self.suite.clone())),
-            ("results", self.results.to_json()),
-        ]);
+        let record = self.suite_record();
         let dir = std::path::Path::new("target/rt-bench");
         if std::fs::create_dir_all(dir).is_ok() {
             let path = dir.join(format!("{}.json", self.suite));
@@ -252,6 +260,17 @@ mod tests {
         assert_eq!(j["name"], "kernel");
         assert_eq!(i64::from_json(&j["iters"]).unwrap(), 15);
         assert_eq!(f64::from_json(&j["p95_ns"]).unwrap(), 131.125);
+    }
+
+    #[test]
+    fn suite_record_carries_thread_count() {
+        let mut h = BenchHarness::with_iters("unit", 0, 1);
+        h.bench("noop", || 0);
+        let j = Json::parse(&h.suite_record().to_string()).unwrap();
+        assert_eq!(j["suite"], "unit");
+        let threads = i64::from_json(&j["threads"]).unwrap();
+        assert_eq!(threads, crate::pool::num_threads() as i64);
+        assert!(threads >= 1);
     }
 
     #[test]

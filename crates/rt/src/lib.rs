@@ -15,9 +15,13 @@
 //! line of work it follows) depends on seeded reproducibility. [`rng`] is a
 //! counter-seeded xoshiro256++ whose stream is fixed forever by this file;
 //! [`check`] derives every test case from an explicit seed and reports the
-//! failing seed on error; [`bench`] never samples timers for control flow.
+//! failing seed on error; [`bench`] never samples timers for control flow;
+//! [`pool`] — the persistent work-stealing pool every parallel region in
+//! the workspace dispatches through — places results by index so outputs
+//! are bitwise identical for every thread count.
 
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod pool;
 pub mod rng;

@@ -1,0 +1,79 @@
+//! The full pipeline must be bitwise-deterministic across thread counts.
+//!
+//! `rt::pool`'s primitives place every result by index (or disjoint band)
+//! and never reduce across participants, so `TSVD_THREADS=1` and
+//! `TSVD_THREADS=4` must produce *identical* embeddings, bit for bit.
+//! Because the pool memoizes its size once per process, the two settings
+//! are compared by re-running this test binary as a child process per
+//! setting (the `--exact --include-ignored` libtest invocation) and
+//! diffing the JSON the children dump; `rt::json` round-trips `f64`s
+//! exactly, so equal text means equal bits.
+
+use std::process::Command;
+use tree_svd::prelude::*;
+use tsvd_rt::json::ToJson;
+
+/// Seeded end-to-end run: build on snapshot 1, stream the remaining
+/// batches through the dynamic path, return the final embedding JSON.
+fn pipeline_embedding_json() -> String {
+    let mut cfg = DatasetConfig::youtube();
+    cfg.num_nodes = 500;
+    cfg.num_edges = 2500;
+    cfg.tau = 3;
+    let data = SyntheticDataset::generate(&cfg);
+    let subset = data.sample_subset(40, 9);
+    let ppr_cfg = PprConfig {
+        alpha: 0.2,
+        r_max: 1e-4,
+    };
+    let tree_cfg = TreeSvdConfig {
+        dim: 16,
+        branching: 4,
+        num_blocks: 8,
+        policy: UpdatePolicy::Lazy { delta: 0.65 },
+        ..TreeSvdConfig::default()
+    };
+    let mut g = data.stream.snapshot(1);
+    let mut pipe = TreeSvdPipeline::new(&g, &subset, ppr_cfg, tree_cfg);
+    for t in 2..=data.stream.num_snapshots() {
+        pipe.update(&mut g, data.stream.batch(t));
+    }
+    pipe.embedding().to_json().to_string()
+}
+
+/// Child-process helper: dumps the embedding to `TSVD_DETERM_OUT`. Ignored
+/// in normal runs; `embedding_bitwise_identical_across_thread_counts`
+/// drives it with `TSVD_THREADS` pinned.
+#[test]
+#[ignore = "helper: spawned by embedding_bitwise_identical_across_thread_counts"]
+fn determinism_child_dump() {
+    let Some(path) = std::env::var_os("TSVD_DETERM_OUT") else {
+        return;
+    };
+    std::fs::write(path, pipeline_embedding_json()).expect("write embedding dump");
+}
+
+#[test]
+fn embedding_bitwise_identical_across_thread_counts() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut dumps = Vec::new();
+    for threads in ["1", "4"] {
+        let path =
+            std::env::temp_dir().join(format!("tsvd_determ_{}_{threads}.json", std::process::id()));
+        let status = Command::new(&exe)
+            .args(["--exact", "determinism_child_dump", "--include-ignored"])
+            .env("TSVD_THREADS", threads)
+            .env("TSVD_DETERM_OUT", &path)
+            .status()
+            .expect("spawn child test process");
+        assert!(status.success(), "child with TSVD_THREADS={threads} failed");
+        let dump = std::fs::read(&path).expect("read embedding dump");
+        assert!(!dump.is_empty(), "child wrote an empty dump");
+        let _ = std::fs::remove_file(&path);
+        dumps.push(dump);
+    }
+    assert!(
+        dumps[0] == dumps[1],
+        "embedding differs between TSVD_THREADS=1 and TSVD_THREADS=4"
+    );
+}
