@@ -11,8 +11,10 @@
 #   5. cargo test --workspace (tier-1 gate);
 #   6. cargo test --workspace with TSVD_THREADS=1 — the serial fallbacks of
 #      rt::pool must stay equivalent to the parallel paths;
-#   7. bench smoke — every rt::bench target runs once, no timing paid,
-#      including the spawn-vs-pool dispatch microbench.
+#   7. serving layer under both thread settings — tsvd-serve's sharded
+#      server must stay bitwise-equal to the offline pipeline replay;
+#   8. bench smoke — every rt::bench target runs once, no timing paid,
+#      including the spawn-vs-pool dispatch and serving benches.
 #
 # The workspace builds offline by design (.cargo/config.toml pins
 # `net.offline`); every dependency is an in-tree `tsvd-*` path crate, with
@@ -57,8 +59,15 @@ cargo test --workspace -q
 step "cargo test --workspace (TSVD_THREADS=1, serial fallbacks)"
 TSVD_THREADS=1 cargo test --workspace -q
 
+step "serving layer (default threads + TSVD_THREADS=1)"
+cargo test -q -p tsvd-serve
+cargo test -q --test serve_equivalence
+TSVD_THREADS=1 cargo test -q -p tsvd-serve
+TSVD_THREADS=1 cargo test -q --test serve_equivalence
+
 step "bench smoke (1 iteration per benchmark)"
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench svd_kernels
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench pool_dispatch
+TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench serving
 
 printf '\nci.sh: all checks passed\n'

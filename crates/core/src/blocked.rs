@@ -131,6 +131,35 @@ impl BlockedProximityMatrix {
         bounds
     }
 
+    /// Build a matrix holding `rows` under the partition strategy of `cfg`
+    /// — the shared constructor behind `TreeSvdPipeline::new` and the
+    /// serving layer's sharded engine, which must reproduce bit-identical
+    /// boundaries (EqualMass boundaries depend on the *full* initial row
+    /// set, so shards cannot compute them locally).
+    pub fn from_proximity_rows(
+        num_cols: usize,
+        cfg: &crate::config::TreeSvdConfig,
+        rows: &[Vec<(u32, f64)>],
+    ) -> Self {
+        let mut m = match cfg.partition {
+            crate::config::PartitionStrategy::EqualWidth => {
+                BlockedProximityMatrix::new(rows.len(), num_cols, cfg.num_blocks)
+            }
+            crate::config::PartitionStrategy::EqualMass => {
+                let bounds = BlockedProximityMatrix::mass_balanced_boundaries(
+                    num_cols,
+                    cfg.num_blocks,
+                    rows,
+                );
+                BlockedProximityMatrix::with_boundaries(rows.len(), num_cols, bounds)
+            }
+        };
+        for (i, row) in rows.iter().enumerate() {
+            m.set_row(i, row);
+        }
+        m
+    }
+
     /// Number of rows `|S|`.
     #[inline]
     pub fn num_rows(&self) -> usize {

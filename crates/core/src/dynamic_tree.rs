@@ -46,6 +46,29 @@ tsvd_rt::impl_json_struct!(UpdateStats {
     cells_rediffed
 });
 
+/// Field-wise accumulation, for aggregating stats across a stream of
+/// updates (or across serving shards) without hand-rolled field sums.
+/// `blocks_total` accumulates too: over `k` updates it counts `k·b`
+/// block-update opportunities, the natural denominator for
+/// `blocks_recomputed` rates.
+impl std::ops::AddAssign for UpdateStats {
+    fn add_assign(&mut self, rhs: UpdateStats) {
+        self.blocks_total += rhs.blocks_total;
+        self.blocks_changed += rhs.blocks_changed;
+        self.blocks_recomputed += rhs.blocks_recomputed;
+        self.merges_recomputed += rhs.merges_recomputed;
+        self.cells_rediffed += rhs.cells_rediffed;
+    }
+}
+
+impl std::ops::Add for UpdateStats {
+    type Output = UpdateStats;
+    fn add(mut self, rhs: UpdateStats) -> UpdateStats {
+        self += rhs;
+        self
+    }
+}
+
 /// Per-block dynamic cache.
 #[derive(Debug, Clone)]
 struct BlockCache {

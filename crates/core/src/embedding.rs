@@ -96,6 +96,78 @@ impl Embedding {
         let captured = utm.frobenius_norm().powi(2);
         (m_s.frobenius_norm_sq() - captured).max(0.0).sqrt()
     }
+
+    /// Freeze this embedding into an epoch-tagged, cheaply clonable
+    /// snapshot (see [`TaggedEmbedding`]).
+    pub fn tagged(&self, epoch: u64) -> TaggedEmbedding {
+        TaggedEmbedding::new(epoch, self.clone())
+    }
+}
+
+/// An epoch-tagged, immutable embedding snapshot whose clone is two `Arc`
+/// bumps — the publishable unit of the serving layer.
+///
+/// Publishing a fresh embedding to concurrent readers must not copy the
+/// `|S| × d` matrix per reader, and readers want the *materialised* rows
+/// `X = U·√Σ` (what lookups and similarity scores consume), not the raw
+/// factors. `TaggedEmbedding` freezes both at construction: the source
+/// [`Embedding`] and its `left()` matrix go behind `Arc`s together with the
+/// epoch they belong to, so a reader holding a clone keeps an entire
+/// consistent epoch alive regardless of how many swaps happen behind it.
+#[derive(Debug, Clone)]
+pub struct TaggedEmbedding {
+    epoch: u64,
+    embedding: std::sync::Arc<Embedding>,
+    /// Materialised `X = U·√Σ`, exactly `dim` columns.
+    left: std::sync::Arc<DenseMatrix>,
+}
+
+impl TaggedEmbedding {
+    /// Tag `embedding` as the state of `epoch`, materialising `X = U·√Σ`.
+    pub fn new(epoch: u64, embedding: Embedding) -> Self {
+        let left = std::sync::Arc::new(embedding.left());
+        TaggedEmbedding {
+            epoch,
+            embedding: std::sync::Arc::new(embedding),
+            left,
+        }
+    }
+
+    /// The update epoch this snapshot belongs to.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The underlying root factors.
+    #[inline]
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// The materialised subset embedding `X = U·√Σ` (`|S| × dim`).
+    #[inline]
+    pub fn left(&self) -> &DenseMatrix {
+        &self.left
+    }
+
+    /// Row `i` of `X` — the embedding vector of the `i`-th subset source.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.left.row(i)
+    }
+
+    /// Number of embedded nodes `|S|`.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.left.rows()
+    }
+
+    /// Embedding dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.left.cols()
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +242,24 @@ mod tests {
         let resid = emb.projection_residual(&m);
         let tail: f64 = svd.s[d..].iter().map(|s| s * s).sum::<f64>().sqrt();
         assert!((resid - tail).abs() < 1e-9, "{resid} vs {tail}");
+    }
+
+    #[test]
+    fn tagged_embedding_clones_share_storage() {
+        let m = sample_csr();
+        let svd = exact_svd(&m.to_dense());
+        let emb = Embedding::from_root_svd(&svd, 3);
+        let tagged = emb.tagged(42);
+        assert_eq!(tagged.epoch(), 42);
+        assert_eq!(tagged.num_rows(), 4);
+        assert_eq!(tagged.dim(), 3);
+        // The materialised left matrix matches Embedding::left bitwise.
+        assert_eq!(tagged.left().sub(&emb.left()).max_abs(), 0.0);
+        assert_eq!(tagged.row(2), emb.left().row(2));
+        // Cloning shares the allocations (two Arc bumps, no matrix copy).
+        let c = tagged.clone();
+        assert!(std::sync::Arc::ptr_eq(&tagged.left, &c.left));
+        assert!(std::sync::Arc::ptr_eq(&tagged.embedding, &c.embedding));
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod static_tree;
 pub use blocked::BlockedProximityMatrix;
 pub use config::{Level1Method, PartitionStrategy, TreeSvdConfig, UpdatePolicy};
 pub use dynamic_tree::{DynamicTreeSvd, UpdateStats};
-pub use embedding::Embedding;
+pub use embedding::{Embedding, TaggedEmbedding};
 pub use persist::PersistError;
 pub use pipeline::{PipelineTimings, TreeSvdPipeline};
 pub use static_tree::TreeSvd;

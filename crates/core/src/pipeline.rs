@@ -2,7 +2,7 @@
 //! Tree-SVD, wired together the way the paper's system runs.
 
 use crate::blocked::BlockedProximityMatrix;
-use crate::config::{PartitionStrategy, TreeSvdConfig};
+use crate::config::TreeSvdConfig;
 use crate::dynamic_tree::{DynamicTreeSvd, UpdateStats};
 use crate::embedding::Embedding;
 use tsvd_graph::{DynGraph, EdgeEvent};
@@ -34,6 +34,25 @@ impl PipelineTimings {
     /// Total accounted seconds.
     pub fn total_secs(&self) -> f64 {
         self.ppr_secs + self.rows_secs + self.svd_secs
+    }
+}
+
+/// Field-wise accumulation (update counts add), so per-shard or per-window
+/// timing records aggregate without hand-rolled field sums.
+impl std::ops::AddAssign for PipelineTimings {
+    fn add_assign(&mut self, rhs: PipelineTimings) {
+        self.ppr_secs += rhs.ppr_secs;
+        self.rows_secs += rhs.rows_secs;
+        self.svd_secs += rhs.svd_secs;
+        self.updates += rhs.updates;
+    }
+}
+
+impl std::ops::Add for PipelineTimings {
+    type Output = PipelineTimings;
+    fn add(mut self, rhs: PipelineTimings) -> PipelineTimings {
+        self += rhs;
+        self
     }
 }
 
@@ -113,22 +132,7 @@ impl TreeSvdPipeline {
         );
         let mut ppr = SubsetPpr::build(g, sources, ppr_cfg);
         let rows = ppr.proximity_rows();
-        let mut matrix = match tree_cfg.partition {
-            PartitionStrategy::EqualWidth => {
-                BlockedProximityMatrix::new(sources.len(), g.num_nodes(), tree_cfg.num_blocks)
-            }
-            PartitionStrategy::EqualMass => {
-                let bounds = BlockedProximityMatrix::mass_balanced_boundaries(
-                    g.num_nodes(),
-                    tree_cfg.num_blocks,
-                    &rows,
-                );
-                BlockedProximityMatrix::with_boundaries(sources.len(), g.num_nodes(), bounds)
-            }
-        };
-        for (i, row) in rows.into_iter().enumerate() {
-            matrix.set_row(i, &row);
-        }
+        let matrix = BlockedProximityMatrix::from_proximity_rows(g.num_nodes(), &tree_cfg, &rows);
         ppr.take_dirty_rows(); // initial build handled all rows
         let mut tree = DynamicTreeSvd::new(tree_cfg);
         let embedding = tree.build(&matrix);
@@ -401,6 +405,50 @@ mod tests {
         assert!(t.total_secs() >= t.ppr_secs);
         pipe.reset_timings();
         assert_eq!(pipe.timings().updates, 0);
+    }
+
+    #[test]
+    fn stats_and_timings_merge_field_wise() {
+        let a = UpdateStats {
+            blocks_total: 8,
+            blocks_changed: 3,
+            blocks_recomputed: 2,
+            merges_recomputed: 1,
+            cells_rediffed: 40,
+        };
+        let b = UpdateStats {
+            blocks_total: 8,
+            blocks_changed: 5,
+            blocks_recomputed: 4,
+            merges_recomputed: 3,
+            cells_rediffed: 60,
+        };
+        let mut acc = UpdateStats::default();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, a + b);
+        assert_eq!(acc.blocks_total, 16);
+        assert_eq!(acc.blocks_recomputed, 6);
+        assert_eq!(acc.cells_rediffed, 100);
+
+        let t1 = PipelineTimings {
+            ppr_secs: 1.0,
+            rows_secs: 0.5,
+            svd_secs: 2.0,
+            updates: 3,
+        };
+        let t2 = PipelineTimings {
+            ppr_secs: 0.25,
+            rows_secs: 0.25,
+            svd_secs: 1.0,
+            updates: 2,
+        };
+        let mut t = PipelineTimings::default();
+        t += t1;
+        t += t2;
+        assert_eq!(t, t1 + t2);
+        assert_eq!(t.updates, 5);
+        assert!((t.total_secs() - 5.0).abs() < 1e-12);
     }
 
     #[test]

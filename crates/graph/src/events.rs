@@ -57,6 +57,42 @@ impl EdgeEvent {
     }
 }
 
+/// Collapse a batch to one event per `(u, v)` pair, last write wins.
+///
+/// Within a batch only the final state of each edge matters: an
+/// `insert(u,v)` followed by `delete(u,v)` nets out to the delete (applied
+/// to a graph without the edge it is a recorded no-op), and repeated inserts
+/// collapse to one. Surviving events keep the batch's relative order, each
+/// at the position of its *last* occurrence — so cross-pair ordering within
+/// the batch is preserved. The serving layer's batcher runs this over every
+/// flush window; dataset replay tooling can use it to pre-shrink oversized
+/// batches.
+pub fn coalesce(batch: &[EdgeEvent]) -> Vec<EdgeEvent> {
+    use std::collections::HashMap;
+    let mut last: HashMap<(u32, u32), usize> = HashMap::with_capacity(batch.len());
+    for (i, e) in batch.iter().enumerate() {
+        last.insert((e.u, e.v), i);
+    }
+    batch
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| last[&(e.u, e.v)] == *i)
+        .map(|(_, e)| *e)
+        .collect()
+}
+
+/// Stable-sort a timestamped log and collapse it per [`coalesce`].
+///
+/// The sort is stable, so events sharing a timestamp keep their original
+/// relative order before last-write-wins dedup — the canonical way to turn
+/// an out-of-order event feed into a replayable batch.
+pub fn coalesce_timed(log: &[crate::stream::TimedEvent]) -> Vec<EdgeEvent> {
+    let mut sorted: Vec<_> = log.to_vec();
+    sorted.sort_by_key(|te| te.time);
+    let events: Vec<EdgeEvent> = sorted.iter().map(|te| te.event).collect();
+    coalesce(&events)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +110,78 @@ mod tests {
     fn double_reversal_is_identity() {
         let e = EdgeEvent::delete(10, 20);
         assert_eq!(e.reversed().reversed(), e);
+    }
+
+    #[test]
+    fn coalesce_keeps_last_write_per_pair() {
+        let batch = vec![
+            EdgeEvent::insert(0, 1),
+            EdgeEvent::insert(2, 3),
+            EdgeEvent::delete(0, 1),
+            EdgeEvent::insert(0, 1), // final state of (0,1)
+            EdgeEvent::delete(2, 3), // final state of (2,3)
+        ];
+        assert_eq!(
+            coalesce(&batch),
+            vec![EdgeEvent::insert(0, 1), EdgeEvent::delete(2, 3)]
+        );
+    }
+
+    #[test]
+    fn coalesce_preserves_cross_pair_order() {
+        let batch = vec![
+            EdgeEvent::insert(5, 6),
+            EdgeEvent::insert(1, 2),
+            EdgeEvent::insert(3, 4),
+        ];
+        assert_eq!(coalesce(&batch), batch, "distinct pairs pass through");
+    }
+
+    #[test]
+    fn coalesce_insert_then_delete_nets_to_delete() {
+        let batch = vec![EdgeEvent::insert(7, 8), EdgeEvent::delete(7, 8)];
+        assert_eq!(coalesce(&batch), vec![EdgeEvent::delete(7, 8)]);
+        assert!(coalesce(&[]).is_empty());
+    }
+
+    #[test]
+    fn coalesce_distinguishes_directions() {
+        // (u,v) and (v,u) are different edges on a directed graph.
+        let batch = vec![EdgeEvent::insert(1, 2), EdgeEvent::delete(2, 1)];
+        assert_eq!(coalesce(&batch), batch);
+    }
+
+    #[test]
+    fn coalesce_timed_sorts_stably_then_dedups() {
+        use crate::stream::TimedEvent;
+        let log = vec![
+            TimedEvent {
+                time: 2,
+                event: EdgeEvent::delete(0, 1),
+            },
+            TimedEvent {
+                time: 1,
+                event: EdgeEvent::insert(0, 1),
+            },
+            TimedEvent {
+                time: 1,
+                event: EdgeEvent::insert(4, 5),
+            },
+            TimedEvent {
+                time: 1,
+                event: EdgeEvent::insert(2, 3),
+            },
+        ];
+        // Sorted by time: [ins(0,1), ins(4,5), ins(2,3), del(0,1)];
+        // equal-time events keep their order (stable), then (0,1)
+        // collapses to its last write, the delete.
+        assert_eq!(
+            coalesce_timed(&log),
+            vec![
+                EdgeEvent::insert(4, 5),
+                EdgeEvent::insert(2, 3),
+                EdgeEvent::delete(0, 1),
+            ]
+        );
     }
 }

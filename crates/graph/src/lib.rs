@@ -9,7 +9,9 @@
 //!
 //! * [`DynGraph`] — an adjacency-list directed graph supporting O(deg)
 //!   insert/delete and O(1) degree queries in both directions;
-//! * [`EdgeEvent`] / [`EventKind`] — the edge-event vocabulary of Def. 2.1;
+//! * [`EdgeEvent`] / [`EventKind`] — the edge-event vocabulary of Def. 2.1,
+//!   with [`coalesce`] / [`coalesce_timed`] for last-write-wins batch
+//!   normalisation (the serving layer's window semantics);
 //! * [`SnapshotStream`] — a timestamped event log partitioned into snapshots;
 //! * [`par`] — a compatibility re-export of the [`tsvd_rt::pool`] parallel
 //!   primitives (parallelism lives in the persistent work-stealing pool of
@@ -21,5 +23,5 @@ pub mod par;
 mod stream;
 
 pub use dyngraph::{Direction, DynGraph};
-pub use events::{EdgeEvent, EventKind};
+pub use events::{coalesce, coalesce_timed, EdgeEvent, EventKind};
 pub use stream::{SnapshotStream, TimedEvent};

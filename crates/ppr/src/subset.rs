@@ -1,12 +1,44 @@
 //! Subset PPR maintenance: forward + reverse push states for every source
 //! in `S`, kept current across snapshots.
 
-use crate::dynamic::{dynamic_update, record_events};
+use crate::dynamic::{dynamic_update, record_events, RecordedEvent};
 use crate::proximity::proximity_row;
 use crate::push::FreshPushWorkspace;
 use crate::state::PprState;
 use tsvd_graph::{Direction, DynGraph, EdgeEvent};
 use tsvd_rt::pool::{par_for_each_mut, par_map, par_map_init};
+
+/// A batch of edge events already applied to the graph, recorded for replay
+/// on per-source PPR states — the graph-mutation half of
+/// [`SubsetPpr::update`], split out so *several* `SubsetPpr` instances
+/// (e.g. the row shards of a serving front) can share one graph mutation
+/// and then apply the identical recorded batch each, giving bitwise the
+/// same states as a single unsharded update.
+#[derive(Debug, Clone)]
+pub struct RecordedBatch {
+    fwd: Vec<RecordedEvent>,
+    bwd: Vec<RecordedEvent>,
+}
+
+impl RecordedBatch {
+    /// Apply `events` to `g` and record the per-direction replay lists.
+    /// Events that do not change the graph (duplicate inserts, deletes of
+    /// absent edges) are dropped.
+    pub fn record(g: &mut DynGraph, events: &[EdgeEvent]) -> Self {
+        let (fwd, bwd) = record_events(g, events);
+        RecordedBatch { fwd, bwd }
+    }
+
+    /// `true` when no event changed the graph (replay is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty()
+    }
+
+    /// Number of events that actually changed the graph.
+    pub fn num_effective(&self) -> usize {
+        self.fwd.len()
+    }
+}
 
 /// PPR parameters (Table 2): decay factor `α` and push threshold `r_max`.
 #[derive(Debug, Clone, Copy)]
@@ -134,17 +166,26 @@ impl SubsetPpr {
     /// Sources are processed in parallel; cost per source is
     /// `O(|Δ| + 1/r_max)` (Algorithm 2).
     pub fn update(&mut self, g: &mut DynGraph, events: &[EdgeEvent]) {
-        let (fwd_rec, bwd_rec) = record_events(g, events);
-        if fwd_rec.is_empty() {
+        let rec = RecordedBatch::record(g, events);
+        self.apply_recorded(g, &rec);
+    }
+
+    /// Replay an already-recorded batch (see [`RecordedBatch::record`]) on
+    /// every source state. `g` must be the graph the batch was recorded
+    /// against, *after* the recording mutated it. Per-source work is
+    /// independent and bitwise-deterministic, so splitting `S` across
+    /// several `SubsetPpr` instances and calling this on each yields
+    /// exactly the states a single [`SubsetPpr::update`] would.
+    pub fn apply_recorded(&mut self, g: &DynGraph, rec: &RecordedBatch) {
+        if rec.is_empty() {
             return;
         }
         let cfg = self.cfg;
-        let g_ref: &DynGraph = g;
         par_for_each_mut(&mut self.fwd, |st| {
-            dynamic_update(g_ref, Direction::Out, cfg.alpha, cfg.r_max, st, &fwd_rec);
+            dynamic_update(g, Direction::Out, cfg.alpha, cfg.r_max, st, &rec.fwd);
         });
         par_for_each_mut(&mut self.bwd, |st| {
-            dynamic_update(g_ref, Direction::In, cfg.alpha, cfg.r_max, st, &bwd_rec);
+            dynamic_update(g, Direction::In, cfg.alpha, cfg.r_max, st, &rec.bwd);
         });
     }
 
@@ -274,6 +315,61 @@ mod tests {
         ppr.take_dirty_rows();
         ppr.update(&mut g, &[]);
         assert!(ppr.take_dirty_rows().is_empty());
+    }
+
+    #[test]
+    fn sharded_apply_recorded_bitwise_matches_unsharded_update() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g0 = random_graph(&mut rng, 70, 280);
+        let cfg = PprConfig {
+            alpha: 0.2,
+            r_max: 1e-4,
+        };
+        let sources: Vec<u32> = (0..12).collect();
+        let events: Vec<EdgeEvent> = (0..25)
+            .map(|_| {
+                let u = rng.gen_range(0..70) as u32;
+                let v = rng.gen_range(0..70) as u32;
+                if rng.gen_bool(0.8) {
+                    EdgeEvent::insert(u, v)
+                } else {
+                    EdgeEvent::delete(u, v)
+                }
+            })
+            .filter(|e| e.u != e.v)
+            .collect();
+
+        // Reference: one SubsetPpr over the full subset.
+        let mut g = g0.clone();
+        let mut whole = SubsetPpr::build(&g, &sources, cfg);
+        whole.update(&mut g, &events);
+
+        // Sharded: three row-range replicas sharing one graph mutation.
+        let mut g2 = g0.clone();
+        let mut shards: Vec<SubsetPpr> = sources
+            .chunks(5)
+            .map(|chunk| SubsetPpr::build(&g2, chunk, cfg))
+            .collect();
+        let rec = RecordedBatch::record(&mut g2, &events);
+        assert!(!rec.is_empty());
+        assert!(rec.num_effective() <= events.len());
+        for sh in &mut shards {
+            sh.apply_recorded(&g2, &rec);
+        }
+
+        // Proximity rows must agree bitwise, row by row.
+        let mut row = 0usize;
+        for sh in &shards {
+            for local in 0..sh.len() {
+                assert_eq!(
+                    whole.proximity_row(row),
+                    sh.proximity_row(local),
+                    "row {row} diverged between sharded and unsharded update"
+                );
+                row += 1;
+            }
+        }
+        assert_eq!(row, sources.len());
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub struct BenchHarness {
     iters: usize,
     filter: Option<String>,
     results: Vec<BenchResult>,
+    /// Suite-level workload parameters (shard counts, batch windows, …)
+    /// persisted in the JSON record alongside the thread count.
+    params: Vec<(String, Json)>,
 }
 
 impl BenchHarness {
@@ -106,6 +109,7 @@ impl BenchHarness {
             iters,
             filter,
             results: Vec::new(),
+            params: Vec::new(),
         }
     }
 
@@ -118,6 +122,19 @@ impl BenchHarness {
             iters,
             filter: None,
             results: Vec::new(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Record a workload parameter (shard count `R`, batch-window size, …)
+    /// to be persisted in the suite's JSON record next to the thread count.
+    /// Recording the same key again replaces the value.
+    pub fn record_param(&mut self, key: &str, value: impl ToJson) {
+        let v = value.to_json();
+        if let Some(slot) = self.params.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = v;
+        } else {
+            self.params.push((key.to_string(), v));
         }
     }
 
@@ -162,6 +179,10 @@ impl BenchHarness {
         Json::object([
             ("suite", Json::Str(self.suite.clone())),
             ("threads", Json::Int(crate::pool::num_threads() as i64)),
+            (
+                "params",
+                Json::object(self.params.iter().map(|(k, v)| (k.clone(), v.clone()))),
+            ),
             ("results", self.results.to_json()),
         ])
     }
@@ -271,6 +292,18 @@ mod tests {
         let threads = i64::from_json(&j["threads"]).unwrap();
         assert_eq!(threads, crate::pool::num_threads() as i64);
         assert!(threads >= 1);
+    }
+
+    #[test]
+    fn suite_record_carries_workload_params() {
+        let mut h = BenchHarness::with_iters("unit", 0, 1);
+        h.bench("noop", || 0);
+        h.record_param("shards", 4i64);
+        h.record_param("batch_window", 512i64);
+        h.record_param("shards", 8i64); // replaces, no duplicate key
+        let j = Json::parse(&h.suite_record().to_string()).unwrap();
+        assert_eq!(i64::from_json(&j["params"]["shards"]).unwrap(), 8);
+        assert_eq!(i64::from_json(&j["params"]["batch_window"]).unwrap(), 512);
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Serving-layer configuration.
+
+use std::time::Duration;
+
+/// Configuration of the serving front: shard fan-out plus the batching
+/// window that trades per-event latency against update amortisation.
+///
+/// A flush is triggered by whichever fires first:
+///
+/// * **count** — the pending buffer reaches [`ServeConfig::flush_max_events`];
+/// * **deadline** — the oldest pending event is
+///   [`ServeConfig::flush_interval`] old.
+///
+/// With `coalesce` on (the default), each flushed window is normalised with
+/// [`tsvd_graph::coalesce`] — one event per `(u, v)` pair, last write wins —
+/// before it reaches the engine, so a hot edge flapping inside one window
+/// costs one update, not many.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of pipeline replicas `R` the subset's rows are sharded over.
+    /// Clamped to `|S|` at engine construction.
+    pub num_shards: usize,
+    /// Flush as soon as this many events are pending.
+    pub flush_max_events: usize,
+    /// Flush when the oldest pending event reaches this age (milliseconds).
+    pub flush_interval_ms: u64,
+    /// Last-write-wins dedup of each window before applying it.
+    pub coalesce: bool,
+}
+
+tsvd_rt::impl_json_struct!(ServeConfig {
+    num_shards,
+    flush_max_events,
+    flush_interval_ms,
+    coalesce
+});
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            num_shards: 4,
+            flush_max_events: 512,
+            flush_interval_ms: 20,
+            coalesce: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The deadline trigger as a [`Duration`].
+    pub fn flush_interval(&self) -> Duration {
+        Duration::from_millis(self.flush_interval_ms)
+    }
+
+    /// Panic on nonsensical settings (zero shards or degenerate windows).
+    pub fn validate(&self) {
+        assert!(self.num_shards >= 1, "need at least one shard");
+        assert!(
+            self.flush_max_events >= 1,
+            "flush window must hold ≥ 1 event"
+        );
+        assert!(self.flush_interval_ms >= 1, "flush deadline must be ≥ 1ms");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_rt::json::{FromJson, Json};
+
+    #[test]
+    fn default_validates_and_round_trips() {
+        let cfg = ServeConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.flush_interval(), Duration::from_millis(20));
+        let j = Json::parse(&tsvd_rt::json::ToJson::to_json(&cfg).to_string()).unwrap();
+        let back = ServeConfig::from_json(&j).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ServeConfig {
+            num_shards: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1 event")]
+    fn zero_window_rejected() {
+        ServeConfig {
+            flush_max_events: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,415 @@
+//! The sharded update engine: `R` row-range PPR replicas feeding one
+//! global lazy Tree-SVD — bitwise-equal to an unsharded
+//! [`TreeSvdPipeline`](tsvd_core::TreeSvdPipeline) at any `R`.
+//!
+//! # Why sharding is exact here
+//!
+//! A [`TreeSvdPipeline::update`](tsvd_core::TreeSvdPipeline::update) has two
+//! phases with very different structure:
+//!
+//! 1. **PPR + proximity rows** — per-source work: each source's push state
+//!    depends only on the graph and the event batch, never on other
+//!    sources. This phase shards perfectly: the engine records the batch
+//!    once ([`RecordedBatch`]), mutating its graph, then every shard
+//!    replays the identical record on its own contiguous row range of
+//!    `M_S` via [`SubsetPpr::apply_recorded`]. Per-row output is bitwise
+//!    what the unsharded `SubsetPpr` would produce.
+//! 2. **Lazy Tree-SVD refresh** — global: the factorisation mixes all rows,
+//!    so the engine keeps *one* [`DynamicTreeSvd`] over *one*
+//!    [`BlockedProximityMatrix`] that the shards write into. Same matrix
+//!    content + same cache state ⇒ same embedding, bit for bit.
+//!
+//! Consequently the served embedding is invariant in `R` **and** in
+//! `TSVD_THREADS` (the pool places results by index), which is what lets
+//! the integration suite pin `server output ≡ offline replay` exactly
+//! rather than up to tolerance.
+//!
+//! The engine is synchronous and single-writer by design; the async
+//! mailbox/batching layer lives in [`crate::server`].
+
+use std::time::Instant;
+
+use tsvd_core::{
+    BlockedProximityMatrix, DynamicTreeSvd, Embedding, PipelineTimings, TaggedEmbedding,
+    TreeSvdConfig, UpdateStats,
+};
+use tsvd_graph::{DynGraph, EdgeEvent};
+use tsvd_linalg::CsrMatrix;
+use tsvd_ppr::{PprConfig, RecordedBatch, SubsetPpr};
+use tsvd_rt::pool::par_for_each_mut;
+
+/// One pipeline replica: the PPR maintenance state for a contiguous row
+/// range `[start, start + ppr.len())` of `M_S`.
+struct Shard {
+    /// Global row index of this shard's first source.
+    start: usize,
+    ppr: SubsetPpr,
+    /// Scratch: `(global_row, fresh_row)` pairs produced by the parallel
+    /// refresh, drained serially into the global matrix.
+    pending: Vec<(usize, Vec<(u32, f64)>)>,
+}
+
+/// Sharded dynamic subset-embedding engine (see module docs).
+pub struct ShardedEngine {
+    graph: DynGraph,
+    sources: Vec<u32>,
+    shards: Vec<Shard>,
+    matrix: BlockedProximityMatrix,
+    tree: DynamicTreeSvd,
+    embedding: Embedding,
+    timings: PipelineTimings,
+    stats_total: UpdateStats,
+    epoch: u64,
+    events_applied: u64,
+}
+
+impl ShardedEngine {
+    /// Build the engine on (a clone of) `g` for subset `sources`, sharding
+    /// the rows over `num_shards` contiguous ranges (clamped to `|S|`).
+    ///
+    /// The initial factorisation is identical to
+    /// `TreeSvdPipeline::new(g, sources, ppr_cfg, tree_cfg)`: shard builds
+    /// are per-source independent, and EqualMass block boundaries are
+    /// computed from the *full* concatenated row set.
+    pub fn new(
+        g: &DynGraph,
+        sources: &[u32],
+        num_shards: usize,
+        ppr_cfg: PprConfig,
+        tree_cfg: TreeSvdConfig,
+    ) -> Self {
+        tree_cfg.validate();
+        assert!(num_shards >= 1, "need at least one shard");
+        assert!(!sources.is_empty(), "subset must be non-empty");
+        assert!(
+            sources.iter().all(|&s| (s as usize) < g.num_nodes()),
+            "subset node out of range"
+        );
+        let r = num_shards.min(sources.len());
+        let per = sources.len().div_ceil(r);
+        let mut shards = Vec::with_capacity(r);
+        let mut start = 0usize;
+        while start < sources.len() {
+            let end = (start + per).min(sources.len());
+            shards.push(Shard {
+                start,
+                ppr: SubsetPpr::build(g, &sources[start..end], ppr_cfg),
+                pending: Vec::new(),
+            });
+            start = end;
+        }
+        let rows: Vec<Vec<(u32, f64)>> = shards
+            .iter()
+            .flat_map(|sh| sh.ppr.proximity_rows())
+            .collect();
+        let matrix = BlockedProximityMatrix::from_proximity_rows(g.num_nodes(), &tree_cfg, &rows);
+        for sh in &mut shards {
+            sh.ppr.take_dirty_rows(); // initial build handled all rows
+        }
+        let mut tree = DynamicTreeSvd::new(tree_cfg);
+        let embedding = tree.build(&matrix);
+        ShardedEngine {
+            graph: g.clone(),
+            sources: sources.to_vec(),
+            shards,
+            matrix,
+            tree,
+            embedding,
+            timings: PipelineTimings::default(),
+            stats_total: UpdateStats::default(),
+            epoch: 0,
+            events_applied: 0,
+        }
+    }
+
+    /// Apply one event batch and refresh the embedding — the sharded
+    /// equivalent of `TreeSvdPipeline::update` on the engine's own graph.
+    pub fn apply_batch(&mut self, events: &[EdgeEvent]) -> UpdateStats {
+        // Phase 1a: mutate the graph once, replay the record on every
+        // shard's states in parallel (shards outer, sources inner — nested
+        // regions run inline on pool workers, so both levels stay busy).
+        let t0 = Instant::now();
+        let rec = RecordedBatch::record(&mut self.graph, events);
+        let graph = &self.graph;
+        par_for_each_mut(&mut self.shards, |sh| {
+            sh.ppr.apply_recorded(graph, &rec);
+        });
+        let t1 = Instant::now();
+        self.timings.ppr_secs += (t1 - t0).as_secs_f64();
+
+        // Phase 1b: rebuild dirty proximity rows per shard in parallel,
+        // then write them into the global matrix in ascending row order —
+        // the same order the unsharded pipeline uses, so version stamps
+        // (and thus the lazy layer's re-diff bookkeeping) match exactly.
+        par_for_each_mut(&mut self.shards, |sh| {
+            sh.pending.clear();
+            for local in sh.ppr.take_dirty_rows() {
+                sh.pending
+                    .push((sh.start + local, sh.ppr.proximity_row(local)));
+            }
+        });
+        for sh in &mut self.shards {
+            for (row, entries) in sh.pending.drain(..) {
+                self.matrix.set_row(row, &entries);
+            }
+        }
+        self.timings.rows_secs += t1.elapsed().as_secs_f64();
+
+        // Phase 2: one global lazy Tree-SVD refresh.
+        let t2 = Instant::now();
+        let (embedding, stats) = self.tree.update(&self.matrix);
+        self.embedding = embedding;
+        self.timings.svd_secs += t2.elapsed().as_secs_f64();
+        self.timings.updates += 1;
+        self.stats_total += stats;
+        self.epoch += 1;
+        self.events_applied += events.len() as u64;
+        stats
+    }
+
+    /// The current embedding, tagged with the current epoch, as a cheaply
+    /// clonable snapshot ready to publish.
+    pub fn tagged(&self) -> TaggedEmbedding {
+        self.embedding.tagged(self.epoch)
+    }
+
+    /// The current subset embedding.
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// Number of batches applied so far (the published epoch counter).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total events handed to [`ShardedEngine::apply_batch`] so far.
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Actual shard count `R` (after clamping to `|S|`).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Row range `[start, end)` of shard `k`.
+    pub fn shard_range(&self, k: usize) -> (usize, usize) {
+        let sh = &self.shards[k];
+        (sh.start, sh.start + sh.ppr.len())
+    }
+
+    /// The subset `S` in row order.
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// The engine's view of the graph (all applied batches included).
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// Cumulative per-phase wall-clock across all applied batches.
+    pub fn timings(&self) -> PipelineTimings {
+        self.timings
+    }
+
+    /// Field-wise sum of every batch's [`UpdateStats`].
+    pub fn total_stats(&self) -> UpdateStats {
+        self.stats_total
+    }
+
+    /// The maintained proximity matrix as CSR (right embeddings, quality
+    /// measurements).
+    pub fn proximity_csr(&self) -> CsrMatrix {
+        self.matrix.to_csr()
+    }
+
+    /// The global blocked proximity matrix.
+    pub fn matrix(&self) -> &BlockedProximityMatrix {
+        &self.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Level1Method, PartitionStrategy, TreeSvdPipeline, UpdatePolicy};
+    use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+
+    fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
+        let mut g = DynGraph::with_nodes(n);
+        while g.num_edges() < m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v {
+                g.insert_edge(u, v);
+            }
+        }
+        g
+    }
+
+    fn tree_cfg() -> TreeSvdConfig {
+        TreeSvdConfig {
+            dim: 8,
+            branching: 2,
+            num_blocks: 4,
+            oversample: 6,
+            power_iters: 1,
+            level1: Level1Method::Randomized,
+            policy: UpdatePolicy::Lazy { delta: 0.4 },
+            partition: PartitionStrategy::EqualWidth,
+            seed: 7,
+        }
+    }
+
+    fn random_batch(rng: &mut StdRng, n: usize, len: usize) -> Vec<EdgeEvent> {
+        (0..len)
+            .map(|_| {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                if rng.gen_bool(0.85) {
+                    EdgeEvent::insert(u, v)
+                } else {
+                    EdgeEvent::delete(u, v)
+                }
+            })
+            .filter(|e| e.u != e.v)
+            .collect()
+    }
+
+    /// The acceptance criterion at engine level: for every R, the sharded
+    /// engine tracks an unsharded pipeline bit for bit, batch after batch.
+    #[test]
+    fn any_shard_count_bitwise_matches_unsharded_pipeline() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 120;
+        let g0 = random_graph(&mut rng, n, 480);
+        let sources: Vec<u32> = (0..13).collect();
+        let ppr_cfg = PprConfig {
+            alpha: 0.2,
+            r_max: 1e-4,
+        };
+        let batches: Vec<Vec<EdgeEvent>> = (0..4).map(|_| random_batch(&mut rng, n, 30)).collect();
+
+        let mut g = g0.clone();
+        let mut pipe = TreeSvdPipeline::new(&g, &sources, ppr_cfg, tree_cfg());
+
+        let mut engines: Vec<ShardedEngine> = [1usize, 2, 3, 13, 50]
+            .iter()
+            .map(|&r| ShardedEngine::new(&g0, &sources, r, ppr_cfg, tree_cfg()))
+            .collect();
+        assert_eq!(engines[0].num_shards(), 1);
+        assert_eq!(engines[3].num_shards(), 13, "one row per shard");
+        assert_eq!(engines[4].num_shards(), 13, "R clamps to |S|");
+
+        // Initial factorisation already identical.
+        for e in &engines {
+            assert_eq!(
+                e.embedding().left().sub(&pipe.embedding().left()).max_abs(),
+                0.0
+            );
+        }
+        for batch in &batches {
+            pipe.update(&mut g, batch);
+            for e in &mut engines {
+                let stats = e.apply_batch(batch);
+                assert!(stats.blocks_total > 0);
+                let diff = e.embedding().left().sub(&pipe.embedding().left()).max_abs();
+                assert_eq!(
+                    diff,
+                    0.0,
+                    "epoch {}: sharded (R={}) diverged from pipeline",
+                    e.epoch(),
+                    e.num_shards()
+                );
+                assert_eq!(e.embedding().sigma, pipe.embedding().sigma);
+            }
+        }
+        // Graph state also tracked identically.
+        for e in &engines {
+            assert_eq!(e.graph().num_edges(), g.num_edges());
+            assert_eq!(e.epoch(), batches.len() as u64);
+        }
+    }
+
+    #[test]
+    fn equal_mass_partition_shards_exactly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 150;
+        let g0 = random_graph(&mut rng, n, 600);
+        let sources: Vec<u32> = (0..10).collect();
+        let ppr_cfg = PprConfig::default();
+        let mut cfg = tree_cfg();
+        cfg.partition = PartitionStrategy::EqualMass;
+
+        let mut g = g0.clone();
+        let mut pipe = TreeSvdPipeline::new(&g, &sources, ppr_cfg, cfg);
+        let mut eng = ShardedEngine::new(&g0, &sources, 3, ppr_cfg, cfg);
+        assert_eq!(
+            eng.embedding()
+                .left()
+                .sub(&pipe.embedding().left())
+                .max_abs(),
+            0.0,
+            "EqualMass boundaries must come from the full row set"
+        );
+        for _ in 0..3 {
+            let batch = random_batch(&mut rng, n, 25);
+            pipe.update(&mut g, &batch);
+            eng.apply_batch(&batch);
+            assert_eq!(
+                eng.embedding()
+                    .left()
+                    .sub(&pipe.embedding().left())
+                    .max_abs(),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn shard_ranges_are_contiguous_and_cover_subset() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_graph(&mut rng, 60, 240);
+        let sources: Vec<u32> = (0..11).collect();
+        let eng = ShardedEngine::new(&g, &sources, 4, PprConfig::default(), tree_cfg());
+        let mut expect_start = 0usize;
+        for k in 0..eng.num_shards() {
+            let (lo, hi) = eng.shard_range(k);
+            assert_eq!(lo, expect_start, "shard {k} not contiguous");
+            assert!(hi > lo);
+            expect_start = hi;
+        }
+        assert_eq!(expect_start, sources.len());
+    }
+
+    #[test]
+    fn stats_and_timings_accumulate() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 80;
+        let g = random_graph(&mut rng, n, 320);
+        let sources: Vec<u32> = (0..8).collect();
+        let mut eng = ShardedEngine::new(&g, &sources, 2, PprConfig::default(), tree_cfg());
+        assert_eq!(eng.total_stats(), UpdateStats::default());
+        let mut expect = UpdateStats::default();
+        for _ in 0..2 {
+            expect += eng.apply_batch(&random_batch(&mut rng, n, 20));
+        }
+        assert_eq!(eng.total_stats(), expect);
+        let t = eng.timings();
+        assert_eq!(t.updates, 2);
+        assert!(t.ppr_secs > 0.0);
+        assert_eq!(eng.epoch(), 2);
+        let tagged = eng.tagged();
+        assert_eq!(tagged.epoch(), 2);
+        assert_eq!(tagged.num_rows(), sources.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let g = DynGraph::with_nodes(4);
+        let _ = ShardedEngine::new(&g, &[0], 0, PprConfig::default(), tree_cfg());
+    }
+}

@@ -1,0 +1,56 @@
+//! # tsvd-serve
+//!
+//! A sharded, double-buffered **embedding-serving layer** over the dynamic
+//! Tree-SVD pipeline — the "online" deployment shape of the paper's system:
+//! edge events stream in, queries read the subset embedding concurrently,
+//! and updates must neither block readers nor change results.
+//!
+//! Three pieces:
+//!
+//! * [`ShardedEngine`] — the update path. Subset rows are sharded across
+//!   `R` contiguous-range PPR replicas (phase 1 is per-source independent),
+//!   feeding one global lazy Tree-SVD. Output is **bitwise identical** to a
+//!   single [`TreeSvdPipeline`](tsvd_core::TreeSvdPipeline) at any `R` and
+//!   any `TSVD_THREADS` — sharding is a throughput knob, not an
+//!   approximation (see `engine` module docs for why this holds).
+//! * [`EmbeddingServer`] / [`ServerHandle`] / [`EmbeddingReader`] — the
+//!   asynchronous front. A dedicated reactor thread
+//!   ([`tsvd_rt::exec::EventLoop`] — no tokio; `std` only) batches incoming
+//!   [`EdgeEvent`](tsvd_graph::EdgeEvent)s per [`ServeConfig`] window
+//!   (count- or deadline-triggered, optionally last-write-wins coalesced)
+//!   and flushes them through the engine on the shared compute pool.
+//! * [`EpochCell`] / [`EpochSnapshot`] — the double buffer. Each flush
+//!   publishes a complete immutable snapshot via one `Arc` swap; readers
+//!   always observe a whole epoch (checksum-verifiable), never a torn mix,
+//!   and never wait on a flush.
+//!
+//! ```no_run
+//! use tsvd_serve::{EmbeddingServer, ServeConfig, ShardedEngine};
+//! # let g = tsvd_graph::DynGraph::with_nodes(100);
+//! # let sources: Vec<u32> = (0..10).collect();
+//! let engine = ShardedEngine::new(
+//!     &g, &sources, 4,
+//!     tsvd_ppr::PprConfig::default(),
+//!     tsvd_core::TreeSvdConfig { dim: 8, ..Default::default() },
+//! );
+//! let server = EmbeddingServer::start(engine, ServeConfig::default());
+//! let reader = server.reader(); // Clone per query thread
+//! server.submit(tsvd_graph::EdgeEvent::insert(3, 17));
+//! server.flush_sync();
+//! let snap = reader.snapshot(); // whole-epoch consistent view
+//! let _vec = snap.get(3);
+//! let engine = server.shutdown(); // engine back, e.g. for offline checks
+//! # let _ = engine;
+//! ```
+
+mod config;
+mod engine;
+mod server;
+mod snapshot;
+mod stats;
+
+pub use config::ServeConfig;
+pub use engine::ShardedEngine;
+pub use server::{EmbeddingReader, EmbeddingServer, ServerHandle};
+pub use snapshot::{EpochCell, EpochSnapshot};
+pub use stats::ServeStats;

@@ -1,0 +1,512 @@
+//! The serving front: a dedicated reactor thread that batches incoming
+//! edge events, drives the [`ShardedEngine`] on flush, and publishes each
+//! new epoch through an [`EpochCell`].
+//!
+//! ```text
+//!  submit()        ┌────────────────────────────────────────────┐
+//!  ───────────────▶│ rt::exec::EventLoop (one thread)           │
+//!   Mailbox<Msg>   │   pending ── count/deadline ──▶ flush:     │
+//!                  │     coalesce → engine.apply_batch (pool)   │
+//!                  │     → EpochCell::store(EpochSnapshot)      │
+//!  reader() ◀──────│                                            │
+//!   Arc swap load  └────────────────────────────────────────────┘
+//! ```
+//!
+//! A flush fires when the pending buffer reaches
+//! [`ServeConfig::flush_max_events`] **or** when the oldest pending event
+//! turns [`ServeConfig::flush_interval`] old, whichever comes first; the
+//! count trigger disarms the deadline timer and vice versa. Readers are
+//! fully decoupled: [`EmbeddingReader::snapshot`] is an `Arc` clone under
+//! a nanoseconds-scale read lock and never waits on a flush.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use tsvd_graph::EdgeEvent;
+use tsvd_rt::exec::{Event, EventLoop, Flow, Mailbox, Timers};
+
+use crate::config::ServeConfig;
+use crate::engine::ShardedEngine;
+use crate::snapshot::{EpochCell, EpochSnapshot};
+use crate::stats::ServeStats;
+
+/// Timer key for the deadline-triggered flush.
+const FLUSH_TIMER: u64 = 1;
+
+/// Messages understood by the serving reactor.
+enum Msg {
+    /// New events for the pending window.
+    Events(Vec<EdgeEvent>),
+    /// Flush whatever is pending now; ack with the resulting epoch.
+    Flush(mpsc::Sender<u64>),
+    /// Flush, stop the loop, and hand the engine back.
+    Shutdown(mpsc::Sender<ShardedEngine>),
+}
+
+/// Cross-thread counters shared by the reactor and every handle/reader.
+#[derive(Default)]
+struct Counters {
+    /// Events accepted by `submit`/`submit_batch` (may still be in flight).
+    submitted: AtomicU64,
+    /// Events actually applied by the engine (post-coalesce).
+    applied: AtomicU64,
+    /// Events dropped by last-write-wins coalescing.
+    coalesced: AtomicU64,
+    /// Flushes executed (== epochs published since start).
+    batches: AtomicU64,
+    /// Flush wall-clock, nanoseconds: cumulative / last / worst.
+    flush_nanos_total: AtomicU64,
+    flush_nanos_last: AtomicU64,
+    flush_nanos_max: AtomicU64,
+}
+
+/// Reactor-side state (single-threaded: no locks needed).
+struct Inner {
+    engine: ShardedEngine,
+    cfg: ServeConfig,
+    pending: Vec<EdgeEvent>,
+    cell: Arc<EpochCell>,
+    counters: Arc<Counters>,
+    sources: Arc<Vec<u32>>,
+    index: Arc<HashMap<u32, usize>>,
+}
+
+impl Inner {
+    fn publish(&self) {
+        self.cell.store(EpochSnapshot::new(
+            self.engine.tagged(),
+            self.sources.clone(),
+            self.index.clone(),
+            self.engine.events_applied(),
+            self.engine.timings(),
+        ));
+    }
+
+    /// Apply the pending window (if any) and publish the new epoch.
+    fn flush(&mut self, timers: &mut Timers) {
+        timers.cancel(FLUSH_TIMER);
+        if self.pending.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        let raw = std::mem::take(&mut self.pending);
+        let window = if self.cfg.coalesce {
+            tsvd_graph::coalesce(&raw)
+        } else {
+            raw.clone()
+        };
+        self.engine.apply_batch(&window);
+        self.publish();
+        let nanos = t0.elapsed().as_nanos() as u64;
+        let c = &self.counters;
+        c.applied.fetch_add(window.len() as u64, Ordering::Relaxed);
+        c.coalesced
+            .fetch_add((raw.len() - window.len()) as u64, Ordering::Relaxed);
+        c.batches.fetch_add(1, Ordering::Relaxed);
+        c.flush_nanos_total.fetch_add(nanos, Ordering::Relaxed);
+        c.flush_nanos_last.store(nanos, Ordering::Relaxed);
+        c.flush_nanos_max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    fn on_events(&mut self, timers: &mut Timers, events: Vec<EdgeEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        self.pending.extend(events);
+        if self.pending.len() >= self.cfg.flush_max_events {
+            self.flush(timers);
+        } else if !timers.is_armed(FLUSH_TIMER) {
+            // Deadline counts from the window's *oldest* event, i.e. from
+            // the first submission after the previous flush.
+            timers.arm_after(FLUSH_TIMER, self.cfg.flush_interval());
+        }
+    }
+}
+
+/// A running embedding server: owns a [`ShardedEngine`] behind a reactor
+/// thread. Construct with [`EmbeddingServer::start`]; interact through the
+/// returned [`ServerHandle`].
+pub struct EmbeddingServer;
+
+impl EmbeddingServer {
+    /// Spawn the reactor thread over `engine` and return its handle.
+    pub fn start(engine: ShardedEngine, cfg: ServeConfig) -> ServerHandle {
+        cfg.validate();
+        let sources = Arc::new(engine.sources().to_vec());
+        let index: Arc<HashMap<u32, usize>> =
+            Arc::new(sources.iter().enumerate().map(|(i, &v)| (v, i)).collect());
+        let counters = Arc::new(Counters::default());
+        let num_shards = engine.num_shards();
+        let inner = Inner {
+            engine,
+            cfg,
+            pending: Vec::new(),
+            cell: Arc::new(EpochCell::new(EpochSnapshot::new(
+                // Epoch 0 (the initial factorisation) is served immediately.
+                engine_placeholder(),
+                Arc::new(Vec::new()),
+                Arc::new(HashMap::new()),
+                0,
+                Default::default(),
+            ))),
+            counters: counters.clone(),
+            sources,
+            index,
+        };
+        inner.publish(); // replace the placeholder with the real epoch 0
+        let cell = inner.cell.clone();
+        let (mailbox, ev) = EventLoop::new();
+        let join = std::thread::Builder::new()
+            .name("tsvd-serve".into())
+            .spawn(move || {
+                let mut inner = inner;
+                let mut engine_out: Option<mpsc::Sender<ShardedEngine>> = None;
+                ev.run(|timers, event| match event {
+                    Event::Message(Msg::Events(events)) => {
+                        inner.on_events(timers, events);
+                        Flow::Continue
+                    }
+                    Event::Message(Msg::Flush(ack)) => {
+                        inner.flush(timers);
+                        let _ = ack.send(inner.engine.epoch());
+                        Flow::Continue
+                    }
+                    Event::Message(Msg::Shutdown(tx)) => {
+                        inner.flush(timers);
+                        engine_out = Some(tx);
+                        Flow::Stop
+                    }
+                    Event::Timer(FLUSH_TIMER) => {
+                        inner.flush(timers);
+                        Flow::Continue
+                    }
+                    Event::Timer(_) => Flow::Continue,
+                });
+                if let Some(tx) = engine_out {
+                    let _ = tx.send(inner.engine);
+                }
+            })
+            .expect("spawn tsvd-serve reactor");
+        ServerHandle {
+            mailbox,
+            cell,
+            counters,
+            cfg,
+            num_shards,
+            join,
+        }
+    }
+}
+
+/// Client handle to a running [`EmbeddingServer`].
+pub struct ServerHandle {
+    mailbox: Mailbox<Msg>,
+    cell: Arc<EpochCell>,
+    counters: Arc<Counters>,
+    cfg: ServeConfig,
+    num_shards: usize,
+    join: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Submit one event; returns `false` if the server is gone.
+    pub fn submit(&self, event: EdgeEvent) -> bool {
+        self.submit_batch(vec![event])
+    }
+
+    /// Submit a batch of events (one mailbox message; the server may split
+    /// or merge it across flush windows).
+    pub fn submit_batch(&self, events: Vec<EdgeEvent>) -> bool {
+        if events.is_empty() {
+            return true;
+        }
+        let n = events.len() as u64;
+        let ok = self.mailbox.send(Msg::Events(events));
+        if ok {
+            self.counters.submitted.fetch_add(n, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Force a flush of everything submitted so far (from this handle) and
+    /// block until it is applied; returns the epoch then being served.
+    pub fn flush_sync(&self) -> u64 {
+        let (tx, rx) = mpsc::channel();
+        if !self.mailbox.send(Msg::Flush(tx)) {
+            return self.cell.epoch();
+        }
+        rx.recv().unwrap_or_else(|_| self.cell.epoch())
+    }
+
+    /// A cheap, cloneable read-side handle (shares the epoch cell).
+    pub fn reader(&self) -> EmbeddingReader {
+        EmbeddingReader {
+            cell: self.cell.clone(),
+        }
+    }
+
+    /// The currently served epoch.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> ServeConfig {
+        self.cfg
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.counters;
+        let snap = self.cell.load();
+        let submitted = c.submitted.load(Ordering::Relaxed);
+        let applied = c.applied.load(Ordering::Relaxed);
+        let coalesced = c.coalesced.load(Ordering::Relaxed);
+        let batches = c.batches.load(Ordering::Relaxed);
+        let total_ns = c.flush_nanos_total.load(Ordering::Relaxed);
+        ServeStats {
+            epoch: snap.epoch(),
+            num_shards: self.num_shards,
+            events_submitted: submitted,
+            events_applied: applied,
+            events_coalesced: coalesced,
+            events_pending: submitted.saturating_sub(applied + coalesced),
+            batches_flushed: batches,
+            flush_ms_last: c.flush_nanos_last.load(Ordering::Relaxed) as f64 / 1e6,
+            flush_ms_mean: if batches == 0 {
+                0.0
+            } else {
+                total_ns as f64 / batches as f64 / 1e6
+            },
+            flush_ms_max: c.flush_nanos_max.load(Ordering::Relaxed) as f64 / 1e6,
+            timings: snap.timings(),
+        }
+    }
+
+    /// Flush, stop the reactor, and take the engine back (e.g. to compare
+    /// against an offline replay, or to persist).
+    pub fn shutdown(self) -> ShardedEngine {
+        let (tx, rx) = mpsc::channel();
+        let sent = self.mailbox.send(Msg::Shutdown(tx));
+        assert!(sent, "server thread already gone");
+        let engine = rx.recv().expect("server thread dropped the engine");
+        self.join.join().expect("tsvd-serve reactor panicked");
+        engine
+    }
+}
+
+/// Read-only, cloneable view of the served embedding. Loading a snapshot
+/// never blocks on the writer; a held snapshot is immutable.
+#[derive(Clone)]
+pub struct EmbeddingReader {
+    cell: Arc<EpochCell>,
+}
+
+impl EmbeddingReader {
+    /// The currently served snapshot (whole-epoch consistent).
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.cell.load()
+    }
+
+    /// The currently served epoch, lock-free.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// The embedding of `node` in the current snapshot, copied out.
+    pub fn get(&self, node: u32) -> Option<Vec<f64>> {
+        self.snapshot().get(node).map(|v| v.to_vec())
+    }
+
+    /// Block (polling) until the served epoch reaches `epoch`; `false` on
+    /// timeout. Test/demo convenience — production readers just `load`.
+    pub fn wait_for_epoch(&self, epoch: u64, timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.epoch() < epoch {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        true
+    }
+}
+
+/// An empty tagged embedding used only to seed the cell before the real
+/// epoch-0 publish (never observable: `start` overwrites it in-line).
+fn engine_placeholder() -> tsvd_core::TaggedEmbedding {
+    tsvd_core::Embedding {
+        u: tsvd_linalg::DenseMatrix::zeros(0, 0),
+        sigma: Vec::new(),
+        dim: 0,
+    }
+    .tagged(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use tsvd_core::TreeSvdConfig;
+    use tsvd_graph::DynGraph;
+    use tsvd_ppr::PprConfig;
+    use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+
+    fn setup(num_shards: usize) -> (DynGraph, ShardedEngine) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 60usize;
+        let mut g = DynGraph::with_nodes(n);
+        while g.num_edges() < 240 {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v {
+                g.insert_edge(u, v);
+            }
+        }
+        let sources: Vec<u32> = (0..8).collect();
+        let cfg = TreeSvdConfig {
+            dim: 4,
+            num_blocks: 3,
+            ..Default::default()
+        };
+        let engine = ShardedEngine::new(&g, &sources, num_shards, PprConfig::default(), cfg);
+        (g, engine)
+    }
+
+    #[test]
+    fn serves_epoch_zero_immediately() {
+        let (_, engine) = setup(2);
+        let server = EmbeddingServer::start(engine, ServeConfig::default());
+        let reader = server.reader();
+        let snap = reader.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.sources(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(snap.verify());
+        assert!(snap.get(3).is_some());
+        assert!(snap.get(59).is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn count_trigger_flushes_without_waiting_for_deadline() {
+        let (_, engine) = setup(2);
+        let cfg = ServeConfig {
+            flush_max_events: 4,
+            flush_interval_ms: 60_000, // deadline effectively off
+            ..Default::default()
+        };
+        let server = EmbeddingServer::start(engine, cfg);
+        let reader = server.reader();
+        let events: Vec<EdgeEvent> = (0..4).map(|i| EdgeEvent::insert(50, 51 + i)).collect();
+        assert!(server.submit_batch(events));
+        assert!(
+            reader.wait_for_epoch(1, Duration::from_secs(10)),
+            "count trigger did not flush"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.batches_flushed, 1);
+        assert_eq!(stats.events_submitted, 4);
+        assert_eq!(stats.events_applied + stats.events_coalesced, 4);
+        assert_eq!(stats.events_pending, 0);
+        let engine = server.shutdown();
+        assert_eq!(engine.epoch(), 1);
+    }
+
+    #[test]
+    fn deadline_trigger_flushes_partial_window() {
+        let (_, engine) = setup(3);
+        let cfg = ServeConfig {
+            flush_max_events: 1_000_000,
+            flush_interval_ms: 5,
+            ..Default::default()
+        };
+        let server = EmbeddingServer::start(engine, cfg);
+        let reader = server.reader();
+        assert!(server.submit(EdgeEvent::insert(40, 41)));
+        assert!(
+            reader.wait_for_epoch(1, Duration::from_secs(10)),
+            "deadline trigger did not flush"
+        );
+        assert_eq!(server.stats().events_applied, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn flush_sync_applies_everything_submitted() {
+        let (_, engine) = setup(2);
+        let cfg = ServeConfig {
+            flush_max_events: 1_000_000,
+            flush_interval_ms: 60_000,
+            ..Default::default()
+        };
+        let server = EmbeddingServer::start(engine, cfg);
+        server.submit_batch(vec![
+            EdgeEvent::insert(30, 31),
+            EdgeEvent::insert(31, 32),
+            EdgeEvent::delete(30, 31),
+        ]);
+        let epoch = server.flush_sync();
+        assert_eq!(epoch, 1);
+        // Idempotent when nothing is pending: no empty epoch published.
+        assert_eq!(server.flush_sync(), 1);
+        let stats = server.stats();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.batches_flushed, 1);
+        assert!(stats.flush_ms_last > 0.0);
+        assert!(stats.flush_ms_max >= stats.flush_ms_last);
+        server.shutdown();
+    }
+
+    #[test]
+    fn coalescing_counts_dropped_events() {
+        let (_, engine) = setup(1);
+        let server = EmbeddingServer::start(
+            engine,
+            ServeConfig {
+                flush_max_events: 1_000_000,
+                flush_interval_ms: 60_000,
+                coalesce: true,
+                num_shards: 1,
+            },
+        );
+        // Same pair three times: last write wins, two events coalesced away.
+        server.submit_batch(vec![
+            EdgeEvent::insert(20, 21),
+            EdgeEvent::delete(20, 21),
+            EdgeEvent::insert(20, 21),
+            EdgeEvent::insert(22, 23),
+        ]);
+        server.flush_sync();
+        let stats = server.stats();
+        assert_eq!(stats.events_submitted, 4);
+        assert_eq!(stats.events_applied, 2);
+        assert_eq!(stats.events_coalesced, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn readers_hold_consistent_epochs_across_swaps() {
+        let (_, engine) = setup(2);
+        let cfg = ServeConfig {
+            flush_max_events: 1_000_000,
+            flush_interval_ms: 60_000,
+            ..Default::default()
+        };
+        let server = EmbeddingServer::start(engine, cfg);
+        let reader = server.reader();
+        let held0 = reader.snapshot();
+        server.submit(EdgeEvent::insert(10, 11));
+        server.flush_sync();
+        let held1 = reader.snapshot();
+        assert_eq!(held0.epoch(), 0);
+        assert_eq!(held1.epoch(), 1);
+        // Old epoch stays alive and internally consistent after the swap.
+        assert!(held0.verify());
+        assert!(held1.verify());
+        server.shutdown();
+    }
+}

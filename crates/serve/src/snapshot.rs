@@ -1,0 +1,251 @@
+//! Epoch snapshots and the double-buffered publish cell.
+//!
+//! The writer (the server's event loop) prepares a complete
+//! [`EpochSnapshot`] *off* any lock — materialising the embedding, the
+//! node→row index, and a content checksum — and then publishes it with a
+//! single pointer-sized [`Arc`] swap inside [`EpochCell::store`]. Readers
+//! clone the current `Arc` under a read lock held for nanoseconds and then
+//! work entirely on their private snapshot: they never block the writer,
+//! never see a half-written epoch, and an in-flight reader keeps its whole
+//! epoch alive however many swaps happen underneath it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use tsvd_core::{PipelineTimings, TaggedEmbedding};
+
+/// One immutable, internally consistent published state of the server:
+/// the embedding at some epoch plus the lookup structures to query it.
+#[derive(Clone)]
+pub struct EpochSnapshot {
+    tagged: TaggedEmbedding,
+    sources: Arc<Vec<u32>>,
+    index: Arc<HashMap<u32, usize>>,
+    events_applied: u64,
+    timings: PipelineTimings,
+    checksum: f64,
+}
+
+impl EpochSnapshot {
+    /// Assemble a snapshot. `sources[i]` must be the node whose embedding
+    /// is row `i` — the engine's subset order.
+    pub fn new(
+        tagged: TaggedEmbedding,
+        sources: Arc<Vec<u32>>,
+        index: Arc<HashMap<u32, usize>>,
+        events_applied: u64,
+        timings: PipelineTimings,
+    ) -> Self {
+        assert_eq!(sources.len(), tagged.num_rows(), "sources/rows mismatch");
+        let checksum = Self::checksum_of(&tagged);
+        EpochSnapshot {
+            tagged,
+            sources,
+            index,
+            events_applied,
+            timings,
+            checksum,
+        }
+    }
+
+    /// Sequential sum over all embedding entries — deterministic, so any
+    /// consistent snapshot verifies bitwise. A torn mix of two epochs
+    /// (impossible by construction; asserted by the integration tests)
+    /// would fail [`EpochSnapshot::verify`].
+    fn checksum_of(tagged: &TaggedEmbedding) -> f64 {
+        let left = tagged.left();
+        let mut sum = 0.0f64;
+        for r in 0..left.rows() {
+            for v in left.row(r) {
+                sum += v;
+            }
+        }
+        sum
+    }
+
+    /// Recompute the checksum from the snapshot's current contents and
+    /// compare bitwise against the one stamped at publish time.
+    pub fn verify(&self) -> bool {
+        Self::checksum_of(&self.tagged).to_bits() == self.checksum.to_bits()
+    }
+
+    /// The epoch (number of flushed batches) this snapshot reflects.
+    pub fn epoch(&self) -> u64 {
+        self.tagged.epoch()
+    }
+
+    /// Total events applied by the engine up to this epoch.
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Cumulative per-stage timings up to this epoch.
+    pub fn timings(&self) -> PipelineTimings {
+        self.timings
+    }
+
+    /// Checksum stamped at publish time (sequential entry sum).
+    pub fn checksum(&self) -> f64 {
+        self.checksum
+    }
+
+    /// The subset `S` in row order.
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.tagged.dim()
+    }
+
+    /// The underlying tagged embedding.
+    pub fn tagged(&self) -> &TaggedEmbedding {
+        &self.tagged
+    }
+
+    /// Row index of `node` in this snapshot, if it is in the subset.
+    pub fn row_of(&self, node: u32) -> Option<usize> {
+        self.index.get(&node).copied()
+    }
+
+    /// The embedding vector of `node`, if it is in the subset.
+    pub fn get(&self, node: u32) -> Option<&[f64]> {
+        self.row_of(node).map(|r| self.tagged.row(r))
+    }
+
+    /// Batched lookup: one slot per query, `None` for non-subset nodes.
+    pub fn get_many(&self, nodes: &[u32]) -> Vec<Option<&[f64]>> {
+        nodes.iter().map(|&u| self.get(u)).collect()
+    }
+
+    /// The `k` subset nodes most similar to `node` by embedding dot
+    /// product, descending (excluding `node` itself; ties broken by node
+    /// id). `None` if `node` is not in the subset.
+    pub fn top_k_similar(&self, node: u32, k: usize) -> Option<Vec<(u32, f64)>> {
+        let q = self.get(node)?;
+        let mut scored: Vec<(u32, f64)> = self
+            .sources
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != node)
+            .map(|(r, &v)| {
+                let row = self.tagged.row(r);
+                let dot: f64 = q.iter().zip(row).map(|(a, b)| a * b).sum();
+                (v, dot)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        Some(scored)
+    }
+}
+
+/// The double buffer: the currently published snapshot behind an `Arc`
+/// swap, plus a lock-free epoch counter for cheap staleness probes.
+pub struct EpochCell {
+    current: RwLock<Arc<EpochSnapshot>>,
+    epoch: AtomicU64,
+}
+
+impl EpochCell {
+    pub fn new(initial: EpochSnapshot) -> Self {
+        let epoch = initial.epoch();
+        EpochCell {
+            current: RwLock::new(Arc::new(initial)),
+            epoch: AtomicU64::new(epoch),
+        }
+    }
+
+    /// Grab the current snapshot. The read lock is held only for the
+    /// `Arc` clone; the returned snapshot stays valid (and unchanged)
+    /// for as long as the caller holds it.
+    pub fn load(&self) -> Arc<EpochSnapshot> {
+        self.current.read().unwrap().clone()
+    }
+
+    /// Publish `next` as the new current snapshot (writer side).
+    pub fn store(&self, next: EpochSnapshot) {
+        let epoch = next.epoch();
+        let next = Arc::new(next);
+        *self.current.write().unwrap() = next;
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// The published epoch, without touching the lock.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::Embedding;
+    use tsvd_linalg::DenseMatrix;
+
+    fn snapshot(epoch: u64, scale: f64) -> EpochSnapshot {
+        let rows = 3usize;
+        let dim = 2usize;
+        let data: Vec<f64> = (0..rows * dim).map(|i| scale * (i as f64 + 1.0)).collect();
+        let emb = Embedding {
+            u: DenseMatrix::from_vec(rows, dim, data),
+            sigma: vec![1.0; dim],
+            dim,
+        };
+        let sources = Arc::new(vec![10u32, 20, 30]);
+        let index: Arc<HashMap<u32, usize>> =
+            Arc::new(sources.iter().enumerate().map(|(i, &v)| (v, i)).collect());
+        EpochSnapshot::new(
+            emb.tagged(epoch),
+            sources,
+            index,
+            epoch * 5,
+            PipelineTimings::default(),
+        )
+    }
+
+    #[test]
+    fn lookup_and_checksum() {
+        let s = snapshot(3, 1.0);
+        assert_eq!(s.epoch(), 3);
+        assert_eq!(s.events_applied(), 15);
+        assert!(s.verify());
+        assert!(s.get(10).is_some());
+        assert!(s.get(11).is_none());
+        assert_eq!(s.row_of(30), Some(2));
+        let many = s.get_many(&[20, 99, 10]);
+        assert!(many[0].is_some() && many[1].is_none() && many[2].is_some());
+        assert_eq!(s.get(20).unwrap().len(), s.dim());
+    }
+
+    #[test]
+    fn top_k_orders_by_dot_product() {
+        let s = snapshot(1, 1.0);
+        // Rows grow with index, so node 30 (largest row) is most similar
+        // to everything under plain dot product.
+        let top = s.top_k_similar(10, 2).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 30);
+        assert_eq!(top[1].0, 20);
+        assert!(top[0].1 >= top[1].1);
+        assert!(s.top_k_similar(99, 2).is_none());
+        // k larger than the subset truncates gracefully.
+        assert_eq!(s.top_k_similar(10, 100).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn cell_swap_is_atomic_per_reader() {
+        let cell = EpochCell::new(snapshot(0, 1.0));
+        assert_eq!(cell.epoch(), 0);
+        let held = cell.load();
+        cell.store(snapshot(1, 2.0));
+        assert_eq!(cell.epoch(), 1);
+        // The held snapshot still verifies and still reads epoch 0.
+        assert_eq!(held.epoch(), 0);
+        assert!(held.verify());
+        assert_eq!(cell.load().epoch(), 1);
+        assert!(cell.load().verify());
+    }
+}

@@ -1,0 +1,79 @@
+//! Observable serving counters.
+
+use tsvd_core::PipelineTimings;
+
+/// Point-in-time serving statistics, as returned by
+/// [`crate::ServerHandle::stats`].
+///
+/// `events_pending` is the staleness estimate `submitted − applied −
+/// coalesced`: events accepted by a handle but not yet reflected in the
+/// served epoch (in the mailbox or in the open flush window).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeStats {
+    /// Epoch currently being served (flushed batches since start).
+    pub epoch: u64,
+    /// Shard fan-out `R` of the engine behind the server.
+    pub num_shards: usize,
+    /// Events accepted by `submit`/`submit_batch`.
+    pub events_submitted: u64,
+    /// Events applied by the engine (after coalescing).
+    pub events_applied: u64,
+    /// Events dropped by last-write-wins window coalescing.
+    pub events_coalesced: u64,
+    /// Staleness: accepted but not yet applied or coalesced away.
+    pub events_pending: u64,
+    /// Flushes executed.
+    pub batches_flushed: u64,
+    /// Wall-clock of the most recent flush, milliseconds.
+    pub flush_ms_last: f64,
+    /// Mean flush wall-clock, milliseconds.
+    pub flush_ms_mean: f64,
+    /// Worst flush wall-clock, milliseconds.
+    pub flush_ms_max: f64,
+    /// Cumulative per-stage engine timings (PPR / rows / SVD).
+    pub timings: PipelineTimings,
+}
+
+tsvd_rt::impl_json_struct!(ServeStats {
+    epoch,
+    num_shards,
+    events_submitted,
+    events_applied,
+    events_coalesced,
+    events_pending,
+    batches_flushed,
+    flush_ms_last,
+    flush_ms_mean,
+    flush_ms_max,
+    timings
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_rt::json::{FromJson, Json, ToJson};
+
+    #[test]
+    fn json_round_trip() {
+        let stats = ServeStats {
+            epoch: 7,
+            num_shards: 3,
+            events_submitted: 100,
+            events_applied: 90,
+            events_coalesced: 6,
+            events_pending: 4,
+            batches_flushed: 7,
+            flush_ms_last: 1.5,
+            flush_ms_mean: 2.0,
+            flush_ms_max: 3.25,
+            timings: PipelineTimings {
+                ppr_secs: 0.5,
+                rows_secs: 0.25,
+                svd_secs: 1.0,
+                updates: 7,
+            },
+        };
+        let j = Json::parse(&stats.to_json().to_string()).unwrap();
+        assert_eq!(ServeStats::from_json(&j).unwrap(), stats);
+    }
+}

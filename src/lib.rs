@@ -17,6 +17,7 @@ pub use tsvd_eval as eval;
 pub use tsvd_graph as graph;
 pub use tsvd_linalg as linalg;
 pub use tsvd_ppr as ppr;
+pub use tsvd_serve as serve;
 
 /// Commonly used items, re-exported flat.
 pub mod prelude {
@@ -29,4 +30,5 @@ pub mod prelude {
     pub use tsvd_graph::{DynGraph, EdgeEvent, EventKind, SnapshotStream};
     pub use tsvd_linalg::{CsrMatrix, DenseMatrix, Svd};
     pub use tsvd_ppr::{PprConfig, SubsetPpr};
+    pub use tsvd_serve::{EmbeddingReader, EmbeddingServer, ServeConfig, ShardedEngine};
 }
