@@ -13,8 +13,11 @@
 #      rt::pool must stay equivalent to the parallel paths;
 #   7. serving layer under both thread settings — tsvd-serve's sharded
 #      server must stay bitwise-equal to the offline pipeline replay;
-#   8. bench smoke — every rt::bench target runs once, no timing paid,
-#      including the spawn-vs-pool dispatch and serving benches.
+#   8. network front under both thread settings — codec property/fuzz
+#      battery, loopback bitwise equivalence, counter race audit, and the
+#      multi-client TCP soak vs journaled-window replay;
+#   9. bench smoke — every rt::bench target runs once, no timing paid,
+#      including the spawn-vs-pool dispatch, serving, and net benches.
 #
 # The workspace builds offline by design (.cargo/config.toml pins
 # `net.offline`); every dependency is an in-tree `tsvd-*` path crate, with
@@ -65,9 +68,16 @@ cargo test -q --test serve_equivalence
 TSVD_THREADS=1 cargo test -q -p tsvd-serve
 TSVD_THREADS=1 cargo test -q --test serve_equivalence
 
+step "network front (default threads + TSVD_THREADS=1)"
+cargo test -q -p tsvd-serve --test net_props --test net_loopback --test race_audit
+cargo test -q --test net_soak
+TSVD_THREADS=1 cargo test -q -p tsvd-serve --test net_props --test net_loopback --test race_audit
+TSVD_THREADS=1 cargo test -q --test net_soak
+
 step "bench smoke (1 iteration per benchmark)"
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench svd_kernels
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench pool_dispatch
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench serving
+TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench net
 
 printf '\nci.sh: all checks passed\n'

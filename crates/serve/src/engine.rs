@@ -61,6 +61,10 @@ pub struct ShardedEngine {
     stats_total: UpdateStats,
     epoch: u64,
     events_applied: u64,
+    /// When enabled, every window handed to `apply_batch` is journaled in
+    /// order — the exact input an offline replay needs to reproduce this
+    /// engine's state bitwise (the soak test's ground-truth hook).
+    window_log: Option<Vec<Vec<EdgeEvent>>>,
 }
 
 impl ShardedEngine {
@@ -119,12 +123,34 @@ impl ShardedEngine {
             stats_total: UpdateStats::default(),
             epoch: 0,
             events_applied: 0,
+            window_log: None,
         }
+    }
+
+    /// Start journaling every applied window (see `window_log`). Windows
+    /// applied before this call are not recorded, so enable it before the
+    /// first `apply_batch` for a complete journal.
+    pub fn enable_window_log(&mut self) {
+        if self.window_log.is_none() {
+            self.window_log = Some(Vec::new());
+        }
+    }
+
+    /// The journaled windows, in application order (`None` if journaling
+    /// was never enabled). Replaying exactly these windows through a fresh
+    /// `TreeSvdPipeline` on the same initial graph reproduces the current
+    /// embedding bitwise — regardless of how submissions raced into flush
+    /// windows.
+    pub fn window_log(&self) -> Option<&[Vec<EdgeEvent>]> {
+        self.window_log.as_deref()
     }
 
     /// Apply one event batch and refresh the embedding — the sharded
     /// equivalent of `TreeSvdPipeline::update` on the engine's own graph.
     pub fn apply_batch(&mut self, events: &[EdgeEvent]) -> UpdateStats {
+        if let Some(log) = &mut self.window_log {
+            log.push(events.to_vec());
+        }
         // Phase 1a: mutate the graph once, replay the record on every
         // shard's states in parallel (shards outer, sources inner — nested
         // regions run inline on pool workers, so both levels stay busy).

@@ -5,7 +5,7 @@
 //! edge events stream in, queries read the subset embedding concurrently,
 //! and updates must neither block readers nor change results.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`ShardedEngine`] — the update path. Subset rows are sharded across
 //!   `R` contiguous-range PPR replicas (phase 1 is per-source independent),
@@ -23,6 +23,12 @@
 //!   publishes a complete immutable snapshot via one `Arc` swap; readers
 //!   always observe a whole epoch (checksum-verifiable), never a torn mix,
 //!   and never wait on a flush.
+//! * [`net`] — the network front. A hermetic length-prefixed wire protocol
+//!   (`std::net` only) carries the full server API; [`NetFront`] accepts
+//!   TCP or in-process loopback connections with bounded per-connection
+//!   mailboxes, and [`NetClient`] adds pipelining, reconnect, and
+//!   epoch/checksum staleness guards. `f64`s travel as raw IEEE-754 bits,
+//!   so replies over the wire stay bitwise-equal to in-process reads.
 //!
 //! ```no_run
 //! use tsvd_serve::{EmbeddingServer, ServeConfig, ShardedEngine};
@@ -45,12 +51,14 @@
 
 mod config;
 mod engine;
+pub mod net;
 mod server;
 mod snapshot;
 mod stats;
 
 pub use config::ServeConfig;
 pub use engine::ShardedEngine;
+pub use net::{ClientConfig, NetClient, NetFront, TcpTransport};
 pub use server::{EmbeddingReader, EmbeddingServer, ServerHandle};
 pub use snapshot::{EpochCell, EpochSnapshot};
 pub use stats::ServeStats;

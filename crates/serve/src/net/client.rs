@@ -1,0 +1,328 @@
+//! The client library: typed calls over any [`Transport`], with request
+//! pipelining, reply-timeout surfacing, reconnect-and-retry for idempotent
+//! requests, and client-side freshness guards.
+//!
+//! # Freshness guards
+//!
+//! Every epoch-stamped reply passes through two checks before the caller
+//! sees it:
+//!
+//! * **staleness** — epochs must be monotone over the client's lifetime
+//!   (including across reconnects; the server's epoch counter never goes
+//!   backwards). A regression means the client was silently switched to a
+//!   different/older server and surfaces as an error.
+//! * **torn reads** — two replies stamped with the *same* epoch must carry
+//!   the *same* content checksum, and a [`Reply::Embedding`] body must
+//!   reproduce its own checksum bit-for-bit
+//!   ([`EmbeddingReply::verify_checksum`]).
+//!
+//! # Retry policy
+//!
+//! Only idempotent requests (`Ping`, `Flush`, `GetRows`, `GetEmbedding`,
+//! `GetStats`) are retried after a transport failure. `SubmitEvents` is
+//! **never** auto-retried: the failure may have struck after the server
+//! applied the batch, and a blind resend would double-apply events. The
+//! caller decides (e.g. by comparing `stats().events_submitted`).
+
+use std::io::{self, Write};
+
+use tsvd_graph::EdgeEvent;
+
+use crate::stats::ServeStats;
+
+use super::transport::{Duplex, Transport};
+use super::wire::{
+    encode_frame, read_frame, write_frame, EmbeddingReply, Message, Reply, Request, RowsReply,
+};
+
+/// Client behaviour knobs (the reply-read timeout lives on the transport).
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Reopen the transport and retry idempotent requests on failure.
+    pub reconnect: bool,
+    /// Retry attempts per call after the initial try.
+    pub max_retries: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            reconnect: true,
+            max_retries: 2,
+        }
+    }
+}
+
+/// A connection to a [`NetFront`](super::NetFront) over some transport.
+///
+/// Methods take `&mut self`: a client is a single ordered request stream
+/// (share work across threads by opening one client per thread — the
+/// server multiplexes connections, not the client).
+pub struct NetClient {
+    transport: Box<dyn Transport>,
+    cfg: ClientConfig,
+    conn: Option<Duplex>,
+    next_id: u64,
+    reconnects: u64,
+    last_epoch: u64,
+    /// Content checksum observed at `last_epoch`, once one has been seen.
+    last_checksum: Option<u64>,
+}
+
+impl NetClient {
+    /// Open a connection immediately.
+    pub fn connect(transport: impl Transport + 'static, cfg: ClientConfig) -> io::Result<Self> {
+        let transport: Box<dyn Transport> = Box::new(transport);
+        let conn = transport.open()?;
+        Ok(NetClient {
+            transport,
+            cfg,
+            conn: Some(conn),
+            next_id: 1, // id 0 is reserved for connection-level errors
+            reconnects: 0,
+            last_epoch: 0,
+            last_checksum: None,
+        })
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.call(Request::Ping, true)? {
+            Reply::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submit an event batch; returns the number of accepted events.
+    /// Never auto-retried (see the module docs on double-apply).
+    pub fn submit_events(&mut self, events: Vec<EdgeEvent>) -> io::Result<u64> {
+        match self.call(Request::SubmitEvents(events), false)? {
+            Reply::SubmitAck { accepted } => Ok(accepted),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Flush everything pending server-side; returns the epoch then served.
+    pub fn flush(&mut self) -> io::Result<u64> {
+        match self.call(Request::Flush, true)? {
+            Reply::FlushAck { epoch } => Ok(epoch),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Embedding rows for `nodes` from the served snapshot.
+    pub fn get_rows(&mut self, nodes: &[u32]) -> io::Result<RowsReply> {
+        match self.call(Request::GetRows(nodes.to_vec()), true)? {
+            Reply::Rows(rows) => Ok(rows),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The full served embedding (checksum-verified end to end).
+    pub fn get_embedding(&mut self) -> io::Result<EmbeddingReply> {
+        match self.call(Request::GetEmbedding, true)? {
+            Reply::Embedding(e) => Ok(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Point-in-time server statistics.
+    pub fn stats(&mut self) -> io::Result<ServeStats> {
+        match self.call(Request::GetStats, true)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to flush and stop its network front. Not retried.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.call(Request::Shutdown, false)? {
+            Reply::ShutdownAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Pipeline `requests` over the connection: all frames are written
+    /// back-to-back before any reply is read, then replies are collected
+    /// in order. One round-trip latency for the whole batch. Not retried
+    /// (a failure mid-batch leaves an unknown prefix applied).
+    pub fn pipeline(&mut self, requests: &[Request]) -> io::Result<Vec<Reply>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let first = self.next_id;
+        self.next_id += requests.len() as u64;
+        let raw = {
+            let conn = self.conn()?;
+            let mut buf = Vec::new();
+            for (i, req) in requests.iter().enumerate() {
+                encode_frame(first + i as u64, &Message::Request(req.clone()), &mut buf);
+            }
+            let io = (|| {
+                conn.writer.write_all(&buf)?;
+                conn.writer.flush()?;
+                let mut raw = Vec::with_capacity(requests.len());
+                for i in 0..requests.len() {
+                    let frame = read_frame(&mut conn.reader)?
+                        .ok_or_else(|| closed("server closed mid-pipeline"))?;
+                    let want = first + i as u64;
+                    if frame.request_id != want {
+                        return Err(protocol(format!(
+                            "pipelined reply id {} (expected {want})",
+                            frame.request_id
+                        )));
+                    }
+                    match frame.message {
+                        Message::Reply(reply) => raw.push(reply),
+                        Message::Request(_) => {
+                            return Err(protocol("request frame in reply direction".into()))
+                        }
+                    }
+                }
+                Ok(raw)
+            })();
+            match io {
+                Ok(raw) => raw,
+                Err(e) => {
+                    self.disconnect();
+                    return Err(e);
+                }
+            }
+        };
+        raw.into_iter().map(|r| self.observe(r)).collect()
+    }
+
+    /// Drop the current connection; the next call reopens the transport.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// How many times the transport was reopened after the initial connect.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Highest epoch observed in any reply so far.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    // ------------------------------------------------------------ internals
+
+    fn conn(&mut self) -> io::Result<&mut Duplex> {
+        if self.conn.is_none() {
+            self.conn = Some(self.transport.open()?);
+            self.reconnects += 1;
+        }
+        Ok(self.conn.as_mut().expect("connection just opened"))
+    }
+
+    /// One request → one reply on the current connection.
+    fn exchange(&mut self, req: &Request) -> io::Result<Reply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let conn = self.conn()?;
+        write_frame(&mut conn.writer, id, &Message::Request(req.clone()))?;
+        let frame =
+            read_frame(&mut conn.reader)?.ok_or_else(|| closed("server closed connection"))?;
+        if frame.request_id != id && frame.request_id != 0 {
+            return Err(protocol(format!(
+                "reply id {} does not match request id {id}",
+                frame.request_id
+            )));
+        }
+        match frame.message {
+            Message::Reply(reply) => Ok(reply),
+            Message::Request(_) => Err(protocol("request frame in reply direction".into())),
+        }
+    }
+
+    /// `exchange` plus freshness guards plus (for `retryable` requests)
+    /// reconnect-and-retry on transport-level failures.
+    fn call(&mut self, req: Request, retryable: bool) -> io::Result<Reply> {
+        let mut attempts = 0u32;
+        loop {
+            match self.exchange(&req) {
+                Ok(reply) => return self.observe(reply),
+                Err(e) => {
+                    self.disconnect();
+                    let transient = matches!(
+                        e.kind(),
+                        io::ErrorKind::UnexpectedEof
+                            | io::ErrorKind::BrokenPipe
+                            | io::ErrorKind::ConnectionReset
+                            | io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::ConnectionRefused
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::WouldBlock
+                    );
+                    if !(retryable && self.cfg.reconnect && transient)
+                        || attempts >= self.cfg.max_retries
+                    {
+                        return Err(e);
+                    }
+                    attempts += 1;
+                }
+            }
+        }
+    }
+
+    /// Apply the freshness guards to a reply before handing it out.
+    fn observe(&mut self, reply: Reply) -> io::Result<Reply> {
+        match &reply {
+            Reply::Rows(r) => self.check_epoch(r.epoch, Some(r.checksum_bits))?,
+            Reply::Embedding(e) => {
+                if !e.verify_checksum() {
+                    return Err(protocol(format!(
+                        "torn read: embedding at epoch {} does not reproduce its checksum",
+                        e.epoch
+                    )));
+                }
+                self.check_epoch(e.epoch, Some(e.checksum_bits))?;
+            }
+            Reply::FlushAck { epoch } => self.check_epoch(*epoch, None)?,
+            Reply::Stats(s) => self.check_epoch(s.epoch, None)?,
+            Reply::Error(msg) => {
+                return Err(io::Error::other(format!("server error: {msg}")));
+            }
+            Reply::Pong | Reply::SubmitAck { .. } | Reply::ShutdownAck => {}
+        }
+        Ok(reply)
+    }
+
+    fn check_epoch(&mut self, epoch: u64, checksum_bits: Option<u64>) -> io::Result<()> {
+        if epoch < self.last_epoch {
+            return Err(protocol(format!(
+                "stale reply: epoch {epoch} after already observing {}",
+                self.last_epoch
+            )));
+        }
+        if epoch > self.last_epoch {
+            self.last_epoch = epoch;
+            self.last_checksum = checksum_bits;
+            return Ok(());
+        }
+        match (self.last_checksum, checksum_bits) {
+            (Some(prev), Some(now)) if prev != now => Err(protocol(format!(
+                "torn read: epoch {epoch} served two different checksums"
+            ))),
+            (None, Some(now)) => {
+                self.last_checksum = Some(now);
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+fn unexpected(reply: &Reply) -> io::Error {
+    protocol(format!("unexpected reply variant: {reply:?}"))
+}
+
+fn protocol(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn closed(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, msg)
+}

@@ -1,0 +1,408 @@
+//! The network front: accepts connections (TCP or in-process loopback)
+//! and serves the wire protocol against a running [`EmbeddingServer`].
+//!
+//! Every connection gets two threads wired through an
+//! [`rt::exec`](tsvd_rt::exec) reactor:
+//!
+//! ```text
+//!  socket ──▶ reader thread ──▶ bounded Mailbox<ConnMsg> ──▶ dispatcher
+//!             (decode frames)    (cap 256: backpressure)     (EventLoop:
+//!                                                             execute +
+//!  socket ◀───────────────────────────────────────────────── write reply)
+//! ```
+//!
+//! The bounded mailbox is the backpressure boundary: when a client floods
+//! requests faster than flushes complete, the mailbox fills, the reader
+//! thread blocks on `send`, the socket's receive buffer fills, and the
+//! client's own writes stall — no unbounded queue anywhere. Requests on
+//! one connection are executed strictly in arrival order, so replies need
+//! no reordering metadata beyond the echoed request id.
+//!
+//! Reads (both the server's and the loopback pipes') carry a short timeout
+//! so every blocking loop observes the stop flag promptly; a frame in
+//! flight is never torn by the timeout (see
+//! [`wire::read_frame_until`](super::wire::read_frame_until)).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tsvd_rt::exec::{Event, EventLoop, Flow};
+
+use crate::engine::ShardedEngine;
+use crate::server::{EmbeddingReader, ServerHandle};
+
+use super::transport::{pipe, Duplex, Transport};
+use super::wire::{
+    read_frame_until, write_frame, EmbeddingReply, Message, Reply, Request, RowsReply,
+};
+
+/// Poll interval for stop-flag checks in blocking reads and accept loops.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Per-connection request queue depth (the backpressure bound).
+const CONN_MAILBOX_CAP: usize = 256;
+
+/// Byte capacity of each loopback pipe direction (socket-buffer analogue).
+const LOOPBACK_PIPE_CAP: usize = 64 * 1024;
+
+/// What the connection reader thread hands to the dispatcher.
+enum ConnMsg {
+    /// A decoded request with its id.
+    Request(u64, Request),
+    /// The byte stream is unusable (corrupt frame / protocol violation):
+    /// report to the peer, then close.
+    Corrupt(String),
+}
+
+/// State shared by the front, its listeners, and every connection.
+struct FrontShared {
+    /// The server handle; taken (→ `None`) by [`NetFront::shutdown`].
+    handle: RwLock<Option<ServerHandle>>,
+    /// Wait-free read path, shared by all connections.
+    reader: EmbeddingReader,
+    /// Set once; all listeners and connections wind down when they see it.
+    stop: AtomicBool,
+    /// Connection threads to join on shutdown.
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Monotone connection counter (thread labels / diagnostics).
+    accepted: AtomicU64,
+}
+
+/// The network front over a running [`EmbeddingServer`](crate::EmbeddingServer).
+///
+/// ```no_run
+/// # use tsvd_serve::*;
+/// # let engine: ShardedEngine = unimplemented!();
+/// let front = NetFront::start(EmbeddingServer::start(engine, ServeConfig::default()));
+/// let addr = front.listen("127.0.0.1:0").unwrap(); // real TCP
+/// let lb = front.loopback();                        // deterministic in-process
+/// # let _ = (addr, lb);
+/// let engine = front.shutdown(); // stop listeners + connections, reclaim engine
+/// ```
+pub struct NetFront {
+    shared: Arc<FrontShared>,
+    listeners: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl NetFront {
+    /// Wrap a running server. No listener is opened yet — call
+    /// [`NetFront::listen`] and/or [`NetFront::loopback`].
+    pub fn start(handle: ServerHandle) -> NetFront {
+        let reader = handle.reader();
+        NetFront {
+            shared: Arc::new(FrontShared {
+                handle: RwLock::new(Some(handle)),
+                reader,
+                stop: AtomicBool::new(false),
+                conns: Mutex::new(Vec::new()),
+                accepted: AtomicU64::new(0),
+            }),
+            listeners: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Bind a TCP listener on `addr` (use port 0 for an OS-assigned port)
+    /// and start accepting connections. Returns the bound address. May be
+    /// called more than once to listen on several addresses.
+    pub fn listen(&self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = self.shared.clone();
+        let jh = std::thread::Builder::new()
+            .name("tsvd-net-accept".into())
+            .spawn(move || {
+                while !shared.stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, peer)) => {
+                            if stream.set_nodelay(true).is_err()
+                                || stream.set_read_timeout(Some(POLL)).is_err()
+                            {
+                                continue;
+                            }
+                            let reader = match stream.try_clone() {
+                                Ok(r) => r,
+                                Err(_) => continue,
+                            };
+                            spawn_connection(
+                                shared.clone(),
+                                Duplex {
+                                    reader: Box::new(reader),
+                                    writer: Box::new(stream),
+                                    peer: peer.to_string(),
+                                },
+                            );
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL);
+                        }
+                        Err(_) => std::thread::sleep(POLL),
+                    }
+                }
+            })
+            .expect("spawn tsvd-net-accept");
+        self.listeners.lock().unwrap().push(jh);
+        Ok(local)
+    }
+
+    /// A deterministic in-process transport: each
+    /// [`Transport::open`] builds a bounded pipe pair and serves it with
+    /// the exact same connection code path as TCP. Used by the equivalence
+    /// tests to prove wire replies bitwise identical to in-process calls.
+    pub fn loopback(&self) -> LoopbackTransport {
+        LoopbackTransport {
+            shared: self.shared.clone(),
+            read_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+
+    /// Whether the front has been told to stop (e.g. a client sent
+    /// [`Request::Shutdown`]). The engine is still owned by the front
+    /// until [`NetFront::shutdown`] reclaims it.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Number of connections accepted over the front's lifetime.
+    pub fn connections_accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Block (polling) until the front is stopped or `timeout` elapses.
+    pub fn wait_stopped(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while !self.is_stopped() {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Stop listeners and connections, shut the server down, and take the
+    /// engine back (mirrors [`ServerHandle::shutdown`]).
+    pub fn shutdown(self) -> ShardedEngine {
+        self.shared.stop.store(true, Ordering::Release);
+        for jh in self.listeners.lock().unwrap().drain(..) {
+            let _ = jh.join();
+        }
+        let conns: Vec<_> = self.shared.conns.lock().unwrap().drain(..).collect();
+        for jh in conns {
+            let _ = jh.join();
+        }
+        let handle = self
+            .shared
+            .handle
+            .write()
+            .unwrap()
+            .take()
+            .expect("NetFront::shutdown called twice");
+        handle.shutdown()
+    }
+}
+
+/// In-process [`Transport`] built by [`NetFront::loopback`].
+#[derive(Clone)]
+pub struct LoopbackTransport {
+    shared: Arc<FrontShared>,
+    read_timeout: Option<Duration>,
+}
+
+impl LoopbackTransport {
+    /// Override the client-side reply-read timeout (default 10 s).
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> LoopbackTransport {
+        self.read_timeout = timeout;
+        self
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn open(&self) -> io::Result<Duplex> {
+        if self.shared.stop.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "network front is shut down",
+            ));
+        }
+        // client → server direction: server reads with the poll timeout so
+        // its reader thread observes the stop flag like a TCP socket would.
+        let (c2s_w, c2s_r) = pipe(LOOPBACK_PIPE_CAP, Some(POLL));
+        // server → client direction: client reads with its own timeout.
+        let (s2c_w, s2c_r) = pipe(LOOPBACK_PIPE_CAP, self.read_timeout);
+        spawn_connection(
+            self.shared.clone(),
+            Duplex {
+                reader: Box::new(c2s_r),
+                writer: Box::new(s2c_w),
+                peer: "loopback-peer".into(),
+            },
+        );
+        Ok(Duplex {
+            reader: Box::new(s2c_r),
+            writer: Box::new(c2s_w),
+            peer: "loopback".into(),
+        })
+    }
+}
+
+/// Spawn the two connection threads (reader + dispatcher) for one duplex.
+fn spawn_connection(shared: Arc<FrontShared>, duplex: Duplex) {
+    let n = shared.accepted.fetch_add(1, Ordering::Relaxed) + 1;
+    let registry = shared.clone();
+    let jh = std::thread::Builder::new()
+        .name(format!("tsvd-net-conn-{n}"))
+        .spawn(move || serve_connection(shared, duplex))
+        .expect("spawn tsvd-net-conn");
+    registry.conns.lock().unwrap().push(jh);
+}
+
+/// Serve one connection to completion: decode requests on a reader
+/// thread, execute them in order on this thread's event loop, write each
+/// reply back. Returns when the peer disconnects, a protocol violation
+/// occurs, a write fails, or the front stops.
+fn serve_connection(shared: Arc<FrontShared>, duplex: Duplex) {
+    let Duplex {
+        reader: mut r,
+        writer: mut w,
+        peer: _peer,
+    } = duplex;
+    let conn_stop = Arc::new(AtomicBool::new(false));
+    let (mailbox, ev) = EventLoop::<ConnMsg>::bounded(CONN_MAILBOX_CAP);
+
+    let reader_stop = conn_stop.clone();
+    let reader_shared = shared.clone();
+    let reader_jh = std::thread::Builder::new()
+        .name("tsvd-net-read".into())
+        .spawn(move || {
+            let should_stop = || {
+                reader_stop.load(Ordering::Acquire) || reader_shared.stop.load(Ordering::Acquire)
+            };
+            loop {
+                match read_frame_until(&mut r, should_stop) {
+                    Ok(Some(frame)) => match frame.message {
+                        Message::Request(req) => {
+                            // Bounded send: blocks when the dispatcher is
+                            // behind — the backpressure path.
+                            if !mailbox.send(ConnMsg::Request(frame.request_id, req)) {
+                                break;
+                            }
+                        }
+                        Message::Reply(_) => {
+                            let _ = mailbox.send(ConnMsg::Corrupt(
+                                "reply-direction frame on the request path".into(),
+                            ));
+                            break;
+                        }
+                    },
+                    Ok(None) => break, // clean EOF or stop
+                    Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                        let _ = mailbox.send(ConnMsg::Corrupt(e.to_string()));
+                        break;
+                    }
+                    Err(_) => break, // connection-level failure
+                }
+            }
+            // Dropping the mailbox lets the dispatcher drain and exit.
+        })
+        .expect("spawn tsvd-net-read");
+
+    ev.run(|_timers, event| match event {
+        Event::Message(ConnMsg::Request(id, req)) => {
+            let (reply, close) = execute(&shared, req);
+            if write_frame(&mut w, id, &Message::Reply(reply)).is_err() || close {
+                conn_stop.store(true, Ordering::Release);
+                Flow::Stop
+            } else {
+                Flow::Continue
+            }
+        }
+        Event::Message(ConnMsg::Corrupt(what)) => {
+            // Best-effort connection-level error (request id 0), then close.
+            let _ = write_frame(&mut w, 0, &Message::Reply(Reply::Error(what)));
+            conn_stop.store(true, Ordering::Release);
+            Flow::Stop
+        }
+        Event::Timer(_) => Flow::Continue,
+    });
+    conn_stop.store(true, Ordering::Release);
+    drop(w); // EOF towards the client
+    let _ = reader_jh.join();
+}
+
+/// Execute one request. Returns the reply and whether the connection (and
+/// for [`Request::Shutdown`], the whole front) should stop afterwards.
+fn execute(shared: &FrontShared, req: Request) -> (Reply, bool) {
+    match req {
+        Request::Ping => (Reply::Pong, false),
+        Request::SubmitEvents(events) => {
+            let accepted = events.len() as u64;
+            match &*shared.handle.read().unwrap() {
+                Some(h) if h.submit_batch(events) => (Reply::SubmitAck { accepted }, false),
+                Some(_) => (Reply::Error("server reactor is gone".into()), true),
+                None => (Reply::Error("server is shut down".into()), true),
+            }
+        }
+        Request::Flush => match &*shared.handle.read().unwrap() {
+            Some(h) => (
+                Reply::FlushAck {
+                    epoch: h.flush_sync(),
+                },
+                false,
+            ),
+            None => (Reply::Error("server is shut down".into()), true),
+        },
+        Request::GetRows(nodes) => {
+            let snap = shared.reader.snapshot();
+            let rows = nodes
+                .iter()
+                .map(|&n| snap.get(n).map(|r| r.to_vec()))
+                .collect();
+            (
+                Reply::Rows(RowsReply {
+                    epoch: snap.epoch(),
+                    checksum_bits: snap.checksum().to_bits(),
+                    dim: snap.dim() as u32,
+                    rows,
+                }),
+                false,
+            )
+        }
+        Request::GetEmbedding => {
+            let snap = shared.reader.snapshot();
+            let left = snap.tagged().left();
+            let mut data = Vec::with_capacity(left.rows() * snap.dim());
+            for r in 0..left.rows() {
+                data.extend_from_slice(left.row(r));
+            }
+            (
+                Reply::Embedding(EmbeddingReply {
+                    epoch: snap.epoch(),
+                    checksum_bits: snap.checksum().to_bits(),
+                    dim: snap.dim() as u32,
+                    sources: snap.sources().to_vec(),
+                    data,
+                }),
+                false,
+            )
+        }
+        Request::GetStats => match &*shared.handle.read().unwrap() {
+            Some(h) => (Reply::Stats(h.stats()), false),
+            None => (Reply::Error("server is shut down".into()), true),
+        },
+        Request::Shutdown => {
+            // Flush so everything submitted is durable in the engine, then
+            // stop the whole front. The owner reclaims the engine via
+            // NetFront::shutdown.
+            if let Some(h) = &*shared.handle.read().unwrap() {
+                h.flush_sync();
+            }
+            shared.stop.store(true, Ordering::Release);
+            (Reply::ShutdownAck, true)
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The network front: the serving API over a hermetic binary wire
+//! protocol (`std::net` only — no external deps, per the workspace
+//! hermeticity gate).
+//!
+//! * [`wire`] — frame codec: length-prefixed, versioned, FNV-checksummed
+//!   frames; `f64`s travel as raw bits so replies are bitwise identical to
+//!   in-process values. See the module docs for the byte-level spec.
+//! * [`transport`] — the [`Transport`] abstraction: [`TcpTransport`] for
+//!   real sockets, plus a bounded in-memory pipe behind
+//!   [`LoopbackTransport`] for deterministic in-process testing.
+//! * [`frontend`] — [`NetFront`]: accept loop + per-connection bounded
+//!   mailboxes dispatching onto the running
+//!   [`EmbeddingServer`](crate::EmbeddingServer).
+//! * [`client`] — [`NetClient`]: typed calls, pipelining, reconnect, and
+//!   client-side staleness / torn-read guards.
+//!
+//! ```no_run
+//! use tsvd_serve::net::{ClientConfig, NetClient, NetFront, TcpTransport};
+//! # use tsvd_serve::*;
+//! # let engine: ShardedEngine = unimplemented!();
+//! let front = NetFront::start(EmbeddingServer::start(engine, ServeConfig::default()));
+//! let addr = front.listen("127.0.0.1:0").unwrap();
+//! let mut client =
+//!     NetClient::connect(TcpTransport::new(addr.to_string()), ClientConfig::default()).unwrap();
+//! client.submit_events(vec![tsvd_graph::EdgeEvent::insert(3, 17)]).unwrap();
+//! let epoch = client.flush().unwrap();
+//! let rows = client.get_rows(&[3, 17]).unwrap();
+//! assert_eq!(rows.epoch, epoch);
+//! ```
+
+pub mod client;
+pub mod frontend;
+pub mod transport;
+pub mod wire;
+
+pub use client::{ClientConfig, NetClient};
+pub use frontend::{LoopbackTransport, NetFront};
+pub use transport::{Duplex, TcpTransport, Transport};
+pub use wire::{EmbeddingReply, Frame, Message, Reply, Request, RowsReply, WireError};

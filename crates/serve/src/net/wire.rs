@@ -1,0 +1,936 @@
+//! The hermetic binary wire protocol: length-prefixed, versioned,
+//! checksummed frames carrying the serving API (`std`-only, no external
+//! codecs — consistent with the workspace hermeticity gate).
+//!
+//! # Frame layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic        0x5654 ("TV")
+//! 2       1     version      WIRE_VERSION (currently 1)
+//! 3       1     msg_id       message discriminant (see below)
+//! 4       8     request_id   client-chosen; echoed verbatim in the reply
+//! 12      4     payload_len  ≤ MAX_PAYLOAD, else the frame is rejected
+//!                            before any allocation
+//! 16      8     checksum     FNV-1a 64 over bytes [2, 16) of the header
+//!                            followed by the payload — any single-byte
+//!                            corruption outside the magic field lands in
+//!                            the checksummed range or in the checksum
+//!                            itself, so it is always detected
+//! 24      len   payload      message-specific body (encodings below)
+//! ```
+//!
+//! Request id `0` is reserved for connection-level [`Reply::Error`] frames
+//! the server emits when it cannot attribute a fault to a request (e.g. an
+//! undecodable frame); clients start their ids at 1.
+//!
+//! # Message ids and payload encodings
+//!
+//! | id   | message        | payload |
+//! |------|----------------|---------|
+//! | 0x01 | `Ping`         | empty |
+//! | 0x02 | `SubmitEvents` | `u32 n`, then n × (`u32 u`, `u32 v`, `u8 kind`) with kind 0=insert 1=delete |
+//! | 0x03 | `Flush`        | empty |
+//! | 0x04 | `GetRows`      | `u32 n`, then n × `u32 node` |
+//! | 0x05 | `GetEmbedding` | empty |
+//! | 0x06 | `GetStats`     | empty |
+//! | 0x07 | `Shutdown`     | empty |
+//! | 0x81 | `Pong`         | empty |
+//! | 0x82 | `SubmitAck`    | `u64 accepted` |
+//! | 0x83 | `FlushAck`     | `u64 epoch` |
+//! | 0x84 | `Rows`         | `u64 epoch`, `u64 checksum_bits`, `u32 dim`, `u32 n`, then n × (`u8 present`, present × dim × `f64`) |
+//! | 0x85 | `Embedding`    | `u64 epoch`, `u64 checksum_bits`, `u32 dim`, `u32 rows`, rows × `u32 source`, rows·dim × `f64` (row-major) |
+//! | 0x86 | `Stats`        | `u32 len`, UTF-8 JSON body (`ServeStats`; the rt::json codec round-trips every `f64` bitwise) |
+//! | 0x87 | `ShutdownAck`  | empty |
+//! | 0xFF | `Error`        | `u32 len`, UTF-8 message |
+//!
+//! `f64` values travel as raw IEEE-754 bits (`to_bits`/`from_bits`), so a
+//! decoded reply is **bitwise identical** to the server-side value — the
+//! property the loopback equivalence tests pin. Every decoder validates
+//! counts against the remaining payload *before* allocating, rejects
+//! unknown discriminants, and requires the payload to be consumed exactly
+//! (no trailing bytes), so corrupted or truncated frames fail closed.
+
+use std::io::{self, Read, Write};
+
+use tsvd_graph::{EdgeEvent, EventKind};
+use tsvd_rt::json::{FromJson, Json, ToJson};
+
+use crate::stats::ServeStats;
+
+/// First two bytes of every frame: "TV" little-endian.
+pub const WIRE_MAGIC: u16 = 0x5654;
+
+/// Protocol version stamped into (and required of) every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// Maximum accepted payload size (64 MiB). A frame announcing more is
+/// rejected from its header alone — no allocation is attempted.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Why a frame was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// First two bytes were not [`WIRE_MAGIC`].
+    BadMagic(u16),
+    /// Version byte differs from [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// Unknown message discriminant.
+    UnknownMsg(u8),
+    /// Announced payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// Input ended before the announced frame did.
+    Truncated,
+    /// Checksum mismatch: the frame was corrupted in flight.
+    Checksum,
+    /// Structurally invalid payload (bad discriminant, bad count, bad
+    /// UTF-8, trailing bytes, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownMsg(id) => write!(f, "unknown message id {id:#04x}"),
+            WireError::Oversized(n) => write!(f, "payload of {n} bytes exceeds cap"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Checksum => write!(f, "frame checksum mismatch"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// FNV-1a 64-bit, chainable: feed the previous digest back in as `seed`.
+pub fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a 64 offset basis — the `seed` for a fresh digest.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// A client-to-server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Reply::Pong`].
+    Ping,
+    /// Edge events for the server's pending flush window.
+    SubmitEvents(Vec<EdgeEvent>),
+    /// Flush everything pending and block until applied.
+    Flush,
+    /// Embedding rows for the given nodes from the current epoch snapshot.
+    GetRows(Vec<u32>),
+    /// The whole served embedding (all subset rows) at the current epoch.
+    GetEmbedding,
+    /// Point-in-time [`ServeStats`].
+    GetStats,
+    /// Flush, then stop accepting traffic (the owner reclaims the engine).
+    Shutdown,
+}
+
+/// Embedding rows for an explicit node list, stamped with the epoch and
+/// the snapshot's content checksum so the client can detect staleness
+/// (epoch going backwards) and divergence (same epoch, different bits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowsReply {
+    /// Epoch of the snapshot the rows were read from.
+    pub epoch: u64,
+    /// Bit pattern of the snapshot's sequential-sum content checksum.
+    pub checksum_bits: u64,
+    /// Embedding dimension (length of every present row).
+    pub dim: u32,
+    /// One slot per requested node; `None` for nodes outside the subset.
+    pub rows: Vec<Option<Vec<f64>>>,
+}
+
+/// The full served embedding at one epoch. Carries enough to recompute the
+/// content checksum client-side ([`EmbeddingReply::verify_checksum`]) — the
+/// end-to-end torn-read detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingReply {
+    /// Epoch of the snapshot.
+    pub epoch: u64,
+    /// Bit pattern of the snapshot's sequential-sum content checksum.
+    pub checksum_bits: u64,
+    /// Embedding dimension.
+    pub dim: u32,
+    /// Subset node ids in row order (`sources[i]` owns row `i`).
+    pub sources: Vec<u32>,
+    /// Row-major embedding entries, `sources.len() × dim`.
+    pub data: Vec<f64>,
+}
+
+impl EmbeddingReply {
+    /// Row `i` of the embedding.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let d = self.dim as usize;
+        &self.data[i * d..(i + 1) * d]
+    }
+
+    /// Recompute the sequential entry sum (the exact summation order the
+    /// server stamps at publish time) and compare bitwise against
+    /// [`EmbeddingReply::checksum_bits`]. `false` means the reply does not
+    /// describe one consistent epoch — a torn read or wire corruption that
+    /// slipped past the frame checksum.
+    pub fn verify_checksum(&self) -> bool {
+        let mut sum = 0.0f64;
+        for v in &self.data {
+            sum += v;
+        }
+        sum.to_bits() == self.checksum_bits
+    }
+}
+
+/// A server-to-client reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Events accepted into the pending window.
+    SubmitAck {
+        /// Number of events accepted.
+        accepted: u64,
+    },
+    /// The epoch being served once the flush completed.
+    FlushAck {
+        /// Served epoch after the flush.
+        epoch: u64,
+    },
+    /// Answer to [`Request::GetRows`].
+    Rows(RowsReply),
+    /// Answer to [`Request::GetEmbedding`].
+    Embedding(EmbeddingReply),
+    /// Answer to [`Request::GetStats`].
+    Stats(ServeStats),
+    /// The server flushed and is shutting its network front down.
+    ShutdownAck,
+    /// The request could not be served (message is human-readable).
+    Error(String),
+}
+
+/// Either half of the conversation; what a frame carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server.
+    Request(Request),
+    /// Server → client.
+    Reply(Reply),
+}
+
+/// One decoded frame: the echoed request id plus the message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Correlation id (client-chosen; `0` reserved for connection errors).
+    pub request_id: u64,
+    /// The decoded message.
+    pub message: Message,
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn event_kind_byte(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::Insert => 0,
+        EventKind::Delete => 1,
+    }
+}
+
+impl Message {
+    /// The wire discriminant of this message.
+    pub fn msg_id(&self) -> u8 {
+        match self {
+            Message::Request(Request::Ping) => 0x01,
+            Message::Request(Request::SubmitEvents(_)) => 0x02,
+            Message::Request(Request::Flush) => 0x03,
+            Message::Request(Request::GetRows(_)) => 0x04,
+            Message::Request(Request::GetEmbedding) => 0x05,
+            Message::Request(Request::GetStats) => 0x06,
+            Message::Request(Request::Shutdown) => 0x07,
+            Message::Reply(Reply::Pong) => 0x81,
+            Message::Reply(Reply::SubmitAck { .. }) => 0x82,
+            Message::Reply(Reply::FlushAck { .. }) => 0x83,
+            Message::Reply(Reply::Rows(_)) => 0x84,
+            Message::Reply(Reply::Embedding(_)) => 0x85,
+            Message::Reply(Reply::Stats(_)) => 0x86,
+            Message::Reply(Reply::ShutdownAck) => 0x87,
+            Message::Reply(Reply::Error(_)) => 0xFF,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Request(Request::Ping)
+            | Message::Request(Request::Flush)
+            | Message::Request(Request::GetEmbedding)
+            | Message::Request(Request::GetStats)
+            | Message::Request(Request::Shutdown)
+            | Message::Reply(Reply::Pong)
+            | Message::Reply(Reply::ShutdownAck) => {}
+            Message::Request(Request::SubmitEvents(events)) => {
+                put_u32(out, events.len() as u32);
+                for e in events {
+                    put_u32(out, e.u);
+                    put_u32(out, e.v);
+                    out.push(event_kind_byte(e.kind));
+                }
+            }
+            Message::Request(Request::GetRows(nodes)) => {
+                put_u32(out, nodes.len() as u32);
+                for &n in nodes {
+                    put_u32(out, n);
+                }
+            }
+            Message::Reply(Reply::SubmitAck { accepted }) => put_u64(out, *accepted),
+            Message::Reply(Reply::FlushAck { epoch }) => put_u64(out, *epoch),
+            Message::Reply(Reply::Rows(r)) => {
+                put_u64(out, r.epoch);
+                put_u64(out, r.checksum_bits);
+                put_u32(out, r.dim);
+                put_u32(out, r.rows.len() as u32);
+                for row in &r.rows {
+                    match row {
+                        None => out.push(0),
+                        Some(v) => {
+                            debug_assert_eq!(v.len(), r.dim as usize);
+                            out.push(1);
+                            for &x in v {
+                                put_f64(out, x);
+                            }
+                        }
+                    }
+                }
+            }
+            Message::Reply(Reply::Embedding(e)) => {
+                put_u64(out, e.epoch);
+                put_u64(out, e.checksum_bits);
+                put_u32(out, e.dim);
+                put_u32(out, e.sources.len() as u32);
+                for &s in &e.sources {
+                    put_u32(out, s);
+                }
+                debug_assert_eq!(e.data.len(), e.sources.len() * e.dim as usize);
+                for &x in &e.data {
+                    put_f64(out, x);
+                }
+            }
+            Message::Reply(Reply::Stats(stats)) => {
+                let body = stats.to_json().to_string().into_bytes();
+                put_u32(out, body.len() as u32);
+                out.extend_from_slice(&body);
+            }
+            Message::Reply(Reply::Error(msg)) => {
+                let body = msg.as_bytes();
+                put_u32(out, body.len() as u32);
+                out.extend_from_slice(body);
+            }
+        }
+    }
+}
+
+/// Append one complete frame for `message` (with `request_id`) to `out`.
+pub fn encode_frame(request_id: u64, message: &Message, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
+    out.push(WIRE_VERSION);
+    out.push(message.msg_id());
+    put_u64(out, request_id);
+    put_u32(out, 0); // payload_len backfilled below
+    put_u64(out, 0); // checksum backfilled below
+    let payload_start = out.len();
+    message.encode_payload(out);
+    let payload_len = (out.len() - payload_start) as u32;
+    debug_assert!(payload_len <= MAX_PAYLOAD, "reply exceeds frame cap");
+    out[start + 12..start + 16].copy_from_slice(&payload_len.to_le_bytes());
+    let crc = frame_checksum(&out[start + 2..start + 16], &out[payload_start..]);
+    out[start + 16..start + 24].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Checksum over the post-magic header fields and the payload.
+fn frame_checksum(header_tail: &[u8], payload: &[u8]) -> u64 {
+    fnv1a64(fnv1a64(FNV_OFFSET, header_tail), payload)
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounded, panic-free payload cursor: every read is checked against the
+/// remaining bytes before it happens, and counts are validated against the
+/// remaining length before any allocation is sized from them.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Malformed("payload shorter than its fields"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A count of items occupying ≥ `min_item_bytes` each: rejected before
+    /// allocation if the remaining payload cannot possibly hold that many.
+    fn count(&mut self, min_item_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(min_item_bytes)
+            .is_none_or(|total| total > self.remaining())
+        {
+            return Err(WireError::Malformed("count exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+fn decode_event_kind(b: u8) -> Result<EventKind, WireError> {
+    match b {
+        0 => Ok(EventKind::Insert),
+        1 => Ok(EventKind::Delete),
+        _ => Err(WireError::Malformed("bad event kind")),
+    }
+}
+
+fn decode_payload(msg_id: u8, payload: &[u8]) -> Result<Message, WireError> {
+    let mut c = Cursor::new(payload);
+    let message = match msg_id {
+        0x01 => Message::Request(Request::Ping),
+        0x02 => {
+            let n = c.count(9)?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                let u = c.u32()?;
+                let v = c.u32()?;
+                let kind = decode_event_kind(c.u8()?)?;
+                events.push(EdgeEvent { u, v, kind });
+            }
+            Message::Request(Request::SubmitEvents(events))
+        }
+        0x03 => Message::Request(Request::Flush),
+        0x04 => {
+            let n = c.count(4)?;
+            let mut nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                nodes.push(c.u32()?);
+            }
+            Message::Request(Request::GetRows(nodes))
+        }
+        0x05 => Message::Request(Request::GetEmbedding),
+        0x06 => Message::Request(Request::GetStats),
+        0x07 => Message::Request(Request::Shutdown),
+        0x81 => Message::Reply(Reply::Pong),
+        0x82 => Message::Reply(Reply::SubmitAck { accepted: c.u64()? }),
+        0x83 => Message::Reply(Reply::FlushAck { epoch: c.u64()? }),
+        0x84 => {
+            let epoch = c.u64()?;
+            let checksum_bits = c.u64()?;
+            let dim = c.u32()?;
+            let n = c.count(1)?;
+            let row_bytes = (dim as usize)
+                .checked_mul(8)
+                .ok_or(WireError::Malformed("dim overflow"))?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                match c.u8()? {
+                    0 => rows.push(None),
+                    1 => {
+                        if c.remaining() < row_bytes {
+                            return Err(WireError::Malformed("row exceeds payload"));
+                        }
+                        let mut row = Vec::with_capacity(dim as usize);
+                        for _ in 0..dim {
+                            row.push(c.f64()?);
+                        }
+                        rows.push(Some(row));
+                    }
+                    _ => return Err(WireError::Malformed("bad row presence tag")),
+                }
+            }
+            Message::Reply(Reply::Rows(RowsReply {
+                epoch,
+                checksum_bits,
+                dim,
+                rows,
+            }))
+        }
+        0x85 => {
+            let epoch = c.u64()?;
+            let checksum_bits = c.u64()?;
+            let dim = c.u32()?;
+            let rows = c.count(4)?;
+            let mut sources = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                sources.push(c.u32()?);
+            }
+            let entries = rows
+                .checked_mul(dim as usize)
+                .ok_or(WireError::Malformed("embedding size overflow"))?;
+            if entries.checked_mul(8).is_none_or(|b| b > c.remaining()) {
+                return Err(WireError::Malformed("embedding exceeds payload"));
+            }
+            let mut data = Vec::with_capacity(entries);
+            for _ in 0..entries {
+                data.push(c.f64()?);
+            }
+            Message::Reply(Reply::Embedding(EmbeddingReply {
+                epoch,
+                checksum_bits,
+                dim,
+                sources,
+                data,
+            }))
+        }
+        0x86 => {
+            let n = c.count(1)?;
+            let body = std::str::from_utf8(c.take(n)?)
+                .map_err(|_| WireError::Malformed("stats not UTF-8"))?;
+            let json = Json::parse(body).map_err(|_| WireError::Malformed("stats not JSON"))?;
+            let stats = ServeStats::from_json(&json)
+                .map_err(|_| WireError::Malformed("stats JSON shape"))?;
+            Message::Reply(Reply::Stats(stats))
+        }
+        0x87 => Message::Reply(Reply::ShutdownAck),
+        0xFF => {
+            let n = c.count(1)?;
+            let body = std::str::from_utf8(c.take(n)?)
+                .map_err(|_| WireError::Malformed("error not UTF-8"))?;
+            Message::Reply(Reply::Error(body.to_string()))
+        }
+        other => return Err(WireError::UnknownMsg(other)),
+    };
+    c.finish()?;
+    Ok(message)
+}
+
+/// Parsed fixed-size header.
+struct Header {
+    msg_id: u8,
+    request_id: u64,
+    payload_len: u32,
+    checksum: u64,
+}
+
+fn decode_header(h: &[u8; HEADER_LEN]) -> Result<Header, WireError> {
+    let magic = u16::from_le_bytes([h[0], h[1]]);
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if h[2] != WIRE_VERSION {
+        return Err(WireError::BadVersion(h[2]));
+    }
+    let payload_len = u32::from_le_bytes(h[12..16].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(payload_len));
+    }
+    Ok(Header {
+        msg_id: h[3],
+        request_id: u64::from_le_bytes(h[4..12].try_into().unwrap()),
+        payload_len,
+        checksum: u64::from_le_bytes(h[16..24].try_into().unwrap()),
+    })
+}
+
+/// Decode one frame from the front of `bytes`. Returns the frame and the
+/// number of bytes it occupied (so a buffer of concatenated frames can be
+/// walked). Never panics and never allocates more than the input length on
+/// any input — the fuzz property the protocol test battery pins.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
+    let h = decode_header(header)?;
+    let total = HEADER_LEN + h.payload_len as usize;
+    if bytes.len() < total {
+        return Err(WireError::Truncated);
+    }
+    let payload = &bytes[HEADER_LEN..total];
+    if frame_checksum(&bytes[2..16], payload) != h.checksum {
+        return Err(WireError::Checksum);
+    }
+    let message = decode_payload(h.msg_id, payload)?;
+    Ok((
+        Frame {
+            request_id: h.request_id,
+            message,
+        },
+        total,
+    ))
+}
+
+// ---------------------------------------------------------------- stream
+
+/// Write one frame to `w` and flush it.
+pub fn write_frame(w: &mut impl Write, request_id: u64, message: &Message) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + 64);
+    encode_frame(request_id, message, &mut buf);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame from `r`. Returns `Ok(None)` on clean EOF (the peer
+/// closed between frames); EOF mid-frame is an error. Protocol violations
+/// surface as [`io::ErrorKind::InvalidData`] wrapping a [`WireError`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte separately: distinguishes clean EOF from truncation.
+    match r.read(&mut header[..1])? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!("read of 1 byte returned more"),
+    }
+    r.read_exact(&mut header[1..])?;
+    let h = decode_header(&header)?;
+    let mut payload = vec![0u8; h.payload_len as usize];
+    r.read_exact(&mut payload)?;
+    if frame_checksum(&header[2..16], &payload) != h.checksum {
+        return Err(WireError::Checksum.into());
+    }
+    let message = decode_payload(h.msg_id, &payload)?;
+    Ok(Some(Frame {
+        request_id: h.request_id,
+        message,
+    }))
+}
+
+/// Like [`read_frame`], but built for a reader with a short read timeout
+/// (socket `set_read_timeout` or the pipe's equivalent): timeouts are
+/// retried so slow frames are never torn, and `should_stop` is polled
+/// between retries so the loop can be told to give up. Returns `Ok(None)`
+/// on clean EOF or when stopped.
+pub fn read_frame_until(
+    r: &mut impl Read,
+    mut should_stop: impl FnMut() -> bool,
+) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    // Wait for the first byte of a frame, polling the stop flag while the
+    // line is idle — nothing has been consumed yet, so bailing is safe.
+    loop {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if should_stop() {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // A frame has started: finish it, retrying timeouts (the peer may be
+    // mid-write), but still honour the stop flag so shutdown cannot hang
+    // on a peer that died mid-frame.
+    let mut fill = |buf: &mut [u8]| -> io::Result<bool> {
+        let mut done = 0;
+        while done < buf.len() {
+            match r.read(&mut buf[done..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "mid-frame EOF",
+                    ))
+                }
+                Ok(n) => done += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if should_stop() {
+                        return Ok(false);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    };
+    if !fill(&mut header[1..])? {
+        return Ok(None);
+    }
+    let h = decode_header(&header)?;
+    let mut payload = vec![0u8; h.payload_len as usize];
+    if !fill(&mut payload)? {
+        return Ok(None);
+    }
+    if frame_checksum(&header[2..16], &payload) != h.checksum {
+        return Err(WireError::Checksum.into());
+    }
+    let message = decode_payload(h.msg_id, &payload)?;
+    Ok(Some(Frame {
+        request_id: h.request_id,
+        message,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(id: u64, message: Message) {
+        let mut buf = Vec::new();
+        encode_frame(id, &message, &mut buf);
+        let (frame, used) = decode_frame(&buf).expect("decode");
+        assert_eq!(used, buf.len());
+        assert_eq!(frame.request_id, id);
+        assert_eq!(frame.message, message);
+        // Stream path agrees with the slice path.
+        let mut r = &buf[..];
+        let streamed = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(streamed.message, frame.message);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn empty_payload_messages_round_trip() {
+        for m in [
+            Message::Request(Request::Ping),
+            Message::Request(Request::Flush),
+            Message::Request(Request::GetEmbedding),
+            Message::Request(Request::GetStats),
+            Message::Request(Request::Shutdown),
+            Message::Reply(Reply::Pong),
+            Message::Reply(Reply::ShutdownAck),
+        ] {
+            round_trip(7, m);
+        }
+    }
+
+    #[test]
+    fn payload_messages_round_trip() {
+        round_trip(
+            1,
+            Message::Request(Request::SubmitEvents(vec![
+                EdgeEvent::insert(3, 4),
+                EdgeEvent::delete(9, 2),
+            ])),
+        );
+        round_trip(2, Message::Request(Request::GetRows(vec![0, 7, 42])));
+        round_trip(3, Message::Reply(Reply::SubmitAck { accepted: 17 }));
+        round_trip(4, Message::Reply(Reply::FlushAck { epoch: u64::MAX }));
+        round_trip(
+            5,
+            Message::Reply(Reply::Rows(RowsReply {
+                epoch: 3,
+                checksum_bits: 0xDEAD_BEEF,
+                dim: 2,
+                rows: vec![Some(vec![1.5, -0.25]), None, Some(vec![0.0, -0.0])],
+            })),
+        );
+        round_trip(
+            6,
+            Message::Reply(Reply::Embedding(EmbeddingReply {
+                epoch: 9,
+                checksum_bits: 1,
+                dim: 2,
+                sources: vec![5, 6],
+                data: vec![0.1, 0.2, 0.3, 0.4],
+            })),
+        );
+        round_trip(8, Message::Reply(Reply::Error("no such node".into())));
+    }
+
+    #[test]
+    fn f64_bits_survive_including_nan_and_negative_zero() {
+        let weird = vec![
+            f64::NAN,
+            f64::from_bits(0x7ff8_dead_beef_0001), // a payloaded NaN
+            -0.0,
+            f64::INFINITY,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+        ];
+        let msg = Message::Reply(Reply::Embedding(EmbeddingReply {
+            epoch: 1,
+            checksum_bits: 2,
+            dim: 5,
+            sources: vec![0],
+            data: weird.clone(),
+        }));
+        let mut buf = Vec::new();
+        encode_frame(1, &msg, &mut buf);
+        let (frame, _) = decode_frame(&buf).unwrap();
+        let Message::Reply(Reply::Embedding(e)) = frame.message else {
+            panic!("wrong message");
+        };
+        for (a, b) in weird.iter().zip(&e.data) {
+            assert_eq!(a.to_bits(), b.to_bits(), "f64 bits changed in flight");
+        }
+    }
+
+    #[test]
+    fn stats_reply_round_trips_exactly() {
+        let stats = ServeStats {
+            epoch: 12,
+            num_shards: 4,
+            events_submitted: 1000,
+            events_applied: 900,
+            events_coalesced: 80,
+            events_pending: 20,
+            batches_flushed: 12,
+            flush_ms_last: 1.25,
+            flush_ms_mean: 2.5,
+            flush_ms_max: 0.1 + 0.2, // not exactly representable: bits must survive
+            timings: Default::default(),
+        };
+        round_trip(11, Message::Reply(Reply::Stats(stats)));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_from_header() {
+        let mut buf = Vec::new();
+        encode_frame(1, &Message::Request(Request::Ping), &mut buf);
+        buf[12..16].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Oversized(MAX_PAYLOAD + 1))
+        );
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_rejected() {
+        let mut buf = Vec::new();
+        encode_frame(
+            1,
+            &Message::Request(Request::GetRows(vec![1, 2, 3])),
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            assert!(decode_frame(&buf[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode_frame(&bad), Err(WireError::BadMagic(_))));
+        let mut wrong_version = buf.clone();
+        wrong_version[2] = WIRE_VERSION + 1;
+        // The version byte is inside the checksummed range, so either error
+        // is a rejection; BadVersion fires first by layout.
+        assert_eq!(
+            decode_frame(&wrong_version),
+            Err(WireError::BadVersion(WIRE_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn count_larger_than_payload_rejected_before_allocation() {
+        // Hand-build a GetRows frame whose count field claims 2^31 nodes
+        // but whose payload holds none: must fail on the count check.
+        let mut buf = Vec::new();
+        encode_frame(1, &Message::Request(Request::GetRows(vec![])), &mut buf);
+        // Rewrite the payload count (first 4 payload bytes)…
+        buf[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        // …and fix the checksum so the count check itself is reached.
+        let crc = frame_checksum(&buf[2..16], &buf[HEADER_LEN..]);
+        buf[16..24].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("count exceeds payload"))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        encode_frame(1, &Message::Request(Request::Ping), &mut buf);
+        // Grow the payload by one byte and re-stamp length + checksum: the
+        // frame is well-formed at the frame layer but the Ping decoder must
+        // reject the leftover byte.
+        buf.push(0xAB);
+        buf[12..16].copy_from_slice(&1u32.to_le_bytes());
+        let crc = frame_checksum(&buf[2..16], &buf[HEADER_LEN..]);
+        buf[16..24].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("trailing bytes after payload"))
+        );
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_sequence() {
+        let mut buf = Vec::new();
+        encode_frame(1, &Message::Request(Request::Ping), &mut buf);
+        encode_frame(2, &Message::Reply(Reply::FlushAck { epoch: 5 }), &mut buf);
+        let (f1, used) = decode_frame(&buf).unwrap();
+        assert_eq!(f1.request_id, 1);
+        let (f2, used2) = decode_frame(&buf[used..]).unwrap();
+        assert_eq!(f2.request_id, 2);
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a 64 test vector: empty input is the offset basis,
+        // "a" hashes to af63dc4c8601ec8c.
+        assert_eq!(fnv1a64(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

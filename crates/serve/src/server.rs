@@ -99,16 +99,23 @@ impl Inner {
             raw.clone()
         };
         self.engine.apply_batch(&window);
-        self.publish();
         let nanos = t0.elapsed().as_nanos() as u64;
+        // Counters first, publish second: once a reader observes the new
+        // epoch in the cell, every counter already accounts for this flush
+        // (`batches ≥ epoch`, `applied + coalesced` covers every published
+        // window). The reverse order let `stats()` pair a fresh epoch with
+        // stale counters. Within the timing counters, `max` is raised
+        // before `last` is overwritten so `max ≥ last` holds for any
+        // interleaved reader.
         let c = &self.counters;
-        c.applied.fetch_add(window.len() as u64, Ordering::Relaxed);
+        c.applied.fetch_add(window.len() as u64, Ordering::Release);
         c.coalesced
-            .fetch_add((raw.len() - window.len()) as u64, Ordering::Relaxed);
-        c.batches.fetch_add(1, Ordering::Relaxed);
-        c.flush_nanos_total.fetch_add(nanos, Ordering::Relaxed);
-        c.flush_nanos_last.store(nanos, Ordering::Relaxed);
-        c.flush_nanos_max.fetch_max(nanos, Ordering::Relaxed);
+            .fetch_add((raw.len() - window.len()) as u64, Ordering::Release);
+        c.flush_nanos_total.fetch_add(nanos, Ordering::Release);
+        c.flush_nanos_max.fetch_max(nanos, Ordering::Release);
+        c.flush_nanos_last.store(nanos, Ordering::Release);
+        c.batches.fetch_add(1, Ordering::Release);
+        self.publish();
     }
 
     fn on_events(&mut self, timers: &mut Timers, events: Vec<EdgeEvent>) {
@@ -224,9 +231,14 @@ impl ServerHandle {
             return true;
         }
         let n = events.len() as u64;
+        // Count *before* handing the batch to the reactor: the reactor may
+        // flush (and bump `applied`) before this thread runs again, and
+        // `submitted ≥ applied + coalesced` must hold for every observer.
+        // The increment is undone on the (server already gone) failure path.
+        self.counters.submitted.fetch_add(n, Ordering::Release);
         let ok = self.mailbox.send(Msg::Events(events));
-        if ok {
-            self.counters.submitted.fetch_add(n, Ordering::Relaxed);
+        if !ok {
+            self.counters.submitted.fetch_sub(n, Ordering::Release);
         }
         ok
     }
@@ -259,14 +271,25 @@ impl ServerHandle {
     }
 
     /// A point-in-time counter snapshot.
+    ///
+    /// Read order is load-bearing: the epoch snapshot is taken *first*
+    /// (the flush path updates counters before publishing, so counters can
+    /// only be ahead of the observed epoch, never behind), and `submitted`
+    /// is read *last* with `Acquire` (the submit path counts before the
+    /// mailbox send that happens-before `applied`/`coalesced` increments,
+    /// so reading it after them keeps `submitted ≥ applied + coalesced`).
     pub fn stats(&self) -> ServeStats {
         let c = &self.counters;
         let snap = self.cell.load();
-        let submitted = c.submitted.load(Ordering::Relaxed);
-        let applied = c.applied.load(Ordering::Relaxed);
-        let coalesced = c.coalesced.load(Ordering::Relaxed);
-        let batches = c.batches.load(Ordering::Relaxed);
-        let total_ns = c.flush_nanos_total.load(Ordering::Relaxed);
+        let batches = c.batches.load(Ordering::Acquire);
+        let applied = c.applied.load(Ordering::Acquire);
+        let coalesced = c.coalesced.load(Ordering::Acquire);
+        let total_ns = c.flush_nanos_total.load(Ordering::Acquire);
+        let submitted = c.submitted.load(Ordering::Acquire);
+        // `last` before `max`: the flush path raises `max` before storing
+        // `last`, so this order guarantees `max ≥ last` in the result.
+        let last_ns = c.flush_nanos_last.load(Ordering::Acquire);
+        let max_ns = c.flush_nanos_max.load(Ordering::Acquire);
         ServeStats {
             epoch: snap.epoch(),
             num_shards: self.num_shards,
@@ -275,13 +298,13 @@ impl ServerHandle {
             events_coalesced: coalesced,
             events_pending: submitted.saturating_sub(applied + coalesced),
             batches_flushed: batches,
-            flush_ms_last: c.flush_nanos_last.load(Ordering::Relaxed) as f64 / 1e6,
+            flush_ms_last: last_ns as f64 / 1e6,
             flush_ms_mean: if batches == 0 {
                 0.0
             } else {
                 total_ns as f64 / batches as f64 / 1e6
             },
-            flush_ms_max: c.flush_nanos_max.load(Ordering::Relaxed) as f64 / 1e6,
+            flush_ms_max: max_ns as f64 / 1e6,
             timings: snap.timings(),
         }
     }

@@ -1,0 +1,272 @@
+//! Loopback-transport equivalence: the wire path (client → frame codec →
+//! pipes → frontend → dispatcher → server) must return replies **bitwise
+//! identical** to in-process reads of the same server — at any shard
+//! count. This extends the repo's equivalence chain
+//! (pipeline == engine == server) across the network boundary.
+
+use std::io::Write;
+
+use tsvd_core::TreeSvdConfig;
+use tsvd_graph::{DynGraph, EdgeEvent};
+use tsvd_ppr::PprConfig;
+use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+use tsvd_serve::net::wire::{self, Message, Reply, Request};
+use tsvd_serve::net::Transport;
+use tsvd_serve::{ClientConfig, EmbeddingServer, NetClient, NetFront, ServeConfig, ShardedEngine};
+
+fn base_graph() -> DynGraph {
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = 80usize;
+    let mut g = DynGraph::with_nodes(n);
+    while g.num_edges() < 400 {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u != v {
+            g.insert_edge(u, v);
+        }
+    }
+    g
+}
+
+fn engine(g: &DynGraph, num_shards: usize) -> ShardedEngine {
+    let sources: Vec<u32> = (0..12).collect();
+    let cfg = TreeSvdConfig {
+        dim: 8,
+        num_blocks: 3,
+        ..Default::default()
+    };
+    ShardedEngine::new(g, &sources, num_shards, PprConfig::default(), cfg)
+}
+
+/// Manual-flush config: windows are exactly the submitted chunks, so runs
+/// are comparable across shard counts.
+fn manual_flush(num_shards: usize) -> ServeConfig {
+    ServeConfig {
+        num_shards,
+        flush_max_events: 1_000_000,
+        flush_interval_ms: 60_000,
+        coalesce: true,
+    }
+}
+
+/// Deterministic event chunks touching both present and absent edges.
+fn event_chunks() -> Vec<Vec<EdgeEvent>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..4)
+        .map(|_| {
+            (0..30)
+                .map(|_| {
+                    let u = rng.gen_range(0..80) as u32;
+                    let v = rng.gen_range(0..80) as u32;
+                    if rng.gen_range(0..4) == 0 {
+                        EdgeEvent::delete(u, v)
+                    } else {
+                        EdgeEvent::insert(u, v)
+                    }
+                })
+                .filter(|e| e.u != e.v)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn loopback_replies_bitwise_equal_in_process_at_any_shard_count() {
+    let g = base_graph();
+    let chunks = event_chunks();
+    let probe: Vec<u32> = vec![0, 5, 11, 70, 200]; // mixes subset, non-subset, out-of-range
+    let mut final_bits: Vec<Vec<u64>> = Vec::new();
+
+    for num_shards in [1usize, 3] {
+        let server = EmbeddingServer::start(engine(&g, num_shards), manual_flush(num_shards));
+        let in_process = server.reader();
+        let front = NetFront::start(server);
+        let mut client = NetClient::connect(front.loopback(), ClientConfig::default()).unwrap();
+
+        for (i, chunk) in chunks.iter().enumerate() {
+            let accepted = client.submit_events(chunk.clone()).unwrap();
+            assert_eq!(accepted, chunk.len() as u64);
+            let epoch = client.flush().unwrap();
+            assert_eq!(epoch, i as u64 + 1);
+
+            // The wire reply and the in-process snapshot must agree bitwise.
+            let snap = in_process.snapshot();
+            let rows = client.get_rows(&probe).unwrap();
+            assert_eq!(rows.epoch, snap.epoch());
+            assert_eq!(rows.checksum_bits, snap.checksum().to_bits());
+            assert_eq!(rows.dim as usize, snap.dim());
+            for (&node, got) in probe.iter().zip(&rows.rows) {
+                match (snap.get(node), got) {
+                    (None, None) => {}
+                    (Some(want), Some(got)) => {
+                        assert_eq!(want.len(), got.len());
+                        for (a, b) in want.iter().zip(got) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "row bits differ over the wire");
+                        }
+                    }
+                    (want, got) => panic!("presence mismatch for node {node}: {want:?} vs {got:?}"),
+                }
+            }
+
+            let emb = client.get_embedding().unwrap();
+            assert!(emb.verify_checksum(), "end-to-end checksum failed");
+            assert_eq!(emb.sources, snap.sources());
+            for (r, &src) in snap.sources().iter().enumerate() {
+                let want = snap.get(src).unwrap();
+                for (a, b) in want.iter().zip(emb.row(r)) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "embedding bits differ over the wire"
+                    );
+                }
+            }
+
+            let stats = client.stats().unwrap();
+            assert_eq!(stats.epoch, snap.epoch());
+            assert_eq!(stats.num_shards, num_shards.min(12));
+        }
+
+        let emb = client.get_embedding().unwrap();
+        final_bits.push(emb.data.iter().map(|v| v.to_bits()).collect());
+        drop(client);
+        front.shutdown();
+    }
+
+    // Sharding must stay invisible over the wire too.
+    assert_eq!(
+        final_bits[0], final_bits[1],
+        "final embedding differs between shard counts over the wire"
+    );
+}
+
+#[test]
+fn pipelined_requests_execute_in_order_with_one_round_trip_per_batch() {
+    let g = base_graph();
+    let server = EmbeddingServer::start(engine(&g, 2), manual_flush(2));
+    let front = NetFront::start(server);
+    let mut client = NetClient::connect(front.loopback(), ClientConfig::default()).unwrap();
+
+    let events = vec![EdgeEvent::insert(0, 50), EdgeEvent::insert(1, 51)];
+    let replies = client
+        .pipeline(&[
+            Request::Ping,
+            Request::SubmitEvents(events.clone()),
+            Request::Flush,
+            Request::GetRows(vec![0, 1]),
+            Request::GetStats,
+        ])
+        .unwrap();
+    assert_eq!(replies.len(), 5);
+    assert!(matches!(replies[0], Reply::Pong));
+    assert!(matches!(replies[1], Reply::SubmitAck { accepted: 2 }));
+    let Reply::FlushAck { epoch } = replies[2] else {
+        panic!("expected FlushAck, got {:?}", replies[2]);
+    };
+    assert_eq!(
+        epoch, 1,
+        "flush must observe the pipelined submit before it"
+    );
+    let Reply::Rows(rows) = &replies[3] else {
+        panic!("expected Rows, got {:?}", replies[3]);
+    };
+    assert_eq!(
+        rows.epoch, 1,
+        "read after pipelined flush sees the new epoch"
+    );
+    let Reply::Stats(stats) = &replies[4] else {
+        panic!("expected Stats, got {:?}", replies[4]);
+    };
+    assert_eq!(stats.events_submitted, 2);
+    assert_eq!(stats.epoch, 1);
+
+    drop(client);
+    front.shutdown();
+}
+
+#[test]
+fn client_reconnects_and_retries_idempotent_calls() {
+    let g = base_graph();
+    let server = EmbeddingServer::start(engine(&g, 1), manual_flush(1));
+    let front = NetFront::start(server);
+    let mut client = NetClient::connect(front.loopback(), ClientConfig::default()).unwrap();
+
+    client.ping().unwrap();
+    assert_eq!(client.reconnects(), 0);
+    client.disconnect();
+    client.ping().unwrap(); // transparently reopens
+    assert_eq!(client.reconnects(), 1);
+
+    // Epoch guard state survives the reconnect.
+    client
+        .submit_events(vec![EdgeEvent::insert(2, 60)])
+        .unwrap();
+    client.flush().unwrap();
+    assert_eq!(client.last_epoch(), 1);
+    client.disconnect();
+    let rows = client.get_rows(&[2]).unwrap();
+    assert_eq!(rows.epoch, 1);
+    assert_eq!(client.reconnects(), 2);
+
+    drop(client);
+    front.shutdown();
+}
+
+#[test]
+fn corrupt_frame_draws_connection_error_then_close() {
+    let g = base_graph();
+    let server = EmbeddingServer::start(engine(&g, 1), manual_flush(1));
+    let front = NetFront::start(server);
+
+    // Talk raw bytes through the transport, bypassing the client.
+    let lb = front.loopback();
+    let mut duplex = lb.open().unwrap();
+    let mut buf = Vec::new();
+    wire::encode_frame(9, &Message::Request(Request::Ping), &mut buf);
+    buf[20] ^= 0x40; // corrupt the checksum field
+    duplex.writer.write_all(&buf).unwrap();
+    duplex.writer.flush().unwrap();
+
+    let frame = wire::read_frame(&mut duplex.reader).unwrap().unwrap();
+    assert_eq!(frame.request_id, 0, "connection-level error uses id 0");
+    assert!(
+        matches!(frame.message, Message::Reply(Reply::Error(_))),
+        "expected an error reply, got {:?}",
+        frame.message
+    );
+    // After reporting, the server closes: clean EOF.
+    assert!(wire::read_frame(&mut duplex.reader).unwrap().is_none());
+
+    // The front is still healthy for well-behaved clients.
+    let mut client = NetClient::connect(front.loopback(), ClientConfig::default()).unwrap();
+    client.ping().unwrap();
+    drop(client);
+    drop(duplex);
+    front.shutdown();
+}
+
+#[test]
+fn shutdown_request_flushes_and_stops_the_front() {
+    let g = base_graph();
+    let server = EmbeddingServer::start(engine(&g, 2), manual_flush(2));
+    let front = NetFront::start(server);
+    let mut client = NetClient::connect(front.loopback(), ClientConfig::default()).unwrap();
+
+    client
+        .submit_events(vec![EdgeEvent::insert(3, 70), EdgeEvent::insert(4, 71)])
+        .unwrap();
+    client.shutdown_server().unwrap();
+    assert!(front.wait_stopped(std::time::Duration::from_secs(10)));
+
+    // New connections are refused once stopped.
+    assert!(NetClient::connect(front.loopback(), ClientConfig::default()).is_err());
+
+    drop(client);
+    let engine = front.shutdown();
+    assert_eq!(
+        engine.epoch(),
+        1,
+        "shutdown must flush pending events first"
+    );
+    assert_eq!(engine.events_applied(), 2);
+}

@@ -30,5 +30,8 @@ pub mod prelude {
     pub use tsvd_graph::{DynGraph, EdgeEvent, EventKind, SnapshotStream};
     pub use tsvd_linalg::{CsrMatrix, DenseMatrix, Svd};
     pub use tsvd_ppr::{PprConfig, SubsetPpr};
-    pub use tsvd_serve::{EmbeddingReader, EmbeddingServer, ServeConfig, ShardedEngine};
+    pub use tsvd_serve::{
+        ClientConfig, EmbeddingReader, EmbeddingServer, NetClient, NetFront, ServeConfig,
+        ShardedEngine, TcpTransport,
+    };
 }
