@@ -12,10 +12,13 @@
 #   6. cargo test --workspace with TSVD_THREADS=1 — the serial fallbacks of
 #      rt::pool must stay equivalent to the parallel paths;
 #   7. serving layer under both thread settings — tsvd-serve's sharded
-#      server must stay bitwise-equal to the offline pipeline replay;
+#      server must stay bitwise-equal to the offline pipeline replay —
+#      and again with TSVD_PIPELINE_DEPTH=1, which makes every server in
+#      the battery run the two-stage pipelined flush;
 #   8. network front under both thread settings — codec property/fuzz
 #      battery, loopback bitwise equivalence, counter race audit, and the
-#      multi-client TCP soak vs journaled-window replay;
+#      multi-client TCP soak vs journaled-window replay — the soak also
+#      repeated with pipelined flushes;
 #   9. bench smoke — every rt::bench target runs once, no timing paid,
 #      including the spawn-vs-pool dispatch, serving, and net benches.
 #
@@ -68,11 +71,20 @@ cargo test -q --test serve_equivalence
 TSVD_THREADS=1 cargo test -q -p tsvd-serve
 TSVD_THREADS=1 cargo test -q --test serve_equivalence
 
+step "serving layer, pipelined flushes (TSVD_PIPELINE_DEPTH=1)"
+TSVD_PIPELINE_DEPTH=1 cargo test -q -p tsvd-serve
+TSVD_PIPELINE_DEPTH=1 cargo test -q --test serve_equivalence
+TSVD_PIPELINE_DEPTH=1 TSVD_THREADS=1 cargo test -q --test serve_equivalence
+
 step "network front (default threads + TSVD_THREADS=1)"
 cargo test -q -p tsvd-serve --test net_props --test net_loopback --test race_audit
 cargo test -q --test net_soak
 TSVD_THREADS=1 cargo test -q -p tsvd-serve --test net_props --test net_loopback --test race_audit
 TSVD_THREADS=1 cargo test -q --test net_soak
+
+step "network front, pipelined flushes (TSVD_PIPELINE_DEPTH=1)"
+TSVD_PIPELINE_DEPTH=1 cargo test -q -p tsvd-serve --test net_loopback --test race_audit
+TSVD_PIPELINE_DEPTH=1 cargo test -q --test net_soak
 
 step "bench smoke (1 iteration per benchmark)"
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench svd_kernels

@@ -35,6 +35,19 @@ impl PipelineTimings {
     pub fn total_secs(&self) -> f64 {
         self.ppr_secs + self.rows_secs + self.svd_secs
     }
+
+    /// Seconds in phase 1 — PPR maintenance plus proximity-row rebuild.
+    /// This is the per-source-independent half of an update, the part a
+    /// pipelined server can overlap with the previous window's phase 2.
+    pub fn phase1_secs(&self) -> f64 {
+        self.ppr_secs + self.rows_secs
+    }
+
+    /// Seconds in phase 2 — the global lazy Tree-SVD refresh, the ordered
+    /// serialization point of every update.
+    pub fn phase2_secs(&self) -> f64 {
+        self.svd_secs
+    }
 }
 
 /// Field-wise accumulation (update counts add), so per-shard or per-window
@@ -449,6 +462,9 @@ mod tests {
         assert_eq!(t, t1 + t2);
         assert_eq!(t.updates, 5);
         assert!((t.total_secs() - 5.0).abs() < 1e-12);
+        assert!((t.phase1_secs() - 2.0).abs() < 1e-12, "ppr + rows");
+        assert!((t.phase2_secs() - 3.0).abs() < 1e-12, "svd only");
+        assert!((t.phase1_secs() + t.phase2_secs() - t.total_secs()).abs() < 1e-12);
     }
 
     #[test]

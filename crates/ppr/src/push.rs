@@ -20,17 +20,24 @@ use tsvd_graph::{Direction, DynGraph};
 pub fn forward_push(g: &DynGraph, dir: Direction, alpha: f64, r_max: f64, state: &mut PprState) {
     assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
     assert!(r_max > 0.0, "r_max must be positive");
-    let mut queue: VecDeque<u32> = VecDeque::new();
+    // Take the state's scratch buffers for the duration of the push: the
+    // dynamic path re-pushes every source in every window on residue sets
+    // of a handful of nodes, where a fresh seed Vec + frontier VecDeque per
+    // call is pure allocator traffic. Capacity persists across pushes.
+    let mut seeds = std::mem::take(&mut state.scratch.seeds);
+    let mut queue = std::mem::take(&mut state.scratch.queue);
+    debug_assert!(seeds.is_empty() && queue.is_empty(), "scratch not clean");
     // Seed the queue with every node currently holding residue. For a fresh
     // state this is just the source; after dynamic adjustments it is the
     // handful of touched endpoints plus whatever survived earlier pushes.
-    let mut seeds: Vec<u32> = state.r.keys().copied().collect();
+    seeds.extend(state.r.keys().copied());
     seeds.sort_unstable(); // deterministic order regardless of hash state
-    for u in seeds {
+    for &u in &seeds {
         if exceeds(g, dir, r_max, u, state.residue(u)) {
             queue.push_back(u);
         }
     }
+    seeds.clear();
     while let Some(u) = queue.pop_front() {
         let r_u = state.residue(u);
         if !exceeds(g, dir, r_max, u, r_u) {
@@ -48,6 +55,8 @@ pub fn forward_push(g: &DynGraph, dir: Direction, alpha: f64, r_max: f64, state:
             queue.push_back(u);
         }
     }
+    state.scratch.seeds = seeds;
+    state.scratch.queue = queue;
 }
 
 /// Reusable dense working buffers for fresh pushes.
@@ -372,6 +381,28 @@ mod tests {
         let st = forward_push_fresh(&g, Direction::Out, 0.2, 1e-6, 2);
         assert!((st.estimate(2) - 1.0).abs() < 1e-12);
         assert_eq!(st.residue(2), 0.0);
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_across_pushes() {
+        let g = cycle(30);
+        let mut st = PprState::new(0);
+        forward_push(&g, Direction::Out, 0.2, 1e-4, &mut st);
+        // Scratch is left clean but keeps its capacity for the next push.
+        assert!(st.scratch.seeds.is_empty());
+        assert!(st.scratch.queue.is_empty());
+        let seed_cap = st.scratch.seeds.capacity();
+        let queue_cap = st.scratch.queue.capacity();
+        assert!(seed_cap > 0, "first push grew the seed scratch");
+        assert!(queue_cap > 0, "first push grew the frontier scratch");
+        // A re-push on leftover residues (the dynamic-update shape) must
+        // not reallocate: same backing capacity before and after.
+        st.add_r(7, 0.5);
+        st.add_r(21, -0.3);
+        forward_push(&g, Direction::Out, 0.2, 1e-4, &mut st);
+        assert!(st.scratch.seeds.capacity() >= seed_cap);
+        assert!(st.scratch.queue.capacity() >= queue_cap);
+        assert!(st.scratch.seeds.is_empty() && st.scratch.queue.is_empty());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Per-source push state: the estimate vector `p_s` and residue vector `r_s`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+use tsvd_rt::json::{field, FromJson, Json, JsonError, ToJson};
 
 /// The local-push state of one PPR source: sparse estimate (`p`) and residue
 /// (`r`) vectors, per Algorithm 1 of the paper.
@@ -17,14 +19,45 @@ pub struct PprState {
     pub(crate) r: HashMap<u32, f64>,
     /// Set whenever `p` changes; cleared via [`PprState::clear_dirty`].
     pub dirty: bool,
+    /// Reusable push working memory (seed sort + frontier queue). Purely
+    /// transient: always empty between pushes, excluded from serialisation.
+    pub(crate) scratch: PushScratch,
 }
 
-tsvd_rt::impl_json_struct!(PprState {
-    source,
-    p,
-    r,
-    dirty
-});
+/// Per-state scratch buffers for [`crate::push::forward_push`], kept on the
+/// state so the dynamic re-push of every source in every window does not
+/// pay two heap allocations (seed Vec + frontier VecDeque) per call.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PushScratch {
+    pub(crate) seeds: Vec<u32>,
+    pub(crate) queue: VecDeque<u32>,
+}
+
+// Manual JSON impls (not `impl_json_struct!`): `scratch` is working memory,
+// not state — it is skipped on encode and default-initialised on decode, so
+// the wire format is unchanged from the pre-scratch derive.
+impl ToJson for PprState {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("source".to_string(), self.source.to_json()),
+            ("p".to_string(), self.p.to_json()),
+            ("r".to_string(), self.r.to_json()),
+            ("dirty".to_string(), self.dirty.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PprState {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(PprState {
+            source: field(j, "source")?,
+            p: field(j, "p")?,
+            r: field(j, "r")?,
+            dirty: field(j, "dirty")?,
+            scratch: PushScratch::default(),
+        })
+    }
+}
 
 impl PprState {
     /// Fresh state for `source`: `p = 0`, `r = 1_s` (one-hot residue).
@@ -36,6 +69,7 @@ impl PprState {
             p: HashMap::new(),
             r,
             dirty: true,
+            scratch: PushScratch::default(),
         }
     }
 
@@ -169,6 +203,23 @@ mod tests {
         s.scale_p(9, 2.0);
         assert!(s.dirty);
         assert_eq!(s.estimate(9), 0.2);
+    }
+
+    #[test]
+    fn json_skips_scratch_and_round_trips() {
+        let mut s = PprState::new(3);
+        s.add_p(1, 0.25);
+        s.add_r(2, -0.5);
+        s.scratch.seeds.push(9); // dirty scratch must not leak into JSON
+        s.scratch.queue.push_back(9);
+        let j = Json::parse(&s.to_json().to_string()).unwrap();
+        assert!(j.get("scratch").is_none(), "scratch serialized");
+        let back = PprState::from_json(&j).unwrap();
+        assert_eq!(back.source, 3);
+        assert_eq!(back.estimate(1), 0.25);
+        assert_eq!(back.residue(2), -0.5);
+        assert_eq!(back.dirty, s.dirty);
+        assert!(back.scratch.seeds.is_empty() && back.scratch.queue.is_empty());
     }
 
     #[test]

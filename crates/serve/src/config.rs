@@ -26,14 +26,31 @@ pub struct ServeConfig {
     pub flush_interval_ms: u64,
     /// Last-write-wins dedup of each window before applying it.
     pub coalesce: bool,
+    /// Flush pipelining depth: `0` runs each window's two phases serially
+    /// on the reactor's flush; `1` overlaps phase 1 (PPR replay + row
+    /// rebuild) of window `k+1` with phase 2 (Tree-SVD refresh) of window
+    /// `k` via [`crate::FlushPipeline`]. Published embeddings are bitwise
+    /// identical either way — this is purely a latency/throughput knob.
+    pub pipeline_depth: usize,
 }
 
 tsvd_rt::impl_json_struct!(ServeConfig {
     num_shards,
     flush_max_events,
     flush_interval_ms,
-    coalesce
+    coalesce,
+    pipeline_depth
 });
+
+/// Default pipeline depth: the `TSVD_PIPELINE_DEPTH` env var if set and
+/// parseable, else `0` (serial flushes). Read per call — not memoized —
+/// so test batteries can be swept under both modes by the CI driver.
+fn default_pipeline_depth() -> usize {
+    std::env::var("TSVD_PIPELINE_DEPTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -42,6 +59,7 @@ impl Default for ServeConfig {
             flush_max_events: 512,
             flush_interval_ms: 20,
             coalesce: true,
+            pipeline_depth: default_pipeline_depth(),
         }
     }
 }
@@ -60,6 +78,10 @@ impl ServeConfig {
             "flush window must hold ≥ 1 event"
         );
         assert!(self.flush_interval_ms >= 1, "flush deadline must be ≥ 1ms");
+        assert!(
+            self.pipeline_depth <= 1,
+            "pipeline depth > 1 is not supported"
+        );
     }
 }
 
@@ -93,6 +115,16 @@ mod tests {
     fn zero_window_rejected() {
         ServeConfig {
             flush_max_events: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "depth > 1")]
+    fn deep_pipeline_rejected() {
+        ServeConfig {
+            pipeline_depth: 2,
             ..Default::default()
         }
         .validate();

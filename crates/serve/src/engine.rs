@@ -26,6 +26,22 @@
 //!
 //! The engine is synchronous and single-writer by design; the async
 //! mailbox/batching layer lives in [`crate::server`].
+//!
+//! # The stage/commit split
+//!
+//! Internally the engine is two halves with disjoint state, mirroring the
+//! two phases above:
+//!
+//! * [`EngineFront`] — graph + shard PPR replicas. [`EngineFront::stage`]
+//!   runs phase 1 of one window and produces a [`StagedWindow`]: the fresh
+//!   proximity rows in ascending global row order, ready to drain.
+//! * [`EngineBack`] — matrix + tree + embedding. [`EngineBack::commit`]
+//!   drains a staged window's rows into the matrix (the ordered
+//!   serialization point) and runs phase 2.
+//!
+//! `apply_batch` is exactly `commit(stage(events))`; the split exists so
+//! [`crate::FlushPipeline`] can run `stage` of window `k+1` concurrently
+//! with `commit` of window `k` without changing a single bit of output.
 
 use std::time::Instant;
 
@@ -49,11 +65,43 @@ struct Shard {
     pending: Vec<(usize, Vec<(u32, f64)>)>,
 }
 
-/// Sharded dynamic subset-embedding engine (see module docs).
-pub struct ShardedEngine {
+/// Phase-1 half of the engine: the graph and the shard PPR replicas.
+/// Everything [`EngineFront::stage`] touches lives here — none of it is
+/// read or written by [`EngineBack::commit`], which is the whole overlap
+/// argument of the pipelined flush.
+pub(crate) struct EngineFront {
     graph: DynGraph,
     sources: Vec<u32>,
     shards: Vec<Shard>,
+    /// When enabled, every staged window is journaled in order — the exact
+    /// input an offline replay needs to reproduce this engine's state
+    /// bitwise (the soak test's ground-truth hook). Staging order equals
+    /// commit order (commits are strictly sequential), so the journal is
+    /// valid ground truth in pipelined mode too.
+    window_log: Option<Vec<Vec<EdgeEvent>>>,
+}
+
+/// Phase-1 output of one window: the fresh proximity rows, already in
+/// ascending global row order — exactly the `set_row` sequence the
+/// unsharded pipeline would perform, detached from the structures that
+/// perform it.
+pub(crate) struct StagedWindow {
+    rows: Vec<(usize, Vec<(u32, f64)>)>,
+    num_events: usize,
+    ppr_secs: f64,
+    rows_secs: f64,
+}
+
+impl StagedWindow {
+    /// Events in the staged (post-coalesce) window.
+    pub(crate) fn num_events(&self) -> usize {
+        self.num_events
+    }
+}
+
+/// Phase-2 half of the engine: the global matrix, the lazy Tree-SVD and
+/// the published embedding, plus all cumulative accounting.
+pub(crate) struct EngineBack {
     matrix: BlockedProximityMatrix,
     tree: DynamicTreeSvd,
     embedding: Embedding,
@@ -61,10 +109,114 @@ pub struct ShardedEngine {
     stats_total: UpdateStats,
     epoch: u64,
     events_applied: u64,
-    /// When enabled, every window handed to `apply_batch` is journaled in
-    /// order — the exact input an offline replay needs to reproduce this
-    /// engine's state bitwise (the soak test's ground-truth hook).
-    window_log: Option<Vec<Vec<EdgeEvent>>>,
+}
+
+/// Sharded dynamic subset-embedding engine (see module docs).
+pub struct ShardedEngine {
+    front: EngineFront,
+    back: EngineBack,
+}
+
+impl EngineFront {
+    /// Run phase 1 of one window: journal it, mutate the graph once, replay
+    /// the record on every shard in parallel, rebuild the dirty proximity
+    /// rows, and hand them back in ascending global row order.
+    ///
+    /// Touches only front state — safe to run while a previous window's
+    /// [`EngineBack::commit`] is still in flight.
+    pub(crate) fn stage(&mut self, events: &[EdgeEvent]) -> StagedWindow {
+        if let Some(log) = &mut self.window_log {
+            log.push(events.to_vec());
+        }
+        // Phase 1a: mutate the graph once, replay the record on every
+        // shard's states in parallel (shards outer, sources inner — nested
+        // regions run inline on pool workers, so both levels stay busy).
+        let t0 = Instant::now();
+        let rec = RecordedBatch::record(&mut self.graph, events);
+        let graph = &self.graph;
+        par_for_each_mut(&mut self.shards, |sh| {
+            sh.ppr.apply_recorded(graph, &rec);
+        });
+        let t1 = Instant::now();
+
+        // Phase 1b: rebuild dirty proximity rows per shard in parallel,
+        // then concatenate them in ascending global row order — the same
+        // order the unsharded pipeline writes them, so version stamps (and
+        // thus the lazy layer's re-diff bookkeeping) match exactly when
+        // the commit drains them.
+        par_for_each_mut(&mut self.shards, |sh| {
+            sh.pending.clear();
+            for local in sh.ppr.take_dirty_rows() {
+                sh.pending
+                    .push((sh.start + local, sh.ppr.proximity_row(local)));
+            }
+        });
+        let mut rows = Vec::with_capacity(self.shards.iter().map(|sh| sh.pending.len()).sum());
+        for sh in &mut self.shards {
+            rows.append(&mut sh.pending);
+        }
+        StagedWindow {
+            rows,
+            num_events: events.len(),
+            ppr_secs: (t1 - t0).as_secs_f64(),
+            rows_secs: t1.elapsed().as_secs_f64(),
+        }
+    }
+
+    pub(crate) fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    pub(crate) fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    pub(crate) fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl EngineBack {
+    /// Run the commit of one staged window: drain its rows into the global
+    /// matrix (the ordered serialization point) and run phase 2, the lazy
+    /// Tree-SVD refresh. Commits must happen in staging order; the
+    /// [`crate::FlushPipeline`] enforces that by keeping at most one in
+    /// flight.
+    pub(crate) fn commit(&mut self, window: StagedWindow) -> UpdateStats {
+        let t0 = Instant::now();
+        for (row, entries) in &window.rows {
+            self.matrix.set_row(*row, entries);
+        }
+        let t1 = Instant::now();
+        let (embedding, stats) = self.tree.update(&self.matrix);
+        self.embedding = embedding;
+        self.timings.ppr_secs += window.ppr_secs;
+        self.timings.rows_secs += window.rows_secs + (t1 - t0).as_secs_f64();
+        self.timings.svd_secs += t1.elapsed().as_secs_f64();
+        self.timings.updates += 1;
+        self.stats_total += stats;
+        self.epoch += 1;
+        self.events_applied += window.num_events as u64;
+        stats
+    }
+
+    /// The current embedding, tagged with the current epoch, as a cheaply
+    /// clonable snapshot ready to publish.
+    pub(crate) fn tagged(&self) -> TaggedEmbedding {
+        self.embedding.tagged(self.epoch)
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    pub(crate) fn timings(&self) -> PipelineTimings {
+        self.timings
+    }
 }
 
 impl ShardedEngine {
@@ -113,17 +265,21 @@ impl ShardedEngine {
         let mut tree = DynamicTreeSvd::new(tree_cfg);
         let embedding = tree.build(&matrix);
         ShardedEngine {
-            graph: g.clone(),
-            sources: sources.to_vec(),
-            shards,
-            matrix,
-            tree,
-            embedding,
-            timings: PipelineTimings::default(),
-            stats_total: UpdateStats::default(),
-            epoch: 0,
-            events_applied: 0,
-            window_log: None,
+            front: EngineFront {
+                graph: g.clone(),
+                sources: sources.to_vec(),
+                shards,
+                window_log: None,
+            },
+            back: EngineBack {
+                matrix,
+                tree,
+                embedding,
+                timings: PipelineTimings::default(),
+                stats_total: UpdateStats::default(),
+                epoch: 0,
+                events_applied: 0,
+            },
         }
     }
 
@@ -131,8 +287,8 @@ impl ShardedEngine {
     /// applied before this call are not recorded, so enable it before the
     /// first `apply_batch` for a complete journal.
     pub fn enable_window_log(&mut self) {
-        if self.window_log.is_none() {
-            self.window_log = Some(Vec::new());
+        if self.front.window_log.is_none() {
+            self.front.window_log = Some(Vec::new());
         }
     }
 
@@ -142,118 +298,90 @@ impl ShardedEngine {
     /// embedding bitwise — regardless of how submissions raced into flush
     /// windows.
     pub fn window_log(&self) -> Option<&[Vec<EdgeEvent>]> {
-        self.window_log.as_deref()
+        self.front.window_log.as_deref()
     }
 
     /// Apply one event batch and refresh the embedding — the sharded
     /// equivalent of `TreeSvdPipeline::update` on the engine's own graph.
+    /// Literally `commit(stage(events))`: the serial composition of the
+    /// two pipeline stages.
     pub fn apply_batch(&mut self, events: &[EdgeEvent]) -> UpdateStats {
-        if let Some(log) = &mut self.window_log {
-            log.push(events.to_vec());
-        }
-        // Phase 1a: mutate the graph once, replay the record on every
-        // shard's states in parallel (shards outer, sources inner — nested
-        // regions run inline on pool workers, so both levels stay busy).
-        let t0 = Instant::now();
-        let rec = RecordedBatch::record(&mut self.graph, events);
-        let graph = &self.graph;
-        par_for_each_mut(&mut self.shards, |sh| {
-            sh.ppr.apply_recorded(graph, &rec);
-        });
-        let t1 = Instant::now();
-        self.timings.ppr_secs += (t1 - t0).as_secs_f64();
+        let staged = self.front.stage(events);
+        self.back.commit(staged)
+    }
 
-        // Phase 1b: rebuild dirty proximity rows per shard in parallel,
-        // then write them into the global matrix in ascending row order —
-        // the same order the unsharded pipeline uses, so version stamps
-        // (and thus the lazy layer's re-diff bookkeeping) match exactly.
-        par_for_each_mut(&mut self.shards, |sh| {
-            sh.pending.clear();
-            for local in sh.ppr.take_dirty_rows() {
-                sh.pending
-                    .push((sh.start + local, sh.ppr.proximity_row(local)));
-            }
-        });
-        for sh in &mut self.shards {
-            for (row, entries) in sh.pending.drain(..) {
-                self.matrix.set_row(row, &entries);
-            }
-        }
-        self.timings.rows_secs += t1.elapsed().as_secs_f64();
+    /// Split into the two pipeline halves (see module docs). Used by
+    /// [`crate::FlushPipeline`] to run them concurrently.
+    pub(crate) fn into_parts(self) -> (EngineFront, EngineBack) {
+        (self.front, self.back)
+    }
 
-        // Phase 2: one global lazy Tree-SVD refresh.
-        let t2 = Instant::now();
-        let (embedding, stats) = self.tree.update(&self.matrix);
-        self.embedding = embedding;
-        self.timings.svd_secs += t2.elapsed().as_secs_f64();
-        self.timings.updates += 1;
-        self.stats_total += stats;
-        self.epoch += 1;
-        self.events_applied += events.len() as u64;
-        stats
+    /// Reassemble an engine from its pipeline halves.
+    pub(crate) fn from_parts(front: EngineFront, back: EngineBack) -> ShardedEngine {
+        ShardedEngine { front, back }
     }
 
     /// The current embedding, tagged with the current epoch, as a cheaply
     /// clonable snapshot ready to publish.
     pub fn tagged(&self) -> TaggedEmbedding {
-        self.embedding.tagged(self.epoch)
+        self.back.tagged()
     }
 
     /// The current subset embedding.
     pub fn embedding(&self) -> &Embedding {
-        &self.embedding
+        &self.back.embedding
     }
 
     /// Number of batches applied so far (the published epoch counter).
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.back.epoch
     }
 
     /// Total events handed to [`ShardedEngine::apply_batch`] so far.
     pub fn events_applied(&self) -> u64 {
-        self.events_applied
+        self.back.events_applied
     }
 
     /// Actual shard count `R` (after clamping to `|S|`).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.front.num_shards()
     }
 
     /// Row range `[start, end)` of shard `k`.
     pub fn shard_range(&self, k: usize) -> (usize, usize) {
-        let sh = &self.shards[k];
+        let sh = &self.front.shards[k];
         (sh.start, sh.start + sh.ppr.len())
     }
 
     /// The subset `S` in row order.
     pub fn sources(&self) -> &[u32] {
-        &self.sources
+        self.front.sources()
     }
 
     /// The engine's view of the graph (all applied batches included).
     pub fn graph(&self) -> &DynGraph {
-        &self.graph
+        self.front.graph()
     }
 
     /// Cumulative per-phase wall-clock across all applied batches.
     pub fn timings(&self) -> PipelineTimings {
-        self.timings
+        self.back.timings
     }
 
     /// Field-wise sum of every batch's [`UpdateStats`].
     pub fn total_stats(&self) -> UpdateStats {
-        self.stats_total
+        self.back.stats_total
     }
 
     /// The maintained proximity matrix as CSR (right embeddings, quality
     /// measurements).
     pub fn proximity_csr(&self) -> CsrMatrix {
-        self.matrix.to_csr()
+        self.back.matrix.to_csr()
     }
 
     /// The global blocked proximity matrix.
     pub fn matrix(&self) -> &BlockedProximityMatrix {
-        &self.matrix
+        &self.back.matrix
     }
 }
 

@@ -1,0 +1,433 @@
+//! Two-stage flush pipeline: overlap phase 1 of window `k+1` with phase 2
+//! of window `k`.
+//!
+//! [`FlushPipeline`] owns a [`ShardedEngine`] split into its two halves
+//! (see the `engine` module docs):
+//!
+//! * the **front** (graph + shard PPR replicas) runs `stage` — journal,
+//!   graph mutation, PPR replay, dirty-row rebuild — on the caller's
+//!   thread, fanning out on the shared compute pool;
+//! * the **back** (matrix + lazy Tree-SVD) runs `commit` — the ordered
+//!   `set_row` drain plus the global refresh — detached on a
+//!   [`tsvd_rt::pool::background`] courier.
+//!
+//! With `depth = 1`, `submit_window(k+1)` stages the new window *while*
+//! the commit of window `k` is still in flight, then joins that commit
+//! before spawning the next one. Because stage touches only front state
+//! and commit only back state, and because commits stay strictly
+//! sequential in window order (at most one in flight), the published
+//! embedding is **bitwise identical** to the serial engine at any depth,
+//! shard count, and thread count. With `depth = 0` the two phases run
+//! back-to-back on the caller — exactly `ShardedEngine::apply_batch`.
+//!
+//! The measured overlap (wall-clock during which both phases were running)
+//! is reported per window in [`CommitOutcome::overlapped_secs`].
+
+use std::time::Instant;
+
+use tsvd_core::{PipelineTimings, TaggedEmbedding, UpdateStats};
+use tsvd_graph::EdgeEvent;
+use tsvd_rt::pool::{background, TaskHandle};
+
+use crate::engine::{EngineBack, EngineFront, ShardedEngine};
+
+/// Everything the serving layer needs to publish one committed window.
+#[derive(Clone)]
+pub struct CommitOutcome {
+    /// Engine epoch after this window (1-based window counter).
+    pub epoch: u64,
+    /// The Tree-SVD refresh stats of this window.
+    pub stats: UpdateStats,
+    /// Events in this (post-coalesce) window.
+    pub num_events: usize,
+    /// The refreshed embedding, tagged with `epoch`, ready to publish.
+    pub tagged: TaggedEmbedding,
+    /// Cumulative events across all committed windows.
+    pub events_applied: u64,
+    /// Cumulative per-phase wall-clock across all committed windows.
+    pub timings: PipelineTimings,
+    /// Wall-clock of this window's stage (phase 1).
+    pub stage_secs: f64,
+    /// Wall-clock of this window's commit (phase 2 + row drain).
+    pub commit_secs: f64,
+    /// Wall-clock during which this window's commit ran concurrently with
+    /// the *next* window's stage. Zero at `depth = 0`, and for the last
+    /// window before a drain.
+    pub overlapped_secs: f64,
+}
+
+/// What the detached commit hands back: the back half of the engine plus
+/// this window's refresh accounting.
+struct CommitDone {
+    back: EngineBack,
+    stats: UpdateStats,
+    commit_secs: f64,
+    finished: Instant,
+}
+
+struct Inflight {
+    handle: TaskHandle<CommitDone>,
+    stage_secs: f64,
+    num_events: usize,
+}
+
+/// Pipelined executor for flush windows (see module docs).
+pub struct FlushPipeline {
+    front: EngineFront,
+    /// `None` exactly while a commit is in flight (the courier owns it).
+    back: Option<EngineBack>,
+    inflight: Option<Inflight>,
+    depth: usize,
+}
+
+impl FlushPipeline {
+    /// Wrap `engine` for pipelined execution. `depth = 0` keeps both
+    /// phases serial on the caller; `depth = 1` overlaps the commit of
+    /// each window with the stage of the next.
+    pub fn new(engine: ShardedEngine, depth: usize) -> Self {
+        assert!(depth <= 1, "pipeline depth > 1 is not supported");
+        let (front, back) = engine.into_parts();
+        FlushPipeline {
+            front,
+            back: Some(back),
+            inflight: None,
+            depth,
+        }
+    }
+
+    /// Configured pipeline depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Whether a commit is currently in flight.
+    pub fn in_flight(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// Run one flush window through the pipeline. Stages `events`
+    /// (concurrently with any in-flight commit), then joins that commit
+    /// and hands the new window to the back half. Returns the outcomes
+    /// that completed during this call, in window order: at `depth = 0`
+    /// exactly this window's, at `depth = 1` the previous window's (empty
+    /// for the very first window).
+    pub fn submit_window(&mut self, events: &[EdgeEvent]) -> Vec<CommitOutcome> {
+        let stage_start = Instant::now();
+        let staged = self.front.stage(events);
+        let stage_end = Instant::now();
+        let stage_secs = (stage_end - stage_start).as_secs_f64();
+
+        let mut out = Vec::new();
+        if let Some(infl) = self.inflight.take() {
+            let Inflight {
+                handle,
+                stage_secs: prev_stage,
+                num_events: prev_events,
+            } = infl;
+            let done = handle.join();
+            // Overlap: the part of the staging interval during which the
+            // in-flight commit was still running.
+            let overlap = done
+                .finished
+                .min(stage_end)
+                .saturating_duration_since(stage_start)
+                .as_secs_f64();
+            out.push(self.complete(done, prev_stage, prev_events, overlap));
+        }
+
+        let num_events = staged.num_events();
+        if self.depth == 0 {
+            let back = self.back.as_mut().expect("no commit in flight");
+            let t0 = Instant::now();
+            let stats = back.commit(staged);
+            let commit_secs = t0.elapsed().as_secs_f64();
+            out.push(Self::outcome(
+                self.back.as_ref().expect("back present"),
+                stats,
+                num_events,
+                stage_secs,
+                commit_secs,
+                0.0,
+            ));
+        } else {
+            let mut back = self.back.take().expect("no commit in flight");
+            let handle = background(move || {
+                let t0 = Instant::now();
+                let stats = back.commit(staged);
+                CommitDone {
+                    back,
+                    stats,
+                    commit_secs: t0.elapsed().as_secs_f64(),
+                    finished: Instant::now(),
+                }
+            });
+            self.inflight = Some(Inflight {
+                handle,
+                stage_secs,
+                num_events,
+            });
+        }
+        out
+    }
+
+    /// Non-blocking poll of the in-flight commit: its outcome if it just
+    /// finished, `None` if there is none or it is still running.
+    pub fn try_complete(&mut self) -> Option<CommitOutcome> {
+        let Inflight {
+            handle,
+            stage_secs,
+            num_events,
+        } = self.inflight.take()?;
+        match handle.try_join() {
+            Ok(done) => Some(self.complete(done, stage_secs, num_events, 0.0)),
+            Err(handle) => {
+                self.inflight = Some(Inflight {
+                    handle,
+                    stage_secs,
+                    num_events,
+                });
+                None
+            }
+        }
+    }
+
+    /// Block until no commit is in flight, returning the joined window's
+    /// outcome if there was one. After `drain`, the published state equals
+    /// the serial engine having applied every submitted window.
+    pub fn drain(&mut self) -> Option<CommitOutcome> {
+        let Inflight {
+            handle,
+            stage_secs,
+            num_events,
+        } = self.inflight.take()?;
+        Some(self.complete(handle.join(), stage_secs, num_events, 0.0))
+    }
+
+    /// Drain and reassemble the engine. The second element is the final
+    /// window's outcome if one was still in flight (callers must publish
+    /// it to not lose the last epoch).
+    pub fn into_engine(mut self) -> (ShardedEngine, Option<CommitOutcome>) {
+        let out = self.drain();
+        let back = self.back.take().expect("drained pipeline owns its back");
+        (ShardedEngine::from_parts(self.front, back), out)
+    }
+
+    fn complete(
+        &mut self,
+        done: CommitDone,
+        stage_secs: f64,
+        num_events: usize,
+        overlapped_secs: f64,
+    ) -> CommitOutcome {
+        let outcome = Self::outcome(
+            &done.back,
+            done.stats,
+            num_events,
+            stage_secs,
+            done.commit_secs,
+            overlapped_secs,
+        );
+        self.back = Some(done.back);
+        outcome
+    }
+
+    fn outcome(
+        back: &EngineBack,
+        stats: UpdateStats,
+        num_events: usize,
+        stage_secs: f64,
+        commit_secs: f64,
+        overlapped_secs: f64,
+    ) -> CommitOutcome {
+        CommitOutcome {
+            epoch: back.epoch(),
+            stats,
+            num_events,
+            tagged: back.tagged(),
+            events_applied: back.events_applied(),
+            timings: back.timings(),
+            stage_secs,
+            commit_secs,
+            overlapped_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Level1Method, PartitionStrategy, TreeSvdConfig, UpdatePolicy};
+    use tsvd_graph::DynGraph;
+    use tsvd_ppr::PprConfig;
+    use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+
+    fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
+        let mut g = DynGraph::with_nodes(n);
+        while g.num_edges() < m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v {
+                g.insert_edge(u, v);
+            }
+        }
+        g
+    }
+
+    fn tree_cfg() -> TreeSvdConfig {
+        TreeSvdConfig {
+            dim: 8,
+            branching: 2,
+            num_blocks: 4,
+            oversample: 6,
+            power_iters: 1,
+            level1: Level1Method::Randomized,
+            policy: UpdatePolicy::Lazy { delta: 0.4 },
+            partition: PartitionStrategy::EqualWidth,
+            seed: 7,
+        }
+    }
+
+    fn random_batch(rng: &mut StdRng, n: usize, len: usize) -> Vec<EdgeEvent> {
+        (0..len)
+            .map(|_| {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                if rng.gen_bool(0.85) {
+                    EdgeEvent::insert(u, v)
+                } else {
+                    EdgeEvent::delete(u, v)
+                }
+            })
+            .filter(|e| e.u != e.v)
+            .collect()
+    }
+
+    fn build(g: &DynGraph, sources: &[u32], shards: usize) -> ShardedEngine {
+        let ppr_cfg = PprConfig {
+            alpha: 0.2,
+            r_max: 1e-4,
+        };
+        ShardedEngine::new(g, sources, shards, ppr_cfg, tree_cfg())
+    }
+
+    /// The tentpole claim at pipeline level: depth 1 is bitwise equal to
+    /// depth 0, which is bitwise equal to the plain serial engine — per
+    /// window, not just at the end.
+    #[test]
+    fn pipelined_matches_serial_engine_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100;
+        let g = random_graph(&mut rng, n, 400);
+        let sources: Vec<u32> = (0..11).collect();
+        let windows: Vec<Vec<EdgeEvent>> = (0..5).map(|_| random_batch(&mut rng, n, 24)).collect();
+
+        let mut serial = build(&g, &sources, 3);
+        let mut d0 = FlushPipeline::new(build(&g, &sources, 3), 0);
+        let mut d1 = FlushPipeline::new(build(&g, &sources, 3), 1);
+
+        let mut d1_epochs = Vec::new();
+        for w in &windows {
+            serial.apply_batch(w);
+            let o0 = d0.submit_window(w);
+            assert_eq!(o0.len(), 1, "depth 0 completes inline");
+            assert_eq!(o0[0].overlapped_secs, 0.0);
+            assert_eq!(
+                o0[0]
+                    .tagged
+                    .left()
+                    .sub(&serial.embedding().left())
+                    .max_abs(),
+                0.0,
+                "depth 0 diverged from serial engine"
+            );
+            for o in d1.submit_window(w) {
+                d1_epochs.push(o.epoch);
+            }
+        }
+        if let Some(o) = d1.drain() {
+            d1_epochs.push(o.epoch);
+        }
+        assert_eq!(d1_epochs, vec![1, 2, 3, 4, 5], "windows commit in order");
+
+        let (e0, none0) = d0.into_engine();
+        let (e1, none1) = d1.into_engine();
+        assert!(none0.is_none() && none1.is_none(), "already drained");
+        assert_eq!(e0.epoch(), 5);
+        assert_eq!(e1.epoch(), 5);
+        assert_eq!(e1.events_applied(), serial.events_applied());
+        assert_eq!(
+            e1.embedding()
+                .left()
+                .sub(&serial.embedding().left())
+                .max_abs(),
+            0.0,
+            "depth 1 diverged from serial engine"
+        );
+        assert_eq!(
+            e0.embedding().left().sub(&e1.embedding().left()).max_abs(),
+            0.0
+        );
+        // Cumulative accounting also matches.
+        assert_eq!(e1.total_stats(), serial.total_stats());
+        assert_eq!(e1.timings().updates, serial.timings().updates);
+    }
+
+    /// `into_engine` while a window is still in flight must hand the final
+    /// outcome back (the shutdown-with-staged-window drain path).
+    #[test]
+    fn into_engine_drains_inflight_window() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 80;
+        let g = random_graph(&mut rng, n, 300);
+        let sources: Vec<u32> = (0..7).collect();
+        let w = random_batch(&mut rng, n, 20);
+
+        let mut serial = build(&g, &sources, 2);
+        serial.apply_batch(&w);
+
+        let mut pipe = FlushPipeline::new(build(&g, &sources, 2), 1);
+        assert!(
+            pipe.submit_window(&w).is_empty(),
+            "first window stays in flight"
+        );
+        assert!(pipe.in_flight());
+        let (engine, last) = pipe.into_engine();
+        let last = last.expect("in-flight window surfaces at drain");
+        assert_eq!(last.epoch, 1);
+        assert_eq!(last.num_events, w.len());
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(
+            engine
+                .embedding()
+                .left()
+                .sub(&serial.embedding().left())
+                .max_abs(),
+            0.0
+        );
+    }
+
+    /// `try_complete` never blocks and eventually surfaces the outcome.
+    #[test]
+    fn try_complete_polls_inflight_commit() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 60;
+        let g = random_graph(&mut rng, n, 200);
+        let sources: Vec<u32> = (0..5).collect();
+        let w = random_batch(&mut rng, n, 16);
+
+        let mut pipe = FlushPipeline::new(build(&g, &sources, 2), 1);
+        assert!(pipe.try_complete().is_none(), "nothing in flight yet");
+        pipe.submit_window(&w);
+        let mut polled = None;
+        while polled.is_none() {
+            polled = pipe.try_complete();
+            std::thread::yield_now();
+        }
+        assert_eq!(polled.unwrap().epoch, 1);
+        assert!(!pipe.in_flight());
+        assert!(pipe.try_complete().is_none());
+        let (engine, last) = pipe.into_engine();
+        assert!(last.is_none());
+        assert_eq!(engine.epoch(), 1);
+    }
+}

@@ -51,6 +51,7 @@
 
 mod config;
 mod engine;
+mod flush;
 pub mod net;
 mod server;
 mod snapshot;
@@ -58,6 +59,7 @@ mod stats;
 
 pub use config::ServeConfig;
 pub use engine::ShardedEngine;
+pub use flush::{CommitOutcome, FlushPipeline};
 pub use net::{ClientConfig, NetClient, NetFront, TcpTransport};
 pub use server::{EmbeddingReader, EmbeddingServer, ServerHandle};
 pub use snapshot::{EpochCell, EpochSnapshot};

@@ -6,7 +6,8 @@
 //!  submit()        ┌────────────────────────────────────────────┐
 //!  ───────────────▶│ rt::exec::EventLoop (one thread)           │
 //!   Mailbox<Msg>   │   pending ── count/deadline ──▶ flush:     │
-//!                  │     coalesce → engine.apply_batch (pool)   │
+//!                  │     coalesce → FlushPipeline::submit_window│
+//!                  │       stage (pool) ∥ commit of window k−1  │
 //!                  │     → EpochCell::store(EpochSnapshot)      │
 //!  reader() ◀──────│                                            │
 //!   Arc swap load  └────────────────────────────────────────────┘
@@ -18,23 +19,40 @@
 //! count trigger disarms the deadline timer and vice versa. Readers are
 //! fully decoupled: [`EmbeddingReader::snapshot`] is an `Arc` clone under
 //! a nanoseconds-scale read lock and never waits on a flush.
+//!
+//! With [`ServeConfig::pipeline_depth`]` = 1`, flushes run through the
+//! two-stage [`FlushPipeline`]: the reactor stages each window (graph +
+//! PPR replay) while the previous window's Tree-SVD commit is still in
+//! flight on a background courier, and a short poll timer publishes the
+//! committed epoch as soon as it lands. `flush_sync` and `shutdown` drain
+//! the pipeline first, so their epoch/engine answers are exact in either
+//! mode, and published embeddings are bitwise identical at any depth.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tsvd_graph::EdgeEvent;
 use tsvd_rt::exec::{Event, EventLoop, Flow, Mailbox, Timers};
 
 use crate::config::ServeConfig;
 use crate::engine::ShardedEngine;
+use crate::flush::{CommitOutcome, FlushPipeline};
 use crate::snapshot::{EpochCell, EpochSnapshot};
 use crate::stats::ServeStats;
 
 /// Timer key for the deadline-triggered flush.
 const FLUSH_TIMER: u64 = 1;
+
+/// Timer key for polling the in-flight pipelined commit.
+const COMMIT_TIMER: u64 = 2;
+
+/// Poll cadence for the in-flight commit. Short enough to not add
+/// meaningful publish latency on top of a multi-millisecond refresh; the
+/// armed timer also keeps the reactor alive until the commit lands.
+const COMMIT_POLL: Duration = Duration::from_micros(500);
 
 /// Messages understood by the serving reactor.
 enum Msg {
@@ -57,17 +75,38 @@ struct Counters {
     coalesced: AtomicU64,
     /// Flushes executed (== epochs published since start).
     batches: AtomicU64,
-    /// Flush wall-clock, nanoseconds: cumulative / last / worst.
+    /// Flush wall-clock (trigger → publish), nanoseconds: cumulative /
+    /// last / worst. In pipelined mode this includes any time the window
+    /// waited behind the previous window's in-flight commit.
     flush_nanos_total: AtomicU64,
     flush_nanos_last: AtomicU64,
     flush_nanos_max: AtomicU64,
+    /// Phase wall-clock of the most recent published window, nanoseconds.
+    stage_nanos_last: AtomicU64,
+    commit_nanos_last: AtomicU64,
+    /// Cumulative stage/commit overlap across all windows, nanoseconds.
+    overlap_nanos_total: AtomicU64,
+    /// Gauge: windows staged but not yet published (0 or 1).
+    inflight: AtomicU64,
+}
+
+/// Per staged window bookkeeping the reactor needs when the window's
+/// commit outcome surfaces (possibly one flush later, in pipelined mode).
+struct WindowMeta {
+    /// When the flush that staged this window was triggered.
+    t_trigger: Instant,
+    /// Events dropped by last-write-wins coalescing of this window.
+    coalesced: u64,
 }
 
 /// Reactor-side state (single-threaded: no locks needed).
 struct Inner {
-    engine: ShardedEngine,
+    pipe: FlushPipeline,
     cfg: ServeConfig,
     pending: Vec<EdgeEvent>,
+    /// Metadata of staged-but-unpublished windows, in staging order.
+    /// Commits complete in the same order, so pairing is a pop_front.
+    window_meta: VecDeque<WindowMeta>,
     cell: Arc<EpochCell>,
     counters: Arc<Counters>,
     sources: Arc<Vec<u32>>,
@@ -75,17 +114,58 @@ struct Inner {
 }
 
 impl Inner {
-    fn publish(&self) {
+    /// Account for and publish one committed window.
+    fn complete(&mut self, o: &CommitOutcome) {
+        let meta = self
+            .window_meta
+            .pop_front()
+            .expect("commit outcome without staged-window metadata");
+        let nanos = meta.t_trigger.elapsed().as_nanos() as u64;
+        // Counters first, publish second: once a reader observes the new
+        // epoch in the cell, every counter already accounts for this flush
+        // (`batches ≥ epoch`, `applied + coalesced` covers every published
+        // window). The reverse order let `stats()` pair a fresh epoch with
+        // stale counters. Within the timing counters, `max` is raised
+        // before `last` is overwritten so `max ≥ last` holds for any
+        // interleaved reader.
+        let c = &self.counters;
+        c.applied.fetch_add(o.num_events as u64, Ordering::Release);
+        c.coalesced.fetch_add(meta.coalesced, Ordering::Release);
+        c.flush_nanos_total.fetch_add(nanos, Ordering::Release);
+        c.flush_nanos_max.fetch_max(nanos, Ordering::Release);
+        c.flush_nanos_last.store(nanos, Ordering::Release);
+        c.stage_nanos_last
+            .store((o.stage_secs * 1e9) as u64, Ordering::Release);
+        c.commit_nanos_last
+            .store((o.commit_secs * 1e9) as u64, Ordering::Release);
+        c.overlap_nanos_total
+            .fetch_add((o.overlapped_secs * 1e9) as u64, Ordering::Release);
+        c.batches.fetch_add(1, Ordering::Release);
         self.cell.store(EpochSnapshot::new(
-            self.engine.tagged(),
+            o.tagged.clone(),
             self.sources.clone(),
             self.index.clone(),
-            self.engine.events_applied(),
-            self.engine.timings(),
+            o.events_applied,
+            o.timings,
         ));
     }
 
-    /// Apply the pending window (if any) and publish the new epoch.
+    /// Reconcile the in-flight gauge and the commit poll timer with the
+    /// pipeline state.
+    fn sync_poll(&mut self, timers: &mut Timers) {
+        if self.pipe.in_flight() {
+            self.counters.inflight.store(1, Ordering::Release);
+            if !timers.is_armed(COMMIT_TIMER) {
+                timers.arm_after(COMMIT_TIMER, COMMIT_POLL);
+            }
+        } else {
+            self.counters.inflight.store(0, Ordering::Release);
+            timers.cancel(COMMIT_TIMER);
+        }
+    }
+
+    /// Stage the pending window (if any) through the pipeline and publish
+    /// every window whose commit completed during this call.
     fn flush(&mut self, timers: &mut Timers) {
         timers.cancel(FLUSH_TIMER);
         if self.pending.is_empty() {
@@ -98,24 +178,22 @@ impl Inner {
         } else {
             raw.clone()
         };
-        self.engine.apply_batch(&window);
-        let nanos = t0.elapsed().as_nanos() as u64;
-        // Counters first, publish second: once a reader observes the new
-        // epoch in the cell, every counter already accounts for this flush
-        // (`batches ≥ epoch`, `applied + coalesced` covers every published
-        // window). The reverse order let `stats()` pair a fresh epoch with
-        // stale counters. Within the timing counters, `max` is raised
-        // before `last` is overwritten so `max ≥ last` holds for any
-        // interleaved reader.
-        let c = &self.counters;
-        c.applied.fetch_add(window.len() as u64, Ordering::Release);
-        c.coalesced
-            .fetch_add((raw.len() - window.len()) as u64, Ordering::Release);
-        c.flush_nanos_total.fetch_add(nanos, Ordering::Release);
-        c.flush_nanos_max.fetch_max(nanos, Ordering::Release);
-        c.flush_nanos_last.store(nanos, Ordering::Release);
-        c.batches.fetch_add(1, Ordering::Release);
-        self.publish();
+        self.window_meta.push_back(WindowMeta {
+            t_trigger: t0,
+            coalesced: (raw.len() - window.len()) as u64,
+        });
+        for o in self.pipe.submit_window(&window) {
+            self.complete(&o);
+        }
+        self.sync_poll(timers);
+    }
+
+    /// Block until no window is in flight, publishing whatever completes.
+    /// After this, the served epoch reflects every flushed window.
+    fn drain(&mut self) {
+        while let Some(o) = self.pipe.drain() {
+            self.complete(&o);
+        }
     }
 
     fn on_events(&mut self, timers: &mut Timers, events: Vec<EdgeEvent>) {
@@ -148,22 +226,22 @@ impl EmbeddingServer {
         let counters = Arc::new(Counters::default());
         let num_shards = engine.num_shards();
         let inner = Inner {
-            engine,
-            cfg,
-            pending: Vec::new(),
             cell: Arc::new(EpochCell::new(EpochSnapshot::new(
                 // Epoch 0 (the initial factorisation) is served immediately.
-                engine_placeholder(),
-                Arc::new(Vec::new()),
-                Arc::new(HashMap::new()),
-                0,
-                Default::default(),
+                engine.tagged(),
+                sources.clone(),
+                index.clone(),
+                engine.events_applied(),
+                engine.timings(),
             ))),
+            pipe: FlushPipeline::new(engine, cfg.pipeline_depth),
+            cfg,
+            pending: Vec::new(),
+            window_meta: VecDeque::new(),
             counters: counters.clone(),
             sources,
             index,
         };
-        inner.publish(); // replace the placeholder with the real epoch 0
         let cell = inner.cell.clone();
         let (mailbox, ev) = EventLoop::new();
         let join = std::thread::Builder::new()
@@ -177,8 +255,13 @@ impl EmbeddingServer {
                         Flow::Continue
                     }
                     Event::Message(Msg::Flush(ack)) => {
+                        // Drain before acking: flush_sync promises the
+                        // returned epoch covers everything this handle
+                        // submitted, even a window still in flight.
                         inner.flush(timers);
-                        let _ = ack.send(inner.engine.epoch());
+                        inner.drain();
+                        inner.sync_poll(timers);
+                        let _ = ack.send(inner.cell.epoch());
                         Flow::Continue
                     }
                     Event::Message(Msg::Shutdown(tx)) => {
@@ -190,10 +273,22 @@ impl EmbeddingServer {
                         inner.flush(timers);
                         Flow::Continue
                     }
+                    Event::Timer(COMMIT_TIMER) => {
+                        if let Some(o) = inner.pipe.try_complete() {
+                            inner.complete(&o);
+                        }
+                        inner.sync_poll(timers);
+                        Flow::Continue
+                    }
                     Event::Timer(_) => Flow::Continue,
                 });
+                // Publish any window still in flight (the shutdown-with-
+                // staged-window drain), then hand the engine back whole.
+                inner.drain();
                 if let Some(tx) = engine_out {
-                    let _ = tx.send(inner.engine);
+                    let (engine, last) = inner.pipe.into_engine();
+                    debug_assert!(last.is_none(), "drained pipeline had an outcome");
+                    let _ = tx.send(engine);
                 }
             })
             .expect("spawn tsvd-serve reactor");
@@ -290,6 +385,10 @@ impl ServerHandle {
         // `last`, so this order guarantees `max ≥ last` in the result.
         let last_ns = c.flush_nanos_last.load(Ordering::Acquire);
         let max_ns = c.flush_nanos_max.load(Ordering::Acquire);
+        let stage_ns = c.stage_nanos_last.load(Ordering::Acquire);
+        let commit_ns = c.commit_nanos_last.load(Ordering::Acquire);
+        let overlap_ns = c.overlap_nanos_total.load(Ordering::Acquire);
+        let inflight = c.inflight.load(Ordering::Acquire);
         ServeStats {
             epoch: snap.epoch(),
             num_shards: self.num_shards,
@@ -305,6 +404,11 @@ impl ServerHandle {
                 total_ns as f64 / batches as f64 / 1e6
             },
             flush_ms_max: max_ns as f64 / 1e6,
+            pipeline_depth: self.cfg.pipeline_depth,
+            windows_inflight: inflight,
+            stage_ms_last: stage_ns as f64 / 1e6,
+            commit_ms_last: commit_ns as f64 / 1e6,
+            overlapped_secs: overlap_ns as f64 / 1e9,
             timings: snap.timings(),
         }
     }
@@ -357,17 +461,6 @@ impl EmbeddingReader {
         }
         true
     }
-}
-
-/// An empty tagged embedding used only to seed the cell before the real
-/// epoch-0 publish (never observable: `start` overwrites it in-line).
-fn engine_placeholder() -> tsvd_core::TaggedEmbedding {
-    tsvd_core::Embedding {
-        u: tsvd_linalg::DenseMatrix::zeros(0, 0),
-        sigma: Vec::new(),
-        dim: 0,
-    }
-    .tagged(0)
 }
 
 #[cfg(test)]
@@ -494,6 +587,7 @@ mod tests {
                 flush_interval_ms: 60_000,
                 coalesce: true,
                 num_shards: 1,
+                ..Default::default()
             },
         );
         // Same pair three times: last write wins, two events coalesced away.

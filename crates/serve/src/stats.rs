@@ -30,6 +30,19 @@ pub struct ServeStats {
     pub flush_ms_mean: f64,
     /// Worst flush wall-clock, milliseconds.
     pub flush_ms_max: f64,
+    /// Configured flush pipelining depth (0 = serial flushes).
+    pub pipeline_depth: usize,
+    /// Windows currently in flight in the flush pipeline (0 or 1): staged
+    /// and committing, but not yet published.
+    pub windows_inflight: u64,
+    /// Wall-clock of the most recent window's stage (phase 1), ms.
+    pub stage_ms_last: f64,
+    /// Wall-clock of the most recent window's commit (phase 2), ms.
+    pub commit_ms_last: f64,
+    /// Cumulative wall-clock during which a window's commit ran
+    /// concurrently with the next window's stage — the measured pipeline
+    /// overlap. Always 0 at `pipeline_depth = 0`.
+    pub overlapped_secs: f64,
     /// Cumulative per-stage engine timings (PPR / rows / SVD).
     pub timings: PipelineTimings,
 }
@@ -45,6 +58,11 @@ tsvd_rt::impl_json_struct!(ServeStats {
     flush_ms_last,
     flush_ms_mean,
     flush_ms_max,
+    pipeline_depth,
+    windows_inflight,
+    stage_ms_last,
+    commit_ms_last,
+    overlapped_secs,
     timings
 });
 
@@ -66,6 +84,11 @@ mod tests {
             flush_ms_last: 1.5,
             flush_ms_mean: 2.0,
             flush_ms_max: 3.25,
+            pipeline_depth: 1,
+            windows_inflight: 1,
+            stage_ms_last: 0.75,
+            commit_ms_last: 1.25,
+            overlapped_secs: 0.125,
             timings: PipelineTimings {
                 ppr_secs: 0.5,
                 rows_secs: 0.25,

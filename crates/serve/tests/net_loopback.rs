@@ -46,6 +46,7 @@ fn manual_flush(num_shards: usize) -> ServeConfig {
         flush_max_events: 1_000_000,
         flush_interval_ms: 60_000,
         coalesce: true,
+        ..Default::default()
     }
 }
 

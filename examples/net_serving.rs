@@ -32,6 +32,7 @@ fn main() {
         flush_max_events: 128,
         flush_interval_ms: 10,
         coalesce: true,
+        ..Default::default()
     };
 
     println!(

@@ -41,6 +41,7 @@ fn main() {
         flush_max_events: 256,
         flush_interval_ms: 10,
         coalesce: true,
+        ..Default::default()
     };
     println!(
         "building sharded engine: |S|={} R={} over {} edges",

@@ -56,6 +56,7 @@ fn multi_client_tcp_soak_matches_offline_replay_bitwise() {
             flush_max_events: 24, // small windows: many flushes racing reads
             flush_interval_ms: 3,
             coalesce: true,
+            ..Default::default()
         },
     );
     let front = NetFront::start(server);
@@ -181,6 +182,7 @@ fn single_client_deadline_flush_soak_over_loopback() {
             flush_max_events: 1_000_000,
             flush_interval_ms: 2, // deadline decides every window boundary
             coalesce: true,
+            ..Default::default()
         },
     );
     let front = NetFront::start(server);
@@ -208,8 +210,26 @@ fn single_client_deadline_flush_soak_over_loopback() {
     );
     drop(client);
 
+    // Leave events unflushed so shutdown itself must stage and drain the
+    // final window (in pipelined mode this is the shutdown-with-staged-
+    // window path). The journal replay below still matches bitwise.
+    let mut tail = NetClient::connect(front.loopback(), ClientConfig::default()).unwrap();
+    tail.submit_events(vec![EdgeEvent::insert(3, 70), EdgeEvent::insert(4, 71)])
+        .unwrap();
+    drop(tail);
+
     let engine = front.shutdown();
     let log = engine.window_log().unwrap().to_vec();
+    assert_eq!(
+        log.len() as u64,
+        engine.epoch(),
+        "journal disagrees with epoch"
+    );
+    assert_eq!(
+        log.iter().map(|w| w.len() as u64).sum::<u64>(),
+        engine.events_applied(),
+        "journal disagrees with the engine's applied counter"
+    );
     let mut g = g0.clone();
     let mut pipe = TreeSvdPipeline::new(&g, &sources, PprConfig::default(), tree_cfg());
     for window in &log {
