@@ -11,16 +11,21 @@
 #   5. cargo test --workspace (tier-1 gate);
 #   6. cargo test --workspace with TSVD_THREADS=1 — the serial fallbacks of
 #      rt::pool must stay equivalent to the parallel paths;
-#   7. serving layer under both thread settings — tsvd-serve's sharded
-#      server must stay bitwise-equal to the offline pipeline replay —
-#      and again with TSVD_PIPELINE_DEPTH=1, which makes every server in
-#      the battery run the two-stage pipelined flush;
-#   8. network front under both thread settings — codec property/fuzz
-#      battery, loopback bitwise equivalence, counter race audit, and the
-#      multi-client TCP soak vs journaled-window replay — the soak also
-#      repeated with pipelined flushes;
+#   7. svd-update oracle battery — incremental truncated-SVD updates vs the
+#      exact-recompute oracle: subspace-angle and residual-drift bounds
+#      over long randomized streams, under default threads and
+#      TSVD_THREADS=1;
+#   8. serve/net env matrix — one leg per env combo over
+#      {TSVD_THREADS, TSVD_PIPELINE_DEPTH, TSVD_SVD_UPDATE}. Each leg runs
+#      the tsvd-serve package battery once (unit tests + codec
+#      property/fuzz tests + loopback equivalence + counter race audit)
+#      plus the root serve_equivalence and multi-client TCP soak tests —
+#      sharded servers must stay bitwise-equal to the offline pipeline
+#      replay under every combo;
 #   9. bench smoke — every rt::bench target runs once, no timing paid,
-#      including the spawn-vs-pool dispatch, serving, and net benches.
+#      including the svd_update kernel/engine grid.
+#
+# A per-step wall-clock summary is printed at the end.
 #
 # The workspace builds offline by design (.cargo/config.toml pins
 # `net.offline`); every dependency is an in-tree `tsvd-*` path crate, with
@@ -29,7 +34,34 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-step() { printf '\n== %s ==\n' "$*"; }
+STEP_NAMES=()
+STEP_SECS=()
+CUR_STEP=""
+CUR_START=0
+
+end_step() {
+  if [ -n "$CUR_STEP" ]; then
+    STEP_NAMES+=("$CUR_STEP")
+    STEP_SECS+=($(($(date +%s) - CUR_START)))
+    CUR_STEP=""
+  fi
+}
+
+step() {
+  end_step
+  CUR_STEP="$*"
+  CUR_START=$(date +%s)
+  printf '\n== %s ==\n' "$*"
+}
+
+summary() {
+  end_step
+  printf '\n== wall-clock summary ==\n'
+  local i
+  for i in "${!STEP_NAMES[@]}"; do
+    printf '%4ds  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+  done
+}
 
 step "hermeticity: only tsvd-* path dependencies allowed"
 # Any dependency line in any manifest must reference a tsvd-* crate (or be a
@@ -65,31 +97,40 @@ cargo test --workspace -q
 step "cargo test --workspace (TSVD_THREADS=1, serial fallbacks)"
 TSVD_THREADS=1 cargo test --workspace -q
 
-step "serving layer (default threads + TSVD_THREADS=1)"
-cargo test -q -p tsvd-serve
-cargo test -q --test serve_equivalence
-TSVD_THREADS=1 cargo test -q -p tsvd-serve
-TSVD_THREADS=1 cargo test -q --test serve_equivalence
+step "svd-update oracle battery (default + TSVD_THREADS=1)"
+cargo test -q --test svd_update_oracle
+TSVD_THREADS=1 cargo test -q --test svd_update_oracle
 
-step "serving layer, pipelined flushes (TSVD_PIPELINE_DEPTH=1)"
-TSVD_PIPELINE_DEPTH=1 cargo test -q -p tsvd-serve
-TSVD_PIPELINE_DEPTH=1 cargo test -q --test serve_equivalence
-TSVD_PIPELINE_DEPTH=1 TSVD_THREADS=1 cargo test -q --test serve_equivalence
-
-step "network front (default threads + TSVD_THREADS=1)"
-cargo test -q -p tsvd-serve --test net_props --test net_loopback --test race_audit
-cargo test -q --test net_soak
-TSVD_THREADS=1 cargo test -q -p tsvd-serve --test net_props --test net_loopback --test race_audit
-TSVD_THREADS=1 cargo test -q --test net_soak
-
-step "network front, pipelined flushes (TSVD_PIPELINE_DEPTH=1)"
-TSVD_PIPELINE_DEPTH=1 cargo test -q -p tsvd-serve --test net_loopback --test race_audit
-TSVD_PIPELINE_DEPTH=1 cargo test -q --test net_soak
+# Serve/net env matrix: `name|ENV=V [ENV=V ...]`. Each leg runs the full
+# tsvd-serve package battery (which already includes the net_props,
+# net_loopback, and race_audit integration tests — listing them again
+# would recompile and rerun them) plus the root-level serve_equivalence
+# and net_soak suites.
+SERVE_MATRIX=(
+  "default|"
+  "serial|TSVD_THREADS=1"
+  "pipelined|TSVD_PIPELINE_DEPTH=1"
+  "pipelined-serial|TSVD_PIPELINE_DEPTH=1 TSVD_THREADS=1"
+  "svd-update|TSVD_SVD_UPDATE=1"
+  "svd-update-serial|TSVD_SVD_UPDATE=1 TSVD_THREADS=1"
+  "svd-update-pipelined|TSVD_SVD_UPDATE=1 TSVD_PIPELINE_DEPTH=1"
+)
+for leg in "${SERVE_MATRIX[@]}"; do
+  name="${leg%%|*}"
+  envs="${leg#*|}"
+  step "serve/net matrix: ${name}${envs:+ (${envs})}"
+  # shellcheck disable=SC2086
+  env $envs cargo test -q -p tsvd-serve
+  # shellcheck disable=SC2086
+  env $envs cargo test -q --test serve_equivalence --test net_soak
+done
 
 step "bench smoke (1 iteration per benchmark)"
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench svd_kernels
+TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench svd_update
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench pool_dispatch
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench serving
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench net
 
+summary
 printf '\nci.sh: all checks passed\n'

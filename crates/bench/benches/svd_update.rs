@@ -1,0 +1,155 @@
+//! Incremental truncated-SVD update vs full refactorisation.
+//!
+//! Two workloads:
+//!
+//! * `svd_update_kernel/*` — one delta-sparse window against a single
+//!   level-1-sized sparse block: the Brand/Zha–Simon update and the core
+//!   patch vs a fresh sparse randomized SVD. This isolates the kernel
+//!   speedup the three-tier policy buys per fired block.
+//! * `engine_apply_batch/*` — end-to-end `ShardedEngine` flushes under the
+//!   exact-lazy and incremental policies, with a build-only anchor so the
+//!   per-window update cost can be read off by subtraction. Small windows
+//!   on a large graph keep each block delta-sparse (changed rows well
+//!   under the `2·dim` cost gate) so the cheap tiers engage; per-tier
+//!   repair counters are recorded as params.
+
+use tsvd_bench::setup::standard_setup;
+use tsvd_core::{TreeSvdConfig, UpdatePolicy};
+use tsvd_datasets::DatasetConfig;
+use tsvd_graph::EdgeEvent;
+use tsvd_linalg::randomized::randomized_svd;
+use tsvd_linalg::{svd_core_patch, svd_update_rows, CsrMatrix, RandomizedSvdConfig, RowDelta};
+use tsvd_rt::bench::BenchHarness;
+use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+use tsvd_serve::ShardedEngine;
+
+fn random_events(n_nodes: usize, len: usize, seed: u64) -> Vec<EdgeEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let u = rng.gen_range(0..n_nodes) as u32;
+            let v = rng.gen_range(0..n_nodes) as u32;
+            EdgeEvent::insert(u, v)
+        })
+        .filter(|e| e.u != e.v)
+        .collect()
+}
+
+fn sparse_rows(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> Vec<Vec<(u32, f64)>> {
+    (0..rows)
+        .map(|_| {
+            let mut r: Vec<(u32, f64)> = Vec::new();
+            for c in 0..cols as u32 {
+                if rng.gen_bool(density) {
+                    r.push((c, rng.gen_range(0.1..2.0)));
+                }
+            }
+            r
+        })
+        .collect()
+}
+
+fn main() {
+    let mut h = BenchHarness::from_args("svd_update");
+
+    // --- Kernel workload: one delta-sparse window on one block. ---
+    let (rows, cols, rank, changed) = (400usize, 2048usize, 32usize, 16usize);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut block_rows = sparse_rows(&mut rng, rows, cols, 0.02);
+    let block = CsrMatrix::from_rows(cols, &block_rows);
+    let rcfg = RandomizedSvdConfig {
+        rank,
+        oversample: 8,
+        power_iters: 1,
+    };
+    let base = randomized_svd(&block, &rcfg, &mut StdRng::seed_from_u64(7));
+    // `changed` rows gain small sparse deltas (a delta-sparse window).
+    let deltas: Vec<RowDelta> = (0..changed)
+        .map(|i| {
+            let row = i * rows / changed;
+            let mut entries: Vec<(u32, f64)> = Vec::new();
+            for c in 0..cols as u32 {
+                if rng.gen_bool(0.01) {
+                    entries.push((c, rng.gen_range(-0.1..0.1)));
+                }
+            }
+            RowDelta { row, entries }
+        })
+        .collect();
+    for d in &deltas {
+        let mut merged = d.entries.clone();
+        for &(c, v) in &block_rows[d.row] {
+            match merged.binary_search_by_key(&c, |e| e.0) {
+                Ok(p) => merged[p].1 += v,
+                Err(p) => merged.insert(p, (c, v)),
+            }
+        }
+        block_rows[d.row] = merged;
+    }
+    let updated = CsrMatrix::from_rows(cols, &block_rows);
+    h.record_param("kernel_block_rows", rows as u64);
+    h.record_param("kernel_block_cols", cols as u64);
+    h.record_param("kernel_block_nnz", updated.nnz() as u64);
+    h.record_param("kernel_rank", rank as u64);
+    h.record_param("kernel_changed_rows", changed as u64);
+    h.bench("svd_update_kernel/incremental", || {
+        svd_update_rows(&base, &deltas, rank)
+    });
+    h.bench("svd_update_kernel/core_patch", || {
+        svd_core_patch(&base, &deltas)
+    });
+    h.bench("svd_update_kernel/refactor", || {
+        randomized_svd(&updated, &rcfg, &mut StdRng::seed_from_u64(7))
+    });
+
+    // --- End-to-end engine flushes, exact vs incremental policy. ---
+    let mut cfg = DatasetConfig::patent();
+    cfg.num_nodes = 5000;
+    cfg.num_edges = 25_000;
+    cfg.tau = 2;
+    let s = standard_setup(&cfg);
+    let g0 = s.dataset.stream.snapshot(2);
+    let batch = 16usize;
+    let num_windows = 8usize;
+    let events = random_events(g0.num_nodes(), batch * num_windows, 42);
+    let windows: Vec<&[EdgeEvent]> = events.chunks(batch).collect();
+    h.record_param("batch_window_events", batch as u64);
+    h.record_param("engine_windows", num_windows as u64);
+    h.record_param("subset_size", s.subset.len() as u64);
+
+    h.bench("engine_apply_batch/build_only", || {
+        ShardedEngine::new(&g0, &s.subset, 1, s.ppr_cfg, s.tree_cfg).epoch()
+    });
+    for (name, policy) in [
+        ("exact_lazy", UpdatePolicy::Lazy { delta: 0.3 }),
+        ("incremental", UpdatePolicy::lazy_incremental(0.3)),
+    ] {
+        let tree_cfg = TreeSvdConfig {
+            policy,
+            ..s.tree_cfg
+        };
+        h.bench(&format!("engine_apply_batch/{name}"), || {
+            let mut engine = ShardedEngine::new(&g0, &s.subset, 1, s.ppr_cfg, tree_cfg);
+            for w in &windows {
+                engine.apply_batch(w);
+            }
+            engine.epoch()
+        });
+        // Per-tier repair counters from one (untimed) run.
+        let mut engine = ShardedEngine::new(&g0, &s.subset, 1, s.ppr_cfg, tree_cfg);
+        for w in &windows {
+            engine.apply_batch(w);
+        }
+        let t = engine.total_stats();
+        h.record_param(&format!("{name}_blocks_patched"), t.blocks_patched as u64);
+        h.record_param(
+            &format!("{name}_blocks_incremental"),
+            t.blocks_incremental as u64,
+        );
+        h.record_param(
+            &format!("{name}_blocks_refactored"),
+            t.blocks_recomputed as u64,
+        );
+    }
+    h.finish();
+}

@@ -18,6 +18,9 @@
 //! * [`lanczos`] — Golub–Kahan–Lanczos bidiagonalization with full
 //!   reorthogonalisation, the deterministic alternative for sparse
 //!   truncated SVDs (level-1 ablation);
+//! * [`svd_update`] — incremental truncated-SVD updates from sparse row
+//!   deltas (Brand/Zha–Simon), the cheap tiers of the dynamic layer's
+//!   three-tier update policy;
 //! * [`sketch`] — Frequent-Directions matrix sketching (the FREDE baseline);
 //! * [`rng`] — Gaussian sampling via Box–Muller on top of `rand`.
 //!
@@ -35,8 +38,10 @@ pub mod randomized;
 pub mod rng;
 pub mod sketch;
 pub mod svd;
+pub mod svd_update;
 
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use randomized::{MatrixProduct, RandomizedSvdConfig};
 pub use svd::Svd;
+pub use svd_update::{svd_core_patch, svd_update_rows, RowDelta};

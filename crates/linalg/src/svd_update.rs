@@ -1,0 +1,414 @@
+//! Incremental truncated-SVD updates from sparse row deltas.
+//!
+//! Given a rank-`k` factorisation `B ≈ U·diag(σ)·Vᵀ` and a sparse additive
+//! perturbation touching `c` rows, `B' = B + Σᵢ e_{rᵢ}·dᵢᵀ`, the update is
+//! the Brand/Zha–Simon scheme the dynamic-embedding literature uses (Deng
+//! et al., arXiv 2401.09703 / 2306.08967) instead of refactorising:
+//!
+//! 1. project the delta onto the current bases (`UᵀS`, `VᵀD`);
+//! 2. QR the out-of-subspace residuals on both sides (`Qp·Rp`, `Qq·Rq`);
+//! 3. re-diagonalise the small `(k+c)×(k+c)` augmented core exactly;
+//! 4. rotate `[U Qp]`/`[V Qq]` by the core's factors and truncate back.
+//!
+//! Cost is `O((m+n)·(k+c)² + (k+c)³)` — independent of `nnz(B)` — versus
+//! `O(nnz·(k+p))` for a fresh randomized factorisation, which is where the
+//! per-flush speedup on delta-sparse windows comes from.
+//!
+//! Two entry points with different cost/accuracy trades:
+//!
+//! * [`svd_update_rows`] — the full basis-expanding update above. Exact
+//!   when `k + c` covers the true rank of `B'`; otherwise optimal up to the
+//!   truncation (the only information lost is what rank-`k` truncation
+//!   always loses).
+//! * [`svd_core_patch`] — steps 1 and 3 only, on the `k×k` core: the delta
+//!   is projected onto the *current* subspaces and any out-of-subspace
+//!   component is dropped. Cheaper (no QR on `m`/`n`-sized blocks) and
+//!   exactly right when the perturbation lies in the retained subspaces;
+//!   callers gate it behind a small relative-delta budget.
+
+use crate::dense::DenseMatrix;
+use crate::qr::qr;
+use crate::svd::{exact_svd, Svd};
+
+/// A sparse additive update to one row: `row` gains `entries` (sorted by
+/// column, zero diffs omitted). Replacing a row is the delta `new − old`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowDelta {
+    /// Row index into the factorised matrix.
+    pub row: usize,
+    /// Sorted `(col, value)` additive entries.
+    pub entries: Vec<(u32, f64)>,
+}
+
+tsvd_rt::impl_json_struct!(RowDelta { row, entries });
+
+impl RowDelta {
+    /// Squared Frobenius norm of this row's delta.
+    pub fn norm_sq(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v * v).sum()
+    }
+}
+
+/// Drop deltas with no entries; the kernels treat them as absent.
+fn live(deltas: &[RowDelta]) -> Vec<&RowDelta> {
+    deltas.iter().filter(|d| !d.entries.is_empty()).collect()
+}
+
+/// `Vᵀ·D` where `D`'s column `i` is the sparse delta vector of `deltas[i]`
+/// (`n`-dimensional). `vt` is `k × n`; result is `k × c`.
+fn project_vt(vt: &DenseMatrix, deltas: &[&RowDelta]) -> DenseMatrix {
+    let k = vt.rows();
+    let mut out = DenseMatrix::zeros(k, deltas.len());
+    for (i, d) in deltas.iter().enumerate() {
+        for &(col, val) in &d.entries {
+            let col = col as usize;
+            for a in 0..k {
+                let cur = out.get(a, i);
+                out.set(a, i, cur + vt.get(a, col) * val);
+            }
+        }
+    }
+    out
+}
+
+/// `Uᵀ·S` where `S`'s column `i` is the standard basis vector `e_{rowᵢ}`:
+/// column `i` of the result is row `rowᵢ` of `U`. `k × c`.
+fn project_u(u: &DenseMatrix, deltas: &[&RowDelta]) -> DenseMatrix {
+    DenseMatrix::from_fn(u.cols(), deltas.len(), |a, i| u.get(deltas[i].row, a))
+}
+
+/// Rank-expanding incremental update: the truncated SVD of
+/// `U·diag(σ)·Vᵀ + Σᵢ e_{rowᵢ}·entriesᵢᵀ`, truncated back to `rank`.
+///
+/// Requirements: the factors must be orthonormal (as produced by
+/// [`exact_svd`]/[`crate::randomized::randomized_svd`]), every `row` must
+/// be in range and distinct, and the number of non-empty deltas `c` must
+/// satisfy `c ≤ m` and `c ≤ n` (the residual QRs need tall blocks). An
+/// all-empty delta set returns a bitwise clone.
+pub fn svd_update_rows(svd: &Svd, deltas: &[RowDelta], rank: usize) -> Svd {
+    let live = live(deltas);
+    if live.is_empty() {
+        return svd.clone();
+    }
+    let (m, n) = (svd.u.rows(), svd.vt.cols());
+    let k = svd.rank();
+    let c = live.len();
+    assert!(
+        c <= m && c <= n,
+        "more deltas ({c}) than matrix dims {m}×{n}"
+    );
+    for d in &live {
+        assert!(d.row < m, "delta row {} out of range ({m} rows)", d.row);
+        debug_assert!(d.entries.iter().all(|&(col, _)| (col as usize) < n));
+    }
+
+    // Step 1: both-side projections of the perturbation S·Dᵀ.
+    let uts = project_u(&svd.u, &live); // k × c
+    let vtd = project_vt(&svd.vt, &live); // k × c
+
+    // Step 2: QR of the out-of-subspace residuals.
+    // Left: (I − U·Uᵀ)·S, dense m × c.
+    let mut p = svd.u.mul(&uts); // U·(UᵀS)
+    for (i, d) in live.iter().enumerate() {
+        let cur = p.get(d.row, i);
+        p.set(d.row, i, cur - 1.0);
+    }
+    for v in p.as_mut_slice() {
+        *v = -*v; // S − U·UᵀS
+    }
+    let lf = qr(&p);
+    // Right: (I − V·Vᵀ)·D, dense n × c.
+    let mut q = svd.vt.t_mul(&vtd); // V·(VᵀD)
+    for (i, d) in live.iter().enumerate() {
+        for &(col, val) in &d.entries {
+            let cur = q.get(col as usize, i);
+            q.set(col as usize, i, cur - val);
+        }
+    }
+    for v in q.as_mut_slice() {
+        *v = -*v; // D − V·VᵀD
+    }
+    let rf = qr(&q);
+
+    // Step 3: exact SVD of the (k+c)×(k+c) augmented core
+    //   K = [[diag(σ), 0], [0, 0]] + [UᵀS; Rp]·[VᵀD; Rq]ᵀ.
+    let kc = k + c;
+    let left = DenseMatrix::from_fn(kc, c, |a, i| {
+        if a < k {
+            uts.get(a, i)
+        } else {
+            lf.r.get(a - k, i)
+        }
+    });
+    let right = DenseMatrix::from_fn(kc, c, |a, i| {
+        if a < k {
+            vtd.get(a, i)
+        } else {
+            rf.r.get(a - k, i)
+        }
+    });
+    let cross = left.mul(&right.transpose());
+    let core = DenseMatrix::from_fn(kc, kc, |a, b| {
+        cross.get(a, b) + if a == b && a < k { svd.s[a] } else { 0.0 }
+    });
+    let core_svd = exact_svd(&core).truncate(rank.min(kc));
+
+    // Step 4: rotate the expanded bases by the core's factors.
+    let u_big = DenseMatrix::hconcat(&[&svd.u, &lf.q]); // m × (k+c)
+    let u = u_big.mul(&core_svd.u);
+    // [V Qq]ᵀ stacked as rows: k rows of vt, then c rows of Qqᵀ.
+    let v_big_t = DenseMatrix::from_fn(kc, n, |a, b| {
+        if a < k {
+            svd.vt.get(a, b)
+        } else {
+            rf.q.get(b, a - k)
+        }
+    });
+    let vt = core_svd.vt.mul(&v_big_t);
+    Svd {
+        u,
+        s: core_svd.s,
+        vt,
+    }
+}
+
+/// In-place core patch: the perturbation is projected onto the *current*
+/// `U`/`V` subspaces and the `k×k` core `diag(σ) + UᵀS·(VᵀD)ᵀ` is
+/// re-diagonalised exactly; the out-of-subspace component of the delta is
+/// dropped. The returned factors stay orthonormal (they are the old bases
+/// rotated by the core's singular vectors), so further updates compose.
+/// An all-empty delta set returns a bitwise clone.
+pub fn svd_core_patch(svd: &Svd, deltas: &[RowDelta]) -> Svd {
+    let live = live(deltas);
+    if live.is_empty() {
+        return svd.clone();
+    }
+    let m = svd.u.rows();
+    let k = svd.rank();
+    for d in &live {
+        assert!(d.row < m, "delta row {} out of range ({m} rows)", d.row);
+    }
+    let uts = project_u(&svd.u, &live); // k × c
+    let vtd = project_vt(&svd.vt, &live); // k × c
+    let cross = uts.mul(&vtd.transpose()); // k × k
+    let core = DenseMatrix::from_fn(k, k, |a, b| {
+        cross.get(a, b) + if a == b { svd.s[a] } else { 0.0 }
+    });
+    let core_svd = exact_svd(&core);
+    Svd {
+        u: svd.u.mul(&core_svd.u),
+        s: core_svd.s,
+        vt: core_svd.vt.mul(&svd.vt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::gaussian_matrix;
+    use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+
+    fn apply_deltas_dense(a: &DenseMatrix, deltas: &[RowDelta]) -> DenseMatrix {
+        let mut out = a.clone();
+        for d in deltas {
+            for &(col, val) in &d.entries {
+                let cur = out.get(d.row, col as usize);
+                out.set(d.row, col as usize, cur + val);
+            }
+        }
+        out
+    }
+
+    fn sparse_deltas(rng: &mut StdRng, rows: &[usize], n: usize) -> Vec<RowDelta> {
+        rows.iter()
+            .map(|&row| {
+                let mut entries: Vec<(u32, f64)> = Vec::new();
+                for c in 0..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        entries.push((c, rng.gen_range(-1.5..1.5)));
+                    }
+                }
+                RowDelta { row, entries }
+            })
+            .collect()
+    }
+
+    fn check_orthonormal(svd: &Svd, tol: f64) {
+        let r = svd.s.iter().filter(|&&x| x > 1e-9).count();
+        let tr = svd.truncate(r);
+        let gu = tr.u.t_mul(&tr.u);
+        assert!(
+            gu.sub(&DenseMatrix::identity(r)).max_abs() < tol,
+            "U drifted from orthonormal by {}",
+            gu.sub(&DenseMatrix::identity(r)).max_abs()
+        );
+        let gv = tr.vt.mul(&tr.vt.transpose());
+        assert!(
+            gv.sub(&DenseMatrix::identity(r)).max_abs() < tol,
+            "V drifted from orthonormal by {}",
+            gv.sub(&DenseMatrix::identity(r)).max_abs()
+        );
+    }
+
+    #[test]
+    fn full_rank_update_matches_exact_svd() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = gaussian_matrix(&mut rng, 18, 30);
+        let svd = exact_svd(&a); // full rank 18
+        let deltas = sparse_deltas(&mut rng, &[2, 7, 11], 30);
+        let updated = svd_update_rows(&svd, &deltas, svd.rank() + deltas.len());
+        let truth = apply_deltas_dense(&a, &deltas);
+        assert!(
+            updated.reconstruct().sub(&truth).max_abs() < 1e-9,
+            "err {}",
+            updated.reconstruct().sub(&truth).max_abs()
+        );
+        check_orthonormal(&updated, 1e-9);
+        // Singular values match the exact refactorisation.
+        let fresh = exact_svd(&truth);
+        for (a, b) in updated.s.iter().zip(&fresh.s) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn row_replacement_via_difference_delta() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = gaussian_matrix(&mut rng, 12, 20);
+        let svd = exact_svd(&a);
+        // Replace row 5 entirely: delta = new − old.
+        let new_row: Vec<f64> = (0..20).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let entries: Vec<(u32, f64)> = (0..20)
+            .map(|c| (c as u32, new_row[c] - a.get(5, c)))
+            .collect();
+        let deltas = vec![RowDelta { row: 5, entries }];
+        let updated = svd_update_rows(&svd, &deltas, svd.rank() + 1);
+        let mut truth = a.clone();
+        for (c, &v) in new_row.iter().enumerate() {
+            truth.set(5, c, v);
+        }
+        assert!(updated.reconstruct().sub(&truth).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_update_is_near_optimal() {
+        // Low-rank signal + small sparse delta: the rank-d update must stay
+        // within a whisker of the best rank-d approximation of B'.
+        let mut rng = StdRng::seed_from_u64(3);
+        let left = gaussian_matrix(&mut rng, 40, 5);
+        let right = gaussian_matrix(&mut rng, 5, 60);
+        let a = left.mul(&right);
+        let d = 8;
+        let svd = exact_svd(&a).truncate(d);
+        let deltas = sparse_deltas(&mut rng, &[0, 13, 29], 60);
+        let updated = svd_update_rows(&svd, &deltas, d);
+        let truth = apply_deltas_dense(&a, &deltas);
+        let err = updated.reconstruct().sub(&truth).frobenius_norm();
+        let opt: f64 = exact_svd(&truth).s[d..]
+            .iter()
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt();
+        assert!(err <= opt + 1e-8, "err {err} vs optimal {opt}");
+        check_orthonormal(&updated, 1e-9);
+    }
+
+    #[test]
+    fn empty_delta_is_bitwise_noop() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = gaussian_matrix(&mut rng, 10, 14);
+        let svd = exact_svd(&a).truncate(4);
+        for deltas in [
+            Vec::new(),
+            vec![RowDelta {
+                row: 3,
+                entries: Vec::new(),
+            }],
+        ] {
+            for out in [
+                svd_update_rows(&svd, &deltas, 4),
+                svd_core_patch(&svd, &deltas),
+            ] {
+                assert_eq!(out.s, svd.s);
+                assert_eq!(out.u.as_slice(), svd.u.as_slice());
+                assert_eq!(out.vt.as_slice(), svd.vt.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn core_patch_exact_for_in_subspace_deltas() {
+        // A delta that lies inside span(U) ⊗ span(V) is captured exactly by
+        // the projection-only patch. Construct U so that e_2 ∈ span(U)
+        // (rows 0..4 are the canonical basis) and perturb row 2 along its
+        // own content (a span(V) direction).
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = DenseMatrix::from_fn(15, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        let vt = crate::qr::orthonormalize(&gaussian_matrix(&mut rng, 25, 4)).transpose();
+        let svd = Svd {
+            u,
+            s: vec![5.0, 4.0, 3.0, 2.0],
+            vt,
+        };
+        let a = svd.reconstruct();
+        let eps = 0.05;
+        let entries: Vec<(u32, f64)> = (0..25)
+            .map(|c| (c as u32, eps * a.get(2, c)))
+            .filter(|&(_, v)| v != 0.0)
+            .collect();
+        let deltas = vec![RowDelta { row: 2, entries }];
+        let truth = apply_deltas_dense(&a, &deltas);
+        let patched = svd_core_patch(&svd, &deltas);
+        check_orthonormal(&patched, 1e-9);
+        assert!(
+            patched.reconstruct().sub(&truth).max_abs() < 1e-10,
+            "in-subspace patch not exact: {}",
+            patched.reconstruct().sub(&truth).max_abs()
+        );
+    }
+
+    #[test]
+    fn updates_compose_over_a_stream() {
+        // Maintain a full-rank factorisation through 10 delta rounds; it
+        // must track the exact SVD of the evolving matrix throughout.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut a = gaussian_matrix(&mut rng, 10, 16);
+        let mut svd = exact_svd(&a);
+        for round in 0..10 {
+            let rows = [round % 10, (round * 3 + 1) % 10];
+            let deltas = sparse_deltas(&mut rng, &rows, 16);
+            a = apply_deltas_dense(&a, &deltas);
+            svd = svd_update_rows(&svd, &deltas, 10);
+            assert!(
+                svd.reconstruct().sub(&a).max_abs() < 1e-7,
+                "round {round}: drift {}",
+                svd.reconstruct().sub(&a).max_abs()
+            );
+            check_orthonormal(&svd, 1e-8);
+        }
+    }
+
+    #[test]
+    fn rank_clamps_when_target_exceeds_expanded_core() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = gaussian_matrix(&mut rng, 8, 12);
+        let svd = exact_svd(&a).truncate(3);
+        let deltas = sparse_deltas(&mut rng, &[1], 12);
+        // rank 50 ≥ k + c = 4: kept rank is the whole expanded core.
+        let updated = svd_update_rows(&svd, &deltas, 50);
+        assert_eq!(updated.rank(), 4);
+        assert!(updated.u.is_finite() && updated.vt.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_row_rejected() {
+        let a = gaussian_matrix(&mut StdRng::seed_from_u64(8), 6, 9);
+        let svd = exact_svd(&a);
+        let deltas = vec![RowDelta {
+            row: 6,
+            entries: vec![(0, 1.0)],
+        }];
+        let _ = svd_update_rows(&svd, &deltas, 6);
+    }
+}

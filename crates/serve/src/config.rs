@@ -32,6 +32,13 @@ pub struct ServeConfig {
     /// `k` via [`crate::FlushPipeline`]. Published embeddings are bitwise
     /// identical either way — this is purely a latency/throughput knob.
     pub pipeline_depth: usize,
+    /// Whether the engines behind this server run the incremental SVD
+    /// update path. The actual switch lives in the Tree-SVD config
+    /// (`UpdatePolicy`, resolved against `TSVD_SVD_UPDATE` at
+    /// `DynamicTreeSvd` construction); this field mirrors the same env
+    /// default so the serving layer can report the mode in
+    /// [`crate::ServeStats`].
+    pub svd_update: bool,
 }
 
 tsvd_rt::impl_json_struct!(ServeConfig {
@@ -39,7 +46,8 @@ tsvd_rt::impl_json_struct!(ServeConfig {
     flush_max_events,
     flush_interval_ms,
     coalesce,
-    pipeline_depth
+    pipeline_depth,
+    svd_update
 });
 
 /// Default pipeline depth: the `TSVD_PIPELINE_DEPTH` env var if set and
@@ -52,6 +60,13 @@ fn default_pipeline_depth() -> usize {
         .unwrap_or(0)
 }
 
+/// Default incremental-SVD toggle: the `TSVD_SVD_UPDATE` env var, read per
+/// call like [`default_pipeline_depth`]. Same resolution the engine's
+/// `UpdatePolicy` applies.
+fn default_svd_update() -> bool {
+    tsvd_core::UpdatePolicy::svd_update_env()
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -60,6 +75,7 @@ impl Default for ServeConfig {
             flush_interval_ms: 20,
             coalesce: true,
             pipeline_depth: default_pipeline_depth(),
+            svd_update: default_svd_update(),
         }
     }
 }

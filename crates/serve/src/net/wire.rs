@@ -845,6 +845,10 @@ mod tests {
             stage_ms_last: 0.75,
             commit_ms_last: 1.5,
             overlapped_secs: 0.1 + 0.7, // not exactly representable either
+            svd_update: true,
+            blocks_patched: 40,
+            blocks_incremental: 9,
+            blocks_refactored: 3,
             timings: Default::default(),
         };
         round_trip(11, Message::Reply(Reply::Stats(stats)));

@@ -88,6 +88,11 @@ struct Counters {
     overlap_nanos_total: AtomicU64,
     /// Gauge: windows staged but not yet published (0 or 1).
     inflight: AtomicU64,
+    /// Level-1 block repairs by tier, cumulative across shards/flushes:
+    /// in-place patches, incremental updates, full refactorisations.
+    blocks_patched: AtomicU64,
+    blocks_incremental: AtomicU64,
+    blocks_refactored: AtomicU64,
 }
 
 /// Per staged window bookkeeping the reactor needs when the window's
@@ -140,6 +145,12 @@ impl Inner {
             .store((o.commit_secs * 1e9) as u64, Ordering::Release);
         c.overlap_nanos_total
             .fetch_add((o.overlapped_secs * 1e9) as u64, Ordering::Release);
+        c.blocks_patched
+            .fetch_add(o.stats.blocks_patched as u64, Ordering::Release);
+        c.blocks_incremental
+            .fetch_add(o.stats.blocks_incremental as u64, Ordering::Release);
+        c.blocks_refactored
+            .fetch_add(o.stats.blocks_recomputed as u64, Ordering::Release);
         c.batches.fetch_add(1, Ordering::Release);
         self.cell.store(EpochSnapshot::new(
             o.tagged.clone(),
@@ -389,6 +400,9 @@ impl ServerHandle {
         let commit_ns = c.commit_nanos_last.load(Ordering::Acquire);
         let overlap_ns = c.overlap_nanos_total.load(Ordering::Acquire);
         let inflight = c.inflight.load(Ordering::Acquire);
+        let blocks_patched = c.blocks_patched.load(Ordering::Acquire);
+        let blocks_incremental = c.blocks_incremental.load(Ordering::Acquire);
+        let blocks_refactored = c.blocks_refactored.load(Ordering::Acquire);
         ServeStats {
             epoch: snap.epoch(),
             num_shards: self.num_shards,
@@ -409,6 +423,10 @@ impl ServerHandle {
             stage_ms_last: stage_ns as f64 / 1e6,
             commit_ms_last: commit_ns as f64 / 1e6,
             overlapped_secs: overlap_ns as f64 / 1e9,
+            svd_update: self.cfg.svd_update,
+            blocks_patched,
+            blocks_incremental,
+            blocks_refactored,
             timings: snap.timings(),
         }
     }

@@ -43,6 +43,18 @@ pub struct ServeStats {
     /// concurrently with the next window's stage — the measured pipeline
     /// overlap. Always 0 at `pipeline_depth = 0`.
     pub overlapped_secs: f64,
+    /// Whether the incremental SVD update path is configured
+    /// (`TSVD_SVD_UPDATE` / `ServeConfig::svd_update`).
+    pub svd_update: bool,
+    /// Level-1 blocks repaired by the in-place core patch, cumulative
+    /// across shards and flushes. Nonzero only on the incremental path.
+    pub blocks_patched: u64,
+    /// Level-1 blocks repaired by the incremental Brand/Zha–Simon update,
+    /// cumulative. Nonzero only on the incremental path.
+    pub blocks_incremental: u64,
+    /// Level-1 blocks repaired by a full sparse randomized
+    /// refactorisation, cumulative.
+    pub blocks_refactored: u64,
     /// Cumulative per-stage engine timings (PPR / rows / SVD).
     pub timings: PipelineTimings,
 }
@@ -63,6 +75,10 @@ tsvd_rt::impl_json_struct!(ServeStats {
     stage_ms_last,
     commit_ms_last,
     overlapped_secs,
+    svd_update,
+    blocks_patched,
+    blocks_incremental,
+    blocks_refactored,
     timings
 });
 
@@ -89,6 +105,10 @@ mod tests {
             stage_ms_last: 0.75,
             commit_ms_last: 1.25,
             overlapped_secs: 0.125,
+            svd_update: true,
+            blocks_patched: 12,
+            blocks_incremental: 5,
+            blocks_refactored: 2,
             timings: PipelineTimings {
                 ppr_secs: 0.5,
                 rows_secs: 0.25,

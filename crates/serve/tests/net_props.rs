@@ -109,6 +109,10 @@ fn gen_message(g: &mut Gen) -> Message {
             stage_ms_last: g.f64_in(0.0..1e4),
             commit_ms_last: g.f64_in(0.0..1e4),
             overlapped_secs: g.f64_in(0.0..1e3),
+            svd_update: g.u32_in(0..2) == 1,
+            blocks_patched: g.u64_in(0..1_000_000),
+            blocks_incremental: g.u64_in(0..1_000_000),
+            blocks_refactored: g.u64_in(0..1_000_000),
             timings: PipelineTimings {
                 ppr_secs: g.f64_in(0.0..1e3),
                 rows_secs: g.f64_in(0.0..1e3),

@@ -213,6 +213,7 @@ fn pipelined_serving_bitwise_equals_serial_at_any_depth_and_shard_count() {
                     flush_interval_ms: 3_600_000, // count-triggered only
                     coalesce: true,
                     pipeline_depth: depth,
+                    ..Default::default()
                 },
             );
             for chunk in &chunks {
@@ -287,6 +288,7 @@ fn flush_sync_drains_inflight_pipelined_windows() {
             flush_interval_ms: 3_600_000,
             coalesce: true,
             pipeline_depth: 1,
+            ..Default::default()
         },
     );
     let mut submitted = 0u64;
