@@ -16,12 +16,13 @@
 #      over long randomized streams, under default threads and
 #      TSVD_THREADS=1;
 #   8. serve/net env matrix — one leg per env combo over
-#      {TSVD_THREADS, TSVD_PIPELINE_DEPTH, TSVD_SVD_UPDATE}. Each leg runs
-#      the tsvd-serve package battery once (unit tests + codec
-#      property/fuzz tests + loopback equivalence + counter race audit)
-#      plus the root serve_equivalence and multi-client TCP soak tests —
-#      sharded servers must stay bitwise-equal to the offline pipeline
-#      replay under every combo;
+#      {TSVD_THREADS, TSVD_PIPELINE_DEPTH, TSVD_SVD_UPDATE, TSVD_TENANTS}.
+#      Each leg runs the tsvd-serve package battery once (unit tests +
+#      codec property/fuzz tests + loopback equivalence + counter race
+#      audit) plus the root serve_equivalence, multi-client TCP soak, and
+#      multi-tenant suites — every tenant of a sharded server must stay
+#      bitwise-equal to the offline pipeline replay of its own subset
+#      under every combo;
 #   9. bench smoke — every rt::bench target runs once, no timing paid,
 #      including the svd_update kernel/engine grid.
 #
@@ -104,8 +105,9 @@ TSVD_THREADS=1 cargo test -q --test svd_update_oracle
 # Serve/net env matrix: `name|ENV=V [ENV=V ...]`. Each leg runs the full
 # tsvd-serve package battery (which already includes the net_props,
 # net_loopback, and race_audit integration tests — listing them again
-# would recompile and rerun them) plus the root-level serve_equivalence
-# and net_soak suites.
+# would recompile and rerun them) plus the root-level serve_equivalence,
+# net_soak, and multi_tenant suites. The `tenants` leg scales the
+# multi-tenant soak to three tenants sharing one graph.
 SERVE_MATRIX=(
   "default|"
   "serial|TSVD_THREADS=1"
@@ -114,6 +116,8 @@ SERVE_MATRIX=(
   "svd-update|TSVD_SVD_UPDATE=1"
   "svd-update-serial|TSVD_SVD_UPDATE=1 TSVD_THREADS=1"
   "svd-update-pipelined|TSVD_SVD_UPDATE=1 TSVD_PIPELINE_DEPTH=1"
+  "tenants|TSVD_TENANTS=3"
+  "tenants-pipelined|TSVD_TENANTS=3 TSVD_PIPELINE_DEPTH=1"
 )
 for leg in "${SERVE_MATRIX[@]}"; do
   name="${leg%%|*}"
@@ -122,7 +126,7 @@ for leg in "${SERVE_MATRIX[@]}"; do
   # shellcheck disable=SC2086
   env $envs cargo test -q -p tsvd-serve
   # shellcheck disable=SC2086
-  env $envs cargo test -q --test serve_equivalence --test net_soak
+  env $envs cargo test -q --test serve_equivalence --test net_soak --test multi_tenant
 done
 
 step "bench smoke (1 iteration per benchmark)"

@@ -39,7 +39,7 @@ fn main() {
     }));
     h.bench("codec_encode_decode/rows_64x16", || {
         let mut buf = Vec::new();
-        wire::encode_frame(1, &rows_reply, &mut buf);
+        wire::encode_frame(1, 0, &rows_reply, &mut buf);
         let (frame, used) = wire::decode_frame(&buf).expect("own frame");
         (frame.request_id, used)
     });

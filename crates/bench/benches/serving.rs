@@ -13,7 +13,7 @@ use tsvd_datasets::DatasetConfig;
 use tsvd_graph::EdgeEvent;
 use tsvd_rt::bench::BenchHarness;
 use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
-use tsvd_serve::{EmbeddingServer, FlushPipeline, ServeConfig, ShardedEngine};
+use tsvd_serve::{EmbeddingServer, FlushPipeline, ServeConfig, ShardedEngine, TenantHost};
 
 fn random_events(n_nodes: usize, len: usize, seed: u64) -> Vec<EdgeEvent> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -128,6 +128,40 @@ fn main() {
                 overlap,
             );
         }
+    }
+
+    // Multi-tenant fan-out: one window recorded once on the shared graph
+    // and replayed into every tenant — the per-window cost should grow
+    // with the tenant count in the replay/refresh stages only, never in
+    // the (shared) graph-mutation stage. Distinct overlapping subsets per
+    // tenant, two shards each.
+    let tenant_counts = [1usize, 2, 4];
+    h.record_param(
+        "tenant_counts",
+        tenant_counts
+            .iter()
+            .map(|&t| t as u64)
+            .collect::<Vec<u64>>(),
+    );
+    for &nt in &tenant_counts {
+        let mut host = TenantHost::new(&g0);
+        for t in 0..nt {
+            let subset: Vec<u32> = s
+                .subset
+                .iter()
+                .skip(t * 4)
+                .take(s.subset.len() - 8)
+                .copied()
+                .collect();
+            host.register(t as u32, &subset, 2, s.ppr_cfg, tree_cfg)
+                .expect("fresh tenant id");
+        }
+        let mut round = 10_000u64;
+        h.bench(&format!("multi_tenant/tenants_{nt}"), || {
+            round += 1;
+            let events = random_events(g0.num_nodes(), batch, round);
+            host.apply_batch(&events).len()
+        });
     }
 
     // Reader side: snapshot load + one embedding lookup under no writes.

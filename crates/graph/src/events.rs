@@ -57,6 +57,53 @@ impl EdgeEvent {
     }
 }
 
+/// Reusable workspace for [`coalesce`]: the per-pair last-write index map.
+///
+/// The map is cleared after every call but keeps its allocation, so a
+/// caller that coalesces a stream of windows (the serving layer's flush
+/// path) pays for the hash table once instead of reallocating it per
+/// window — the same fix `PushScratch` applied to `forward_push`.
+#[derive(Default)]
+pub struct CoalesceScratch {
+    last: std::collections::HashMap<(u32, u32), usize>,
+}
+
+impl CoalesceScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark which events survive last-write-wins dedup: `keep[i]` is set
+    /// iff `batch[i]` is the final occurrence of its `(u, v)` pair.
+    /// Returns the number of survivors. `keep` is overwritten (resized to
+    /// `batch.len()`), so callers can reuse one buffer across windows too.
+    pub fn mark_survivors(&mut self, batch: &[EdgeEvent], keep: &mut Vec<bool>) -> usize {
+        self.last.clear();
+        for (i, e) in batch.iter().enumerate() {
+            self.last.insert((e.u, e.v), i);
+        }
+        keep.clear();
+        keep.resize(batch.len(), false);
+        let mut survivors = 0usize;
+        for (i, e) in batch.iter().enumerate() {
+            if self.last[&(e.u, e.v)] == i {
+                keep[i] = true;
+                survivors += 1;
+            }
+        }
+        survivors
+    }
+
+    /// [`coalesce`] against this scratch's reused map.
+    pub fn coalesce(&mut self, batch: &[EdgeEvent]) -> Vec<EdgeEvent> {
+        let mut keep = Vec::new();
+        let survivors = self.mark_survivors(batch, &mut keep);
+        let mut out = Vec::with_capacity(survivors);
+        out.extend(batch.iter().zip(&keep).filter(|(_, &k)| k).map(|(e, _)| *e));
+        out
+    }
+}
+
 /// Collapse a batch to one event per `(u, v)` pair, last write wins.
 ///
 /// Within a batch only the final state of each edge matters: an
@@ -65,20 +112,11 @@ impl EdgeEvent {
 /// collapse to one. Surviving events keep the batch's relative order, each
 /// at the position of its *last* occurrence — so cross-pair ordering within
 /// the batch is preserved. The serving layer's batcher runs this over every
-/// flush window; dataset replay tooling can use it to pre-shrink oversized
-/// batches.
+/// flush window (through a held [`CoalesceScratch`], which amortises the
+/// map allocation); dataset replay tooling can use it to pre-shrink
+/// oversized batches.
 pub fn coalesce(batch: &[EdgeEvent]) -> Vec<EdgeEvent> {
-    use std::collections::HashMap;
-    let mut last: HashMap<(u32, u32), usize> = HashMap::with_capacity(batch.len());
-    for (i, e) in batch.iter().enumerate() {
-        last.insert((e.u, e.v), i);
-    }
-    batch
-        .iter()
-        .enumerate()
-        .filter(|(i, e)| last[&(e.u, e.v)] == *i)
-        .map(|(_, e)| *e)
-        .collect()
+    CoalesceScratch::new().coalesce(batch)
 }
 
 /// Stable-sort a timestamped log and collapse it per [`coalesce`].

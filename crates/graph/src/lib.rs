@@ -23,5 +23,5 @@ pub mod par;
 mod stream;
 
 pub use dyngraph::{Direction, DynGraph};
-pub use events::{coalesce, coalesce_timed, EdgeEvent, EventKind};
+pub use events::{coalesce, coalesce_timed, CoalesceScratch, EdgeEvent, EventKind};
 pub use stream::{SnapshotStream, TimedEvent};

@@ -39,6 +39,12 @@ pub struct ServeConfig {
     /// default so the serving layer can report the mode in
     /// [`crate::ServeStats`].
     pub svd_update: bool,
+    /// Per-tenant admission quota: the maximum number of submitted-but-not
+    /// -yet-applied events a tenant may have pending. Submissions beyond it
+    /// are rejected at admission (`SubmitError::QuotaExceeded`), which is
+    /// the backpressure signal for that tenant's writers — other tenants
+    /// are unaffected. `0` disables the quota (unbounded).
+    pub tenant_quota: u64,
 }
 
 tsvd_rt::impl_json_struct!(ServeConfig {
@@ -47,7 +53,8 @@ tsvd_rt::impl_json_struct!(ServeConfig {
     flush_interval_ms,
     coalesce,
     pipeline_depth,
-    svd_update
+    svd_update,
+    tenant_quota
 });
 
 /// Default pipeline depth: the `TSVD_PIPELINE_DEPTH` env var if set and
@@ -76,6 +83,7 @@ impl Default for ServeConfig {
             coalesce: true,
             pipeline_depth: default_pipeline_depth(),
             svd_update: default_svd_update(),
+            tenant_quota: 0,
         }
     }
 }
@@ -84,6 +92,11 @@ impl ServeConfig {
     /// The deadline trigger as a [`Duration`].
     pub fn flush_interval(&self) -> Duration {
         Duration::from_millis(self.flush_interval_ms)
+    }
+
+    /// The admission quota as an `Option` (`None` = unbounded).
+    pub fn quota(&self) -> Option<u64> {
+        (self.tenant_quota > 0).then_some(self.tenant_quota)
     }
 
     /// Panic on nonsensical settings (zero shards or degenerate windows).

@@ -32,16 +32,21 @@
 //! Internally the engine is two halves with disjoint state, mirroring the
 //! two phases above:
 //!
-//! * [`EngineFront`] — graph + shard PPR replicas. [`EngineFront::stage`]
-//!   runs phase 1 of one window and produces a [`StagedWindow`]: the fresh
-//!   proximity rows in ascending global row order, ready to drain.
+//! * [`EngineFront`] — shard PPR replicas. [`EngineFront::stage_recorded`]
+//!   runs phase 1 of one window against a recording captured by the shared
+//!   [`GraphIngest`] and produces a [`StagedWindow`]: the fresh proximity
+//!   rows in ascending global row order, ready to drain.
 //! * [`EngineBack`] — matrix + tree + embedding. [`EngineBack::commit`]
 //!   drains a staged window's rows into the matrix (the ordered
 //!   serialization point) and runs phase 2.
 //!
-//! `apply_batch` is exactly `commit(stage(events))`; the split exists so
-//! [`crate::FlushPipeline`] can run `stage` of window `k+1` concurrently
-//! with `commit` of window `k` without changing a single bit of output.
+//! `apply_batch` is exactly `commit(stage_recorded(record(events)))`; the
+//! split exists so [`crate::FlushPipeline`] can run staging of window `k+1`
+//! concurrently with the commit of window `k` without changing a single bit
+//! of output. The graph itself lives one level up, in
+//! [`GraphIngest`](crate::ingest::GraphIngest): a multi-tenant host records
+//! each batch once and replays the recording into every tenant's front,
+//! which is why the front no longer owns a graph.
 
 use std::time::Instant;
 
@@ -54,6 +59,8 @@ use tsvd_linalg::CsrMatrix;
 use tsvd_ppr::{PprConfig, RecordedBatch, SubsetPpr};
 use tsvd_rt::pool::par_for_each_mut;
 
+use crate::ingest::GraphIngest;
+
 /// One pipeline replica: the PPR maintenance state for a contiguous row
 /// range `[start, start + ppr.len())` of `M_S`.
 struct Shard {
@@ -65,12 +72,11 @@ struct Shard {
     pending: Vec<(usize, Vec<(u32, f64)>)>,
 }
 
-/// Phase-1 half of the engine: the graph and the shard PPR replicas.
-/// Everything [`EngineFront::stage`] touches lives here — none of it is
-/// read or written by [`EngineBack::commit`], which is the whole overlap
-/// argument of the pipelined flush.
+/// Phase-1 half of the engine: the shard PPR replicas (one tenant's view).
+/// Everything [`EngineFront::stage_recorded`] touches lives here — none of
+/// it is read or written by [`EngineBack::commit`], which is the whole
+/// overlap argument of the pipelined flush.
 pub(crate) struct EngineFront {
-    graph: DynGraph,
     sources: Vec<u32>,
     shards: Vec<Shard>,
     /// When enabled, every staged window is journaled in order — the exact
@@ -111,31 +117,41 @@ pub(crate) struct EngineBack {
     events_applied: u64,
 }
 
-/// Sharded dynamic subset-embedding engine (see module docs).
+/// Sharded dynamic subset-embedding engine (see module docs): a private
+/// [`GraphIngest`] plus one tenant's front/back halves — the single-tenant
+/// composition of the same parts `TenantHost` fans out across N tenants.
 pub struct ShardedEngine {
+    ingest: GraphIngest,
     front: EngineFront,
     back: EngineBack,
 }
 
 impl EngineFront {
-    /// Run phase 1 of one window: journal it, mutate the graph once, replay
-    /// the record on every shard in parallel, rebuild the dirty proximity
-    /// rows, and hand them back in ascending global row order.
+    /// Run phase 1 of one window: journal it and replay an already-captured
+    /// recording on every shard in parallel, then rebuild the dirty
+    /// proximity rows and hand them back in ascending global row order.
     ///
-    /// Touches only front state — safe to run while a previous window's
-    /// [`EngineBack::commit`] is still in flight.
-    pub(crate) fn stage(&mut self, events: &[EdgeEvent]) -> StagedWindow {
+    /// `graph` must be the shared ingest graph *after*
+    /// [`GraphIngest::record`] mutated it for this window (the
+    /// `apply_recorded` contract), and `events` the window the recording
+    /// was captured from. Touches only front state — safe to run while a
+    /// previous window's [`EngineBack::commit`] is still in flight, and
+    /// the same `rec` can be replayed into any number of tenant fronts.
+    pub(crate) fn stage_recorded(
+        &mut self,
+        graph: &DynGraph,
+        rec: &RecordedBatch,
+        events: &[EdgeEvent],
+    ) -> StagedWindow {
         if let Some(log) = &mut self.window_log {
             log.push(events.to_vec());
         }
-        // Phase 1a: mutate the graph once, replay the record on every
-        // shard's states in parallel (shards outer, sources inner — nested
-        // regions run inline on pool workers, so both levels stay busy).
+        // Phase 1a: replay the record on every shard's states in parallel
+        // (shards outer, sources inner — nested regions run inline on pool
+        // workers, so both levels stay busy).
         let t0 = Instant::now();
-        let rec = RecordedBatch::record(&mut self.graph, events);
-        let graph = &self.graph;
         par_for_each_mut(&mut self.shards, |sh| {
-            sh.ppr.apply_recorded(graph, &rec);
+            sh.ppr.apply_recorded(graph, rec);
         });
         let t1 = Instant::now();
 
@@ -167,13 +183,83 @@ impl EngineFront {
         &self.sources
     }
 
-    pub(crate) fn graph(&self) -> &DynGraph {
-        &self.graph
-    }
-
     pub(crate) fn num_shards(&self) -> usize {
         self.shards.len()
     }
+
+    /// Start journaling every staged window (idempotent).
+    pub(crate) fn enable_window_log(&mut self) {
+        if self.window_log.is_none() {
+            self.window_log = Some(Vec::new());
+        }
+    }
+
+    pub(crate) fn window_log(&self) -> Option<&[Vec<EdgeEvent>]> {
+        self.window_log.as_deref()
+    }
+}
+
+/// Build one tenant's pipeline halves over `graph` for subset `sources`:
+/// shard the rows into `num_shards` contiguous `SubsetPpr` replicas and run
+/// the initial factorisation, identically to
+/// `TreeSvdPipeline::new(graph, sources, ppr_cfg, tree_cfg)`.
+///
+/// Shared by [`ShardedEngine::new`] and `TenantHost` registration, so a
+/// tenant registered on a host and a standalone engine start from bitwise
+/// the same state.
+pub(crate) fn build_parts(
+    graph: &DynGraph,
+    sources: &[u32],
+    num_shards: usize,
+    ppr_cfg: PprConfig,
+    tree_cfg: TreeSvdConfig,
+) -> (EngineFront, EngineBack) {
+    tree_cfg.validate();
+    assert!(num_shards >= 1, "need at least one shard");
+    assert!(!sources.is_empty(), "subset must be non-empty");
+    assert!(
+        sources.iter().all(|&s| (s as usize) < graph.num_nodes()),
+        "subset node out of range"
+    );
+    let r = num_shards.min(sources.len());
+    let per = sources.len().div_ceil(r);
+    let mut shards = Vec::with_capacity(r);
+    let mut start = 0usize;
+    while start < sources.len() {
+        let end = (start + per).min(sources.len());
+        shards.push(Shard {
+            start,
+            ppr: SubsetPpr::build(graph, &sources[start..end], ppr_cfg),
+            pending: Vec::new(),
+        });
+        start = end;
+    }
+    let rows: Vec<Vec<(u32, f64)>> = shards
+        .iter()
+        .flat_map(|sh| sh.ppr.proximity_rows())
+        .collect();
+    let matrix = BlockedProximityMatrix::from_proximity_rows(graph.num_nodes(), &tree_cfg, &rows);
+    for sh in &mut shards {
+        sh.ppr.take_dirty_rows(); // initial build handled all rows
+    }
+    let mut tree = DynamicTreeSvd::new(tree_cfg);
+    let embedding = tree.build(&matrix);
+    (
+        EngineFront {
+            sources: sources.to_vec(),
+            shards,
+            window_log: None,
+        },
+        EngineBack {
+            matrix,
+            tree,
+            embedding,
+            timings: PipelineTimings::default(),
+            stats_total: UpdateStats::default(),
+            epoch: 0,
+            events_applied: 0,
+        },
+    )
 }
 
 impl EngineBack {
@@ -217,6 +303,10 @@ impl EngineBack {
     pub(crate) fn timings(&self) -> PipelineTimings {
         self.timings
     }
+
+    pub(crate) fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
 }
 
 impl ShardedEngine {
@@ -234,52 +324,11 @@ impl ShardedEngine {
         ppr_cfg: PprConfig,
         tree_cfg: TreeSvdConfig,
     ) -> Self {
-        tree_cfg.validate();
-        assert!(num_shards >= 1, "need at least one shard");
-        assert!(!sources.is_empty(), "subset must be non-empty");
-        assert!(
-            sources.iter().all(|&s| (s as usize) < g.num_nodes()),
-            "subset node out of range"
-        );
-        let r = num_shards.min(sources.len());
-        let per = sources.len().div_ceil(r);
-        let mut shards = Vec::with_capacity(r);
-        let mut start = 0usize;
-        while start < sources.len() {
-            let end = (start + per).min(sources.len());
-            shards.push(Shard {
-                start,
-                ppr: SubsetPpr::build(g, &sources[start..end], ppr_cfg),
-                pending: Vec::new(),
-            });
-            start = end;
-        }
-        let rows: Vec<Vec<(u32, f64)>> = shards
-            .iter()
-            .flat_map(|sh| sh.ppr.proximity_rows())
-            .collect();
-        let matrix = BlockedProximityMatrix::from_proximity_rows(g.num_nodes(), &tree_cfg, &rows);
-        for sh in &mut shards {
-            sh.ppr.take_dirty_rows(); // initial build handled all rows
-        }
-        let mut tree = DynamicTreeSvd::new(tree_cfg);
-        let embedding = tree.build(&matrix);
+        let (front, back) = build_parts(g, sources, num_shards, ppr_cfg, tree_cfg);
         ShardedEngine {
-            front: EngineFront {
-                graph: g.clone(),
-                sources: sources.to_vec(),
-                shards,
-                window_log: None,
-            },
-            back: EngineBack {
-                matrix,
-                tree,
-                embedding,
-                timings: PipelineTimings::default(),
-                stats_total: UpdateStats::default(),
-                epoch: 0,
-                events_applied: 0,
-            },
+            ingest: GraphIngest::new(g),
+            front,
+            back,
         }
     }
 
@@ -287,9 +336,7 @@ impl ShardedEngine {
     /// applied before this call are not recorded, so enable it before the
     /// first `apply_batch` for a complete journal.
     pub fn enable_window_log(&mut self) {
-        if self.front.window_log.is_none() {
-            self.front.window_log = Some(Vec::new());
-        }
+        self.front.enable_window_log();
     }
 
     /// The journaled windows, in application order (`None` if journaling
@@ -298,27 +345,37 @@ impl ShardedEngine {
     /// embedding bitwise — regardless of how submissions raced into flush
     /// windows.
     pub fn window_log(&self) -> Option<&[Vec<EdgeEvent>]> {
-        self.front.window_log.as_deref()
+        self.front.window_log()
     }
 
     /// Apply one event batch and refresh the embedding — the sharded
     /// equivalent of `TreeSvdPipeline::update` on the engine's own graph.
-    /// Literally `commit(stage(events))`: the serial composition of the
-    /// two pipeline stages.
+    /// Literally `commit(stage_recorded(record(events)))`: the serial
+    /// composition of ingest and the two pipeline stages.
     pub fn apply_batch(&mut self, events: &[EdgeEvent]) -> UpdateStats {
-        let staged = self.front.stage(events);
+        let rec = self.ingest.record(events);
+        let staged = self.front.stage_recorded(self.ingest.graph(), &rec, events);
         self.back.commit(staged)
     }
 
-    /// Split into the two pipeline halves (see module docs). Used by
-    /// [`crate::FlushPipeline`] to run them concurrently.
-    pub(crate) fn into_parts(self) -> (EngineFront, EngineBack) {
-        (self.front, self.back)
+    /// Split into ingest + the two pipeline halves (see module docs). Used
+    /// by [`crate::FlushPipeline`] to run the halves concurrently and by
+    /// `TenantHost` to share one ingest across tenants.
+    pub(crate) fn into_parts(self) -> (GraphIngest, EngineFront, EngineBack) {
+        (self.ingest, self.front, self.back)
     }
 
-    /// Reassemble an engine from its pipeline halves.
-    pub(crate) fn from_parts(front: EngineFront, back: EngineBack) -> ShardedEngine {
-        ShardedEngine { front, back }
+    /// Reassemble an engine from its parts.
+    pub(crate) fn from_parts(
+        ingest: GraphIngest,
+        front: EngineFront,
+        back: EngineBack,
+    ) -> ShardedEngine {
+        ShardedEngine {
+            ingest,
+            front,
+            back,
+        }
     }
 
     /// The current embedding, tagged with the current epoch, as a cheaply
@@ -360,7 +417,13 @@ impl ShardedEngine {
 
     /// The engine's view of the graph (all applied batches included).
     pub fn graph(&self) -> &DynGraph {
-        self.front.graph()
+        self.ingest.graph()
+    }
+
+    /// How many edge batches the engine's private ingest has recorded —
+    /// equal to [`epoch`](Self::epoch) for a standalone engine.
+    pub fn batches_recorded(&self) -> u64 {
+        self.ingest.batches_recorded()
     }
 
     /// Cumulative per-phase wall-clock across all applied batches.

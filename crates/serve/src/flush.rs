@@ -1,17 +1,17 @@
 //! Two-stage flush pipeline: overlap phase 1 of window `k+1` with phase 2
 //! of window `k`.
 //!
-//! [`FlushPipeline`] owns a [`ShardedEngine`] split into its two halves
-//! (see the `engine` module docs):
+//! [`FlushPipeline`] owns one tenant's engine halves (see the `engine`
+//! module docs):
 //!
-//! * the **front** (graph + shard PPR replicas) runs `stage` — journal,
-//!   graph mutation, PPR replay, dirty-row rebuild — on the caller's
-//!   thread, fanning out on the shared compute pool;
+//! * the **front** (shard PPR replicas) runs `stage_recorded` — journal,
+//!   PPR replay of the ingest's recording, dirty-row rebuild — on the
+//!   caller's thread, fanning out on the shared compute pool;
 //! * the **back** (matrix + lazy Tree-SVD) runs `commit` — the ordered
 //!   `set_row` drain plus the global refresh — detached on a
 //!   [`tsvd_rt::pool::background`] courier.
 //!
-//! With `depth = 1`, `submit_window(k+1)` stages the new window *while*
+//! With `depth = 1`, submitting window `k+1` stages the new window *while*
 //! the commit of window `k` is still in flight, then joins that commit
 //! before spawning the next one. Because stage touches only front state
 //! and commit only back state, and because commits stay strictly
@@ -20,16 +20,32 @@
 //! shard count, and thread count. With `depth = 0` the two phases run
 //! back-to-back on the caller — exactly `ShardedEngine::apply_batch`.
 //!
+//! The pipeline comes in two flavours over the same machinery:
+//!
+//! * **standalone** ([`FlushPipeline::new`]) — wraps a whole
+//!   [`ShardedEngine`], keeping its private [`GraphIngest`] inside, so
+//!   [`submit_window`](FlushPipeline::submit_window) records and stages in
+//!   one call (the single-tenant server path);
+//! * **tenant mode** ([`FlushPipeline::for_tenant`]) — holds only the
+//!   front/back halves; the host records each window once on the shared
+//!   ingest and calls
+//!   [`submit_recorded`](FlushPipeline::submit_recorded) on every tenant's
+//!   pipeline with the same recording. Each tenant then overlaps its own
+//!   commits independently — with N tenants at depth 1, up to N commits
+//!   ride couriers concurrently while later tenants stage.
+//!
 //! The measured overlap (wall-clock during which both phases were running)
 //! is reported per window in [`CommitOutcome::overlapped_secs`].
 
 use std::time::Instant;
 
 use tsvd_core::{PipelineTimings, TaggedEmbedding, UpdateStats};
-use tsvd_graph::EdgeEvent;
+use tsvd_graph::{DynGraph, EdgeEvent};
+use tsvd_ppr::RecordedBatch;
 use tsvd_rt::pool::{background, TaskHandle};
 
 use crate::engine::{EngineBack, EngineFront, ShardedEngine};
+use crate::ingest::GraphIngest;
 
 /// Everything the serving layer needs to publish one committed window.
 #[derive(Clone)]
@@ -73,6 +89,9 @@ struct Inflight {
 
 /// Pipelined executor for flush windows (see module docs).
 pub struct FlushPipeline {
+    /// Present in standalone mode ([`FlushPipeline::new`]); `None` in
+    /// tenant mode, where the host owns the shared ingest.
+    ingest: Option<GraphIngest>,
     front: EngineFront,
     /// `None` exactly while a commit is in flight (the courier owns it).
     back: Option<EngineBack>,
@@ -86,8 +105,23 @@ impl FlushPipeline {
     /// each window with the stage of the next.
     pub fn new(engine: ShardedEngine, depth: usize) -> Self {
         assert!(depth <= 1, "pipeline depth > 1 is not supported");
-        let (front, back) = engine.into_parts();
+        let (ingest, front, back) = engine.into_parts();
         FlushPipeline {
+            ingest: Some(ingest),
+            front,
+            back: Some(back),
+            inflight: None,
+            depth,
+        }
+    }
+
+    /// Wrap one tenant's engine halves: the graph stays with the host's
+    /// shared ingest, which feeds this pipeline through
+    /// [`submit_recorded`](Self::submit_recorded).
+    pub(crate) fn for_tenant(front: EngineFront, back: EngineBack, depth: usize) -> Self {
+        assert!(depth <= 1, "pipeline depth > 1 is not supported");
+        FlushPipeline {
+            ingest: None,
             front,
             back: Some(back),
             inflight: None,
@@ -105,15 +139,36 @@ impl FlushPipeline {
         self.inflight.is_some()
     }
 
-    /// Run one flush window through the pipeline. Stages `events`
-    /// (concurrently with any in-flight commit), then joins that commit
-    /// and hands the new window to the back half. Returns the outcomes
-    /// that completed during this call, in window order: at `depth = 0`
-    /// exactly this window's, at `depth = 1` the previous window's (empty
-    /// for the very first window).
+    /// Run one flush window through a standalone pipeline: record it on
+    /// the internal ingest, then [`submit_recorded`](Self::submit_recorded).
     pub fn submit_window(&mut self, events: &[EdgeEvent]) -> Vec<CommitOutcome> {
+        let mut ingest = self
+            .ingest
+            .take()
+            .expect("standalone pipeline owns its ingest (tenant mode uses submit_recorded)");
+        let rec = ingest.record(events);
+        let out = self.submit_recorded(ingest.graph(), &rec, events);
+        self.ingest = Some(ingest);
+        out
+    }
+
+    /// Run one flush window through the pipeline from an already-captured
+    /// recording. Stages it (concurrently with any in-flight commit), then
+    /// joins that commit and hands the new window to the back half.
+    /// Returns the outcomes that completed during this call, in window
+    /// order: at `depth = 0` exactly this window's, at `depth = 1` the
+    /// previous window's (empty for the very first window).
+    ///
+    /// `graph`/`rec` follow the `apply_recorded` contract: `graph` is the
+    /// shared graph *after* the recording mutated it.
+    pub(crate) fn submit_recorded(
+        &mut self,
+        graph: &DynGraph,
+        rec: &RecordedBatch,
+        events: &[EdgeEvent],
+    ) -> Vec<CommitOutcome> {
         let stage_start = Instant::now();
-        let staged = self.front.stage(events);
+        let staged = self.front.stage_recorded(graph, rec, events);
         let stage_end = Instant::now();
         let stage_secs = (stage_end - stage_start).as_secs_f64();
 
@@ -203,13 +258,25 @@ impl FlushPipeline {
         Some(self.complete(handle.join(), stage_secs, num_events, 0.0))
     }
 
-    /// Drain and reassemble the engine. The second element is the final
-    /// window's outcome if one was still in flight (callers must publish
-    /// it to not lose the last epoch).
+    /// Drain and reassemble the engine (standalone mode only). The second
+    /// element is the final window's outcome if one was still in flight
+    /// (callers must publish it to not lose the last epoch).
     pub fn into_engine(mut self) -> (ShardedEngine, Option<CommitOutcome>) {
         let out = self.drain();
+        let ingest = self
+            .ingest
+            .take()
+            .expect("standalone pipeline owns its ingest (tenant mode uses into_tenant_parts)");
         let back = self.back.take().expect("drained pipeline owns its back");
-        (ShardedEngine::from_parts(self.front, back), out)
+        (ShardedEngine::from_parts(ingest, self.front, back), out)
+    }
+
+    /// Drain and hand back one tenant's engine halves. The third element
+    /// is the final window's outcome if one was still in flight.
+    pub(crate) fn into_tenant_parts(mut self) -> (EngineFront, EngineBack, Option<CommitOutcome>) {
+        let out = self.drain();
+        let back = self.back.take().expect("drained pipeline owns its back");
+        (self.front, back, out)
     }
 
     fn complete(

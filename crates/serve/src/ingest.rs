@@ -1,0 +1,58 @@
+//! Shared graph ingest: one graph, one recording, N replays.
+//!
+//! Tenancy splits the serving stack along the record/replay seam of
+//! [`tsvd_ppr::RecordedBatch`]: every flushed edge window mutates the
+//! *single* shared graph exactly once (here), and the captured recording
+//! is then replayed into each tenant's `SubsetPpr` shards. `GraphIngest`
+//! owns that graph and counts recordings, so tests can assert the
+//! record-once contract (`batches_recorded == windows`, not
+//! `windows × tenants`).
+
+use tsvd_graph::{DynGraph, EdgeEvent};
+use tsvd_ppr::RecordedBatch;
+
+/// The single shared graph plus the record-once counter.
+pub struct GraphIngest {
+    graph: DynGraph,
+    batches_recorded: u64,
+}
+
+impl GraphIngest {
+    /// Start ingest from a snapshot of `g`.
+    pub fn new(g: &DynGraph) -> Self {
+        Self::from_graph(g.clone())
+    }
+
+    /// Take ownership of an existing graph (no copy).
+    pub(crate) fn from_graph(graph: DynGraph) -> Self {
+        GraphIngest {
+            graph,
+            batches_recorded: 0,
+        }
+    }
+
+    /// Apply `events` to the shared graph and capture the replay recording.
+    ///
+    /// This is the only place a served edge batch touches the graph; each
+    /// call bumps [`batches_recorded`](Self::batches_recorded). The
+    /// returned batch must be replayed against [`graph`](Self::graph) *as
+    /// it is now* (post-mutation), per the `apply_recorded` contract.
+    pub fn record(&mut self, events: &[EdgeEvent]) -> RecordedBatch {
+        self.batches_recorded += 1;
+        RecordedBatch::record(&mut self.graph, events)
+    }
+
+    /// The shared graph (current, post-recording state).
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// How many edge batches were recorded since construction.
+    ///
+    /// With N tenants each replaying every window, this stays equal to the
+    /// number of flushed windows — the acceptance counter proving the
+    /// recording is captured once per batch rather than once per tenant.
+    pub fn batches_recorded(&self) -> u64 {
+        self.batches_recorded
+    }
+}

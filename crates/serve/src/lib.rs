@@ -5,7 +5,7 @@
 //! edge events stream in, queries read the subset embedding concurrently,
 //! and updates must neither block readers nor change results.
 //!
-//! Four pieces:
+//! Five pieces:
 //!
 //! * [`ShardedEngine`] — the update path. Subset rows are sharded across
 //!   `R` contiguous-range PPR replicas (phase 1 is per-source independent),
@@ -13,12 +13,20 @@
 //!   single [`TreeSvdPipeline`](tsvd_core::TreeSvdPipeline) at any `R` and
 //!   any `TSVD_THREADS` — sharding is a throughput knob, not an
 //!   approximation (see `engine` module docs for why this holds).
+//! * [`TenantHost`] — multi-subset tenancy. One host owns **one** shared
+//!   graph; N registered tenants each own a subset, shard fan-out, and
+//!   Tree-SVD state. Each edge batch is recorded on the shared graph
+//!   exactly once and the recording is replayed into every tenant — so the
+//!   graph work is paid once, not N times — while every tenant's embedding
+//!   stays bitwise equal to its own offline replay.
 //! * [`EmbeddingServer`] / [`ServerHandle`] / [`EmbeddingReader`] — the
 //!   asynchronous front. A dedicated reactor thread
 //!   ([`tsvd_rt::exec::EventLoop`] — no tokio; `std` only) batches incoming
 //!   [`EdgeEvent`](tsvd_graph::EdgeEvent)s per [`ServeConfig`] window
 //!   (count- or deadline-triggered, optionally last-write-wins coalesced)
-//!   and flushes them through the engine on the shared compute pool.
+//!   and flushes them through every tenant's engine on the shared compute
+//!   pool, round-robin fair, with per-tenant admission quotas
+//!   ([`ServeConfig::tenant_quota`]) and per-tenant epoch publication.
 //! * [`EpochCell`] / [`EpochSnapshot`] — the double buffer. Each flush
 //!   publishes a complete immutable snapshot via one `Arc` swap; readers
 //!   always observe a whole epoch (checksum-verifiable), never a torn mix,
@@ -52,15 +60,19 @@
 mod config;
 mod engine;
 mod flush;
+mod ingest;
 pub mod net;
 mod server;
 mod snapshot;
 mod stats;
+mod tenant;
 
 pub use config::ServeConfig;
 pub use engine::ShardedEngine;
 pub use flush::{CommitOutcome, FlushPipeline};
+pub use ingest::GraphIngest;
 pub use net::{ClientConfig, NetClient, NetFront, TcpTransport};
-pub use server::{EmbeddingReader, EmbeddingServer, ServerHandle};
+pub use server::{EmbeddingReader, EmbeddingServer, ServerHandle, SubmitError, DEFAULT_TENANT};
 pub use snapshot::{EpochCell, EpochSnapshot};
-pub use stats::ServeStats;
+pub use stats::{HostStats, ServeStats, StatsReply};
+pub use tenant::{TenantError, TenantHost, TenantId};

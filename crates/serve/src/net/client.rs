@@ -28,7 +28,7 @@ use std::io::{self, Write};
 
 use tsvd_graph::EdgeEvent;
 
-use crate::stats::ServeStats;
+use crate::stats::StatsReply;
 
 use super::transport::{Duplex, Transport};
 use super::wire::{
@@ -42,6 +42,10 @@ pub struct ClientConfig {
     pub reconnect: bool,
     /// Retry attempts per call after the initial try.
     pub max_retries: u32,
+    /// Tenant every request from this client is pinned to (stamped into
+    /// the frame header and verified against each reply's echo). `0` is
+    /// the default tenant of a single-tenant server.
+    pub tenant: u32,
 }
 
 impl Default for ClientConfig {
@@ -49,6 +53,7 @@ impl Default for ClientConfig {
         ClientConfig {
             reconnect: true,
             max_retries: 2,
+            tenant: 0,
         }
     }
 }
@@ -126,10 +131,10 @@ impl NetClient {
         }
     }
 
-    /// Point-in-time server statistics.
-    pub fn stats(&mut self) -> io::Result<ServeStats> {
+    /// Point-in-time statistics: this client's tenant plus the host rollup.
+    pub fn stats(&mut self) -> io::Result<StatsReply> {
         match self.call(Request::GetStats, true)? {
-            Reply::Stats(s) => Ok(s),
+            Reply::Stats(s) => Ok(*s),
             other => Err(unexpected(&other)),
         }
     }
@@ -153,10 +158,16 @@ impl NetClient {
         let first = self.next_id;
         self.next_id += requests.len() as u64;
         let raw = {
+            let tenant = self.cfg.tenant;
             let conn = self.conn()?;
             let mut buf = Vec::new();
             for (i, req) in requests.iter().enumerate() {
-                encode_frame(first + i as u64, &Message::Request(req.clone()), &mut buf);
+                encode_frame(
+                    first + i as u64,
+                    tenant,
+                    &Message::Request(req.clone()),
+                    &mut buf,
+                );
             }
             let io = (|| {
                 conn.writer.write_all(&buf)?;
@@ -170,6 +181,12 @@ impl NetClient {
                         return Err(protocol(format!(
                             "pipelined reply id {} (expected {want})",
                             frame.request_id
+                        )));
+                    }
+                    if frame.tenant != tenant {
+                        return Err(protocol(format!(
+                            "pipelined reply tenant {} (expected {tenant})",
+                            frame.tenant
                         )));
                     }
                     match frame.message {
@@ -221,14 +238,23 @@ impl NetClient {
     fn exchange(&mut self, req: &Request) -> io::Result<Reply> {
         let id = self.next_id;
         self.next_id += 1;
+        let tenant = self.cfg.tenant;
         let conn = self.conn()?;
-        write_frame(&mut conn.writer, id, &Message::Request(req.clone()))?;
+        write_frame(&mut conn.writer, id, tenant, &Message::Request(req.clone()))?;
         let frame =
             read_frame(&mut conn.reader)?.ok_or_else(|| closed("server closed connection"))?;
         if frame.request_id != id && frame.request_id != 0 {
             return Err(protocol(format!(
                 "reply id {} does not match request id {id}",
                 frame.request_id
+            )));
+        }
+        // Connection-level errors (id 0) are not tenant-addressed; every
+        // real reply must echo the tenant the request was pinned to.
+        if frame.request_id != 0 && frame.tenant != tenant {
+            return Err(protocol(format!(
+                "reply tenant {} does not match pinned tenant {tenant}",
+                frame.tenant
             )));
         }
         match frame.message {
@@ -281,7 +307,7 @@ impl NetClient {
                 self.check_epoch(e.epoch, Some(e.checksum_bits))?;
             }
             Reply::FlushAck { epoch } => self.check_epoch(*epoch, None)?,
-            Reply::Stats(s) => self.check_epoch(s.epoch, None)?,
+            Reply::Stats(s) => self.check_epoch(s.tenant.epoch, None)?,
             Reply::Error(msg) => {
                 return Err(io::Error::other(format!("server error: {msg}")));
             }

@@ -23,6 +23,7 @@
 //! flight is never torn by the timeout (see
 //! [`wire::read_frame_until`](super::wire::read_frame_until)).
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -33,7 +34,8 @@ use std::time::Duration;
 use tsvd_rt::exec::{Event, EventLoop, Flow};
 
 use crate::engine::ShardedEngine;
-use crate::server::{EmbeddingReader, ServerHandle};
+use crate::server::{EmbeddingReader, ServerHandle, SubmitError};
+use crate::tenant::{TenantHost, TenantId};
 
 use super::transport::{pipe, Duplex, Transport};
 use super::wire::{
@@ -51,8 +53,8 @@ const LOOPBACK_PIPE_CAP: usize = 64 * 1024;
 
 /// What the connection reader thread hands to the dispatcher.
 enum ConnMsg {
-    /// A decoded request with its id.
-    Request(u64, Request),
+    /// A decoded request: id, tenant (from the frame header), request.
+    Request(u64, u32, Request),
     /// The byte stream is unusable (corrupt frame / protocol violation):
     /// report to the peer, then close.
     Corrupt(String),
@@ -62,8 +64,9 @@ enum ConnMsg {
 struct FrontShared {
     /// The server handle; taken (→ `None`) by [`NetFront::shutdown`].
     handle: RwLock<Option<ServerHandle>>,
-    /// Wait-free read path, shared by all connections.
-    reader: EmbeddingReader,
+    /// Wait-free read path, one reader per tenant, shared by all
+    /// connections. Requests name their tenant in the frame header.
+    readers: HashMap<TenantId, EmbeddingReader>,
     /// Set once; all listeners and connections wind down when they see it.
     stop: AtomicBool,
     /// Connection threads to join on shutdown.
@@ -92,11 +95,15 @@ impl NetFront {
     /// Wrap a running server. No listener is opened yet — call
     /// [`NetFront::listen`] and/or [`NetFront::loopback`].
     pub fn start(handle: ServerHandle) -> NetFront {
-        let reader = handle.reader();
+        let readers = handle
+            .tenant_ids()
+            .into_iter()
+            .map(|id| (id, handle.reader_for(id).expect("listed tenant has a cell")))
+            .collect();
         NetFront {
             shared: Arc::new(FrontShared {
                 handle: RwLock::new(Some(handle)),
-                reader,
+                readers,
                 stop: AtomicBool::new(false),
                 conns: Mutex::new(Vec::new()),
                 accepted: AtomicU64::new(0),
@@ -185,8 +192,16 @@ impl NetFront {
     }
 
     /// Stop listeners and connections, shut the server down, and take the
-    /// engine back (mirrors [`ServerHandle::shutdown`]).
+    /// engine back (mirrors [`ServerHandle::shutdown`]). Single-tenant
+    /// fronts only; multi-tenant fronts use
+    /// [`shutdown_host`](Self::shutdown_host).
     pub fn shutdown(self) -> ShardedEngine {
+        self.shutdown_host().into_single_engine()
+    }
+
+    /// Stop listeners and connections, shut the server down, and take the
+    /// whole tenant host back (mirrors [`ServerHandle::shutdown_host`]).
+    pub fn shutdown_host(self) -> TenantHost {
         self.shared.stop.store(true, Ordering::Release);
         for jh in self.listeners.lock().unwrap().drain(..) {
             let _ = jh.join();
@@ -202,7 +217,7 @@ impl NetFront {
             .unwrap()
             .take()
             .expect("NetFront::shutdown called twice");
-        handle.shutdown()
+        handle.shutdown_host()
     }
 }
 
@@ -288,7 +303,8 @@ fn serve_connection(shared: Arc<FrontShared>, duplex: Duplex) {
                         Message::Request(req) => {
                             // Bounded send: blocks when the dispatcher is
                             // behind — the backpressure path.
-                            if !mailbox.send(ConnMsg::Request(frame.request_id, req)) {
+                            if !mailbox.send(ConnMsg::Request(frame.request_id, frame.tenant, req))
+                            {
                                 break;
                             }
                         }
@@ -312,9 +328,9 @@ fn serve_connection(shared: Arc<FrontShared>, duplex: Duplex) {
         .expect("spawn tsvd-net-read");
 
     ev.run(|_timers, event| match event {
-        Event::Message(ConnMsg::Request(id, req)) => {
-            let (reply, close) = execute(&shared, req);
-            if write_frame(&mut w, id, &Message::Reply(reply)).is_err() || close {
+        Event::Message(ConnMsg::Request(id, tenant, req)) => {
+            let (reply, close) = execute(&shared, tenant, req);
+            if write_frame(&mut w, id, tenant, &Message::Reply(reply)).is_err() || close {
                 conn_stop.store(true, Ordering::Release);
                 Flow::Stop
             } else {
@@ -323,7 +339,7 @@ fn serve_connection(shared: Arc<FrontShared>, duplex: Duplex) {
         }
         Event::Message(ConnMsg::Corrupt(what)) => {
             // Best-effort connection-level error (request id 0), then close.
-            let _ = write_frame(&mut w, 0, &Message::Reply(Reply::Error(what)));
+            let _ = write_frame(&mut w, 0, 0, &Message::Reply(Reply::Error(what)));
             conn_stop.store(true, Ordering::Release);
             Flow::Stop
         }
@@ -334,16 +350,24 @@ fn serve_connection(shared: Arc<FrontShared>, duplex: Duplex) {
     let _ = reader_jh.join();
 }
 
-/// Execute one request. Returns the reply and whether the connection (and
-/// for [`Request::Shutdown`], the whole front) should stop afterwards.
-fn execute(shared: &FrontShared, req: Request) -> (Reply, bool) {
+/// Execute one request against the tenant named in its frame header.
+/// Returns the reply and whether the connection (and for
+/// [`Request::Shutdown`], the whole front) should stop afterwards.
+///
+/// An unknown tenant or an exceeded quota is a *request*-level fault: the
+/// reply is [`Reply::Error`] but the connection stays open (the client may
+/// be multiplexing tenants or waiting out backpressure).
+fn execute(shared: &FrontShared, tenant: u32, req: Request) -> (Reply, bool) {
     match req {
         Request::Ping => (Reply::Pong, false),
         Request::SubmitEvents(events) => {
             let accepted = events.len() as u64;
             match &*shared.handle.read().unwrap() {
-                Some(h) if h.submit_batch(events) => (Reply::SubmitAck { accepted }, false),
-                Some(_) => (Reply::Error("server reactor is gone".into()), true),
+                Some(h) => match h.submit_batch_to(tenant, events) {
+                    Ok(()) => (Reply::SubmitAck { accepted }, false),
+                    Err(e @ SubmitError::Closed) => (Reply::Error(e.to_string()), true),
+                    Err(e) => (Reply::Error(e.to_string()), false),
+                },
                 None => (Reply::Error("server is shut down".into()), true),
             }
         }
@@ -357,7 +381,10 @@ fn execute(shared: &FrontShared, req: Request) -> (Reply, bool) {
             None => (Reply::Error("server is shut down".into()), true),
         },
         Request::GetRows(nodes) => {
-            let snap = shared.reader.snapshot();
+            let Some(reader) = shared.readers.get(&tenant) else {
+                return (Reply::Error(format!("unknown tenant {tenant}")), false);
+            };
+            let snap = reader.snapshot();
             let rows = nodes
                 .iter()
                 .map(|&n| snap.get(n).map(|r| r.to_vec()))
@@ -373,7 +400,10 @@ fn execute(shared: &FrontShared, req: Request) -> (Reply, bool) {
             )
         }
         Request::GetEmbedding => {
-            let snap = shared.reader.snapshot();
+            let Some(reader) = shared.readers.get(&tenant) else {
+                return (Reply::Error(format!("unknown tenant {tenant}")), false);
+            };
+            let snap = reader.snapshot();
             let left = snap.tagged().left();
             let mut data = Vec::with_capacity(left.rows() * snap.dim());
             for r in 0..left.rows() {
@@ -391,13 +421,16 @@ fn execute(shared: &FrontShared, req: Request) -> (Reply, bool) {
             )
         }
         Request::GetStats => match &*shared.handle.read().unwrap() {
-            Some(h) => (Reply::Stats(h.stats()), false),
+            Some(h) => match h.stats_reply(tenant) {
+                Some(reply) => (Reply::Stats(Box::new(reply)), false),
+                None => (Reply::Error(format!("unknown tenant {tenant}")), false),
+            },
             None => (Reply::Error("server is shut down".into()), true),
         },
         Request::Shutdown => {
-            // Flush so everything submitted is durable in the engine, then
-            // stop the whole front. The owner reclaims the engine via
-            // NetFront::shutdown.
+            // Flush so everything submitted is durable in the engines, then
+            // stop the whole front. The owner reclaims the host via
+            // NetFront::shutdown / shutdown_host.
             if let Some(h) = &*shared.handle.read().unwrap() {
                 h.flush_sync();
             }

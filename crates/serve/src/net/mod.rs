@@ -12,7 +12,9 @@
 //!   mailboxes dispatching onto the running
 //!   [`EmbeddingServer`](crate::EmbeddingServer).
 //! * [`client`] — [`NetClient`]: typed calls, pipelining, reconnect, and
-//!   client-side staleness / torn-read guards.
+//!   client-side staleness / torn-read guards. Each client pins one tenant
+//!   ([`ClientConfig::tenant`], default `0`): the id rides the frame
+//!   header, the server routes per tenant, and replies must echo it.
 //!
 //! ```no_run
 //! use tsvd_serve::net::{ClientConfig, NetClient, NetFront, TcpTransport};

@@ -7,18 +7,26 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic        0x5654 ("TV")
-//! 2       1     version      WIRE_VERSION (currently 1)
+//! 2       1     version      WIRE_VERSION (currently 2)
 //! 3       1     msg_id       message discriminant (see below)
 //! 4       8     request_id   client-chosen; echoed verbatim in the reply
-//! 12      4     payload_len  ≤ MAX_PAYLOAD, else the frame is rejected
+//! 12      4     tenant_id    the tenant this request/reply is pinned to
+//!                            (0 for single-tenant servers); echoed in the
+//!                            reply
+//! 16      4     payload_len  ≤ MAX_PAYLOAD, else the frame is rejected
 //!                            before any allocation
-//! 16      8     checksum     FNV-1a 64 over bytes [2, 16) of the header
+//! 20      8     checksum     FNV-1a 64 over bytes [2, 20) of the header
 //!                            followed by the payload — any single-byte
 //!                            corruption outside the magic field lands in
 //!                            the checksummed range or in the checksum
 //!                            itself, so it is always detected
-//! 24      len   payload      message-specific body (encodings below)
+//! 28      len   payload      message-specific body (encodings below)
 //! ```
+//!
+//! Version 2 widened the header by the `tenant_id` field; v1 frames (and
+//! any other version byte) are rejected with [`WireError::BadVersion`]
+//! straight from the header — mixed-version deployments fail closed at the
+//! first frame rather than misparsing offsets.
 //!
 //! Request id `0` is reserved for connection-level [`Reply::Error`] frames
 //! the server emits when it cannot attribute a fault to a request (e.g. an
@@ -40,7 +48,7 @@
 //! | 0x83 | `FlushAck`     | `u64 epoch` |
 //! | 0x84 | `Rows`         | `u64 epoch`, `u64 checksum_bits`, `u32 dim`, `u32 n`, then n × (`u8 present`, present × dim × `f64`) |
 //! | 0x85 | `Embedding`    | `u64 epoch`, `u64 checksum_bits`, `u32 dim`, `u32 rows`, rows × `u32 source`, rows·dim × `f64` (row-major) |
-//! | 0x86 | `Stats`        | `u32 len`, UTF-8 JSON body (`ServeStats`; the rt::json codec round-trips every `f64` bitwise) |
+//! | 0x86 | `Stats`        | `u32 len`, UTF-8 JSON body (`StatsReply`: the tenant's `ServeStats` plus the `HostStats` rollup; the rt::json codec round-trips every `f64` bitwise) |
 //! | 0x87 | `ShutdownAck`  | empty |
 //! | 0xFF | `Error`        | `u32 len`, UTF-8 message |
 //!
@@ -56,16 +64,17 @@ use std::io::{self, Read, Write};
 use tsvd_graph::{EdgeEvent, EventKind};
 use tsvd_rt::json::{FromJson, Json, ToJson};
 
-use crate::stats::ServeStats;
+use crate::stats::StatsReply;
 
 /// First two bytes of every frame: "TV" little-endian.
 pub const WIRE_MAGIC: u16 = 0x5654;
 
-/// Protocol version stamped into (and required of) every frame.
-pub const WIRE_VERSION: u8 = 1;
+/// Protocol version stamped into (and required of) every frame. Version 2
+/// added the `tenant_id` header field; older versions are rejected.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Fixed frame-header size in bytes.
-pub const HEADER_LEN: usize = 24;
+pub const HEADER_LEN: usize = 28;
 
 /// Maximum accepted payload size (64 MiB). A frame announcing more is
 /// rejected from its header alone — no allocation is attempted.
@@ -217,8 +226,10 @@ pub enum Reply {
     Rows(RowsReply),
     /// Answer to [`Request::GetEmbedding`].
     Embedding(EmbeddingReply),
-    /// Answer to [`Request::GetStats`].
-    Stats(ServeStats),
+    /// Answer to [`Request::GetStats`]: the requesting tenant's stats plus
+    /// the host rollup. Boxed: the stats blob dwarfs every other reply, and
+    /// boxing it keeps plain `Reply` values (acks, rows) small.
+    Stats(Box<StatsReply>),
     /// The server flushed and is shutting its network front down.
     ShutdownAck,
     /// The request could not be served (message is human-readable).
@@ -234,11 +245,14 @@ pub enum Message {
     Reply(Reply),
 }
 
-/// One decoded frame: the echoed request id plus the message.
+/// One decoded frame: the echoed request id and tenant id plus the message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     /// Correlation id (client-chosen; `0` reserved for connection errors).
     pub request_id: u64,
+    /// Tenant the frame is pinned to (0 for single-tenant servers);
+    /// replies echo the request's tenant.
+    pub tenant: u32,
     /// The decoded message.
     pub message: Message,
 }
@@ -342,8 +356,8 @@ impl Message {
                     put_f64(out, x);
                 }
             }
-            Message::Reply(Reply::Stats(stats)) => {
-                let body = stats.to_json().to_string().into_bytes();
+            Message::Reply(Reply::Stats(reply)) => {
+                let body = reply.to_json().to_string().into_bytes();
                 put_u32(out, body.len() as u32);
                 out.extend_from_slice(&body);
             }
@@ -356,22 +370,24 @@ impl Message {
     }
 }
 
-/// Append one complete frame for `message` (with `request_id`) to `out`.
-pub fn encode_frame(request_id: u64, message: &Message, out: &mut Vec<u8>) {
+/// Append one complete frame for `message` (with `request_id`, pinned to
+/// `tenant`) to `out`.
+pub fn encode_frame(request_id: u64, tenant: u32, message: &Message, out: &mut Vec<u8>) {
     let start = out.len();
     out.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
     out.push(WIRE_VERSION);
     out.push(message.msg_id());
     put_u64(out, request_id);
+    put_u32(out, tenant);
     put_u32(out, 0); // payload_len backfilled below
     put_u64(out, 0); // checksum backfilled below
     let payload_start = out.len();
     message.encode_payload(out);
     let payload_len = (out.len() - payload_start) as u32;
     debug_assert!(payload_len <= MAX_PAYLOAD, "reply exceeds frame cap");
-    out[start + 12..start + 16].copy_from_slice(&payload_len.to_le_bytes());
-    let crc = frame_checksum(&out[start + 2..start + 16], &out[payload_start..]);
-    out[start + 16..start + 24].copy_from_slice(&crc.to_le_bytes());
+    out[start + 16..start + 20].copy_from_slice(&payload_len.to_le_bytes());
+    let crc = frame_checksum(&out[start + 2..start + 20], &out[payload_start..]);
+    out[start + 20..start + 28].copy_from_slice(&crc.to_le_bytes());
 }
 
 /// Checksum over the post-magic header fields and the payload.
@@ -545,9 +561,9 @@ fn decode_payload(msg_id: u8, payload: &[u8]) -> Result<Message, WireError> {
             let body = std::str::from_utf8(c.take(n)?)
                 .map_err(|_| WireError::Malformed("stats not UTF-8"))?;
             let json = Json::parse(body).map_err(|_| WireError::Malformed("stats not JSON"))?;
-            let stats = ServeStats::from_json(&json)
+            let reply = StatsReply::from_json(&json)
                 .map_err(|_| WireError::Malformed("stats JSON shape"))?;
-            Message::Reply(Reply::Stats(stats))
+            Message::Reply(Reply::Stats(Box::new(reply)))
         }
         0x87 => Message::Reply(Reply::ShutdownAck),
         0xFF => {
@@ -566,6 +582,7 @@ fn decode_payload(msg_id: u8, payload: &[u8]) -> Result<Message, WireError> {
 struct Header {
     msg_id: u8,
     request_id: u64,
+    tenant: u32,
     payload_len: u32,
     checksum: u64,
 }
@@ -578,15 +595,16 @@ fn decode_header(h: &[u8; HEADER_LEN]) -> Result<Header, WireError> {
     if h[2] != WIRE_VERSION {
         return Err(WireError::BadVersion(h[2]));
     }
-    let payload_len = u32::from_le_bytes(h[12..16].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(h[16..20].try_into().unwrap());
     if payload_len > MAX_PAYLOAD {
         return Err(WireError::Oversized(payload_len));
     }
     Ok(Header {
         msg_id: h[3],
         request_id: u64::from_le_bytes(h[4..12].try_into().unwrap()),
+        tenant: u32::from_le_bytes(h[12..16].try_into().unwrap()),
         payload_len,
-        checksum: u64::from_le_bytes(h[16..24].try_into().unwrap()),
+        checksum: u64::from_le_bytes(h[20..28].try_into().unwrap()),
     })
 }
 
@@ -605,13 +623,14 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), WireError> {
         return Err(WireError::Truncated);
     }
     let payload = &bytes[HEADER_LEN..total];
-    if frame_checksum(&bytes[2..16], payload) != h.checksum {
+    if frame_checksum(&bytes[2..20], payload) != h.checksum {
         return Err(WireError::Checksum);
     }
     let message = decode_payload(h.msg_id, payload)?;
     Ok((
         Frame {
             request_id: h.request_id,
+            tenant: h.tenant,
             message,
         },
         total,
@@ -621,9 +640,14 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), WireError> {
 // ---------------------------------------------------------------- stream
 
 /// Write one frame to `w` and flush it.
-pub fn write_frame(w: &mut impl Write, request_id: u64, message: &Message) -> io::Result<()> {
+pub fn write_frame(
+    w: &mut impl Write,
+    request_id: u64,
+    tenant: u32,
+    message: &Message,
+) -> io::Result<()> {
     let mut buf = Vec::with_capacity(HEADER_LEN + 64);
-    encode_frame(request_id, message, &mut buf);
+    encode_frame(request_id, tenant, message, &mut buf);
     w.write_all(&buf)?;
     w.flush()
 }
@@ -643,12 +667,13 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     let h = decode_header(&header)?;
     let mut payload = vec![0u8; h.payload_len as usize];
     r.read_exact(&mut payload)?;
-    if frame_checksum(&header[2..16], &payload) != h.checksum {
+    if frame_checksum(&header[2..20], &payload) != h.checksum {
         return Err(WireError::Checksum.into());
     }
     let message = decode_payload(h.msg_id, &payload)?;
     Ok(Some(Frame {
         request_id: h.request_id,
+        tenant: h.tenant,
         message,
     }))
 }
@@ -723,12 +748,13 @@ pub fn read_frame_until(
     if !fill(&mut payload)? {
         return Ok(None);
     }
-    if frame_checksum(&header[2..16], &payload) != h.checksum {
+    if frame_checksum(&header[2..20], &payload) != h.checksum {
         return Err(WireError::Checksum.into());
     }
     let message = decode_payload(h.msg_id, &payload)?;
     Ok(Some(Frame {
         request_id: h.request_id,
+        tenant: h.tenant,
         message,
     }))
 }
@@ -738,16 +764,19 @@ mod tests {
     use super::*;
 
     fn round_trip(id: u64, message: Message) {
+        let tenant = (id as u32).wrapping_mul(3); // vary the tenant field too
         let mut buf = Vec::new();
-        encode_frame(id, &message, &mut buf);
+        encode_frame(id, tenant, &message, &mut buf);
         let (frame, used) = decode_frame(&buf).expect("decode");
         assert_eq!(used, buf.len());
         assert_eq!(frame.request_id, id);
+        assert_eq!(frame.tenant, tenant);
         assert_eq!(frame.message, message);
         // Stream path agrees with the slice path.
         let mut r = &buf[..];
         let streamed = read_frame(&mut r).unwrap().unwrap();
         assert_eq!(streamed.message, frame.message);
+        assert_eq!(streamed.tenant, tenant);
         assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
     }
 
@@ -817,7 +846,7 @@ mod tests {
             data: weird.clone(),
         }));
         let mut buf = Vec::new();
-        encode_frame(1, &msg, &mut buf);
+        encode_frame(1, 0, &msg, &mut buf);
         let (frame, _) = decode_frame(&buf).unwrap();
         let Message::Reply(Reply::Embedding(e)) = frame.message else {
             panic!("wrong message");
@@ -829,7 +858,8 @@ mod tests {
 
     #[test]
     fn stats_reply_round_trips_exactly() {
-        let stats = ServeStats {
+        let stats = crate::stats::ServeStats {
+            tenant: 2,
             epoch: 12,
             num_shards: 4,
             events_submitted: 1000,
@@ -851,14 +881,26 @@ mod tests {
             blocks_refactored: 3,
             timings: Default::default(),
         };
-        round_trip(11, Message::Reply(Reply::Stats(stats)));
+        let reply = StatsReply {
+            tenant: stats,
+            host: crate::stats::HostStats {
+                tenants: 3,
+                batches_recorded: 12,
+                epoch: 11,
+                events_submitted: 3000,
+                events_applied: 2700,
+                events_coalesced: 240,
+                events_pending: 60,
+            },
+        };
+        round_trip(11, Message::Reply(Reply::Stats(Box::new(reply))));
     }
 
     #[test]
     fn oversized_frame_rejected_from_header() {
         let mut buf = Vec::new();
-        encode_frame(1, &Message::Request(Request::Ping), &mut buf);
-        buf[12..16].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        encode_frame(1, 0, &Message::Request(Request::Ping), &mut buf);
+        buf[16..20].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         assert_eq!(
             decode_frame(&buf),
             Err(WireError::Oversized(MAX_PAYLOAD + 1))
@@ -870,6 +912,7 @@ mod tests {
         let mut buf = Vec::new();
         encode_frame(
             1,
+            0,
             &Message::Request(Request::GetRows(vec![1, 2, 3])),
             &mut buf,
         );
@@ -890,16 +933,48 @@ mod tests {
     }
 
     #[test]
+    fn old_version_frames_rejected() {
+        // A v1 peer stamps version 1 and uses the narrower 24-byte header.
+        // Whatever follows the version byte, the v2 decoder must refuse the
+        // frame from the header alone — downgrade fails closed.
+        let mut buf = Vec::new();
+        encode_frame(9, 3, &Message::Request(Request::Flush), &mut buf);
+        buf[2] = 1;
+        assert_eq!(decode_frame(&buf), Err(WireError::BadVersion(1)));
+        // Same on the stream path.
+        let mut r = &buf[..];
+        let err = read_frame(&mut r).expect_err("v1 frame accepted");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn tenant_byte_flips_break_the_checksum() {
+        // The tenant field sits inside the checksummed range: a flipped
+        // tenant id cannot silently reroute a request.
+        let mut buf = Vec::new();
+        encode_frame(4, 0x0102_0304, &Message::Request(Request::Flush), &mut buf);
+        for byte in 12..16 {
+            let mut bad = buf.clone();
+            bad[byte] ^= 0x10;
+            assert_eq!(
+                decode_frame(&bad),
+                Err(WireError::Checksum),
+                "tenant byte {byte} flip undetected"
+            );
+        }
+    }
+
+    #[test]
     fn count_larger_than_payload_rejected_before_allocation() {
         // Hand-build a GetRows frame whose count field claims 2^31 nodes
         // but whose payload holds none: must fail on the count check.
         let mut buf = Vec::new();
-        encode_frame(1, &Message::Request(Request::GetRows(vec![])), &mut buf);
+        encode_frame(1, 0, &Message::Request(Request::GetRows(vec![])), &mut buf);
         // Rewrite the payload count (first 4 payload bytes)…
         buf[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         // …and fix the checksum so the count check itself is reached.
-        let crc = frame_checksum(&buf[2..16], &buf[HEADER_LEN..]);
-        buf[16..24].copy_from_slice(&crc.to_le_bytes());
+        let crc = frame_checksum(&buf[2..20], &buf[HEADER_LEN..]);
+        buf[20..28].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(
             decode_frame(&buf),
             Err(WireError::Malformed("count exceeds payload"))
@@ -909,14 +984,14 @@ mod tests {
     #[test]
     fn trailing_bytes_rejected() {
         let mut buf = Vec::new();
-        encode_frame(1, &Message::Request(Request::Ping), &mut buf);
+        encode_frame(1, 0, &Message::Request(Request::Ping), &mut buf);
         // Grow the payload by one byte and re-stamp length + checksum: the
         // frame is well-formed at the frame layer but the Ping decoder must
         // reject the leftover byte.
         buf.push(0xAB);
-        buf[12..16].copy_from_slice(&1u32.to_le_bytes());
-        let crc = frame_checksum(&buf[2..16], &buf[HEADER_LEN..]);
-        buf[16..24].copy_from_slice(&crc.to_le_bytes());
+        buf[16..20].copy_from_slice(&1u32.to_le_bytes());
+        let crc = frame_checksum(&buf[2..20], &buf[HEADER_LEN..]);
+        buf[20..28].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(
             decode_frame(&buf),
             Err(WireError::Malformed("trailing bytes after payload"))
@@ -926,12 +1001,18 @@ mod tests {
     #[test]
     fn concatenated_frames_decode_in_sequence() {
         let mut buf = Vec::new();
-        encode_frame(1, &Message::Request(Request::Ping), &mut buf);
-        encode_frame(2, &Message::Reply(Reply::FlushAck { epoch: 5 }), &mut buf);
+        encode_frame(1, 0, &Message::Request(Request::Ping), &mut buf);
+        encode_frame(
+            2,
+            1,
+            &Message::Reply(Reply::FlushAck { epoch: 5 }),
+            &mut buf,
+        );
         let (f1, used) = decode_frame(&buf).unwrap();
         assert_eq!(f1.request_id, 1);
         let (f2, used2) = decode_frame(&buf[used..]).unwrap();
         assert_eq!(f2.request_id, 2);
+        assert_eq!(f2.tenant, 1);
         assert_eq!(used + used2, buf.len());
     }
 

@@ -1,17 +1,30 @@
 //! The serving front: a dedicated reactor thread that batches incoming
-//! edge events, drives the [`ShardedEngine`] on flush, and publishes each
-//! new epoch through an [`EpochCell`].
+//! edge events, drives every tenant's engine on flush, and publishes each
+//! tenant's new epoch through its own [`EpochCell`].
 //!
 //! ```text
-//!  submit()        ┌────────────────────────────────────────────┐
-//!  ───────────────▶│ rt::exec::EventLoop (one thread)           │
-//!   Mailbox<Msg>   │   pending ── count/deadline ──▶ flush:     │
-//!                  │     coalesce → FlushPipeline::submit_window│
-//!                  │       stage (pool) ∥ commit of window k−1  │
-//!                  │     → EpochCell::store(EpochSnapshot)      │
-//!  reader() ◀──────│                                            │
-//!   Arc swap load  └────────────────────────────────────────────┘
+//!  submit_batch_to(tenant)  ┌──────────────────────────────────────────────┐
+//!  ────────────────────────▶│ rt::exec::EventLoop (one thread)             │
+//!   Mailbox<Msg>            │   pending ── count/deadline ──▶ flush:       │
+//!   (per-tenant quota       │     coalesce (shared scratch, per-tenant     │
+//!    checked at admission)  │       applied/coalesced attribution)         │
+//!                           │     GraphIngest::record — ONCE per window    │
+//!                           │     round-robin over tenants:                │
+//!                           │       FlushPipeline::submit_recorded         │
+//!                           │         stage (pool) ∥ that tenant's commit  │
+//!                           │     → tenant EpochCell::store(EpochSnapshot) │
+//!  reader_for(tenant) ◀─────│                                              │
+//!   Arc swap load           └──────────────────────────────────────────────┘
 //! ```
+//!
+//! The edge stream is **global**: every flushed window is recorded on the
+//! shared graph exactly once and replayed into every tenant's shards (the
+//! shared graph demands it — a tenant that skipped a window would diverge
+//! from the graph its PPR states are defined over). Submissions are
+//! tenant-*tagged* for admission control and accounting: the per-tenant
+//! `submitted/applied/coalesced` counters attribute each event of a window
+//! to its submitting tenant, so `submitted = applied + coalesced + pending`
+//! holds per tenant and the host rollup sums to the global stream.
 //!
 //! A flush fires when the pending buffer reaches
 //! [`ServeConfig::flush_max_events`] **or** when the oldest pending event
@@ -20,58 +33,113 @@
 //! fully decoupled: [`EmbeddingReader::snapshot`] is an `Arc` clone under
 //! a nanoseconds-scale read lock and never waits on a flush.
 //!
-//! With [`ServeConfig::pipeline_depth`]` = 1`, flushes run through the
-//! two-stage [`FlushPipeline`]: the reactor stages each window (graph +
-//! PPR replay) while the previous window's Tree-SVD commit is still in
-//! flight on a background courier, and a short poll timer publishes the
-//! committed epoch as soon as it lands. `flush_sync` and `shutdown` drain
-//! the pipeline first, so their epoch/engine answers are exact in either
-//! mode, and published embeddings are bitwise identical at any depth.
+//! **Fairness:** each flush walks the tenants starting from a cursor that
+//! rotates by one per flush, so no tenant permanently stages first (first
+//! stager pays the cold pool) or last (last commit publishes latest). With
+//! [`ServeConfig::pipeline_depth`]` = 1` every tenant keeps at most one
+//! commit in flight on its own background courier — so with N tenants up
+//! to N commits overlap the staging of later tenants — and a short poll
+//! timer publishes committed epochs as they land. `flush_sync` and
+//! `shutdown` drain every tenant first, so their answers are exact in
+//! either mode, and published embeddings are bitwise identical at any
+//! depth.
 
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tsvd_graph::EdgeEvent;
+use tsvd_graph::{CoalesceScratch, EdgeEvent};
 use tsvd_rt::exec::{Event, EventLoop, Flow, Mailbox, Timers};
 
 use crate::config::ServeConfig;
 use crate::engine::ShardedEngine;
 use crate::flush::{CommitOutcome, FlushPipeline};
+use crate::ingest::GraphIngest;
 use crate::snapshot::{EpochCell, EpochSnapshot};
-use crate::stats::ServeStats;
+use crate::stats::{HostStats, ServeStats, StatsReply};
+use crate::tenant::{TenantEngine, TenantHost, TenantId};
+
+/// Tenant id a single-engine server registers its engine under, and the id
+/// the tenant-unaware handle methods route to.
+pub const DEFAULT_TENANT: TenantId = 0;
 
 /// Timer key for the deadline-triggered flush.
 const FLUSH_TIMER: u64 = 1;
 
-/// Timer key for polling the in-flight pipelined commit.
+/// Timer key for polling in-flight pipelined commits.
 const COMMIT_TIMER: u64 = 2;
 
-/// Poll cadence for the in-flight commit. Short enough to not add
-/// meaningful publish latency on top of a multi-millisecond refresh; the
-/// armed timer also keeps the reactor alive until the commit lands.
+/// Poll cadence for in-flight commits. Short enough to not add meaningful
+/// publish latency on top of a multi-millisecond refresh; the armed timer
+/// also keeps the reactor alive until every commit lands.
 const COMMIT_POLL: Duration = Duration::from_micros(500);
 
 /// Messages understood by the serving reactor.
 enum Msg {
-    /// New events for the pending window.
-    Events(Vec<EdgeEvent>),
-    /// Flush whatever is pending now; ack with the resulting epoch.
+    /// New events for the pending window, tagged with the submitting
+    /// tenant's slot (for per-tenant attribution — the window itself is
+    /// global).
+    Events(usize, Vec<EdgeEvent>),
+    /// Flush whatever is pending now; ack with the epoch watermark every
+    /// tenant has then published.
     Flush(mpsc::Sender<u64>),
-    /// Flush, stop the loop, and hand the engine back.
-    Shutdown(mpsc::Sender<ShardedEngine>),
+    /// Flush, stop the loop, and hand the host back.
+    Shutdown(mpsc::Sender<TenantHost>),
 }
 
-/// Cross-thread counters shared by the reactor and every handle/reader.
+/// Why a submission was rejected at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No tenant with this id is registered on the server.
+    UnknownTenant(TenantId),
+    /// The tenant's submitted-but-unapplied backlog would exceed
+    /// [`ServeConfig::tenant_quota`]. Back off and retry after a flush;
+    /// other tenants are unaffected.
+    QuotaExceeded {
+        /// The rejected tenant.
+        tenant: TenantId,
+        /// Its backlog at admission time.
+        pending: u64,
+        /// The configured quota.
+        quota: u64,
+    },
+    /// The server thread is gone.
+    Closed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownTenant(id) => write!(f, "unknown tenant {id}"),
+            SubmitError::QuotaExceeded {
+                tenant,
+                pending,
+                quota,
+            } => write!(
+                f,
+                "tenant {tenant} quota exceeded ({pending} pending ≥ quota {quota})"
+            ),
+            SubmitError::Closed => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Cross-thread counters shared by the reactor and every handle/reader,
+/// one set per tenant.
 #[derive(Default)]
 struct Counters {
-    /// Events accepted by `submit`/`submit_batch` (may still be in flight).
+    /// Events accepted by `submit`/`submit_batch` for this tenant (may
+    /// still be in flight).
     submitted: AtomicU64,
-    /// Events actually applied by the engine (post-coalesce).
+    /// Window events attributed to this tenant and applied (the tenant's
+    /// submissions that survived coalescing).
     applied: AtomicU64,
-    /// Events dropped by last-write-wins coalescing.
+    /// This tenant's submissions dropped by last-write-wins coalescing.
     coalesced: AtomicU64,
     /// Flushes executed (== epochs published since start).
     batches: AtomicU64,
@@ -95,34 +163,43 @@ struct Counters {
     blocks_refactored: AtomicU64,
 }
 
-/// Per staged window bookkeeping the reactor needs when the window's
-/// commit outcome surfaces (possibly one flush later, in pipelined mode).
+/// Host-level counters (shared-ingest scope, not per tenant).
+#[derive(Default)]
+struct HostCounters {
+    /// Mirror of `GraphIngest::batches_recorded`, published per flush.
+    batches_recorded: AtomicU64,
+}
+
+/// Per staged window bookkeeping a tenant's reactor state needs when the
+/// window's commit outcome surfaces (possibly one flush later, in
+/// pipelined mode).
 struct WindowMeta {
     /// When the flush that staged this window was triggered.
     t_trigger: Instant,
-    /// Events dropped by last-write-wins coalescing of this window.
+    /// Window events attributed to this tenant (its surviving submissions).
+    applied: u64,
+    /// This tenant's submissions dropped by coalescing of this window.
     coalesced: u64,
 }
 
-/// Reactor-side state (single-threaded: no locks needed).
-struct Inner {
+/// Reactor-side per-tenant state (single-threaded: no locks needed).
+struct TenantState {
+    id: TenantId,
     pipe: FlushPipeline,
-    cfg: ServeConfig,
-    pending: Vec<EdgeEvent>,
     /// Metadata of staged-but-unpublished windows, in staging order.
     /// Commits complete in the same order, so pairing is a pop_front.
-    window_meta: VecDeque<WindowMeta>,
+    meta: VecDeque<WindowMeta>,
     cell: Arc<EpochCell>,
     counters: Arc<Counters>,
     sources: Arc<Vec<u32>>,
     index: Arc<HashMap<u32, usize>>,
 }
 
-impl Inner {
-    /// Account for and publish one committed window.
+impl TenantState {
+    /// Account for and publish one committed window of this tenant.
     fn complete(&mut self, o: &CommitOutcome) {
         let meta = self
-            .window_meta
+            .meta
             .pop_front()
             .expect("commit outcome without staged-window metadata");
         let nanos = meta.t_trigger.elapsed().as_nanos() as u64;
@@ -134,7 +211,7 @@ impl Inner {
         // before `last` is overwritten so `max ≥ last` holds for any
         // interleaved reader.
         let c = &self.counters;
-        c.applied.fetch_add(o.num_events as u64, Ordering::Release);
+        c.applied.fetch_add(meta.applied, Ordering::Release);
         c.coalesced.fetch_add(meta.coalesced, Ordering::Release);
         c.flush_nanos_total.fetch_add(nanos, Ordering::Release);
         c.flush_nanos_max.fetch_max(nanos, Ordering::Release);
@@ -160,23 +237,51 @@ impl Inner {
             o.timings,
         ));
     }
+}
 
-    /// Reconcile the in-flight gauge and the commit poll timer with the
-    /// pipeline state.
+/// Reactor-side state.
+struct Inner {
+    ingest: GraphIngest,
+    tenants: Vec<TenantState>,
+    cfg: ServeConfig,
+    /// The open (pre-coalesce) global window...
+    pending: Vec<EdgeEvent>,
+    /// ...and the submitting tenant's slot of each pending event.
+    pending_tags: Vec<u32>,
+    /// Coalesce workspace, reused across flushes (the `PushScratch` fix
+    /// applied to the window map).
+    scratch: CoalesceScratch,
+    keep: Vec<bool>,
+    /// Round-robin cursor: which tenant stages first this flush.
+    rr: usize,
+    host: Arc<HostCounters>,
+}
+
+impl Inner {
+    /// Reconcile the in-flight gauges and the commit poll timer with every
+    /// tenant's pipeline state.
     fn sync_poll(&mut self, timers: &mut Timers) {
-        if self.pipe.in_flight() {
-            self.counters.inflight.store(1, Ordering::Release);
+        let mut any = false;
+        for t in &mut self.tenants {
+            let inflight = t.pipe.in_flight();
+            t.counters
+                .inflight
+                .store(inflight as u64, Ordering::Release);
+            any |= inflight;
+        }
+        if any {
             if !timers.is_armed(COMMIT_TIMER) {
                 timers.arm_after(COMMIT_TIMER, COMMIT_POLL);
             }
         } else {
-            self.counters.inflight.store(0, Ordering::Release);
             timers.cancel(COMMIT_TIMER);
         }
     }
 
-    /// Stage the pending window (if any) through the pipeline and publish
-    /// every window whose commit completed during this call.
+    /// Flush the pending window: coalesce it (attributing survivors and
+    /// drops to their submitting tenants), record it **once** on the
+    /// shared graph, fan the recording out to every tenant round-robin,
+    /// and publish every window whose commit completed during this call.
     fn flush(&mut self, timers: &mut Timers) {
         timers.cancel(FLUSH_TIMER);
         if self.pending.is_empty() {
@@ -184,33 +289,86 @@ impl Inner {
         }
         let t0 = Instant::now();
         let raw = std::mem::take(&mut self.pending);
-        let window = if self.cfg.coalesce {
-            tsvd_graph::coalesce(&raw)
+        let tags = std::mem::take(&mut self.pending_tags);
+        let nt = self.tenants.len();
+        let mut applied = vec![0u64; nt];
+        let mut coalesced = vec![0u64; nt];
+        let window: Vec<EdgeEvent> = if self.cfg.coalesce {
+            let survivors = self.scratch.mark_survivors(&raw, &mut self.keep);
+            let mut w = Vec::with_capacity(survivors);
+            for (i, e) in raw.iter().enumerate() {
+                if self.keep[i] {
+                    applied[tags[i] as usize] += 1;
+                    w.push(*e);
+                } else {
+                    coalesced[tags[i] as usize] += 1;
+                }
+            }
+            w
         } else {
-            raw.clone()
+            for &tag in &tags {
+                applied[tag as usize] += 1;
+            }
+            raw
         };
-        self.window_meta.push_back(WindowMeta {
-            t_trigger: t0,
-            coalesced: (raw.len() - window.len()) as u64,
-        });
-        for o in self.pipe.submit_window(&window) {
-            self.complete(&o);
+        // Record once — the replay fan-out below never touches the graph.
+        let rec = self.ingest.record(&window);
+        self.host
+            .batches_recorded
+            .store(self.ingest.batches_recorded(), Ordering::Release);
+        // Fairness: rotate which tenant stages first (and thus whose
+        // in-flight commit overlaps every later tenant's stage).
+        for k in 0..nt {
+            let slot = (self.rr + k) % nt;
+            let t = &mut self.tenants[slot];
+            t.meta.push_back(WindowMeta {
+                t_trigger: t0,
+                applied: applied[slot],
+                coalesced: coalesced[slot],
+            });
+            for o in t.pipe.submit_recorded(self.ingest.graph(), &rec, &window) {
+                t.complete(&o);
+            }
         }
+        self.rr = (self.rr + 1) % nt.max(1);
         self.sync_poll(timers);
     }
 
-    /// Block until no window is in flight, publishing whatever completes.
-    /// After this, the served epoch reflects every flushed window.
-    fn drain(&mut self) {
-        while let Some(o) = self.pipe.drain() {
-            self.complete(&o);
+    /// Poll every tenant's in-flight commit, publishing whatever landed.
+    fn poll_commits(&mut self) {
+        for t in &mut self.tenants {
+            if let Some(o) = t.pipe.try_complete() {
+                t.complete(&o);
+            }
         }
     }
 
-    fn on_events(&mut self, timers: &mut Timers, events: Vec<EdgeEvent>) {
+    /// Block until no tenant has a window in flight, publishing whatever
+    /// completes. After this, every tenant's served epoch reflects every
+    /// flushed window.
+    fn drain(&mut self) {
+        for t in &mut self.tenants {
+            while let Some(o) = t.pipe.drain() {
+                t.complete(&o);
+            }
+        }
+    }
+
+    /// The epoch watermark every tenant has published.
+    fn min_epoch(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| t.cell.epoch())
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn on_events(&mut self, timers: &mut Timers, slot: usize, events: Vec<EdgeEvent>) {
         if events.is_empty() {
             return;
         }
+        self.pending_tags
+            .resize(self.pending_tags.len() + events.len(), slot as u32);
         self.pending.extend(events);
         if self.pending.len() >= self.cfg.flush_max_events {
             self.flush(timers);
@@ -222,62 +380,106 @@ impl Inner {
     }
 }
 
-/// A running embedding server: owns a [`ShardedEngine`] behind a reactor
-/// thread. Construct with [`EmbeddingServer::start`]; interact through the
-/// returned [`ServerHandle`].
+/// A running embedding server: owns a [`TenantHost`] behind a reactor
+/// thread. Construct with [`EmbeddingServer::start`] (one engine, tenant
+/// [`DEFAULT_TENANT`]) or [`EmbeddingServer::start_host`] (N registered
+/// tenants); interact through the returned [`ServerHandle`].
 pub struct EmbeddingServer;
 
+/// Handle-side per-tenant shared state.
+struct TenantHandle {
+    id: TenantId,
+    cell: Arc<EpochCell>,
+    counters: Arc<Counters>,
+    num_shards: usize,
+}
+
 impl EmbeddingServer {
-    /// Spawn the reactor thread over `engine` and return its handle.
+    /// Spawn the reactor thread over a single engine (registered as tenant
+    /// [`DEFAULT_TENANT`]) and return its handle.
     pub fn start(engine: ShardedEngine, cfg: ServeConfig) -> ServerHandle {
+        Self::start_host(TenantHost::from_engine(engine, DEFAULT_TENANT), cfg)
+    }
+
+    /// Spawn the reactor thread over a host with at least one registered
+    /// tenant and return its handle.
+    pub fn start_host(host: TenantHost, cfg: ServeConfig) -> ServerHandle {
         cfg.validate();
-        let sources = Arc::new(engine.sources().to_vec());
-        let index: Arc<HashMap<u32, usize>> =
-            Arc::new(sources.iter().enumerate().map(|(i, &v)| (v, i)).collect());
-        let counters = Arc::new(Counters::default());
-        let num_shards = engine.num_shards();
-        let inner = Inner {
-            cell: Arc::new(EpochCell::new(EpochSnapshot::new(
+        assert!(host.num_tenants() >= 1, "host has no tenants registered");
+        let (ingest, engines) = host.into_parts();
+        let mut tenants = Vec::with_capacity(engines.len());
+        let mut handles = Vec::with_capacity(engines.len());
+        let mut ids = HashMap::new();
+        for (slot, t) in engines.into_iter().enumerate() {
+            let TenantEngine { id, front, back } = t;
+            let sources = Arc::new(front.sources().to_vec());
+            let index: Arc<HashMap<u32, usize>> =
+                Arc::new(sources.iter().enumerate().map(|(i, &v)| (v, i)).collect());
+            let counters = Arc::new(Counters::default());
+            let cell = Arc::new(EpochCell::new(EpochSnapshot::new(
                 // Epoch 0 (the initial factorisation) is served immediately.
-                engine.tagged(),
+                back.tagged(),
                 sources.clone(),
                 index.clone(),
-                engine.events_applied(),
-                engine.timings(),
-            ))),
-            pipe: FlushPipeline::new(engine, cfg.pipeline_depth),
+                back.events_applied(),
+                back.timings(),
+            )));
+            ids.insert(id, slot);
+            handles.push(TenantHandle {
+                id,
+                cell: cell.clone(),
+                counters: counters.clone(),
+                num_shards: front.num_shards(),
+            });
+            tenants.push(TenantState {
+                id,
+                pipe: FlushPipeline::for_tenant(front, back, cfg.pipeline_depth),
+                meta: VecDeque::new(),
+                cell,
+                counters,
+                sources,
+                index,
+            });
+        }
+        let host_counters = Arc::new(HostCounters::default());
+        host_counters
+            .batches_recorded
+            .store(ingest.batches_recorded(), Ordering::Release);
+        let inner = Inner {
+            ingest,
+            tenants,
             cfg,
             pending: Vec::new(),
-            window_meta: VecDeque::new(),
-            counters: counters.clone(),
-            sources,
-            index,
+            pending_tags: Vec::new(),
+            scratch: CoalesceScratch::new(),
+            keep: Vec::new(),
+            rr: 0,
+            host: host_counters.clone(),
         };
-        let cell = inner.cell.clone();
         let (mailbox, ev) = EventLoop::new();
         let join = std::thread::Builder::new()
             .name("tsvd-serve".into())
             .spawn(move || {
                 let mut inner = inner;
-                let mut engine_out: Option<mpsc::Sender<ShardedEngine>> = None;
+                let mut host_out: Option<mpsc::Sender<TenantHost>> = None;
                 ev.run(|timers, event| match event {
-                    Event::Message(Msg::Events(events)) => {
-                        inner.on_events(timers, events);
+                    Event::Message(Msg::Events(slot, events)) => {
+                        inner.on_events(timers, slot, events);
                         Flow::Continue
                     }
                     Event::Message(Msg::Flush(ack)) => {
                         // Drain before acking: flush_sync promises the
-                        // returned epoch covers everything this handle
-                        // submitted, even a window still in flight.
+                        // returned watermark covers everything this handle
+                        // submitted, even windows still in flight.
                         inner.flush(timers);
                         inner.drain();
                         inner.sync_poll(timers);
-                        let _ = ack.send(inner.cell.epoch());
+                        let _ = ack.send(inner.min_epoch());
                         Flow::Continue
                     }
                     Event::Message(Msg::Shutdown(tx)) => {
                         inner.flush(timers);
-                        engine_out = Some(tx);
+                        host_out = Some(tx);
                         Flow::Stop
                     }
                     Event::Timer(FLUSH_TIMER) => {
@@ -285,42 +487,56 @@ impl EmbeddingServer {
                         Flow::Continue
                     }
                     Event::Timer(COMMIT_TIMER) => {
-                        if let Some(o) = inner.pipe.try_complete() {
-                            inner.complete(&o);
-                        }
+                        inner.poll_commits();
                         inner.sync_poll(timers);
                         Flow::Continue
                     }
                     Event::Timer(_) => Flow::Continue,
                 });
-                // Publish any window still in flight (the shutdown-with-
-                // staged-window drain), then hand the engine back whole.
+                // Publish any windows still in flight (the shutdown-with-
+                // staged-window drain), then hand the host back whole.
                 inner.drain();
-                if let Some(tx) = engine_out {
-                    let (engine, last) = inner.pipe.into_engine();
-                    debug_assert!(last.is_none(), "drained pipeline had an outcome");
-                    let _ = tx.send(engine);
+                if let Some(tx) = host_out {
+                    let engines = inner
+                        .tenants
+                        .into_iter()
+                        .map(|t| {
+                            let (front, back, last) = t.pipe.into_tenant_parts();
+                            debug_assert!(last.is_none(), "drained pipeline had an outcome");
+                            TenantEngine {
+                                id: t.id,
+                                front,
+                                back,
+                            }
+                        })
+                        .collect();
+                    let _ = tx.send(TenantHost::from_parts(inner.ingest, engines));
                 }
             })
             .expect("spawn tsvd-serve reactor");
         ServerHandle {
             mailbox,
-            cell,
-            counters,
+            tenants: handles,
+            ids,
+            host: host_counters,
             cfg,
-            num_shards,
             join,
         }
     }
 }
 
 /// Client handle to a running [`EmbeddingServer`].
+///
+/// Tenant-unaware methods ([`submit_batch`](Self::submit_batch),
+/// [`reader`](Self::reader), [`stats`](Self::stats), ...) route to the
+/// server's first tenant — [`DEFAULT_TENANT`] for a server started from a
+/// single engine — so single-tenant callers never name tenants.
 pub struct ServerHandle {
     mailbox: Mailbox<Msg>,
-    cell: Arc<EpochCell>,
-    counters: Arc<Counters>,
+    tenants: Vec<TenantHandle>,
+    ids: HashMap<TenantId, usize>,
+    host: Arc<HostCounters>,
     cfg: ServeConfig,
-    num_shards: usize,
     join: JoinHandle<()>,
 }
 
@@ -330,45 +546,100 @@ impl ServerHandle {
         self.submit_batch(vec![event])
     }
 
-    /// Submit a batch of events (one mailbox message; the server may split
-    /// or merge it across flush windows).
+    /// Submit a batch of events to the first tenant (one mailbox message;
+    /// the server may split or merge it across flush windows).
     pub fn submit_batch(&self, events: Vec<EdgeEvent>) -> bool {
+        self.submit_batch_to(self.tenants[0].id, events).is_ok()
+    }
+
+    /// Submit a batch of events on behalf of `tenant`, enforcing its
+    /// admission quota (see [`ServeConfig::tenant_quota`]).
+    ///
+    /// The quota check is advisory under concurrent submitters (two racing
+    /// admissions may overshoot by one batch), which is fine for a
+    /// backpressure signal — the reactor itself never rejects.
+    pub fn submit_batch_to(
+        &self,
+        tenant: TenantId,
+        events: Vec<EdgeEvent>,
+    ) -> Result<(), SubmitError> {
+        let &slot = self
+            .ids
+            .get(&tenant)
+            .ok_or(SubmitError::UnknownTenant(tenant))?;
         if events.is_empty() {
-            return true;
+            return Ok(());
         }
         let n = events.len() as u64;
+        let c = &self.tenants[slot].counters;
+        if let Some(quota) = self.cfg.quota() {
+            let submitted = c.submitted.load(Ordering::Acquire);
+            let applied = c.applied.load(Ordering::Acquire);
+            let coalesced = c.coalesced.load(Ordering::Acquire);
+            let pending = submitted.saturating_sub(applied + coalesced);
+            if pending + n > quota {
+                return Err(SubmitError::QuotaExceeded {
+                    tenant,
+                    pending,
+                    quota,
+                });
+            }
+        }
         // Count *before* handing the batch to the reactor: the reactor may
         // flush (and bump `applied`) before this thread runs again, and
         // `submitted ≥ applied + coalesced` must hold for every observer.
         // The increment is undone on the (server already gone) failure path.
-        self.counters.submitted.fetch_add(n, Ordering::Release);
-        let ok = self.mailbox.send(Msg::Events(events));
-        if !ok {
-            self.counters.submitted.fetch_sub(n, Ordering::Release);
+        c.submitted.fetch_add(n, Ordering::Release);
+        if self.mailbox.send(Msg::Events(slot, events)) {
+            Ok(())
+        } else {
+            c.submitted.fetch_sub(n, Ordering::Release);
+            Err(SubmitError::Closed)
         }
-        ok
     }
 
     /// Force a flush of everything submitted so far (from this handle) and
-    /// block until it is applied; returns the epoch then being served.
+    /// block until every tenant applied it; returns the epoch watermark
+    /// then being served by all tenants.
     pub fn flush_sync(&self) -> u64 {
         let (tx, rx) = mpsc::channel();
         if !self.mailbox.send(Msg::Flush(tx)) {
-            return self.cell.epoch();
+            return self.min_epoch();
         }
-        rx.recv().unwrap_or_else(|_| self.cell.epoch())
+        rx.recv().unwrap_or_else(|_| self.min_epoch())
     }
 
-    /// A cheap, cloneable read-side handle (shares the epoch cell).
+    fn min_epoch(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| t.cell.epoch())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// A cheap, cloneable read-side handle on the first tenant.
     pub fn reader(&self) -> EmbeddingReader {
         EmbeddingReader {
-            cell: self.cell.clone(),
+            cell: self.tenants[0].cell.clone(),
         }
     }
 
-    /// The currently served epoch.
+    /// A read-side handle on `tenant` (`None` if unknown).
+    pub fn reader_for(&self, tenant: TenantId) -> Option<EmbeddingReader> {
+        let &slot = self.ids.get(&tenant)?;
+        Some(EmbeddingReader {
+            cell: self.tenants[slot].cell.clone(),
+        })
+    }
+
+    /// Registered tenant ids, in registration order.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants.iter().map(|t| t.id).collect()
+    }
+
+    /// The first tenant's currently served epoch.
     pub fn epoch(&self) -> u64 {
-        self.cell.epoch()
+        self.tenants[0].cell.epoch()
     }
 
     /// The configuration the server was started with.
@@ -376,7 +647,47 @@ impl ServerHandle {
         self.cfg
     }
 
-    /// A point-in-time counter snapshot.
+    /// A point-in-time counter snapshot of the first tenant.
+    pub fn stats(&self) -> ServeStats {
+        self.stats_of(&self.tenants[0])
+    }
+
+    /// A point-in-time counter snapshot of `tenant` (`None` if unknown).
+    pub fn stats_for(&self, tenant: TenantId) -> Option<ServeStats> {
+        let &slot = self.ids.get(&tenant)?;
+        Some(self.stats_of(&self.tenants[slot]))
+    }
+
+    /// The host-level rollup across every tenant.
+    ///
+    /// Per-tenant snapshots are taken first and the shared
+    /// `batches_recorded` mirror last: the reactor publishes the mirror
+    /// before any tenant commits the window, so the rollup never shows an
+    /// epoch the recording counter has not covered.
+    pub fn host_stats(&self) -> HostStats {
+        let per: Vec<ServeStats> = self.tenants.iter().map(|t| self.stats_of(t)).collect();
+        let batches_recorded = self.host.batches_recorded.load(Ordering::Acquire);
+        HostStats {
+            tenants: per.len(),
+            batches_recorded,
+            epoch: per.iter().map(|s| s.epoch).min().unwrap_or(0),
+            events_submitted: per.iter().map(|s| s.events_submitted).sum(),
+            events_applied: per.iter().map(|s| s.events_applied).sum(),
+            events_coalesced: per.iter().map(|s| s.events_coalesced).sum(),
+            events_pending: per.iter().map(|s| s.events_pending).sum(),
+        }
+    }
+
+    /// The wire `Stats` answer for `tenant`: its stats plus the host
+    /// rollup (`None` if the tenant is unknown).
+    pub fn stats_reply(&self, tenant: TenantId) -> Option<StatsReply> {
+        Some(StatsReply {
+            tenant: self.stats_for(tenant)?,
+            host: self.host_stats(),
+        })
+    }
+
+    /// Counter snapshot of one tenant.
     ///
     /// Read order is load-bearing: the epoch snapshot is taken *first*
     /// (the flush path updates counters before publishing, so counters can
@@ -384,9 +695,9 @@ impl ServerHandle {
     /// is read *last* with `Acquire` (the submit path counts before the
     /// mailbox send that happens-before `applied`/`coalesced` increments,
     /// so reading it after them keeps `submitted ≥ applied + coalesced`).
-    pub fn stats(&self) -> ServeStats {
-        let c = &self.counters;
-        let snap = self.cell.load();
+    fn stats_of(&self, t: &TenantHandle) -> ServeStats {
+        let c = &t.counters;
+        let snap = t.cell.load();
         let batches = c.batches.load(Ordering::Acquire);
         let applied = c.applied.load(Ordering::Acquire);
         let coalesced = c.coalesced.load(Ordering::Acquire);
@@ -404,8 +715,9 @@ impl ServerHandle {
         let blocks_incremental = c.blocks_incremental.load(Ordering::Acquire);
         let blocks_refactored = c.blocks_refactored.load(Ordering::Acquire);
         ServeStats {
+            tenant: t.id,
             epoch: snap.epoch(),
-            num_shards: self.num_shards,
+            num_shards: t.num_shards,
             events_submitted: submitted,
             events_applied: applied,
             events_coalesced: coalesced,
@@ -431,20 +743,26 @@ impl ServerHandle {
         }
     }
 
-    /// Flush, stop the reactor, and take the engine back (e.g. to compare
-    /// against an offline replay, or to persist).
-    pub fn shutdown(self) -> ShardedEngine {
+    /// Flush, stop the reactor, and take the whole host back.
+    pub fn shutdown_host(self) -> TenantHost {
         let (tx, rx) = mpsc::channel();
         let sent = self.mailbox.send(Msg::Shutdown(tx));
         assert!(sent, "server thread already gone");
-        let engine = rx.recv().expect("server thread dropped the engine");
+        let host = rx.recv().expect("server thread dropped the host");
         self.join.join().expect("tsvd-serve reactor panicked");
-        engine
+        host
+    }
+
+    /// Flush, stop the reactor, and take the engine back (e.g. to compare
+    /// against an offline replay, or to persist). Single-tenant servers
+    /// only; multi-tenant hosts use [`shutdown_host`](Self::shutdown_host).
+    pub fn shutdown(self) -> ShardedEngine {
+        self.shutdown_host().into_single_engine()
     }
 }
 
-/// Read-only, cloneable view of the served embedding. Loading a snapshot
-/// never blocks on the writer; a held snapshot is immutable.
+/// Read-only, cloneable view of one tenant's served embedding. Loading a
+/// snapshot never blocks on the writer; a held snapshot is immutable.
 #[derive(Clone)]
 pub struct EmbeddingReader {
     cell: Arc<EpochCell>,
@@ -542,12 +860,14 @@ mod tests {
             "count trigger did not flush"
         );
         let stats = server.stats();
+        assert_eq!(stats.tenant, DEFAULT_TENANT);
         assert_eq!(stats.batches_flushed, 1);
         assert_eq!(stats.events_submitted, 4);
         assert_eq!(stats.events_applied + stats.events_coalesced, 4);
         assert_eq!(stats.events_pending, 0);
         let engine = server.shutdown();
         assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.batches_recorded(), 1);
     }
 
     #[test]
@@ -642,6 +962,61 @@ mod tests {
         // Old epoch stays alive and internally consistent after the swap.
         assert!(held0.verify());
         assert!(held1.verify());
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_tenant_rejected_at_admission() {
+        let (_, engine) = setup(1);
+        let server = EmbeddingServer::start(engine, ServeConfig::default());
+        let err = server
+            .submit_batch_to(99, vec![EdgeEvent::insert(0, 1)])
+            .expect_err("tenant 99 is not registered");
+        assert_eq!(err, SubmitError::UnknownTenant(99));
+        assert!(server.reader_for(99).is_none());
+        assert!(server.stats_for(99).is_none());
+        assert_eq!(server.tenant_ids(), vec![DEFAULT_TENANT]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn quota_backpressures_at_admission_and_releases_after_flush() {
+        let (_, engine) = setup(1);
+        let cfg = ServeConfig {
+            flush_max_events: 1_000_000,
+            flush_interval_ms: 60_000,
+            tenant_quota: 4,
+            ..Default::default()
+        };
+        let server = EmbeddingServer::start(engine, cfg);
+        let batch = |k: u32| vec![EdgeEvent::insert(10 + k, 20 + k), EdgeEvent::insert(11, 21)];
+        server.submit_batch_to(DEFAULT_TENANT, batch(0)).unwrap();
+        server.submit_batch_to(DEFAULT_TENANT, batch(1)).unwrap();
+        // 4 pending = quota: the next batch must be rejected, with the
+        // backlog reported.
+        match server.submit_batch_to(DEFAULT_TENANT, batch(2)) {
+            Err(SubmitError::QuotaExceeded {
+                tenant,
+                pending,
+                quota,
+            }) => {
+                assert_eq!(tenant, DEFAULT_TENANT);
+                assert_eq!(pending, 4);
+                assert_eq!(quota, 4);
+            }
+            other => panic!("expected quota rejection, got {other:?}"),
+        }
+        // Applying the backlog frees the quota.
+        server.flush_sync();
+        server.submit_batch_to(DEFAULT_TENANT, batch(2)).unwrap();
+        server.flush_sync();
+        let stats = server.stats();
+        assert_eq!(stats.events_submitted, 6);
+        assert_eq!(stats.events_pending, 0);
+        let host = server.host_stats();
+        assert_eq!(host.tenants, 1);
+        assert_eq!(host.events_submitted, 6);
+        assert_eq!(host.batches_recorded, 2);
         server.shutdown();
     }
 }

@@ -10,6 +10,8 @@ use tsvd_core::PipelineTimings;
 /// served epoch (in the mailbox or in the open flush window).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServeStats {
+    /// Tenant these statistics describe (`0` for a single-tenant server).
+    pub tenant: u32,
     /// Epoch currently being served (flushed batches since start).
     pub epoch: u64,
     /// Shard fan-out `R` of the engine behind the server.
@@ -60,6 +62,7 @@ pub struct ServeStats {
 }
 
 tsvd_rt::impl_json_struct!(ServeStats {
+    tenant,
     epoch,
     num_shards,
     events_submitted,
@@ -82,6 +85,52 @@ tsvd_rt::impl_json_struct!(ServeStats {
     timings
 });
 
+/// Host-level rollup across every tenant on a [`crate::TenantHost`]-backed
+/// server: the shared-ingest counters plus the sums of the per-tenant
+/// event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostStats {
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Edge batches recorded on the shared graph — the record-once
+    /// counter: equal to the number of flushed windows, not
+    /// `windows × tenants`.
+    pub batches_recorded: u64,
+    /// Minimum tenant epoch: the window watermark every tenant has
+    /// committed and published.
+    pub epoch: u64,
+    /// Sum of per-tenant `events_submitted`.
+    pub events_submitted: u64,
+    /// Sum of per-tenant `events_applied` (attributed survivors).
+    pub events_applied: u64,
+    /// Sum of per-tenant `events_coalesced`.
+    pub events_coalesced: u64,
+    /// Sum of per-tenant `events_pending`.
+    pub events_pending: u64,
+}
+
+tsvd_rt::impl_json_struct!(HostStats {
+    tenants,
+    batches_recorded,
+    epoch,
+    events_submitted,
+    events_applied,
+    events_coalesced,
+    events_pending
+});
+
+/// The wire `Stats` reply: the requesting tenant's [`ServeStats`] plus the
+/// [`HostStats`] rollup.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsReply {
+    /// Stats of the tenant the request was pinned to.
+    pub tenant: ServeStats,
+    /// Host-level rollup across all tenants.
+    pub host: HostStats,
+}
+
+tsvd_rt::impl_json_struct!(StatsReply { tenant, host });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +139,7 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let stats = ServeStats {
+            tenant: 3,
             epoch: 7,
             num_shards: 3,
             events_submitted: 100,
@@ -118,5 +168,28 @@ mod tests {
         };
         let j = Json::parse(&stats.to_json().to_string()).unwrap();
         assert_eq!(ServeStats::from_json(&j).unwrap(), stats);
+    }
+
+    #[test]
+    fn stats_reply_round_trips_with_host_rollup() {
+        let reply = StatsReply {
+            tenant: ServeStats {
+                tenant: 42,
+                epoch: 4,
+                events_submitted: 10,
+                ..Default::default()
+            },
+            host: HostStats {
+                tenants: 3,
+                batches_recorded: 4,
+                epoch: 4,
+                events_submitted: 30,
+                events_applied: 25,
+                events_coalesced: 5,
+                events_pending: 0,
+            },
+        };
+        let j = Json::parse(&reply.to_json().to_string()).unwrap();
+        assert_eq!(StatsReply::from_json(&j).unwrap(), reply);
     }
 }

@@ -1,0 +1,370 @@
+//! Multi-subset tenancy: one shared graph, N per-subset engines.
+//!
+//! A [`TenantHost`] owns the single [`GraphIngest`] and a set of tenants,
+//! each a (front, back) engine pair over its own subset `S_t` at its own
+//! shard count. The edge-event stream is global — every window is recorded
+//! on the shared graph **once** and the recording replayed into every
+//! tenant's PPR shards — so each tenant's published embedding stays
+//! bitwise-equal to an offline [`TreeSvdPipeline`](tsvd_core) replay of
+//! the same windows with that tenant's subset.
+//!
+//! The host is the synchronous, single-writer core; the batching reactor
+//! with fair cross-tenant scheduling lives in [`crate::server`]
+//! (`EmbeddingServer::start_host`).
+
+use std::fmt;
+
+use tsvd_core::{Embedding, PipelineTimings, TaggedEmbedding, TreeSvdConfig, UpdateStats};
+use tsvd_graph::{DynGraph, EdgeEvent};
+use tsvd_ppr::PprConfig;
+
+use crate::engine::{build_parts, EngineBack, EngineFront, ShardedEngine};
+use crate::ingest::GraphIngest;
+
+/// Identifies one tenant (subset) on a host — also the id carried in the
+/// wire frame header.
+pub type TenantId = u32;
+
+/// Typed registration failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantError {
+    /// The id is already registered; registering it again would silently
+    /// shadow (or double-replay into) the existing tenant's state.
+    DuplicateId(TenantId),
+}
+
+impl fmt::Display for TenantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenantError::DuplicateId(id) => write!(f, "tenant id {id} is already registered"),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {}
+
+pub(crate) struct TenantEngine {
+    pub(crate) id: TenantId,
+    pub(crate) front: EngineFront,
+    pub(crate) back: EngineBack,
+}
+
+/// One shared graph, N per-subset tenant engines (see module docs).
+pub struct TenantHost {
+    ingest: GraphIngest,
+    tenants: Vec<TenantEngine>,
+}
+
+impl TenantHost {
+    /// Start a host over (a clone of) `g` with no tenants registered.
+    pub fn new(g: &DynGraph) -> Self {
+        TenantHost {
+            ingest: GraphIngest::new(g),
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Wrap a standalone engine as a one-tenant host (its private ingest
+    /// becomes the shared one, so `batches_recorded` carries over).
+    pub fn from_engine(engine: ShardedEngine, id: TenantId) -> Self {
+        let (ingest, front, back) = engine.into_parts();
+        TenantHost {
+            ingest,
+            tenants: vec![TenantEngine { id, front, back }],
+        }
+    }
+
+    /// Register tenant `id` over subset `sources` with `num_shards`
+    /// contiguous PPR replicas, factorised against the shared graph's
+    /// *current* state (its offline replay baseline).
+    ///
+    /// Duplicate ids are rejected with [`TenantError::DuplicateId`] —
+    /// never silently shadowed.
+    pub fn register(
+        &mut self,
+        id: TenantId,
+        sources: &[u32],
+        num_shards: usize,
+        ppr_cfg: PprConfig,
+        tree_cfg: TreeSvdConfig,
+    ) -> Result<(), TenantError> {
+        if self.tenants.iter().any(|t| t.id == id) {
+            return Err(TenantError::DuplicateId(id));
+        }
+        let (front, back) =
+            build_parts(self.ingest.graph(), sources, num_shards, ppr_cfg, tree_cfg);
+        self.tenants.push(TenantEngine { id, front, back });
+        Ok(())
+    }
+
+    /// Registered tenant ids, in registration order.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants.iter().map(|t| t.id).collect()
+    }
+
+    /// Number of registered tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The shared graph (all applied batches included).
+    pub fn graph(&self) -> &DynGraph {
+        self.ingest.graph()
+    }
+
+    /// How many edge batches the shared ingest recorded — the record-once
+    /// counter: equal to the number of applied windows, *not*
+    /// `windows × tenants`.
+    pub fn batches_recorded(&self) -> u64 {
+        self.ingest.batches_recorded()
+    }
+
+    /// Start journaling applied windows on every tenant (idempotent).
+    /// Each tenant journals the same global windows; per-tenant journals
+    /// are the ground truth for that tenant's offline replay.
+    pub fn enable_window_log(&mut self) {
+        for t in &mut self.tenants {
+            t.front.enable_window_log();
+        }
+    }
+
+    /// Tenant `id`'s journaled windows (`None` if the tenant is unknown or
+    /// journaling was never enabled).
+    pub fn window_log(&self, id: TenantId) -> Option<&[Vec<EdgeEvent>]> {
+        self.tenant(id)?.front.window_log()
+    }
+
+    /// Apply one global event batch to every tenant: record once on the
+    /// shared graph, replay into each tenant's shards, commit each
+    /// tenant's refresh. Returns per-tenant `(id, stats)` in registration
+    /// order. The synchronous equivalent of one served flush window.
+    pub fn apply_batch(&mut self, events: &[EdgeEvent]) -> Vec<(TenantId, UpdateStats)> {
+        let rec = self.ingest.record(events);
+        let graph = self.ingest.graph();
+        self.tenants
+            .iter_mut()
+            .map(|t| {
+                let staged = t.front.stage_recorded(graph, &rec, events);
+                (t.id, t.back.commit(staged))
+            })
+            .collect()
+    }
+
+    /// Tenant `id`'s current embedding.
+    pub fn embedding(&self, id: TenantId) -> Option<&Embedding> {
+        Some(self.tenant(id)?.back.embedding())
+    }
+
+    /// Tenant `id`'s current embedding tagged with its epoch.
+    pub fn tagged(&self, id: TenantId) -> Option<TaggedEmbedding> {
+        Some(self.tenant(id)?.back.tagged())
+    }
+
+    /// Tenant `id`'s epoch (committed-window counter).
+    pub fn epoch(&self, id: TenantId) -> Option<u64> {
+        Some(self.tenant(id)?.back.epoch())
+    }
+
+    /// Cumulative events applied to tenant `id`'s engine.
+    pub fn events_applied(&self, id: TenantId) -> Option<u64> {
+        Some(self.tenant(id)?.back.events_applied())
+    }
+
+    /// Tenant `id`'s cumulative per-phase wall-clock.
+    pub fn timings(&self, id: TenantId) -> Option<PipelineTimings> {
+        Some(self.tenant(id)?.back.timings())
+    }
+
+    /// Tenant `id`'s subset in row order.
+    pub fn sources(&self, id: TenantId) -> Option<&[u32]> {
+        Some(self.tenant(id)?.front.sources())
+    }
+
+    /// Tenant `id`'s actual shard count (after clamping to `|S|`).
+    pub fn num_shards(&self, id: TenantId) -> Option<usize> {
+        Some(self.tenant(id)?.front.num_shards())
+    }
+
+    /// Collapse a one-tenant host back into a standalone engine.
+    ///
+    /// # Panics
+    /// If the host has more or fewer than exactly one tenant.
+    pub fn into_single_engine(mut self) -> ShardedEngine {
+        assert_eq!(
+            self.tenants.len(),
+            1,
+            "into_single_engine needs exactly one tenant, host has {}",
+            self.tenants.len()
+        );
+        let t = self.tenants.pop().expect("checked above");
+        ShardedEngine::from_parts(self.ingest, t.front, t.back)
+    }
+
+    pub(crate) fn into_parts(self) -> (GraphIngest, Vec<TenantEngine>) {
+        (self.ingest, self.tenants)
+    }
+
+    pub(crate) fn from_parts(ingest: GraphIngest, tenants: Vec<TenantEngine>) -> Self {
+        TenantHost { ingest, tenants }
+    }
+
+    fn tenant(&self, id: TenantId) -> Option<&TenantEngine> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Level1Method, PartitionStrategy, TreeSvdPipeline, UpdatePolicy};
+    use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+
+    fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
+        let mut g = DynGraph::with_nodes(n);
+        while g.num_edges() < m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v {
+                g.insert_edge(u, v);
+            }
+        }
+        g
+    }
+
+    fn tree_cfg() -> TreeSvdConfig {
+        TreeSvdConfig {
+            dim: 8,
+            branching: 2,
+            num_blocks: 4,
+            oversample: 6,
+            power_iters: 1,
+            level1: Level1Method::Randomized,
+            policy: UpdatePolicy::Lazy { delta: 0.4 },
+            partition: PartitionStrategy::EqualWidth,
+            seed: 7,
+        }
+    }
+
+    fn random_batch(rng: &mut StdRng, n: usize, len: usize) -> Vec<EdgeEvent> {
+        (0..len)
+            .map(|_| {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                if rng.gen_bool(0.85) {
+                    EdgeEvent::insert(u, v)
+                } else {
+                    EdgeEvent::delete(u, v)
+                }
+            })
+            .filter(|e| e.u != e.v)
+            .collect()
+    }
+
+    /// Satellite: duplicate subset ids are a typed error, not a silent
+    /// shadow — and the failed registration leaves the host untouched.
+    #[test]
+    fn duplicate_tenant_id_rejected_with_typed_error() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_graph(&mut rng, 60, 240);
+        let ppr = PprConfig::default();
+        let mut host = TenantHost::new(&g);
+        host.register(7, &[0, 1, 2], 1, ppr, tree_cfg()).unwrap();
+        let err = host
+            .register(7, &[3, 4, 5], 2, ppr, tree_cfg())
+            .expect_err("second registration of id 7 must fail");
+        assert_eq!(err, TenantError::DuplicateId(7));
+        assert_eq!(err.to_string(), "tenant id 7 is already registered");
+        // The original tenant survives intact and no shadow was added.
+        assert_eq!(host.tenant_ids(), vec![7]);
+        assert_eq!(host.sources(7).unwrap(), &[0, 1, 2]);
+        // A different id is still accepted.
+        host.register(8, &[3, 4, 5], 2, ppr, tree_cfg()).unwrap();
+        assert_eq!(host.num_tenants(), 2);
+    }
+
+    /// Record-once fan-out: N tenants, each bitwise-equal to its own
+    /// offline pipeline, while the ingest counter shows one recording per
+    /// batch (not per tenant).
+    #[test]
+    fn host_fans_one_recording_to_every_tenant_bitwise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 100;
+        let g0 = random_graph(&mut rng, n, 400);
+        let ppr = PprConfig {
+            alpha: 0.2,
+            r_max: 1e-4,
+        };
+        // Overlapping subsets at different shard counts.
+        let subsets: Vec<(TenantId, Vec<u32>, usize)> = vec![
+            (0, (0..9).collect(), 1),
+            (10, (5..17).collect(), 3),
+            (20, (40..48).collect(), 2),
+        ];
+        let mut host = TenantHost::new(&g0);
+        for (id, s, r) in &subsets {
+            host.register(*id, s, *r, ppr, tree_cfg()).unwrap();
+        }
+        let mut offline: Vec<(DynGraph, TreeSvdPipeline)> = subsets
+            .iter()
+            .map(|(_, s, _)| {
+                let g = g0.clone();
+                let p = TreeSvdPipeline::new(&g, s, ppr, tree_cfg());
+                (g, p)
+            })
+            .collect();
+
+        let batches: Vec<Vec<EdgeEvent>> = (0..3).map(|_| random_batch(&mut rng, n, 24)).collect();
+        for batch in &batches {
+            let stats = host.apply_batch(batch);
+            assert_eq!(stats.len(), subsets.len());
+            for ((g, pipe), (id, _, _)) in offline.iter_mut().zip(&subsets) {
+                pipe.update(g, batch);
+                let served = host.embedding(*id).unwrap();
+                assert_eq!(
+                    served.left().sub(&pipe.embedding().left()).max_abs(),
+                    0.0,
+                    "tenant {id} diverged from its offline replay"
+                );
+                assert_eq!(served.sigma, pipe.embedding().sigma);
+            }
+        }
+        // One recording per batch — the record-once acceptance counter.
+        assert_eq!(host.batches_recorded(), batches.len() as u64);
+        for (id, _, _) in &subsets {
+            assert_eq!(host.epoch(*id).unwrap(), batches.len() as u64);
+        }
+    }
+
+    #[test]
+    fn single_engine_round_trip_through_host() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 60;
+        let g = random_graph(&mut rng, n, 240);
+        let mut engine = ShardedEngine::new(
+            &g,
+            &(0..6).collect::<Vec<_>>(),
+            2,
+            PprConfig::default(),
+            tree_cfg(),
+        );
+        engine.apply_batch(&random_batch(&mut rng, n, 12));
+        let epoch = engine.epoch();
+        let host = TenantHost::from_engine(engine, 0);
+        assert_eq!(host.batches_recorded(), 1);
+        let engine = host.into_single_engine();
+        assert_eq!(engine.epoch(), epoch);
+        assert_eq!(engine.batches_recorded(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one tenant")]
+    fn into_single_engine_rejects_multi_tenant_hosts() {
+        let g = DynGraph::with_nodes(8);
+        let mut host = TenantHost::new(&g);
+        host.register(0, &[0, 1], 1, PprConfig::default(), tree_cfg())
+            .unwrap();
+        host.register(1, &[2, 3], 1, PprConfig::default(), tree_cfg())
+            .unwrap();
+        let _ = host.into_single_engine();
+    }
+}

@@ -124,8 +124,10 @@ fn loopback_replies_bitwise_equal_in_process_at_any_shard_count() {
             }
 
             let stats = client.stats().unwrap();
-            assert_eq!(stats.epoch, snap.epoch());
-            assert_eq!(stats.num_shards, num_shards.min(12));
+            assert_eq!(stats.tenant.epoch, snap.epoch());
+            assert_eq!(stats.tenant.num_shards, num_shards.min(12));
+            assert_eq!(stats.host.tenants, 1);
+            assert_eq!(stats.host.epoch, snap.epoch());
         }
 
         let emb = client.get_embedding().unwrap();
@@ -178,8 +180,8 @@ fn pipelined_requests_execute_in_order_with_one_round_trip_per_batch() {
     let Reply::Stats(stats) = &replies[4] else {
         panic!("expected Stats, got {:?}", replies[4]);
     };
-    assert_eq!(stats.events_submitted, 2);
-    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.tenant.events_submitted, 2);
+    assert_eq!(stats.tenant.epoch, 1);
 
     drop(client);
     front.shutdown();
@@ -223,7 +225,7 @@ fn corrupt_frame_draws_connection_error_then_close() {
     let lb = front.loopback();
     let mut duplex = lb.open().unwrap();
     let mut buf = Vec::new();
-    wire::encode_frame(9, &Message::Request(Request::Ping), &mut buf);
+    wire::encode_frame(9, 0, &Message::Request(Request::Ping), &mut buf);
     buf[20] ^= 0x40; // corrupt the checksum field
     duplex.writer.write_all(&buf).unwrap();
     duplex.writer.flush().unwrap();
@@ -239,6 +241,40 @@ fn corrupt_frame_draws_connection_error_then_close() {
     assert!(wire::read_frame(&mut duplex.reader).unwrap().is_none());
 
     // The front is still healthy for well-behaved clients.
+    let mut client = NetClient::connect(front.loopback(), ClientConfig::default()).unwrap();
+    client.ping().unwrap();
+    drop(client);
+    drop(duplex);
+    front.shutdown();
+}
+
+#[test]
+fn old_version_frame_draws_connection_error_then_close() {
+    let g = base_graph();
+    let server = EmbeddingServer::start(engine(&g, 1), manual_flush(1));
+    let front = NetFront::start(server);
+
+    // A well-formed v2 frame downgraded to v1: the version check fires
+    // before the checksum, so negotiation fails closed at the first frame.
+    let lb = front.loopback();
+    let mut duplex = lb.open().unwrap();
+    let mut buf = Vec::new();
+    wire::encode_frame(9, 0, &Message::Request(Request::Ping), &mut buf);
+    buf[2] = 1; // stamp the previous wire version
+    duplex.writer.write_all(&buf).unwrap();
+    duplex.writer.flush().unwrap();
+
+    let frame = wire::read_frame(&mut duplex.reader).unwrap().unwrap();
+    assert_eq!(frame.request_id, 0, "connection-level error uses id 0");
+    assert_eq!(frame.tenant, 0, "connection-level error is tenant-less");
+    assert!(
+        matches!(frame.message, Message::Reply(Reply::Error(_))),
+        "expected an error reply, got {:?}",
+        frame.message
+    );
+    assert!(wire::read_frame(&mut duplex.reader).unwrap().is_none());
+
+    // The front is still healthy for current-version clients.
     let mut client = NetClient::connect(front.loopback(), ClientConfig::default()).unwrap();
     client.ping().unwrap();
     drop(client);

@@ -18,7 +18,7 @@ use tsvd_serve::net::wire::{
     decode_frame, encode_frame, EmbeddingReply, Message, Reply, Request, RowsReply, WireError,
     HEADER_LEN, MAX_PAYLOAD,
 };
-use tsvd_serve::ServeStats;
+use tsvd_serve::{HostStats, ServeStats, StatsReply};
 
 fn gen_events(g: &mut Gen, max: usize) -> Vec<EdgeEvent> {
     let n = g.usize_in(0..max);
@@ -93,33 +93,45 @@ fn gen_message(g: &mut Gen) -> Message {
                 data,
             }))
         }
-        12 => Message::Reply(Reply::Stats(ServeStats {
-            epoch: g.u64_in(0..1_000_000),
-            num_shards: g.usize_in(1..16),
-            events_submitted: g.u64_in(0..1_000_000),
-            events_applied: g.u64_in(0..1_000_000),
-            events_coalesced: g.u64_in(0..1_000_000),
-            events_pending: g.u64_in(0..1_000_000),
-            batches_flushed: g.u64_in(0..1_000_000),
-            flush_ms_last: g.f64_in(0.0..1e4),
-            flush_ms_mean: g.f64_in(0.0..1e4),
-            flush_ms_max: g.f64_in(0.0..1e4),
-            pipeline_depth: g.usize_in(0..2),
-            windows_inflight: g.u64_in(0..2),
-            stage_ms_last: g.f64_in(0.0..1e4),
-            commit_ms_last: g.f64_in(0.0..1e4),
-            overlapped_secs: g.f64_in(0.0..1e3),
-            svd_update: g.u32_in(0..2) == 1,
-            blocks_patched: g.u64_in(0..1_000_000),
-            blocks_incremental: g.u64_in(0..1_000_000),
-            blocks_refactored: g.u64_in(0..1_000_000),
-            timings: PipelineTimings {
-                ppr_secs: g.f64_in(0.0..1e3),
-                rows_secs: g.f64_in(0.0..1e3),
-                svd_secs: g.f64_in(0.0..1e3),
-                updates: g.usize_in(0..1_000),
+        12 => Message::Reply(Reply::Stats(Box::new(StatsReply {
+            tenant: ServeStats {
+                tenant: g.u32_in(0..64),
+                epoch: g.u64_in(0..1_000_000),
+                num_shards: g.usize_in(1..16),
+                events_submitted: g.u64_in(0..1_000_000),
+                events_applied: g.u64_in(0..1_000_000),
+                events_coalesced: g.u64_in(0..1_000_000),
+                events_pending: g.u64_in(0..1_000_000),
+                batches_flushed: g.u64_in(0..1_000_000),
+                flush_ms_last: g.f64_in(0.0..1e4),
+                flush_ms_mean: g.f64_in(0.0..1e4),
+                flush_ms_max: g.f64_in(0.0..1e4),
+                pipeline_depth: g.usize_in(0..2),
+                windows_inflight: g.u64_in(0..2),
+                stage_ms_last: g.f64_in(0.0..1e4),
+                commit_ms_last: g.f64_in(0.0..1e4),
+                overlapped_secs: g.f64_in(0.0..1e3),
+                svd_update: g.u32_in(0..2) == 1,
+                blocks_patched: g.u64_in(0..1_000_000),
+                blocks_incremental: g.u64_in(0..1_000_000),
+                blocks_refactored: g.u64_in(0..1_000_000),
+                timings: PipelineTimings {
+                    ppr_secs: g.f64_in(0.0..1e3),
+                    rows_secs: g.f64_in(0.0..1e3),
+                    svd_secs: g.f64_in(0.0..1e3),
+                    updates: g.usize_in(0..1_000),
+                },
             },
-        })),
+            host: HostStats {
+                tenants: g.usize_in(1..8),
+                batches_recorded: g.u64_in(0..1_000_000),
+                epoch: g.u64_in(0..1_000_000),
+                events_submitted: g.u64_in(0..1_000_000),
+                events_applied: g.u64_in(0..1_000_000),
+                events_coalesced: g.u64_in(0..1_000_000),
+                events_pending: g.u64_in(0..1_000_000),
+            },
+        }))),
         13 => Message::Reply(Reply::ShutdownAck),
         _ => {
             let n = g.usize_in(0..120);
@@ -135,12 +147,14 @@ fn gen_message(g: &mut Gen) -> Message {
 fn prop_encode_decode_round_trip_identity() {
     Checker::new(400).run("wire_round_trip", |g| {
         let id = g.u64_in(0..u64::MAX);
+        let tenant = g.u32_in(0..u32::MAX);
         let msg = gen_message(g);
         let mut buf = Vec::new();
-        encode_frame(id, &msg, &mut buf);
+        encode_frame(id, tenant, &msg, &mut buf);
         let (frame, used) = decode_frame(&buf).map_err(|e| format!("rejected own frame: {e}"))?;
         ensure_eq!(used, buf.len());
         ensure_eq!(frame.request_id, id);
+        ensure_eq!(frame.tenant, tenant);
         ensure!(frame.message == msg, "decoded message differs");
         Ok(())
     });
@@ -151,7 +165,7 @@ fn prop_any_single_byte_corruption_is_rejected() {
     Checker::new(300).run("wire_byte_flip", |g| {
         let msg = gen_message(g);
         let mut buf = Vec::new();
-        encode_frame(g.u64_in(0..u64::MAX), &msg, &mut buf);
+        encode_frame(g.u64_in(0..u64::MAX), g.u32_in(0..u32::MAX), &msg, &mut buf);
         let pos = g.usize_in(0..buf.len());
         let flip = 1u8 << g.usize_in(0..8);
         buf[pos] ^= flip;
@@ -166,11 +180,60 @@ fn prop_any_single_byte_corruption_is_rejected() {
 }
 
 #[test]
+fn prop_tenant_id_byte_flips_are_rejected() {
+    // The tenant id sits at header bytes [12..16), inside the checksummed
+    // range — a flipped tenant must never decode as a different tenant's
+    // valid frame (that would cross-deliver replies between clients).
+    Checker::new(300).run("wire_tenant_flip", |g| {
+        let tenant = g.u32_in(0..u32::MAX);
+        let msg = gen_message(g);
+        let mut buf = Vec::new();
+        encode_frame(g.u64_in(0..u64::MAX), tenant, &msg, &mut buf);
+        let pos = 12 + g.usize_in(0..4);
+        let flip = 1u8 << g.usize_in(0..8);
+        buf[pos] ^= flip;
+        match decode_frame(&buf) {
+            Err(WireError::Checksum) => Ok(()),
+            Err(e) => Err(format!(
+                "tenant flip at byte {pos}: expected Checksum, got {e}"
+            )),
+            Ok(_) => Err(format!("tenant flip at byte {pos} accepted")),
+        }
+    });
+}
+
+#[test]
+fn prop_old_version_frames_are_rejected_from_header_alone() {
+    // Version negotiation fails closed: a v1 (or any non-current) version
+    // byte is rejected as BadVersion before the payload is even looked at.
+    Checker::new(200).run("wire_bad_version", |g| {
+        let msg = gen_message(g);
+        let mut buf = Vec::new();
+        encode_frame(g.u64_in(0..u64::MAX), g.u32_in(0..64), &msg, &mut buf);
+        let bad = loop {
+            let v = g.u32_in(0..256) as u8;
+            if v != buf[2] {
+                break v;
+            }
+        };
+        buf[2] = bad;
+        match decode_frame(&buf) {
+            Err(WireError::BadVersion(v)) => {
+                ensure_eq!(v, bad);
+                Ok(())
+            }
+            Err(e) => Err(format!("version {bad}: expected BadVersion, got {e}")),
+            Ok(_) => Err(format!("version {bad} accepted")),
+        }
+    });
+}
+
+#[test]
 fn prop_truncation_at_any_point_is_rejected() {
     Checker::new(200).run("wire_truncation", |g| {
         let msg = gen_message(g);
         let mut buf = Vec::new();
-        encode_frame(1, &msg, &mut buf);
+        encode_frame(1, g.u32_in(0..u32::MAX), &msg, &mut buf);
         let cut = g.usize_in(0..buf.len());
         match decode_frame(&buf[..cut]) {
             Err(WireError::Truncated) => Ok(()),
@@ -190,12 +253,12 @@ fn prop_fuzz_bytes_never_panic_decoder() {
         if g.bool() && bytes.len() >= HEADER_LEN {
             bytes[0..2].copy_from_slice(&0x5654u16.to_le_bytes());
             if g.bool() {
-                bytes[2] = 1; // valid version
+                bytes[2] = 2; // valid version
             }
             if g.bool() {
                 // In-range announced length; checksum still random.
                 let len = g.u32_in(0..(bytes.len() as u32 + 8));
-                bytes[12..16].copy_from_slice(&len.to_le_bytes());
+                bytes[16..20].copy_from_slice(&len.to_le_bytes());
             }
         }
         // Must not panic; Ok is astronomically unlikely but legal (a
@@ -211,9 +274,9 @@ fn oversized_announcement_is_rejected_without_allocation() {
     // header. (If it tried to allocate, this test would OOM, not fail.)
     let mut buf = vec![0u8; HEADER_LEN];
     buf[0..2].copy_from_slice(&0x5654u16.to_le_bytes());
-    buf[2] = 1;
+    buf[2] = 2;
     buf[3] = 0x01;
-    buf[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    buf[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
     assert!(matches!(
         decode_frame(&buf),
         Err(WireError::Oversized(n)) if n > MAX_PAYLOAD

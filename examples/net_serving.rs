@@ -114,12 +114,16 @@ fn main() {
     let stats = tail.stats().unwrap();
     println!(
         "\nstats: epoch {} | submitted {} applied {} coalesced {} pending {} | flush mean {:.2}ms",
-        stats.epoch,
-        stats.events_submitted,
-        stats.events_applied,
-        stats.events_coalesced,
-        stats.events_pending,
-        stats.flush_ms_mean
+        stats.tenant.epoch,
+        stats.tenant.events_submitted,
+        stats.tenant.events_applied,
+        stats.tenant.events_coalesced,
+        stats.tenant.events_pending,
+        stats.tenant.flush_ms_mean
+    );
+    println!(
+        "host: {} tenant(s), {} batches recorded once on the shared graph",
+        stats.host.tenants, stats.host.batches_recorded
     );
     let emb = tail.get_embedding().unwrap();
     assert!(emb.verify_checksum());

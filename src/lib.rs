@@ -32,6 +32,6 @@ pub mod prelude {
     pub use tsvd_ppr::{PprConfig, SubsetPpr};
     pub use tsvd_serve::{
         ClientConfig, EmbeddingReader, EmbeddingServer, NetClient, NetFront, ServeConfig,
-        ShardedEngine, TcpTransport,
+        ShardedEngine, StatsReply, SubmitError, TcpTransport, TenantHost, TenantId, DEFAULT_TENANT,
     };
 }

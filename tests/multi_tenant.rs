@@ -1,0 +1,409 @@
+//! Multi-subset tenancy acceptance tests — N engines, one graph:
+//!
+//! 1. **Per-tenant equivalence.** Three tenants with distinct subsets and
+//!    shard counts share one `TenantHost`; every flushed window is
+//!    recorded on the shared graph exactly once and replayed into every
+//!    tenant. Each tenant's final embedding must be **bitwise identical**
+//!    to an offline single-pipeline replay of its own journal over its
+//!    own subset — at R ∈ {1, 3}, under whatever `TSVD_THREADS` /
+//!    `TSVD_PIPELINE_DEPTH` / `TSVD_SVD_UPDATE` the ci matrix sets.
+//! 2. **Quota backpressure over the wire.** A tenant over its submission
+//!    quota draws a tenant-level `Reply::Error` that leaves the
+//!    connection open and the other tenant unaffected.
+//! 3. **TCP soak.** Interleaved writers on different tenants drive a live
+//!    TCP front; per-tenant counters attribute every event to its
+//!    submitting tenant, the host rollup accounts for all of them, and
+//!    every tenant's journal replays bitwise. `TSVD_TENANTS` scales the
+//!    tenant count (default 2).
+
+use std::time::Duration;
+
+use tree_svd::prelude::*;
+use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+
+fn small_dataset() -> SyntheticDataset {
+    let mut cfg = DatasetConfig::youtube();
+    cfg.num_nodes = 400;
+    cfg.num_edges = 2000;
+    cfg.tau = 4;
+    SyntheticDataset::generate(&cfg)
+}
+
+fn tree_cfg() -> TreeSvdConfig {
+    TreeSvdConfig {
+        dim: 8,
+        branching: 4,
+        num_blocks: 4,
+        policy: UpdatePolicy::Lazy { delta: 0.5 },
+        ..TreeSvdConfig::default()
+    }
+}
+
+fn ppr_cfg() -> PprConfig {
+    PprConfig {
+        alpha: 0.2,
+        r_max: 1e-4,
+    }
+}
+
+/// Tenant count for the soak: `TSVD_TENANTS` if set (the ci matrix runs a
+/// 3-tenant leg), else 2.
+fn tenant_count() -> usize {
+    std::env::var("TSVD_TENANTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
+/// Three tenants, distinct subsets, shared edge stream: each tenant's
+/// served embedding must equal its own offline replay bitwise, at every
+/// shard count — and the shared graph records each window exactly once.
+#[test]
+fn three_tenants_bitwise_equal_their_own_offline_replay() {
+    let data = small_dataset();
+    let g0 = data.stream.snapshot(1);
+    let subsets: Vec<Vec<u32>> = vec![
+        data.sample_subset(24, 5),
+        data.sample_subset(20, 11),
+        data.sample_subset(16, 23),
+    ];
+    let mut events = Vec::new();
+    for t in 2..=data.stream.num_snapshots() {
+        events.extend_from_slice(data.stream.batch(t));
+    }
+    events.truncate(600);
+    let chunks: Vec<Vec<EdgeEvent>> = events.chunks(75).map(|c| c.to_vec()).collect();
+    assert!(chunks.len() >= 4, "want several flush windows");
+
+    let mut per_r: Vec<Vec<Vec<u64>>> = Vec::new(); // [run][tenant] -> left bits
+    for num_shards in [1usize, 3] {
+        let mut host = TenantHost::new(&g0);
+        for (t, subset) in subsets.iter().enumerate() {
+            host.register(t as TenantId, subset, num_shards, ppr_cfg(), tree_cfg())
+                .expect("fresh id");
+        }
+        host.enable_window_log();
+        let server = EmbeddingServer::start_host(
+            host,
+            ServeConfig {
+                num_shards,
+                flush_max_events: usize::MAX,
+                flush_interval_ms: 60_000,
+                coalesce: true,
+                ..Default::default()
+            },
+        );
+
+        // Submissions rotate over tenants: the tag picks who is charged
+        // for the events, not who sees them — the stream is global.
+        for (i, chunk) in chunks.iter().enumerate() {
+            let tenant = (i % subsets.len()) as TenantId;
+            server
+                .submit_batch_to(tenant, chunk.clone())
+                .expect("admission");
+            assert_eq!(server.flush_sync(), (i + 1) as u64);
+        }
+
+        // Record-once: one `RecordedBatch` per window, every tenant at the
+        // same epoch, rollup pending drained.
+        let host_stats = server.host_stats();
+        assert_eq!(host_stats.tenants, subsets.len());
+        assert_eq!(host_stats.batches_recorded, chunks.len() as u64);
+        assert_eq!(host_stats.epoch, chunks.len() as u64);
+        assert_eq!(host_stats.events_pending, 0);
+        assert_eq!(host_stats.events_submitted, events.len() as u64);
+        for t in 0..subsets.len() as TenantId {
+            let s = server.stats_for(t).expect("registered tenant");
+            assert_eq!(s.tenant, t);
+            assert_eq!(s.epoch, chunks.len() as u64);
+            assert_eq!(s.events_pending, 0);
+            assert_eq!(s.events_submitted, s.events_applied + s.events_coalesced);
+        }
+
+        let host = server.shutdown_host();
+        let mut bits_per_tenant = Vec::new();
+        for (t, subset) in subsets.iter().enumerate() {
+            let t = t as TenantId;
+            let log = host.window_log(t).expect("journal enabled").to_vec();
+            assert_eq!(log.len() as u64, chunks.len() as u64);
+            // Ground truth: this tenant's own single-pipeline replay of
+            // the shared journal over its own subset.
+            let mut g = g0.clone();
+            let mut pipe = TreeSvdPipeline::new(&g, subset, ppr_cfg(), tree_cfg());
+            for window in &log {
+                pipe.update(&mut g, window);
+            }
+            let left = host.embedding(t).expect("tenant embedding").left();
+            assert_eq!(
+                left.sub(&pipe.embedding().left()).max_abs(),
+                0.0,
+                "R={num_shards} tenant {t}: diverged from offline replay"
+            );
+            assert_eq!(
+                host.embedding(t).unwrap().sigma,
+                pipe.embedding().sigma,
+                "R={num_shards} tenant {t}: sigma diverged"
+            );
+            bits_per_tenant.push(
+                left.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<u64>>(),
+            );
+        }
+        // All tenants journal the identical global window sequence.
+        let log0 = host.window_log(0).unwrap().to_vec();
+        for t in 1..subsets.len() as TenantId {
+            assert_eq!(
+                host.window_log(t).unwrap().to_vec(),
+                log0,
+                "tenant {t} journalled a different window sequence"
+            );
+        }
+        per_r.push(bits_per_tenant);
+    }
+    // Sharding stays invisible per tenant.
+    assert_eq!(
+        per_r[0], per_r[1],
+        "per-tenant embeddings differ between shard counts"
+    );
+}
+
+/// Over-quota submissions draw a tenant-level error that keeps the
+/// connection open; the other tenant keeps writing, and a flush releases
+/// the quota.
+#[test]
+fn wire_quota_rejection_keeps_connection_open_and_tenants_isolated() {
+    let data = small_dataset();
+    let g0 = data.stream.snapshot(1);
+    let mut host = TenantHost::new(&g0);
+    host.register(0, &data.sample_subset(12, 1), 1, ppr_cfg(), tree_cfg())
+        .unwrap();
+    host.register(1, &data.sample_subset(12, 2), 1, ppr_cfg(), tree_cfg())
+        .unwrap();
+    let server = EmbeddingServer::start_host(
+        host,
+        ServeConfig {
+            num_shards: 1,
+            flush_max_events: usize::MAX,
+            flush_interval_ms: 60_000,
+            coalesce: true,
+            tenant_quota: 4,
+            ..Default::default()
+        },
+    );
+    let front = NetFront::start(server);
+    let mut a = NetClient::connect(
+        front.loopback(),
+        ClientConfig {
+            tenant: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut b = NetClient::connect(
+        front.loopback(),
+        ClientConfig {
+            tenant: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let batch = vec![EdgeEvent::insert(0, 50), EdgeEvent::insert(1, 51)];
+    assert_eq!(a.submit_events(batch.clone()).unwrap(), 2);
+    assert_eq!(a.submit_events(batch.clone()).unwrap(), 2);
+    // Tenant 0 is at its quota of 4 pending events: rejected, not closed.
+    let err = a.submit_events(batch.clone()).unwrap_err();
+    assert!(
+        err.to_string().contains("quota"),
+        "expected a quota error, got: {err}"
+    );
+    // The connection survived the rejection…
+    a.ping()
+        .expect("connection stayed open after quota rejection");
+    assert_eq!(a.reconnects(), 0);
+    // …and tenant 1 was never throttled by tenant 0's backlog.
+    assert_eq!(b.submit_events(batch.clone()).unwrap(), 2);
+
+    // Flushing applies the backlog, freeing tenant 0's quota.
+    a.flush().unwrap();
+    assert_eq!(a.submit_events(batch).unwrap(), 2);
+
+    // A client pinned to an unregistered tenant is rejected per request,
+    // connection-level liveness intact.
+    let mut ghost = NetClient::connect(
+        front.loopback(),
+        ClientConfig {
+            tenant: 99,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(ghost.get_rows(&[0]).is_err());
+    ghost.ping().expect("unknown tenant still gets transport");
+
+    drop((a, b, ghost));
+    front.shutdown_host();
+}
+
+/// Interleaved writers on different tenants over real TCP: per-tenant
+/// attribution, host-rollup accounting, and per-tenant bitwise replay.
+#[test]
+fn tcp_soak_interleaved_tenant_writers_replay_bitwise() {
+    const ROUNDS: usize = 10;
+    const BATCH: usize = 8;
+
+    let nt = tenant_count();
+    let n = 120usize;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut g0 = DynGraph::with_nodes(n);
+    while g0.num_edges() < 400 {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u != v {
+            g0.insert_edge(u, v);
+        }
+    }
+
+    let mut host = TenantHost::new(&g0);
+    let mut subsets = Vec::new();
+    for t in 0..nt {
+        // Distinct (overlapping) subsets and varying shard counts.
+        let subset: Vec<u32> = (t as u32 * 6..t as u32 * 6 + 12).collect();
+        host.register(t as TenantId, &subset, 1 + t % 3, ppr_cfg(), tree_cfg())
+            .expect("fresh id");
+        subsets.push(subset);
+    }
+    host.enable_window_log();
+    let server = EmbeddingServer::start_host(
+        host,
+        ServeConfig {
+            num_shards: 2,
+            flush_max_events: 24, // small windows: many flushes racing reads
+            flush_interval_ms: 3,
+            coalesce: true,
+            ..Default::default()
+        },
+    );
+    let front = NetFront::start(server);
+    let addr = front.listen("127.0.0.1:0").expect("bind TCP listener");
+
+    // One writer per tenant, each pinned to its own id.
+    let writers: Vec<_> = (0..nt)
+        .map(|t| {
+            let addr = addr.to_string();
+            let probe: Vec<u32> = subsets[t].iter().take(4).copied().collect();
+            std::thread::spawn(move || -> u64 {
+                let mut client = NetClient::connect(
+                    TcpTransport::new(addr),
+                    ClientConfig {
+                        tenant: t as u32,
+                        ..Default::default()
+                    },
+                )
+                .expect("client connect");
+                let mut rng = StdRng::seed_from_u64(500 + t as u64);
+                let mut submitted = 0u64;
+                for round in 0..ROUNDS {
+                    let events: Vec<EdgeEvent> = (0..BATCH)
+                        .map(|_| {
+                            let u = rng.gen_range(0..n) as u32;
+                            let v = rng.gen_range(0..n) as u32;
+                            if rng.gen_range(0..5) == 0 {
+                                EdgeEvent::delete(u, v)
+                            } else {
+                                EdgeEvent::insert(u, v)
+                            }
+                        })
+                        .filter(|e| e.u != e.v)
+                        .collect();
+                    submitted += client.submit_events(events).expect("submit");
+                    // Reads route to this writer's tenant; the client-side
+                    // guards verify epoch monotonicity per reply.
+                    let rows = client.get_rows(&probe).expect("rows");
+                    assert_eq!(rows.dim, 8);
+                    if round % 4 == 1 {
+                        client.flush().expect("flush");
+                    }
+                }
+                submitted
+            })
+        })
+        .collect();
+    let per_writer: Vec<u64> = writers
+        .into_iter()
+        .map(|h| h.join().expect("writer"))
+        .collect();
+    let total: u64 = per_writer.iter().sum();
+    assert!(total > 0);
+
+    // Per-tenant attribution: every event is charged to its submitting
+    // tenant exactly; the host rollup sums to the global total.
+    let mut drain = NetClient::connect(
+        TcpTransport {
+            addr: addr.to_string(),
+            read_timeout: Some(Duration::from_secs(30)),
+            nodelay: true,
+        },
+        ClientConfig::default(),
+    )
+    .expect("drain client");
+    drain.flush().expect("final flush");
+    let mut epochs = Vec::new();
+    for (t, &wrote) in per_writer.iter().enumerate() {
+        let mut c = NetClient::connect(
+            TcpTransport::new(addr.to_string()),
+            ClientConfig {
+                tenant: t as u32,
+                ..Default::default()
+            },
+        )
+        .expect("stats client");
+        let s = c.stats().expect("stats");
+        assert_eq!(s.tenant.tenant, t as u32);
+        assert_eq!(
+            s.tenant.events_submitted, wrote,
+            "tenant {t}: cross-tenant accounting leak"
+        );
+        assert_eq!(
+            s.tenant.events_applied + s.tenant.events_coalesced,
+            wrote,
+            "tenant {t}: submitted events unaccounted for"
+        );
+        assert_eq!(s.tenant.events_pending, 0);
+        assert_eq!(s.host.tenants, nt);
+        assert_eq!(s.host.events_submitted, total);
+        epochs.push(s.tenant.epoch);
+        if t == 0 {
+            assert_eq!(s.host.batches_recorded, s.tenant.epoch);
+        }
+    }
+    // The shared stream advances all tenants in lockstep.
+    assert!(epochs.windows(2).all(|w| w[0] == w[1]));
+    drop(drain);
+
+    // Per-tenant ground truth: each journal replays bitwise over that
+    // tenant's own subset.
+    let host = front.shutdown_host();
+    assert_eq!(host.batches_recorded(), epochs[0]);
+    for (t, subset) in subsets.iter().enumerate() {
+        let t = t as TenantId;
+        let log = host.window_log(t).expect("journal enabled").to_vec();
+        assert_eq!(log.len() as u64, host.epoch(t).unwrap());
+        let mut g = g0.clone();
+        let mut pipe = TreeSvdPipeline::new(&g, subset, ppr_cfg(), tree_cfg());
+        for window in &log {
+            pipe.update(&mut g, window);
+        }
+        let diff = host
+            .embedding(t)
+            .unwrap()
+            .left()
+            .sub(&pipe.embedding().left())
+            .max_abs();
+        assert_eq!(diff, 0.0, "tenant {t}: TCP-served state diverged");
+        assert_eq!(host.graph().num_edges(), g.num_edges());
+    }
+}

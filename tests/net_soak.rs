@@ -125,16 +125,21 @@ fn multi_client_tcp_soak_matches_offline_replay_bitwise() {
     tail.flush().expect("final flush");
     let stats = tail.stats().expect("stats");
     assert_eq!(
-        stats.events_submitted, total_submitted,
+        stats.tenant.events_submitted, total_submitted,
         "server lost or duplicated submissions"
     );
     assert_eq!(
-        stats.events_applied + stats.events_coalesced,
+        stats.tenant.events_applied + stats.tenant.events_coalesced,
         total_submitted,
         "not every submitted event was applied or coalesced"
     );
-    assert_eq!(stats.events_pending, 0);
-    assert_eq!(stats.epoch, stats.batches_flushed);
+    assert_eq!(stats.tenant.events_pending, 0);
+    assert_eq!(stats.tenant.epoch, stats.tenant.batches_flushed);
+    // Single-tenant host: the rollup equals the tenant view, and the
+    // shared graph recorded each window exactly once.
+    assert_eq!(stats.host.tenants, 1);
+    assert_eq!(stats.host.events_submitted, stats.tenant.events_submitted);
+    assert_eq!(stats.host.batches_recorded, stats.tenant.epoch);
     drop(tail);
 
     // Offline ground truth: replay the journaled windows through one
@@ -147,7 +152,7 @@ fn multi_client_tcp_soak_matches_offline_replay_bitwise() {
     assert_eq!(log.len() as u64, engine.epoch());
     assert_eq!(
         log.iter().map(|w| w.len() as u64).sum::<u64>(),
-        stats.events_applied,
+        stats.tenant.events_applied,
         "journal disagrees with the applied counter"
     );
     let mut g = g0.clone();
@@ -202,10 +207,13 @@ fn single_client_deadline_flush_soak_over_loopback() {
     }
     client.flush().unwrap();
     let stats = client.stats().unwrap();
-    assert_eq!(stats.events_submitted, submitted);
-    assert_eq!(stats.events_applied + stats.events_coalesced, submitted);
+    assert_eq!(stats.tenant.events_submitted, submitted);
+    assert_eq!(
+        stats.tenant.events_applied + stats.tenant.events_coalesced,
+        submitted
+    );
     assert!(
-        stats.batches_flushed > 1,
+        stats.tenant.batches_flushed > 1,
         "deadline trigger never split the stream into windows"
     );
     drop(client);
