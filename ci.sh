@@ -15,16 +15,21 @@
 #      exact-recompute oracle: subspace-angle and residual-drift bounds
 #      over long randomized streams, under default threads and
 #      TSVD_THREADS=1;
-#   8. serve/net env matrix — one leg per env combo over
-#      {TSVD_THREADS, TSVD_PIPELINE_DEPTH, TSVD_SVD_UPDATE, TSVD_TENANTS}.
-#      Each leg runs the tsvd-serve package battery once (unit tests +
-#      codec property/fuzz tests + loopback equivalence + counter race
-#      audit) plus the root serve_equivalence, multi-client TCP soak, and
-#      multi-tenant suites — every tenant of a sharded server must stay
-#      bitwise-equal to the offline pipeline replay of its own subset
-#      under every combo;
-#   9. bench smoke — every rt::bench target runs once, no timing paid,
-#      including the svd_update kernel/engine grid.
+#   8. tsvd-store fault battery — WAL torn-tail truncation, interior
+#      byte-flip corruption, and mutation fuzz, all through full recovery;
+#   9. serve/net env matrix — one leg per env combo over
+#      {TSVD_THREADS, TSVD_PIPELINE_DEPTH, TSVD_SVD_UPDATE, TSVD_TENANTS,
+#      TSVD_WAL}. Each leg runs the tsvd-serve package battery once (unit
+#      tests + codec property/fuzz tests + loopback equivalence + counter
+#      race audit) plus the root serve_equivalence, multi-client TCP soak,
+#      and multi-tenant suites — every tenant of a sharded server must
+#      stay bitwise-equal to the offline pipeline replay of its own subset
+#      under every combo. The `wal*` legs additionally run the durability
+#      suites: SIGKILL crash recovery from checkpoint + WAL replay, and
+#      journal-fed follower replicas over TCP;
+#  10. bench smoke — every rt::bench target runs once, no timing paid,
+#      including the svd_update kernel/engine grid and the WAL
+#      append/recovery suite.
 #
 # A per-step wall-clock summary is printed at the end.
 #
@@ -102,12 +107,18 @@ step "svd-update oracle battery (default + TSVD_THREADS=1)"
 cargo test -q --test svd_update_oracle
 TSVD_THREADS=1 cargo test -q --test svd_update_oracle
 
+step "tsvd-store fault battery (torn tails, byte flips, fuzz)"
+cargo test -q -p tsvd-store
+
 # Serve/net env matrix: `name|ENV=V [ENV=V ...]`. Each leg runs the full
 # tsvd-serve package battery (which already includes the net_props,
 # net_loopback, and race_audit integration tests — listing them again
 # would recompile and rerun them) plus the root-level serve_equivalence,
 # net_soak, and multi_tenant suites. The `tenants` leg scales the
-# multi-tenant soak to three tenants sharing one graph.
+# multi-tenant soak to three tenants sharing one graph. The `wal*` legs
+# also run the root recovery (SIGKILL + checkpoint/WAL replay) and
+# follower (journal replication over TCP) suites — `wal-tenants` proves
+# kill-and-recover stays bitwise under three tenants.
 SERVE_MATRIX=(
   "default|"
   "serial|TSVD_THREADS=1"
@@ -118,6 +129,8 @@ SERVE_MATRIX=(
   "svd-update-pipelined|TSVD_SVD_UPDATE=1 TSVD_PIPELINE_DEPTH=1"
   "tenants|TSVD_TENANTS=3"
   "tenants-pipelined|TSVD_TENANTS=3 TSVD_PIPELINE_DEPTH=1"
+  "wal|TSVD_WAL=1"
+  "wal-tenants|TSVD_WAL=1 TSVD_TENANTS=3"
 )
 for leg in "${SERVE_MATRIX[@]}"; do
   name="${leg%%|*}"
@@ -127,6 +140,12 @@ for leg in "${SERVE_MATRIX[@]}"; do
   env $envs cargo test -q -p tsvd-serve
   # shellcheck disable=SC2086
   env $envs cargo test -q --test serve_equivalence --test net_soak --test multi_tenant
+  case "$name" in
+    wal*)
+      # shellcheck disable=SC2086
+      env $envs cargo test -q --test recovery --test follower
+      ;;
+  esac
 done
 
 step "bench smoke (1 iteration per benchmark)"
@@ -135,6 +154,7 @@ TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench svd_update
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench pool_dispatch
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench serving
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench net
+TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench store
 
 summary
 printf '\nci.sh: all checks passed\n'

@@ -1,0 +1,127 @@
+//! Durability-layer benchmark: per-window WAL append cost (the fsync the
+//! serving reactor pays before publishing a flush), checkpoint write +
+//! compaction, and cold recovery (checkpoint load + WAL replay) against a
+//! log of known depth. Workload parameters land in the bench JSON so the
+//! fsync cost and replay throughput are comparable across runs.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tsvd_core::{TreeSvdConfig, UpdatePolicy};
+use tsvd_graph::{DynGraph, EdgeEvent};
+use tsvd_ppr::PprConfig;
+use tsvd_rt::bench::BenchHarness;
+use tsvd_rt::json::ToJson;
+use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+use tsvd_serve::{DurabilitySink, TenantHost};
+use tsvd_store::{read_windows, recover, StoreConfig, WalStore};
+
+const NODES: usize = 60;
+const EVENTS_PER_WINDOW: usize = 64;
+const REPLAY_WINDOWS: usize = 48;
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tsvd-bench-store-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn host() -> TenantHost {
+    let mut g = DynGraph::with_nodes(NODES);
+    for i in 0..NODES as u32 {
+        g.insert_edge(i, (i + 1) % NODES as u32);
+        g.insert_edge(i, (i + 11) % NODES as u32);
+    }
+    let mut h = TenantHost::new(&g);
+    let tree = TreeSvdConfig {
+        dim: 8,
+        branching: 2,
+        num_blocks: 4,
+        oversample: 6,
+        power_iters: 1,
+        policy: UpdatePolicy::Lazy { delta: 0.5 },
+        seed: 17,
+        ..TreeSvdConfig::default()
+    };
+    h.register(
+        0,
+        &(0..8).collect::<Vec<_>>(),
+        2,
+        PprConfig::default(),
+        tree,
+    )
+    .unwrap();
+    h
+}
+
+fn window(k: u64) -> Vec<EdgeEvent> {
+    let mut rng = StdRng::seed_from_u64(0x5708E + k);
+    (0..EVENTS_PER_WINDOW)
+        .filter_map(|_| {
+            let u = rng.gen_range(0..NODES) as u32;
+            let v = rng.gen_range(0..NODES) as u32;
+            (u != v).then(|| {
+                if rng.gen_bool(0.2) {
+                    EdgeEvent::delete(u, v)
+                } else {
+                    EdgeEvent::insert(u, v)
+                }
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let mut h = BenchHarness::from_args("store");
+    h.record_param("events_per_window", EVENTS_PER_WINDOW as u64);
+    h.record_param("replay_windows", REPLAY_WINDOWS as u64);
+    let cfg_template = StoreConfig::new("unused");
+    h.record_param("segment_bytes", cfg_template.segment_bytes);
+
+    // WAL append: encode + write + fsync of one post-coalesce window —
+    // the latency the reactor adds to every flush when WAL mode is on.
+    let append_dir = bench_dir("append");
+    let mut store = WalStore::create(StoreConfig::new(&append_dir), &host()).unwrap();
+    let mut epoch = 0u64;
+    h.bench("wal_append/window_64ev_fsync", || {
+        epoch += 1;
+        store.append_window(epoch, &window(epoch)).unwrap();
+        epoch
+    });
+
+    // Checkpoint: serialise nothing (the host JSON is prepared once, as the
+    // reactor does from its drained parts), atomically write, compact.
+    let host_json = host().to_json();
+    let ck_dir = bench_dir("checkpoint");
+    let mut ck_store = WalStore::create(StoreConfig::new(&ck_dir), &host()).unwrap();
+    let mut ck_epoch = 0u64;
+    h.bench("checkpoint/write_and_compact", || {
+        ck_epoch += 1;
+        ck_store.append_window(ck_epoch, &window(ck_epoch)).unwrap();
+        ck_store.checkpoint(ck_epoch, &host_json).unwrap();
+        ck_epoch
+    });
+
+    // Recovery: seed a log with REPLAY_WINDOWS windows past the initial
+    // checkpoint, then measure scan-only and full checkpoint+replay.
+    let rec_dir = bench_dir("recover");
+    {
+        let mut seed = WalStore::create(StoreConfig::new(&rec_dir), &host()).unwrap();
+        for k in 1..=REPLAY_WINDOWS as u64 {
+            seed.append_window(k, &window(k)).unwrap();
+        }
+    }
+    h.bench("recovery/scan_log_only", || {
+        read_windows(&rec_dir).unwrap().len()
+    });
+    h.bench("recovery/checkpoint_plus_replay", || {
+        let rec = recover(StoreConfig::new(&rec_dir)).unwrap();
+        assert_eq!(rec.windows_replayed, REPLAY_WINDOWS as u64);
+        rec.host.batches_recorded()
+    });
+
+    for d in [&append_dir, &ck_dir, &rec_dir] {
+        let _ = fs::remove_dir_all(d);
+    }
+    h.finish();
+}

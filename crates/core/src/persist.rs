@@ -10,6 +10,7 @@
 //! incremental updates from where it stopped.
 
 use crate::pipeline::TreeSvdPipeline;
+use std::io::Write;
 use std::path::Path;
 use tsvd_rt::json::{FromJson, Json, JsonError, ToJson};
 
@@ -20,6 +21,16 @@ pub enum PersistError {
     Io(std::io::Error),
     /// Serialisation/deserialisation failure (corrupt or mismatched file).
     Codec(JsonError),
+    /// A partial write or failed rename during an atomic replace. The
+    /// destination file was never touched; at worst a `.tmp` sibling may
+    /// be left behind (and is removed on a best-effort basis).
+    Atomic {
+        /// Which step failed: `"write"` (create/write/fsync of the temp
+        /// file) or `"rename"` (the final rename over the destination).
+        stage: &'static str,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -27,6 +38,9 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Codec(e) => write!(f, "codec error: {e}"),
+            PersistError::Atomic { stage, source } => {
+                write!(f, "atomic replace failed at {stage}: {source}")
+            }
         }
     }
 }
@@ -45,11 +59,62 @@ impl From<JsonError> for PersistError {
     }
 }
 
+/// Write `bytes` to `path` atomically: write + fsync a `.tmp` sibling,
+/// then rename it over the destination, then fsync the directory. A crash
+/// at any point leaves either the old file or the new file, never a torn
+/// mix. Failures surface as [`PersistError::Atomic`]; single-writer only
+/// (concurrent writers to one `path` race on the same temp name).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let file_name = path.file_name().ok_or_else(|| PersistError::Atomic {
+        stage: "write",
+        source: std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("path has no file name: {}", path.display()),
+        ),
+    })?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let tmp = {
+        let mut name = file_name.to_os_string();
+        name.push(".tmp");
+        dir.join(name)
+    };
+    let write = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    })();
+    if let Err(source) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(PersistError::Atomic {
+            stage: "write",
+            source,
+        });
+    }
+    if let Err(source) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(PersistError::Atomic {
+            stage: "rename",
+            source,
+        });
+    }
+    // Make the rename itself durable. Directory fsync is best-effort: it
+    // can fail on filesystems that refuse to open directories for sync,
+    // which does not affect the data already fsync'd above.
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
 impl TreeSvdPipeline {
-    /// Serialise the full pipeline state to `path` (JSON).
+    /// Serialise the full pipeline state to `path` (JSON), atomically: a
+    /// crash mid-save leaves the previous checkpoint intact rather than a
+    /// torn file.
     pub fn save(&self, path: &Path) -> Result<(), PersistError> {
-        std::fs::write(path, self.to_json().to_string())?;
-        Ok(())
+        atomic_write(path, self.to_json().to_string().as_bytes())
     }
 
     /// Restore a pipeline previously written with [`TreeSvdPipeline::save`].
@@ -144,5 +209,28 @@ mod tests {
     fn load_missing_file_is_io_error() {
         let err = TreeSvdPipeline::load(Path::new("/nonexistent/tsvd.json")).unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn atomic_write_replaces_without_leaving_tmp() {
+        let dir = std::env::temp_dir().join(format!("tsvd_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        atomic_write(&path, b"old").unwrap();
+        atomic_write(&path, b"new").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new");
+        assert!(
+            !dir.join("state.json.tmp").exists(),
+            "temp file must not survive a successful replace"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_failure_is_typed_and_leaves_target_untouched() {
+        // The parent directory does not exist, so the temp-file create fails
+        // before anything could touch the (equally nonexistent) target.
+        let err = atomic_write(Path::new("/nonexistent/tsvd/state.json"), b"x").unwrap_err();
+        assert!(matches!(err, PersistError::Atomic { stage: "write", .. }));
     }
 }

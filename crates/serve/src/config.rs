@@ -45,6 +45,16 @@ pub struct ServeConfig {
     /// the backpressure signal for that tenant's writers — other tenants
     /// are unaffected. `0` disables the quota (unbounded).
     pub tenant_quota: u64,
+    /// Mirror of the `TSVD_WAL` env toggle. The durability sink itself is
+    /// injected via `EmbeddingServer::start_with_store` (a config stays
+    /// `Copy` and cannot carry a path); this field records the intent so
+    /// test harnesses and binaries can branch on one knob when deciding
+    /// whether to attach a `tsvd-store` WAL to the server they start.
+    pub wal: bool,
+    /// With a durability sink attached: write a full host checkpoint (and
+    /// compact the WAL behind it) every this many flushed windows. `0`
+    /// checkpoints only at shutdown. Ignored without a sink.
+    pub checkpoint_every: u64,
 }
 
 tsvd_rt::impl_json_struct!(ServeConfig {
@@ -54,7 +64,9 @@ tsvd_rt::impl_json_struct!(ServeConfig {
     coalesce,
     pipeline_depth,
     svd_update,
-    tenant_quota
+    tenant_quota,
+    wal,
+    checkpoint_every
 });
 
 /// Default pipeline depth: the `TSVD_PIPELINE_DEPTH` env var if set and
@@ -74,6 +86,14 @@ fn default_svd_update() -> bool {
     tsvd_core::UpdatePolicy::svd_update_env()
 }
 
+/// Default WAL toggle: the `TSVD_WAL` env var, read per call like
+/// [`default_pipeline_depth`]; unset, empty, and `"0"` mean off.
+fn default_wal() -> bool {
+    std::env::var("TSVD_WAL")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -84,6 +104,8 @@ impl Default for ServeConfig {
             pipeline_depth: default_pipeline_depth(),
             svd_update: default_svd_update(),
             tenant_quota: 0,
+            wal: default_wal(),
+            checkpoint_every: 0,
         }
     }
 }

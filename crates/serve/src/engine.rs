@@ -57,9 +57,18 @@ use tsvd_core::{
 use tsvd_graph::{DynGraph, EdgeEvent};
 use tsvd_linalg::CsrMatrix;
 use tsvd_ppr::{PprConfig, RecordedBatch, SubsetPpr};
+use tsvd_rt::json::{field, FromJson, Json, JsonError, ToJson};
 use tsvd_rt::pool::par_for_each_mut;
 
 use crate::ingest::GraphIngest;
+
+/// Hard cap on the in-memory window log. The log exists for tests and
+/// offline-replay ground truth; it grows by one window per flush and is
+/// never drained, so a long-lived server must journal through the durable
+/// WAL (`tsvd-store`, `TSVD_WAL=1`) instead. Hitting the cap is a
+/// configuration error and panics rather than silently dropping windows —
+/// a truncated journal would break the "replay equals served" contract.
+pub(crate) const WINDOW_LOG_CAP: usize = 1 << 16;
 
 /// One pipeline replica: the PPR maintenance state for a contiguous row
 /// range `[start, start + ppr.len())` of `M_S`.
@@ -144,6 +153,12 @@ impl EngineFront {
         events: &[EdgeEvent],
     ) -> StagedWindow {
         if let Some(log) = &mut self.window_log {
+            assert!(
+                log.len() < WINDOW_LOG_CAP,
+                "in-memory window_log reached its cap of {WINDOW_LOG_CAP} windows; \
+                 long-lived servers must journal through the durable WAL \
+                 (TSVD_WAL=1 / EmbeddingServer::start_with_store) instead"
+            );
             log.push(events.to_vec());
         }
         // Phase 1a: replay the record on every shard's states in parallel
@@ -309,6 +324,74 @@ impl EngineBack {
     }
 }
 
+// Checkpoint serialisation of the engine halves. Scratch state is excluded
+// by construction: a shard's `pending` buffer only lives within one stage
+// call, and the front's `window_log` is the test-only journal the durable
+// WAL replaces — so a reloaded engine continues bitwise from the
+// serialised state.
+impl ToJson for Shard {
+    fn to_json(&self) -> Json {
+        Json::object([("start", self.start.to_json()), ("ppr", self.ppr.to_json())])
+    }
+}
+
+impl FromJson for Shard {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Shard {
+            start: field(j, "start")?,
+            ppr: field(j, "ppr")?,
+            pending: Vec::new(),
+        })
+    }
+}
+
+impl ToJson for EngineFront {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("sources", self.sources.to_json()),
+            ("shards", self.shards.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EngineFront {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(EngineFront {
+            sources: field(j, "sources")?,
+            shards: field(j, "shards")?,
+            window_log: None,
+        })
+    }
+}
+
+impl ToJson for EngineBack {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("matrix", self.matrix.to_json()),
+            ("tree", self.tree.to_json()),
+            ("embedding", self.embedding.to_json()),
+            ("timings", self.timings.to_json()),
+            ("stats_total", self.stats_total.to_json()),
+            ("epoch", self.epoch.to_json()),
+            ("events_applied", self.events_applied.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EngineBack {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(EngineBack {
+            matrix: field(j, "matrix")?,
+            tree: field(j, "tree")?,
+            embedding: field(j, "embedding")?,
+            timings: field(j, "timings")?,
+            stats_total: field(j, "stats_total")?,
+            epoch: field(j, "epoch")?,
+            events_applied: field(j, "events_applied")?,
+        })
+    }
+}
+
 impl ShardedEngine {
     /// Build the engine on (a clone of) `g` for subset `sources`, sharding
     /// the rows over `num_shards` contiguous ranges (clamped to `|S|`).
@@ -335,6 +418,10 @@ impl ShardedEngine {
     /// Start journaling every applied window (see `window_log`). Windows
     /// applied before this call are not recorded, so enable it before the
     /// first `apply_batch` for a complete journal.
+    ///
+    /// The in-memory journal is for tests and offline-replay ground truth
+    /// and is capped at [`WINDOW_LOG_CAP`] windows (exceeding it panics);
+    /// a long-lived server journals through the durable WAL instead.
     pub fn enable_window_log(&mut self) {
         self.front.enable_window_log();
     }

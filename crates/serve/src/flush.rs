@@ -134,6 +134,19 @@ impl FlushPipeline {
         self.depth
     }
 
+    /// Borrow the front half (checkpoint serialisation).
+    pub(crate) fn front(&self) -> &EngineFront {
+        &self.front
+    }
+
+    /// Borrow the back half (checkpoint serialisation). Only callable with
+    /// no commit in flight — drain first.
+    pub(crate) fn back(&self) -> &EngineBack {
+        self.back
+            .as_ref()
+            .expect("back half is with an in-flight commit; drain before borrowing")
+    }
+
     /// Whether a commit is currently in flight.
     pub fn in_flight(&self) -> bool {
         self.inflight.is_some()

@@ -1,0 +1,245 @@
+//! Journal-fed follower replicas: read scale-out for free.
+//!
+//! A [`Follower`] wraps its own [`TenantHost`] — typically seeded from a
+//! checkpoint of the leader (`tsvd-store` recovery) or built from the same
+//! initial graph — and replays the leader's flush windows into it, in
+//! order, publishing each resulting epoch through the same
+//! [`EpochCell`]/[`EpochSnapshot`] machinery the leader's server uses. Its
+//! readers are therefore wait-free and whole-epoch consistent, just
+//! possibly *stale*: the follower serves epoch `k` while the leader is at
+//! `k + lag`.
+//!
+//! Windows arrive over the existing `serve::net` protocol: the follower
+//! polls `GetWindows{after_epoch, max}` ([`NetClient::get_windows`]),
+//! which streams the leader's bounded in-memory journal tail. Because
+//! those windows are exactly the post-coalesce windows the leader applied
+//! — and every layer below is bitwise deterministic — the follower's
+//! published embedding at epoch `k` equals the leader's at epoch `k` bit
+//! for bit, per tenant.
+//!
+//! A follower that disconnects simply resumes polling from its own epoch;
+//! if it fell further behind than the leader's journal retains, the pull
+//! fails (the leader answers with a compaction error) and the follower
+//! must re-seed from a newer checkpoint.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+use tsvd_graph::EdgeEvent;
+
+use crate::net::NetClient;
+use crate::server::EmbeddingReader;
+use crate::snapshot::{EpochCell, EpochSnapshot};
+use crate::tenant::{TenantHost, TenantId};
+
+struct FollowerCell {
+    id: TenantId,
+    cell: Arc<EpochCell>,
+    sources: Arc<Vec<u32>>,
+    index: Arc<HashMap<u32, usize>>,
+}
+
+/// A replica host that replays the leader's flush windows and serves
+/// wait-free reads at a possibly-stale-but-consistent epoch (module docs).
+pub struct Follower {
+    host: TenantHost,
+    cells: Vec<FollowerCell>,
+}
+
+impl Follower {
+    /// Wrap `host` as a follower and publish its current state (every
+    /// tenant's epoch as of the host — epoch 0 for a fresh build, the
+    /// checkpoint epoch for a recovered one).
+    pub fn new(host: TenantHost) -> Self {
+        let cells = host
+            .tenant_ids()
+            .into_iter()
+            .map(|id| {
+                let sources = Arc::new(host.sources(id).expect("own tenant").to_vec());
+                let index: Arc<HashMap<u32, usize>> =
+                    Arc::new(sources.iter().enumerate().map(|(i, &v)| (v, i)).collect());
+                let cell = Arc::new(EpochCell::new(EpochSnapshot::new(
+                    host.tagged(id).expect("own tenant"),
+                    sources.clone(),
+                    index.clone(),
+                    host.events_applied(id).expect("own tenant"),
+                    host.timings(id).expect("own tenant"),
+                )));
+                FollowerCell {
+                    id,
+                    cell,
+                    sources,
+                    index,
+                }
+            })
+            .collect();
+        Follower { host, cells }
+    }
+
+    /// The epoch this follower has applied and published (tenant epochs
+    /// are lockstep with the window counter).
+    pub fn epoch(&self) -> u64 {
+        self.host.batches_recorded()
+    }
+
+    /// Registered tenant ids, in registration order.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.host.tenant_ids()
+    }
+
+    /// A wait-free read handle on `tenant` (`None` if unknown) — the same
+    /// interface a leader's [`ServerHandle::reader_for`] hands out.
+    ///
+    /// [`ServerHandle::reader_for`]: crate::ServerHandle::reader_for
+    pub fn reader(&self, tenant: TenantId) -> Option<EmbeddingReader> {
+        let c = self.cells.iter().find(|c| c.id == tenant)?;
+        Some(EmbeddingReader::from_cell(c.cell.clone()))
+    }
+
+    /// The wrapped host (e.g. for offline comparison).
+    pub fn host(&self) -> &TenantHost {
+        &self.host
+    }
+
+    /// Unwrap the host. Readers handed out earlier keep serving the last
+    /// published epoch.
+    pub fn into_host(self) -> TenantHost {
+        self.host
+    }
+
+    /// Apply one of the leader's post-coalesce windows verbatim and
+    /// publish the resulting epoch on every tenant.
+    pub fn apply_window(&mut self, events: &[EdgeEvent]) {
+        self.host.apply_batch(events);
+        for c in &self.cells {
+            c.cell.store(EpochSnapshot::new(
+                self.host.tagged(c.id).expect("own tenant"),
+                c.sources.clone(),
+                c.index.clone(),
+                self.host.events_applied(c.id).expect("own tenant"),
+                self.host.timings(c.id).expect("own tenant"),
+            ));
+        }
+    }
+
+    /// Pull windows from the leader until caught up to its journal head,
+    /// applying and publishing each; returns the epoch then served.
+    /// `max_per_pull` bounds each round trip (paging). Transport failures
+    /// and journal gaps (the leader compacted past this follower's epoch)
+    /// surface as errors; the follower stays consistent at whatever epoch
+    /// it last published and `catch_up` can simply be called again — or,
+    /// after a gap, the follower must be re-seeded from a checkpoint.
+    pub fn catch_up(&mut self, client: &mut NetClient, max_per_pull: u32) -> io::Result<u64> {
+        loop {
+            let reply = client.get_windows(self.epoch(), max_per_pull)?;
+            if reply.windows.is_empty() {
+                return Ok(self.epoch());
+            }
+            if reply.first_epoch != self.epoch() + 1 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "journal stream gap: leader sent windows from epoch {}, follower is at {}",
+                        reply.first_epoch,
+                        self.epoch()
+                    ),
+                ));
+            }
+            for w in &reply.windows {
+                self.apply_window(w);
+            }
+            if self.epoch() >= reply.latest {
+                return Ok(self.epoch());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Level1Method, PartitionStrategy, TreeSvdConfig, UpdatePolicy};
+    use tsvd_graph::DynGraph;
+    use tsvd_ppr::PprConfig;
+    use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+
+    fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
+        let mut g = DynGraph::with_nodes(n);
+        while g.num_edges() < m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v {
+                g.insert_edge(u, v);
+            }
+        }
+        g
+    }
+
+    fn tree_cfg() -> TreeSvdConfig {
+        TreeSvdConfig {
+            dim: 8,
+            branching: 2,
+            num_blocks: 4,
+            oversample: 6,
+            power_iters: 1,
+            level1: Level1Method::Randomized,
+            policy: UpdatePolicy::Lazy { delta: 0.4 },
+            partition: PartitionStrategy::EqualWidth,
+            seed: 7,
+        }
+    }
+
+    /// Applying the same windows to a follower and to a plain host yields
+    /// identical published snapshots, epoch by epoch, for every tenant.
+    #[test]
+    fn follower_publishes_replayed_epochs_bitwise() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 80;
+        let g = random_graph(&mut rng, n, 320);
+        let ppr = PprConfig::default();
+        let build_host = |g: &DynGraph| {
+            let mut h = TenantHost::new(g);
+            h.register(0, &(0..7).collect::<Vec<_>>(), 2, ppr, tree_cfg())
+                .unwrap();
+            h.register(5, &(10..16).collect::<Vec<_>>(), 1, ppr, tree_cfg())
+                .unwrap();
+            h
+        };
+        let mut leader = build_host(&g);
+        let mut follower = Follower::new(build_host(&g));
+        let r0 = follower.reader(0).unwrap();
+        let r5 = follower.reader(5).unwrap();
+        assert_eq!(follower.epoch(), 0);
+        assert_eq!(r0.epoch(), 0);
+        assert!(follower.reader(99).is_none());
+
+        for k in 0..3u32 {
+            let window = vec![
+                EdgeEvent::insert(k, 40 + k),
+                EdgeEvent::insert(12, 50 + k),
+                EdgeEvent::delete(k, 40 + k),
+            ];
+            leader.apply_batch(&window);
+            follower.apply_window(&window);
+            let e = follower.epoch();
+            assert_eq!(e, (k + 1) as u64);
+            for (id, reader) in [(0, &r0), (5, &r5)] {
+                let snap = reader.snapshot();
+                assert_eq!(snap.epoch(), e);
+                assert!(snap.verify());
+                let lead = leader.tagged(id).unwrap();
+                let srv = snap.tagged();
+                assert_eq!(
+                    srv.left().sub(lead.left()).max_abs(),
+                    0.0,
+                    "tenant {id} diverged at epoch {e}"
+                );
+            }
+        }
+        let host = follower.into_host();
+        assert_eq!(host.batches_recorded(), 3);
+        // Readers keep serving the last published epoch after unwrap.
+        assert_eq!(r0.epoch(), 3);
+    }
+}

@@ -31,6 +31,16 @@ impl GraphIngest {
         }
     }
 
+    /// Rebuild ingest state from a checkpoint: the graph as of
+    /// `batches_recorded` recordings, with the counter restored so replayed
+    /// windows continue the original epoch numbering.
+    pub(crate) fn restore(graph: DynGraph, batches_recorded: u64) -> Self {
+        GraphIngest {
+            graph,
+            batches_recorded,
+        }
+    }
+
     /// Apply `events` to the shared graph and capture the replay recording.
     ///
     /// This is the only place a served edge batch touches the graph; each

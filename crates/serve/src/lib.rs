@@ -60,7 +60,9 @@
 mod config;
 mod engine;
 mod flush;
+mod follower;
 mod ingest;
+mod journal;
 pub mod net;
 mod server;
 mod snapshot;
@@ -70,7 +72,9 @@ mod tenant;
 pub use config::ServeConfig;
 pub use engine::ShardedEngine;
 pub use flush::{CommitOutcome, FlushPipeline};
+pub use follower::Follower;
 pub use ingest::GraphIngest;
+pub use journal::{DurabilitySink, JournalError, JournalWindows, WindowJournal, JOURNAL_KEEP};
 pub use net::{ClientConfig, NetClient, NetFront, TcpTransport};
 pub use server::{EmbeddingReader, EmbeddingServer, ServerHandle, SubmitError, DEFAULT_TENANT};
 pub use snapshot::{EpochCell, EpochSnapshot};

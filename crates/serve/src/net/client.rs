@@ -19,7 +19,7 @@
 //! # Retry policy
 //!
 //! Only idempotent requests (`Ping`, `Flush`, `GetRows`, `GetEmbedding`,
-//! `GetStats`) are retried after a transport failure. `SubmitEvents` is
+//! `GetStats`, `GetWindows`) are retried after a transport failure. `SubmitEvents` is
 //! **never** auto-retried: the failure may have struck after the server
 //! applied the batch, and a blind resend would double-apply events. The
 //! caller decides (e.g. by comparing `stats().events_submitted`).
@@ -33,6 +33,7 @@ use crate::stats::StatsReply;
 use super::transport::{Duplex, Transport};
 use super::wire::{
     encode_frame, read_frame, write_frame, EmbeddingReply, Message, Reply, Request, RowsReply,
+    WindowsReply,
 };
 
 /// Client behaviour knobs (the reply-read timeout lives on the transport).
@@ -135,6 +136,20 @@ impl NetClient {
     pub fn stats(&mut self) -> io::Result<StatsReply> {
         match self.call(Request::GetStats, true)? {
             Reply::Stats(s) => Ok(*s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Journal windows for epochs `> after_epoch`, up to `max` per reply —
+    /// the follower catch-up pull ([`Follower::catch_up`] loops this).
+    /// Idempotent, so safe to retry. A leader that compacted past
+    /// `after_epoch` answers with an error reply (surfaced as
+    /// [`io::ErrorKind::InvalidData`]): re-seed from a checkpoint.
+    ///
+    /// [`Follower::catch_up`]: crate::Follower::catch_up
+    pub fn get_windows(&mut self, after_epoch: u64, max: u32) -> io::Result<WindowsReply> {
+        match self.call(Request::GetWindows { after_epoch, max }, true)? {
+            Reply::Windows(w) => Ok(w),
             other => Err(unexpected(&other)),
         }
     }
@@ -311,7 +326,9 @@ impl NetClient {
             Reply::Error(msg) => {
                 return Err(io::Error::other(format!("server error: {msg}")));
             }
-            Reply::Pong | Reply::SubmitAck { .. } | Reply::ShutdownAck => {}
+            // Journal epochs are global window counts, not this tenant's
+            // read epochs — no freshness guard.
+            Reply::Pong | Reply::SubmitAck { .. } | Reply::ShutdownAck | Reply::Windows(_) => {}
         }
         Ok(reply)
     }

@@ -39,7 +39,7 @@ use crate::tenant::{TenantHost, TenantId};
 
 use super::transport::{pipe, Duplex, Transport};
 use super::wire::{
-    read_frame_until, write_frame, EmbeddingReply, Message, Reply, Request, RowsReply,
+    read_frame_until, write_frame, EmbeddingReply, Message, Reply, Request, RowsReply, WindowsReply,
 };
 
 /// Poll interval for stop-flag checks in blocking reads and accept loops.
@@ -437,5 +437,19 @@ fn execute(shared: &FrontShared, tenant: u32, req: Request) -> (Reply, bool) {
             shared.stop.store(true, Ordering::Release);
             (Reply::ShutdownAck, true)
         }
+        Request::GetWindows { after_epoch, max } => match &*shared.handle.read().unwrap() {
+            Some(h) => match h.journal_windows(after_epoch, max as usize) {
+                Ok(run) => (
+                    Reply::Windows(WindowsReply {
+                        latest: run.latest,
+                        first_epoch: run.first_epoch,
+                        windows: run.windows,
+                    }),
+                    false,
+                ),
+                Err(e) => (Reply::Error(e.to_string()), false),
+            },
+            None => (Reply::Error("server is shut down".into()), true),
+        },
     }
 }

@@ -38,4 +38,6 @@ pub mod wire;
 pub use client::{ClientConfig, NetClient};
 pub use frontend::{LoopbackTransport, NetFront};
 pub use transport::{Duplex, TcpTransport, Transport};
-pub use wire::{EmbeddingReply, Frame, Message, Reply, Request, RowsReply, WireError};
+pub use wire::{
+    EmbeddingReply, Frame, Message, Reply, Request, RowsReply, WindowsReply, WireError,
+};

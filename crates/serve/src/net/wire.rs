@@ -43,6 +43,7 @@
 //! | 0x05 | `GetEmbedding` | empty |
 //! | 0x06 | `GetStats`     | empty |
 //! | 0x07 | `Shutdown`     | empty |
+//! | 0x08 | `GetWindows`   | `u64 after_epoch`, `u32 max` |
 //! | 0x81 | `Pong`         | empty |
 //! | 0x82 | `SubmitAck`    | `u64 accepted` |
 //! | 0x83 | `FlushAck`     | `u64 epoch` |
@@ -50,6 +51,7 @@
 //! | 0x85 | `Embedding`    | `u64 epoch`, `u64 checksum_bits`, `u32 dim`, `u32 rows`, rows × `u32 source`, rows·dim × `f64` (row-major) |
 //! | 0x86 | `Stats`        | `u32 len`, UTF-8 JSON body (`StatsReply`: the tenant's `ServeStats` plus the `HostStats` rollup; the rt::json codec round-trips every `f64` bitwise) |
 //! | 0x87 | `ShutdownAck`  | empty |
+//! | 0x88 | `Windows`      | `u64 latest`, `u64 first_epoch`, `u32 n`, then n × (`u32 m`, m × (`u32 u`, `u32 v`, `u8 kind`)) |
 //! | 0xFF | `Error`        | `u32 len`, UTF-8 message |
 //!
 //! `f64` values travel as raw IEEE-754 bits (`to_bits`/`from_bits`), so a
@@ -152,6 +154,13 @@ pub enum Request {
     GetStats,
     /// Flush, then stop accepting traffic (the owner reclaims the engine).
     Shutdown,
+    /// Journal windows for epochs `> after_epoch` (follower catch-up).
+    GetWindows {
+        /// The follower's applied epoch; the reply starts right after it.
+        after_epoch: u64,
+        /// Page size: at most this many windows per reply.
+        max: u32,
+    },
 }
 
 /// Embedding rows for an explicit node list, stamped with the epoch and
@@ -207,6 +216,20 @@ impl EmbeddingReply {
     }
 }
 
+/// A contiguous run of the leader's journal windows — the follower
+/// catch-up payload (answer to [`Request::GetWindows`]). Field meanings
+/// mirror `JournalWindows` in the serve crate: `windows[i]` is the exact
+/// post-coalesce window the leader applied at epoch `first_epoch + i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowsReply {
+    /// Newest epoch in the leader's journal when the read was taken.
+    pub latest: u64,
+    /// Epoch of `windows[0]` (`after_epoch + 1`; meaningless when empty).
+    pub first_epoch: u64,
+    /// Windows for epochs `first_epoch ..`, in order (empty = caught up).
+    pub windows: Vec<Vec<EdgeEvent>>,
+}
+
 /// A server-to-client reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
@@ -232,6 +255,8 @@ pub enum Reply {
     Stats(Box<StatsReply>),
     /// The server flushed and is shutting its network front down.
     ShutdownAck,
+    /// Answer to [`Request::GetWindows`].
+    Windows(WindowsReply),
     /// The request could not be served (message is human-readable).
     Error(String),
 }
@@ -289,6 +314,7 @@ impl Message {
             Message::Request(Request::GetEmbedding) => 0x05,
             Message::Request(Request::GetStats) => 0x06,
             Message::Request(Request::Shutdown) => 0x07,
+            Message::Request(Request::GetWindows { .. }) => 0x08,
             Message::Reply(Reply::Pong) => 0x81,
             Message::Reply(Reply::SubmitAck { .. }) => 0x82,
             Message::Reply(Reply::FlushAck { .. }) => 0x83,
@@ -296,6 +322,7 @@ impl Message {
             Message::Reply(Reply::Embedding(_)) => 0x85,
             Message::Reply(Reply::Stats(_)) => 0x86,
             Message::Reply(Reply::ShutdownAck) => 0x87,
+            Message::Reply(Reply::Windows(_)) => 0x88,
             Message::Reply(Reply::Error(_)) => 0xFF,
         }
     }
@@ -322,6 +349,10 @@ impl Message {
                 for &n in nodes {
                     put_u32(out, n);
                 }
+            }
+            Message::Request(Request::GetWindows { after_epoch, max }) => {
+                put_u64(out, *after_epoch);
+                put_u32(out, *max);
             }
             Message::Reply(Reply::SubmitAck { accepted }) => put_u64(out, *accepted),
             Message::Reply(Reply::FlushAck { epoch }) => put_u64(out, *epoch),
@@ -360,6 +391,19 @@ impl Message {
                 let body = reply.to_json().to_string().into_bytes();
                 put_u32(out, body.len() as u32);
                 out.extend_from_slice(&body);
+            }
+            Message::Reply(Reply::Windows(w)) => {
+                put_u64(out, w.latest);
+                put_u64(out, w.first_epoch);
+                put_u32(out, w.windows.len() as u32);
+                for window in &w.windows {
+                    put_u32(out, window.len() as u32);
+                    for e in window {
+                        put_u32(out, e.u);
+                        put_u32(out, e.v);
+                        out.push(event_kind_byte(e.kind));
+                    }
+                }
             }
             Message::Reply(Reply::Error(msg)) => {
                 let body = msg.as_bytes();
@@ -494,6 +538,11 @@ fn decode_payload(msg_id: u8, payload: &[u8]) -> Result<Message, WireError> {
         0x05 => Message::Request(Request::GetEmbedding),
         0x06 => Message::Request(Request::GetStats),
         0x07 => Message::Request(Request::Shutdown),
+        0x08 => {
+            let after_epoch = c.u64()?;
+            let max = c.u32()?;
+            Message::Request(Request::GetWindows { after_epoch, max })
+        }
         0x81 => Message::Reply(Reply::Pong),
         0x82 => Message::Reply(Reply::SubmitAck { accepted: c.u64()? }),
         0x83 => Message::Reply(Reply::FlushAck { epoch: c.u64()? }),
@@ -566,6 +615,28 @@ fn decode_payload(msg_id: u8, payload: &[u8]) -> Result<Message, WireError> {
             Message::Reply(Reply::Stats(Box::new(reply)))
         }
         0x87 => Message::Reply(Reply::ShutdownAck),
+        0x88 => {
+            let latest = c.u64()?;
+            let first_epoch = c.u64()?;
+            let n = c.count(4)?;
+            let mut windows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let m = c.count(9)?;
+                let mut events = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let u = c.u32()?;
+                    let v = c.u32()?;
+                    let kind = decode_event_kind(c.u8()?)?;
+                    events.push(EdgeEvent { u, v, kind });
+                }
+                windows.push(events);
+            }
+            Message::Reply(Reply::Windows(WindowsReply {
+                latest,
+                first_epoch,
+                windows,
+            }))
+        }
         0xFF => {
             let n = c.count(1)?;
             let body = std::str::from_utf8(c.take(n)?)
@@ -827,6 +898,33 @@ mod tests {
             })),
         );
         round_trip(8, Message::Reply(Reply::Error("no such node".into())));
+        round_trip(
+            9,
+            Message::Request(Request::GetWindows {
+                after_epoch: 41,
+                max: 128,
+            }),
+        );
+        round_trip(
+            10,
+            Message::Reply(Reply::Windows(WindowsReply {
+                latest: 44,
+                first_epoch: 42,
+                windows: vec![
+                    vec![EdgeEvent::insert(1, 2), EdgeEvent::delete(3, 4)],
+                    vec![], // an all-coalesced-away (empty) window survives
+                    vec![EdgeEvent::insert(9, 9)],
+                ],
+            })),
+        );
+        round_trip(
+            12,
+            Message::Reply(Reply::Windows(WindowsReply {
+                latest: 7,
+                first_epoch: 8,
+                windows: vec![], // caught-up reply
+            })),
+        );
     }
 
     #[test]

@@ -55,12 +55,13 @@ use tsvd_graph::{CoalesceScratch, EdgeEvent};
 use tsvd_rt::exec::{Event, EventLoop, Flow, Mailbox, Timers};
 
 use crate::config::ServeConfig;
-use crate::engine::ShardedEngine;
+use crate::engine::{EngineBack, EngineFront, ShardedEngine};
 use crate::flush::{CommitOutcome, FlushPipeline};
 use crate::ingest::GraphIngest;
+use crate::journal::{DurabilitySink, JournalError, JournalWindows, WindowJournal, JOURNAL_KEEP};
 use crate::snapshot::{EpochCell, EpochSnapshot};
 use crate::stats::{HostStats, ServeStats, StatsReply};
-use crate::tenant::{TenantEngine, TenantHost, TenantId};
+use crate::tenant::{host_json, TenantEngine, TenantHost, TenantId};
 
 /// Tenant id a single-engine server registers its engine under, and the id
 /// the tenant-unaware handle methods route to.
@@ -255,6 +256,13 @@ struct Inner {
     /// Round-robin cursor: which tenant stages first this flush.
     rr: usize,
     host: Arc<HostCounters>,
+    /// Durable write-ahead sink: every flushed window is appended (and
+    /// fsync'd) here *before* it is recorded or any tenant commits, so a
+    /// published epoch is always recoverable. `None` = no durability.
+    sink: Option<Box<dyn DurabilitySink>>,
+    /// Bounded in-memory tail of recent windows, shared with the handle —
+    /// what `GetWindows` serves to followers.
+    journal: Arc<WindowJournal>,
 }
 
 impl Inner {
@@ -311,11 +319,24 @@ impl Inner {
             }
             raw
         };
+        // Durability barrier: the window must be on disk before the graph
+        // records it or any tenant can publish it — a crash after this
+        // point replays the window; a crash before it never published it.
+        // A failed append is a broken durability guarantee, not a
+        // recoverable condition: continuing would publish epochs a
+        // recovery cannot reproduce.
+        let epoch = self.ingest.batches_recorded() + 1;
+        if let Some(sink) = &mut self.sink {
+            if let Err(e) = sink.append_window(epoch, &window) {
+                panic!("WAL append for epoch {epoch} failed: {e}");
+            }
+        }
         // Record once — the replay fan-out below never touches the graph.
         let rec = self.ingest.record(&window);
         self.host
             .batches_recorded
             .store(self.ingest.batches_recorded(), Ordering::Release);
+        self.journal.push(epoch, &window);
         // Fairness: rotate which tenant stages first (and thus whose
         // in-flight commit overlaps every later tenant's stage).
         for k in 0..nt {
@@ -332,6 +353,42 @@ impl Inner {
         }
         self.rr = (self.rr + 1) % nt.max(1);
         self.sync_poll(timers);
+        self.maybe_checkpoint(timers, epoch);
+    }
+
+    /// Periodic checkpoint: every `cfg.checkpoint_every` flushed windows
+    /// (and only with a sink attached), drain the pipelines and hand the
+    /// full host serialisation to the sink, which compacts the WAL behind
+    /// the checkpointed epoch.
+    fn maybe_checkpoint(&mut self, timers: &mut Timers, epoch: u64) {
+        let every = self.cfg.checkpoint_every;
+        if self.sink.is_none() || every == 0 || !epoch.is_multiple_of(every) {
+            return;
+        }
+        // Checkpoint state must include every window ≤ epoch: join any
+        // in-flight commits first. This stalls the pipeline for one
+        // checkpoint — the price of a consistent cut.
+        self.drain();
+        self.sync_poll(timers);
+        self.checkpoint_now(epoch);
+    }
+
+    /// Serialise the host (pipelines must be drained) and write it through
+    /// the sink. Same failure policy as the append path.
+    fn checkpoint_now(&mut self, epoch: u64) {
+        let json = {
+            let parts: Vec<(TenantId, &EngineFront, &EngineBack)> = self
+                .tenants
+                .iter()
+                .map(|t| (t.id, t.pipe.front(), t.pipe.back()))
+                .collect();
+            host_json(&self.ingest, &parts)
+        };
+        if let Some(sink) = &mut self.sink {
+            if let Err(e) = sink.checkpoint(epoch, &json) {
+                panic!("checkpoint at epoch {epoch} failed: {e}");
+            }
+        }
     }
 
     /// Poll every tenant's in-flight commit, publishing whatever landed.
@@ -404,6 +461,35 @@ impl EmbeddingServer {
     /// Spawn the reactor thread over a host with at least one registered
     /// tenant and return its handle.
     pub fn start_host(host: TenantHost, cfg: ServeConfig) -> ServerHandle {
+        Self::start_host_inner(host, cfg, None)
+    }
+
+    /// Like [`start`](Self::start), with a durability sink attached: every
+    /// flushed window is appended (and made durable) through `sink` before
+    /// its epoch is published, and full checkpoints are written every
+    /// [`ServeConfig::checkpoint_every`] windows and at shutdown.
+    pub fn start_with_store(
+        engine: ShardedEngine,
+        cfg: ServeConfig,
+        sink: Box<dyn DurabilitySink>,
+    ) -> ServerHandle {
+        Self::start_host_with_store(TenantHost::from_engine(engine, DEFAULT_TENANT), cfg, sink)
+    }
+
+    /// Like [`start_host`](Self::start_host), with a durability sink.
+    pub fn start_host_with_store(
+        host: TenantHost,
+        cfg: ServeConfig,
+        sink: Box<dyn DurabilitySink>,
+    ) -> ServerHandle {
+        Self::start_host_inner(host, cfg, Some(sink))
+    }
+
+    fn start_host_inner(
+        host: TenantHost,
+        cfg: ServeConfig,
+        sink: Option<Box<dyn DurabilitySink>>,
+    ) -> ServerHandle {
         cfg.validate();
         assert!(host.num_tenants() >= 1, "host has no tenants registered");
         let (ingest, engines) = host.into_parts();
@@ -445,6 +531,7 @@ impl EmbeddingServer {
         host_counters
             .batches_recorded
             .store(ingest.batches_recorded(), Ordering::Release);
+        let journal = Arc::new(WindowJournal::new(ingest.batches_recorded(), JOURNAL_KEEP));
         let inner = Inner {
             ingest,
             tenants,
@@ -455,6 +542,8 @@ impl EmbeddingServer {
             keep: Vec::new(),
             rr: 0,
             host: host_counters.clone(),
+            sink,
+            journal: journal.clone(),
         };
         let (mailbox, ev) = EventLoop::new();
         let join = std::thread::Builder::new()
@@ -496,6 +585,13 @@ impl EmbeddingServer {
                 // Publish any windows still in flight (the shutdown-with-
                 // staged-window drain), then hand the host back whole.
                 inner.drain();
+                // Clean shutdown checkpoints at the final epoch, so a
+                // restart seeds from here with nothing left to replay (and
+                // the sink can compact the whole WAL away).
+                if inner.sink.is_some() {
+                    let epoch = inner.ingest.batches_recorded();
+                    inner.checkpoint_now(epoch);
+                }
                 if let Some(tx) = host_out {
                     let engines = inner
                         .tenants
@@ -520,6 +616,7 @@ impl EmbeddingServer {
             ids,
             host: host_counters,
             cfg,
+            journal,
             join,
         }
     }
@@ -537,6 +634,7 @@ pub struct ServerHandle {
     ids: HashMap<TenantId, usize>,
     host: Arc<HostCounters>,
     cfg: ServeConfig,
+    journal: Arc<WindowJournal>,
     join: JoinHandle<()>,
 }
 
@@ -645,6 +743,19 @@ impl ServerHandle {
     /// The configuration the server was started with.
     pub fn config(&self) -> ServeConfig {
         self.cfg
+    }
+
+    /// Up to `max` flushed windows with epochs `> after_epoch`, from the
+    /// bounded in-memory journal — what the `GetWindows` wire request
+    /// serves to followers. Windows that aged out of the journal yield
+    /// [`JournalError::Compacted`]; the follower must re-seed from a
+    /// checkpoint.
+    pub fn journal_windows(
+        &self,
+        after_epoch: u64,
+        max: usize,
+    ) -> Result<JournalWindows, JournalError> {
+        self.journal.windows_after(after_epoch, max)
     }
 
     /// A point-in-time counter snapshot of the first tenant.
@@ -769,6 +880,13 @@ pub struct EmbeddingReader {
 }
 
 impl EmbeddingReader {
+    /// Wrap an epoch cell owned by something other than a server — the
+    /// follower publishes through the same cell type, so its readers get
+    /// the identical wait-free interface.
+    pub(crate) fn from_cell(cell: Arc<EpochCell>) -> EmbeddingReader {
+        EmbeddingReader { cell }
+    }
+
     /// The currently served snapshot (whole-epoch consistent).
     pub fn snapshot(&self) -> Arc<EpochSnapshot> {
         self.cell.load()

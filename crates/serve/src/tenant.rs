@@ -17,6 +17,7 @@ use std::fmt;
 use tsvd_core::{Embedding, PipelineTimings, TaggedEmbedding, TreeSvdConfig, UpdateStats};
 use tsvd_graph::{DynGraph, EdgeEvent};
 use tsvd_ppr::PprConfig;
+use tsvd_rt::json::{field, FromJson, Json, JsonError, ToJson};
 
 use crate::engine::{build_parts, EngineBack, EngineFront, ShardedEngine};
 use crate::ingest::GraphIngest;
@@ -210,6 +211,75 @@ impl TenantHost {
 
     fn tenant(&self, id: TenantId) -> Option<&TenantEngine> {
         self.tenants.iter().find(|t| t.id == id)
+    }
+}
+
+fn tenant_json(id: TenantId, front: &EngineFront, back: &EngineBack) -> Json {
+    Json::object([
+        ("id", id.to_json()),
+        ("front", front.to_json()),
+        ("back", back.to_json()),
+    ])
+}
+
+/// Serialise a host checkpoint from borrowed parts — the reactor uses this
+/// while the engine halves live inside per-tenant flush pipelines, so the
+/// host never has to be reassembled just to checkpoint it. The shape is
+/// exactly `TenantHost::to_json`.
+pub(crate) fn host_json(
+    ingest: &GraphIngest,
+    tenants: &[(TenantId, &EngineFront, &EngineBack)],
+) -> Json {
+    Json::object([
+        ("graph", ingest.graph().to_json()),
+        ("batches_recorded", ingest.batches_recorded().to_json()),
+        (
+            "tenants",
+            Json::Arr(
+                tenants
+                    .iter()
+                    .map(|(id, f, b)| tenant_json(*id, f, b))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+// Checkpoint codec: the full host state — shared graph, record-once
+// counter, and every tenant's engine halves — round-trips losslessly, so
+// a host restored from a checkpoint continues bitwise (the same property
+// `core::persist` gives a standalone `TreeSvdPipeline`).
+impl ToJson for TenantHost {
+    fn to_json(&self) -> Json {
+        let parts: Vec<(TenantId, &EngineFront, &EngineBack)> = self
+            .tenants
+            .iter()
+            .map(|t| (t.id, &t.front, &t.back))
+            .collect();
+        host_json(&self.ingest, &parts)
+    }
+}
+
+impl FromJson for TenantHost {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let graph: DynGraph = field(j, "graph")?;
+        let batches_recorded: u64 = field(j, "batches_recorded")?;
+        let tenants_json = j
+            .get("tenants")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError("missing field 'tenants'".into()))?;
+        let mut tenants = Vec::with_capacity(tenants_json.len());
+        for t in tenants_json {
+            tenants.push(TenantEngine {
+                id: field(t, "id")?,
+                front: field(t, "front")?,
+                back: field(t, "back")?,
+            });
+        }
+        Ok(TenantHost {
+            ingest: GraphIngest::restore(graph, batches_recorded),
+            tenants,
+        })
     }
 }
 

@@ -15,8 +15,8 @@ use tsvd_graph::EdgeEvent;
 use tsvd_rt::check::{Checker, Gen};
 use tsvd_rt::{ensure, ensure_eq};
 use tsvd_serve::net::wire::{
-    decode_frame, encode_frame, EmbeddingReply, Message, Reply, Request, RowsReply, WireError,
-    HEADER_LEN, MAX_PAYLOAD,
+    decode_frame, encode_frame, EmbeddingReply, Message, Reply, Request, RowsReply, WindowsReply,
+    WireError, HEADER_LEN, MAX_PAYLOAD,
 };
 use tsvd_serve::{HostStats, ServeStats, StatsReply};
 
@@ -42,7 +42,7 @@ fn gen_row(g: &mut Gen, dim: usize) -> Vec<f64> {
 /// A randomized message of any type (finite floats: the identity check
 /// uses `PartialEq`; NaN bit preservation is pinned by a codec unit test).
 fn gen_message(g: &mut Gen) -> Message {
-    match g.usize_in(0..15) {
+    match g.usize_in(0..17) {
         0 => Message::Request(Request::Ping),
         1 => Message::Request(Request::SubmitEvents(gen_events(g, 40))),
         2 => Message::Request(Request::Flush),
@@ -133,6 +133,19 @@ fn gen_message(g: &mut Gen) -> Message {
             },
         }))),
         13 => Message::Reply(Reply::ShutdownAck),
+        15 => Message::Request(Request::GetWindows {
+            after_epoch: g.u64_in(0..u64::MAX),
+            max: g.u32_in(0..u32::MAX),
+        }),
+        16 => {
+            let n = g.usize_in(0..6);
+            let windows = (0..n).map(|_| gen_events(g, 20)).collect();
+            Message::Reply(Reply::Windows(WindowsReply {
+                latest: g.u64_in(0..1_000_000),
+                first_epoch: g.u64_in(0..1_000_000),
+                windows,
+            }))
+        }
         _ => {
             let n = g.usize_in(0..120);
             let msg: String = (0..n)

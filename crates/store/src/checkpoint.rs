@@ -1,0 +1,204 @@
+//! Epoch checkpoints: atomic JSON snapshots of the whole `TenantHost`,
+//! plus the compaction rule that lets them truncate the WAL.
+//!
+//! A checkpoint `checkpoint-<epoch>.json` (20-digit zero-padded epoch)
+//! holds `{"epoch": E, "host": <TenantHost JSON>}` where the host has
+//! every window `≤ E` applied and none beyond — exactly the state the
+//! serving reactor sees after draining its pipelines at epoch `E`. Files
+//! are written through [`tsvd_core::atomic_write`] (tmp + rename + dir
+//! fsync), so a crash mid-checkpoint leaves the previous checkpoint
+//! intact; [`load_latest`] additionally falls back to an older file if
+//! the newest fails to parse.
+//!
+//! # Compaction rule
+//!
+//! After a checkpoint at `E`, replay only ever needs windows `> E`.
+//! Segments are dropped whole: segment `i` (frames `start_i ..
+//! start_{i+1}`) is deletable iff `start_{i+1} ≤ E + 1`, i.e. every frame
+//! it holds is `≤ E`. The last segment is never deleted — it is the
+//! writer's append tail. Older checkpoint files are removed at the same
+//! time (the newest valid one wins on load anyway).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tsvd_core::atomic_write;
+use tsvd_rt::json::{field, Json};
+
+use crate::{wal, StoreError};
+
+/// Path of the checkpoint taken at `epoch`.
+pub fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{epoch:020}.json"))
+}
+
+/// All checkpoints in `dir`, sorted by epoch ascending.
+pub fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Ok(epoch) = stem.parse::<u64>() else {
+            continue;
+        };
+        out.push((epoch, entry.path()));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Atomically write the checkpoint for `epoch` (host already serialised).
+pub fn write_checkpoint(dir: &Path, epoch: u64, host: &Json) -> Result<(), StoreError> {
+    let body = Json::object([("epoch", Json::Int(epoch as i64)), ("host", host.clone())]);
+    atomic_write(&checkpoint_path(dir, epoch), body.to_string().as_bytes())
+        .map_err(|e| StoreError::BadCheckpoint(format!("checkpoint write failed: {e}")))
+}
+
+/// Load the newest checkpoint that parses, falling back across older ones
+/// (an unparseable newest checkpoint means the atomic rename published a
+/// file some later corruption damaged — the previous epoch is still a
+/// correct, just older, recovery point). Returns `(epoch, host_json)`.
+pub fn load_latest(dir: &Path) -> Result<(u64, Json), StoreError> {
+    let all = list_checkpoints(dir)?;
+    if all.is_empty() {
+        return Err(StoreError::NoCheckpoint);
+    }
+    let mut last_err = String::new();
+    for (epoch, path) in all.iter().rev() {
+        match read_checkpoint(*epoch, path) {
+            Ok(host) => return Ok((*epoch, host)),
+            Err(why) => last_err = why,
+        }
+    }
+    Err(StoreError::BadCheckpoint(format!(
+        "no checkpoint in {} parses; newest failure: {last_err}",
+        dir.display()
+    )))
+}
+
+fn read_checkpoint(epoch: u64, path: &Path) -> Result<Json, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("parse {}: {e:?}", path.display()))?;
+    let named: u64 = field(&json, "epoch").map_err(|e| format!("{e:?}"))?;
+    if named != epoch {
+        return Err(format!(
+            "file named for epoch {epoch} but its body says {named}"
+        ));
+    }
+    json.get("host")
+        .cloned()
+        .ok_or_else(|| "missing 'host' field".to_string())
+}
+
+/// Drop checkpoints older than `epoch` and every WAL segment whose frames
+/// all fall at or before it (see module docs).
+pub fn compact(dir: &Path, epoch: u64) -> io::Result<()> {
+    for (e, path) in list_checkpoints(dir)? {
+        if e < epoch {
+            fs::remove_file(path)?;
+        }
+    }
+    let segments = wal::list_segments(dir)?;
+    for i in 0..segments.len().saturating_sub(1) {
+        let next_start = segments[i + 1].0;
+        if next_start <= epoch + 1 {
+            fs::remove_file(&segments[i].1)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "tsvd-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn host_stub(mark: i64) -> Json {
+        Json::object([("mark", Json::Int(mark))])
+    }
+
+    #[test]
+    fn latest_valid_checkpoint_wins_with_fallback() {
+        let dir = tmpdir("fallback");
+        write_checkpoint(&dir, 3, &host_stub(3)).unwrap();
+        write_checkpoint(&dir, 7, &host_stub(7)).unwrap();
+        let (e, host) = load_latest(&dir).unwrap();
+        assert_eq!(e, 7);
+        assert_eq!(host.get("mark"), Some(&Json::Int(7)));
+        // Damage the newest: the older one is the recovery point.
+        fs::write(checkpoint_path(&dir, 7), b"{ not json").unwrap();
+        let (e, host) = load_latest(&dir).unwrap();
+        assert_eq!(e, 3);
+        assert_eq!(host.get("mark"), Some(&Json::Int(3)));
+        // Damage both: typed failure, not a panic.
+        fs::write(checkpoint_path(&dir, 3), b"").unwrap();
+        assert!(matches!(
+            load_latest(&dir),
+            Err(StoreError::BadCheckpoint(_))
+        ));
+    }
+
+    #[test]
+    fn epoch_mismatch_between_name_and_body_is_rejected() {
+        let dir = tmpdir("mismatch");
+        write_checkpoint(&dir, 5, &host_stub(5)).unwrap();
+        let renamed = checkpoint_path(&dir, 9);
+        fs::rename(checkpoint_path(&dir, 5), &renamed).unwrap();
+        assert!(matches!(
+            load_latest(&dir),
+            Err(StoreError::BadCheckpoint(_))
+        ));
+    }
+
+    #[test]
+    fn compaction_drops_covered_segments_but_never_the_tail() {
+        let dir = tmpdir("compact");
+        // Segments starting at epochs 1, 4, 8 — frames 1..=3, 4..=7, 8...
+        for start in [1u64, 4, 8] {
+            fs::write(wal::segment_path(&dir, start), b"").unwrap();
+        }
+        write_checkpoint(&dir, 2, &host_stub(2)).unwrap();
+        write_checkpoint(&dir, 5, &host_stub(5)).unwrap();
+        compact(&dir, 5).unwrap();
+        // Segment 1 covers 1..=3 ≤ 5: gone. Segment 4 covers 4..=7 — frame
+        // 6 and 7 are > 5, kept. Segment 8 is the tail, kept.
+        let starts: Vec<u64> = wal::list_segments(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(starts, vec![4, 8]);
+        let cks: Vec<u64> = list_checkpoints(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect();
+        assert_eq!(cks, vec![5]);
+        // A checkpoint at 7 covers segment 4..=7 too; 8 stays as the tail.
+        compact(&dir, 7).unwrap();
+        let starts: Vec<u64> = wal::list_segments(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(starts, vec![8]);
+    }
+}

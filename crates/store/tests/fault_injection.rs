@@ -1,0 +1,257 @@
+//! Fault-injection battery for the WAL + recovery path.
+//!
+//! Three properties, exercised end to end through [`tsvd_store::recover`]
+//! (not just the frame decoder):
+//!
+//! 1. **Truncation = clean stop.** Cutting the log at *every* byte offset
+//!    of the final frame recovers to the longest valid prefix, bitwise
+//!    equal to an offline replay of that prefix — and physically truncates
+//!    the tail so the store can append again.
+//! 2. **Interior corruption = typed error.** Flipping any single byte of
+//!    an interior frame yields [`StoreError::Corrupt`], never a panic and
+//!    never a silently shortened log.
+//! 3. **No panics, ever.** Arbitrary mutations (random flips + cuts) may
+//!    recover or fail, but must always return.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tsvd_core::{Level1Method, PartitionStrategy, TreeSvdConfig, UpdatePolicy};
+use tsvd_graph::{DynGraph, EdgeEvent};
+use tsvd_ppr::PprConfig;
+use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+use tsvd_serve::{DurabilitySink, TenantHost};
+use tsvd_store::{recover, wal, StoreConfig, StoreError, WalStore};
+
+/// Frames below carry exactly 2 events: 24-byte header + 4 + 2·9 payload.
+const FRAME_LEN: usize = 46;
+const WINDOWS: usize = 4;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "tsvd-fault-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn tree_cfg() -> TreeSvdConfig {
+    TreeSvdConfig {
+        dim: 6,
+        branching: 2,
+        num_blocks: 4,
+        oversample: 4,
+        power_iters: 1,
+        level1: Level1Method::Randomized,
+        policy: UpdatePolicy::Lazy { delta: 0.4 },
+        partition: PartitionStrategy::EqualWidth,
+        seed: 11,
+    }
+}
+
+/// Deterministic fresh host — callable any number of times for offline
+/// ground-truth replays.
+fn fresh_host() -> TenantHost {
+    let mut g = DynGraph::with_nodes(40);
+    for i in 0..40u32 {
+        g.insert_edge(i, (i + 1) % 40);
+        g.insert_edge(i, (i + 9) % 40);
+    }
+    let mut h = TenantHost::new(&g);
+    h.register(
+        0,
+        &(0..6).collect::<Vec<_>>(),
+        2,
+        PprConfig::default(),
+        tree_cfg(),
+    )
+    .unwrap();
+    h
+}
+
+fn window(k: u32) -> Vec<EdgeEvent> {
+    vec![
+        EdgeEvent::insert(k % 40, (k * 5 + 13) % 40),
+        EdgeEvent::delete((k + 2) % 40, (k + 3) % 40),
+    ]
+}
+
+/// Build a store with [`WINDOWS`] appended windows; `segment_bytes`
+/// controls whether they share one segment or get one each.
+fn seed_store(dir: &Path, segment_bytes: u64) {
+    let host = fresh_host();
+    let mut cfg = StoreConfig::new(dir);
+    cfg.segment_bytes = segment_bytes;
+    let mut store = WalStore::create(cfg, &host).unwrap();
+    for k in 0..WINDOWS as u32 {
+        store.append_window(k as u64 + 1, &window(k)).unwrap();
+    }
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = fs::remove_dir_all(dst);
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// The host ground truth after the first `n` windows, built offline.
+fn offline_after(n: usize) -> TenantHost {
+    let mut h = fresh_host();
+    for k in 0..n as u32 {
+        h.apply_batch(&window(k));
+    }
+    h
+}
+
+fn assert_bitwise(a: &TenantHost, b: &TenantHost, ctx: &str) {
+    assert_eq!(a.batches_recorded(), b.batches_recorded(), "{ctx}");
+    let ta = a.tagged(0).unwrap();
+    let tb = b.tagged(0).unwrap();
+    assert_eq!(
+        ta.left().sub(tb.left()).max_abs(),
+        0.0,
+        "{ctx}: embeddings diverged"
+    );
+}
+
+#[test]
+fn truncating_the_final_frame_recovers_the_longest_valid_prefix() {
+    let base = tmpdir("trunc-base");
+    seed_store(&base, u64::MAX); // one segment holds all frames
+    let (_, seg_path) = wal::list_segments(&base).unwrap().pop().unwrap();
+    let full = fs::metadata(&seg_path).unwrap().len() as usize;
+    assert_eq!(full, WINDOWS * FRAME_LEN, "frame size drifted; update test");
+    let prefix = full - FRAME_LEN;
+    let expected = offline_after(WINDOWS - 1);
+    let expected_full = offline_after(WINDOWS);
+
+    let case = tmpdir("trunc-case");
+    for cut in prefix..full {
+        copy_dir(&base, &case);
+        let (_, seg) = wal::list_segments(&case).unwrap().pop().unwrap();
+        let f = fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(cut as u64).unwrap();
+        drop(f);
+
+        let rec = recover(StoreConfig::new(&case))
+            .unwrap_or_else(|e| panic!("cut at {cut}: recovery refused a torn tail: {e}"));
+        assert_eq!(
+            rec.host.batches_recorded(),
+            (WINDOWS - 1) as u64,
+            "cut at {cut}"
+        );
+        assert_bitwise(&rec.host, &expected, &format!("cut at {cut}"));
+        // The torn tail was physically truncated to the valid prefix…
+        assert_eq!(
+            fs::metadata(&seg).unwrap().len(),
+            prefix as u64,
+            "cut at {cut}: tail not truncated"
+        );
+        // …and the store is ready to append the lost epoch again.
+        let mut store = rec.store;
+        assert_eq!(store.next_epoch(), WINDOWS as u64);
+        store
+            .append_window(WINDOWS as u64, &window(WINDOWS as u32 - 1))
+            .unwrap();
+        let rec2 = recover(StoreConfig::new(&case)).unwrap();
+        assert_bitwise(
+            &rec2.host,
+            &expected_full,
+            &format!("cut at {cut}: re-append"),
+        );
+    }
+}
+
+#[test]
+fn truncating_the_final_frame_across_segment_rotation() {
+    // One frame per segment: the torn tail lives in its own file and every
+    // earlier segment is scanned with the stricter non-final rules.
+    let base = tmpdir("trunc-rot-base");
+    seed_store(&base, 1);
+    let segments = wal::list_segments(&base).unwrap();
+    assert_eq!(segments.len(), WINDOWS);
+    let (_, last_seg) = segments.last().unwrap().clone();
+    let expected = offline_after(WINDOWS - 1);
+
+    let case = tmpdir("trunc-rot-case");
+    for cut in 0..FRAME_LEN {
+        copy_dir(&base, &case);
+        let seg = case.join(last_seg.file_name().unwrap());
+        let f = fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(cut as u64).unwrap();
+        drop(f);
+        let rec = recover(StoreConfig::new(&case)).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+        assert_eq!(rec.host.batches_recorded(), (WINDOWS - 1) as u64);
+        assert_bitwise(&rec.host, &expected, &format!("rotated cut at {cut}"));
+    }
+}
+
+#[test]
+fn flipping_any_single_byte_of_an_interior_frame_is_a_typed_error() {
+    let base = tmpdir("flip-base");
+    seed_store(&base, u64::MAX);
+    let (_, seg_name) = wal::list_segments(&base).unwrap().pop().unwrap();
+    let seg_name = seg_name.file_name().unwrap().to_owned();
+
+    let case = tmpdir("flip-case");
+    // Frame 2 of 4: strictly interior — every byte, two flip patterns.
+    let frame_start = FRAME_LEN;
+    for byte in frame_start..frame_start + FRAME_LEN {
+        for flip in [0x01u8, 0x80] {
+            copy_dir(&base, &case);
+            let seg = case.join(&seg_name);
+            let mut bytes = fs::read(&seg).unwrap();
+            bytes[byte] ^= flip;
+            fs::write(&seg, &bytes).unwrap();
+            match recover(StoreConfig::new(&case)) {
+                Err(StoreError::Corrupt { offset, .. }) => {
+                    assert!(
+                        (offset as usize) <= byte,
+                        "flip {flip:#04x} at byte {byte}: corruption blamed on a later \
+                         offset {offset}"
+                    );
+                }
+                Err(other) => panic!("flip {flip:#04x} at byte {byte}: wrong error class: {other}"),
+                Ok(rec) => panic!(
+                    "flip {flip:#04x} at byte {byte}: silently recovered to epoch {}",
+                    rec.host.batches_recorded()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn arbitrary_mutations_never_panic() {
+    let base = tmpdir("fuzz-base");
+    seed_store(&base, u64::MAX);
+    let (_, seg_name) = wal::list_segments(&base).unwrap().pop().unwrap();
+    let seg_name = seg_name.file_name().unwrap().to_owned();
+    let case = tmpdir("fuzz-case");
+    let mut rng = StdRng::seed_from_u64(0xFA17);
+    let mut recovered = 0u32;
+    for _ in 0..60 {
+        copy_dir(&base, &case);
+        let seg = case.join(&seg_name);
+        let mut bytes = fs::read(&seg).unwrap();
+        for _ in 0..rng.gen_range(1..5usize) {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] ^= rng.gen_range(1..256usize) as u8;
+        }
+        if rng.gen_bool(0.3) {
+            bytes.truncate(rng.gen_range(0..bytes.len() + 1));
+        }
+        fs::write(&seg, &bytes).unwrap();
+        // Either outcome is legal; returning is the property.
+        if recover(StoreConfig::new(&case)).is_ok() {
+            recovered += 1;
+        }
+    }
+    // Sanity: the harness isn't vacuous — some mutations must be caught.
+    assert!(recovered < 60, "every mutation recovered?");
+}
