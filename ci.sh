@@ -118,7 +118,11 @@ cargo test -q -p tsvd-store
 # multi-tenant soak to three tenants sharing one graph. The `wal*` legs
 # also run the root recovery (SIGKILL + checkpoint/WAL replay) and
 # follower (journal replication over TCP) suites — `wal-tenants` proves
-# kill-and-recover stays bitwise under three tenants.
+# kill-and-recover stays bitwise under three tenants. The `router*` legs
+# run the scale-out tier: the router fault battery plus the
+# multi-process SIGKILL soak (router + 2 shards + follower as real
+# child processes); `router-wal` re-runs the soak with every shard
+# journaling through the WAL store.
 SERVE_MATRIX=(
   "default|"
   "serial|TSVD_THREADS=1"
@@ -131,11 +135,25 @@ SERVE_MATRIX=(
   "tenants-pipelined|TSVD_TENANTS=3 TSVD_PIPELINE_DEPTH=1"
   "wal|TSVD_WAL=1"
   "wal-tenants|TSVD_WAL=1 TSVD_TENANTS=3"
+  "router|"
+  "router-wal|TSVD_WAL=1"
 )
 for leg in "${SERVE_MATRIX[@]}"; do
   name="${leg%%|*}"
   envs="${leg#*|}"
   step "serve/net matrix: ${name}${envs:+ (${envs})}"
+  case "$name" in
+    router*)
+      # The router legs are additive: the package battery already ran in
+      # the default/wal legs, so these run only the router-specific
+      # suites (fault battery + multi-process soak).
+      # shellcheck disable=SC2086
+      env $envs cargo test -q -p tsvd-serve --test router_faults
+      # shellcheck disable=SC2086
+      env $envs cargo test -q --test router_soak
+      continue
+      ;;
+  esac
   # shellcheck disable=SC2086
   env $envs cargo test -q -p tsvd-serve
   # shellcheck disable=SC2086
@@ -154,6 +172,7 @@ TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench svd_update
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench pool_dispatch
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench serving
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench net
+TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench router
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench store
 
 summary

@@ -1,0 +1,96 @@
+//! Router-tier benchmark: scatter-gather read round trips through a
+//! `Router` front over real TCP shard processes-worth of servers, at
+//! shard counts 1/2/4. The shard counts are recorded in the bench JSON
+//! (`params`) so fan-out cost is comparable across runs.
+
+use tsvd_bench::setup::standard_setup;
+use tsvd_core::TreeSvdConfig;
+use tsvd_datasets::DatasetConfig;
+use tsvd_graph::EdgeEvent;
+use tsvd_rt::bench::BenchHarness;
+use tsvd_serve::{
+    EmbeddingServer, NetFront, Router, RouterConfig, ServeConfig, ShardEndpoint, ShardMap,
+    ShardedEngine, TenantHost,
+};
+
+fn main() {
+    let mut cfg = DatasetConfig::patent();
+    cfg.num_nodes = 2000;
+    cfg.num_edges = 8000;
+    cfg.tau = 2;
+    let s = standard_setup(&cfg);
+    let g0 = s.dataset.stream.snapshot(2);
+    let tree_cfg = TreeSvdConfig { ..s.tree_cfg };
+    let subset: Vec<u32> = s.subset.iter().take(16).copied().collect();
+
+    let shard_counts = [1usize, 2, 4];
+    let mut h = BenchHarness::from_args("router");
+    h.record_param("subset_size", subset.len() as u64);
+    h.record_param(
+        "shard_counts",
+        shard_counts.iter().map(|&n| n as u64).collect::<Vec<u64>>(),
+    );
+
+    for num_shards in shard_counts {
+        let map = ShardMap::even_split(&subset, num_shards);
+
+        // One real TCP server per contiguous range, exactly as a
+        // deployment would run them (minus the process boundary).
+        let mut fronts = Vec::new();
+        let mut endpoints = Vec::new();
+        for k in 0..map.num_shards() {
+            let engine = ShardedEngine::new(
+                &g0,
+                map.sources_of(k),
+                1,
+                s.ppr_cfg,
+                TreeSvdConfig { ..tree_cfg },
+            );
+            let front = NetFront::start(EmbeddingServer::start_host(
+                TenantHost::from_engine(engine, 0),
+                ServeConfig {
+                    flush_max_events: 1_000_000,
+                    flush_interval_ms: 60_000,
+                    ..Default::default()
+                },
+            ));
+            let addr = front.listen("127.0.0.1:0").expect("bind shard listener");
+            endpoints.push(ShardEndpoint::leader_only(addr.to_string()));
+            fronts.push(front);
+        }
+
+        let mut router =
+            Router::connect(map, endpoints, RouterConfig::default()).expect("connect router");
+
+        // One broadcast write so reads return real rows, not the empty
+        // epoch-0 state.
+        router
+            .submit(vec![
+                EdgeEvent::insert(subset[0], 1776),
+                EdgeEvent::insert(subset[1], 1777),
+            ])
+            .expect("submit");
+        router.flush().expect("flush");
+
+        h.bench(
+            &format!("scatter_gather_get_rows/shards_{num_shards}"),
+            || {
+                let reply = router.get_rows(&subset).expect("merged rows");
+                assert_eq!(reply.rows.len(), subset.len());
+                reply.epoch
+            },
+        );
+        h.bench(&format!("broadcast_submit/shards_{num_shards}"), || {
+            router
+                .submit(vec![EdgeEvent::insert(subset[2], 1778)])
+                .expect("staged")
+        });
+
+        drop(router);
+        for front in fronts {
+            drop(front.shutdown_host());
+        }
+    }
+
+    h.finish();
+}

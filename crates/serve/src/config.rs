@@ -55,6 +55,11 @@ pub struct ServeConfig {
     /// compact the WAL behind it) every this many flushed windows. `0`
     /// checkpoints only at shutdown. Ignored without a sink.
     pub checkpoint_every: u64,
+    /// How many recent flush windows the in-memory journal retains for
+    /// `GetWindows` (follower feed). `0` = the built-in default
+    /// ([`crate::journal::JOURNAL_KEEP`]). Small values force the
+    /// compaction / re-seed path — useful in tests.
+    pub journal_keep: usize,
 }
 
 tsvd_rt::impl_json_struct!(ServeConfig {
@@ -66,7 +71,8 @@ tsvd_rt::impl_json_struct!(ServeConfig {
     svd_update,
     tenant_quota,
     wal,
-    checkpoint_every
+    checkpoint_every,
+    journal_keep
 });
 
 /// Default pipeline depth: the `TSVD_PIPELINE_DEPTH` env var if set and
@@ -106,6 +112,7 @@ impl Default for ServeConfig {
             tenant_quota: 0,
             wal: default_wal(),
             checkpoint_every: 0,
+            journal_keep: 0,
         }
     }
 }
@@ -136,6 +143,42 @@ impl ServeConfig {
     }
 }
 
+/// Configuration of the scatter-gather router tier
+/// ([`crate::router::Router`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Tenant id the router serves (one router instance pins one tenant,
+    /// like a [`crate::net::NetClient`]).
+    pub tenant: u32,
+    /// Epoch barrier: how many times a lagging shard is re-probed before
+    /// the read fails with [`crate::router::RouterError::EpochBarrier`].
+    pub barrier_retries: u32,
+    /// Backoff between barrier retries, milliseconds (linear: attempt `k`
+    /// sleeps `k * barrier_backoff_ms`).
+    pub barrier_backoff_ms: u64,
+    /// Page size (windows per pull) a failed-over follower uses while
+    /// catching up / re-seeding.
+    pub catch_up_page: u32,
+}
+
+tsvd_rt::impl_json_struct!(RouterConfig {
+    tenant,
+    barrier_retries,
+    barrier_backoff_ms,
+    catch_up_page
+});
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            tenant: 0,
+            barrier_retries: 8,
+            barrier_backoff_ms: 2,
+            catch_up_page: 64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +192,18 @@ mod tests {
         let j = Json::parse(&tsvd_rt::json::ToJson::to_json(&cfg).to_string()).unwrap();
         let back = ServeConfig::from_json(&j).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn router_config_round_trips() {
+        let cfg = RouterConfig {
+            tenant: 3,
+            barrier_retries: 2,
+            barrier_backoff_ms: 7,
+            catch_up_page: 16,
+        };
+        let j = Json::parse(&tsvd_rt::json::ToJson::to_json(&cfg).to_string()).unwrap();
+        assert_eq!(RouterConfig::from_json(&j).unwrap(), cfg);
     }
 
     #[test]

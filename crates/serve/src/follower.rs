@@ -23,15 +23,88 @@
 //! must re-seed from a newer checkpoint.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::io;
 use std::sync::Arc;
 
 use tsvd_graph::EdgeEvent;
+use tsvd_rt::json::{FromJson, Json};
 
-use crate::net::NetClient;
+use crate::net::{NetClient, WindowsPull};
 use crate::server::EmbeddingReader;
 use crate::snapshot::{EpochCell, EpochSnapshot};
 use crate::tenant::{TenantHost, TenantId};
+
+/// Why a follower could not catch up to the leader.
+#[derive(Debug)]
+pub enum CatchUpError {
+    /// The leader compacted past this follower's epoch: the journal no
+    /// longer holds the next window it needs. Retryable — after a re-seed
+    /// ([`Follower::reseed_from`], or the combined
+    /// [`Follower::catch_up_or_reseed`]).
+    Compacted {
+        /// Oldest epoch the leader's journal still retains.
+        oldest: u64,
+        /// The epoch this follower needed (`epoch() + 1`).
+        requested: u64,
+    },
+    /// The leader answered with windows that do not start right after this
+    /// follower's epoch — a protocol violation, not retryable.
+    Gap {
+        /// What the follower needed (`epoch() + 1`).
+        expected: u64,
+        /// What the leader sent.
+        got: u64,
+    },
+    /// A checkpoint offered for re-seeding does not describe this
+    /// follower's tenants/subsets (or would move it backwards). Not
+    /// retryable against the same leader.
+    SeedMismatch(String),
+    /// Transport/protocol failure underneath; retryable per the client's
+    /// own rules.
+    Io(io::Error),
+}
+
+impl fmt::Display for CatchUpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatchUpError::Compacted { oldest, requested } => write!(
+                f,
+                "leader compacted window {requested} (oldest retained: {oldest}); re-seed needed"
+            ),
+            CatchUpError::Gap { expected, got } => write!(
+                f,
+                "journal stream gap: leader sent windows from epoch {got}, follower needs {expected}"
+            ),
+            CatchUpError::SeedMismatch(what) => write!(f, "checkpoint does not match: {what}"),
+            CatchUpError::Io(e) => write!(f, "catch-up transport failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatchUpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatchUpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CatchUpError {
+    fn from(e: io::Error) -> Self {
+        CatchUpError::Io(e)
+    }
+}
+
+impl From<CatchUpError> for io::Error {
+    fn from(e: CatchUpError) -> Self {
+        match e {
+            CatchUpError::Io(io) => io,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
 
 struct FollowerCell {
     id: TenantId,
@@ -125,26 +198,32 @@ impl Follower {
 
     /// Pull windows from the leader until caught up to its journal head,
     /// applying and publishing each; returns the epoch then served.
-    /// `max_per_pull` bounds each round trip (paging). Transport failures
-    /// and journal gaps (the leader compacted past this follower's epoch)
-    /// surface as errors; the follower stays consistent at whatever epoch
-    /// it last published and `catch_up` can simply be called again — or,
-    /// after a gap, the follower must be re-seeded from a checkpoint.
-    pub fn catch_up(&mut self, client: &mut NetClient, max_per_pull: u32) -> io::Result<u64> {
+    /// `max_per_pull` bounds each round trip (paging). Errors are typed:
+    /// the follower stays consistent at whatever epoch it last published;
+    /// [`CatchUpError::Io`] means simply call again, while
+    /// [`CatchUpError::Compacted`] means the leader's bounded journal no
+    /// longer reaches back this far and the follower must re-seed
+    /// ([`Follower::reseed_from`] / [`Follower::catch_up_or_reseed`]).
+    pub fn catch_up(
+        &mut self,
+        client: &mut NetClient,
+        max_per_pull: u32,
+    ) -> Result<u64, CatchUpError> {
         loop {
-            let reply = client.get_windows(self.epoch(), max_per_pull)?;
+            let reply = match client.pull_windows(self.epoch(), max_per_pull)? {
+                WindowsPull::Windows(reply) => reply,
+                WindowsPull::Compacted { oldest, requested } => {
+                    return Err(CatchUpError::Compacted { oldest, requested })
+                }
+            };
             if reply.windows.is_empty() {
                 return Ok(self.epoch());
             }
             if reply.first_epoch != self.epoch() + 1 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "journal stream gap: leader sent windows from epoch {}, follower is at {}",
-                        reply.first_epoch,
-                        self.epoch()
-                    ),
-                ));
+                return Err(CatchUpError::Gap {
+                    expected: self.epoch() + 1,
+                    got: reply.first_epoch,
+                });
             }
             for w in &reply.windows {
                 self.apply_window(w);
@@ -152,6 +231,85 @@ impl Follower {
             if self.epoch() >= reply.latest {
                 return Ok(self.epoch());
             }
+        }
+    }
+
+    /// Re-seed from a leader checkpoint fetched over the wire
+    /// (`GetCheckpoint`): install the checkpointed host in place of this
+    /// follower's, re-publishing every tenant's cell at the checkpoint
+    /// epoch — readers handed out earlier stay live and simply observe the
+    /// jump. The checkpoint must describe the *same* deployment (identical
+    /// tenant ids and subsets) and must not move the follower backwards
+    /// (reader epoch monotonicity); violations are typed
+    /// [`CatchUpError::SeedMismatch`]. Returns the new epoch.
+    pub fn reseed_from(&mut self, client: &mut NetClient) -> Result<u64, CatchUpError> {
+        let cp = client.get_checkpoint()?;
+        let json = Json::parse(&cp.host).map_err(|e| {
+            CatchUpError::SeedMismatch(format!("checkpoint JSON does not parse: {e}"))
+        })?;
+        let host = TenantHost::from_json(&json).map_err(|e| {
+            CatchUpError::SeedMismatch(format!("checkpoint does not deserialise: {e}"))
+        })?;
+        if host.batches_recorded() != cp.epoch {
+            return Err(CatchUpError::SeedMismatch(format!(
+                "checkpoint claims epoch {} but its host is at {}",
+                cp.epoch,
+                host.batches_recorded()
+            )));
+        }
+        if cp.epoch < self.epoch() {
+            return Err(CatchUpError::SeedMismatch(format!(
+                "checkpoint epoch {} is behind this follower ({})",
+                cp.epoch,
+                self.epoch()
+            )));
+        }
+        if host.tenant_ids() != self.host.tenant_ids() {
+            return Err(CatchUpError::SeedMismatch(format!(
+                "tenant ids {:?} != follower's {:?}",
+                host.tenant_ids(),
+                self.host.tenant_ids()
+            )));
+        }
+        for c in &self.cells {
+            let theirs = host.sources(c.id).expect("id checked above");
+            if theirs != c.sources.as_slice() {
+                return Err(CatchUpError::SeedMismatch(format!(
+                    "tenant {} subset differs from this follower's",
+                    c.id
+                )));
+            }
+        }
+        self.host = host;
+        // Re-publish through the *existing* cells so readers handed out
+        // before the re-seed keep working.
+        for c in &self.cells {
+            c.cell.store(EpochSnapshot::new(
+                self.host.tagged(c.id).expect("own tenant"),
+                c.sources.clone(),
+                c.index.clone(),
+                self.host.events_applied(c.id).expect("own tenant"),
+                self.host.timings(c.id).expect("own tenant"),
+            ));
+        }
+        Ok(self.epoch())
+    }
+
+    /// [`catch_up`](Self::catch_up), transparently re-seeding from the
+    /// leader's checkpoint when the journal has compacted past this
+    /// follower — the self-healing loop a long-offline replica runs to
+    /// rejoin. Returns the epoch then served.
+    pub fn catch_up_or_reseed(
+        &mut self,
+        client: &mut NetClient,
+        max_per_pull: u32,
+    ) -> Result<u64, CatchUpError> {
+        match self.catch_up(client, max_per_pull) {
+            Err(CatchUpError::Compacted { .. }) => {
+                self.reseed_from(client)?;
+                self.catch_up(client, max_per_pull)
+            }
+            other => other,
         }
     }
 }
@@ -241,5 +399,153 @@ mod tests {
         assert_eq!(host.batches_recorded(), 3);
         // Readers keep serving the last published epoch after unwrap.
         assert_eq!(r0.epoch(), 3);
+    }
+
+    use crate::config::ServeConfig;
+    use crate::net::{ClientConfig, NetFront};
+    use crate::server::EmbeddingServer;
+
+    fn fixed_graph() -> DynGraph {
+        let mut rng = StdRng::seed_from_u64(47);
+        random_graph(&mut rng, 60, 240)
+    }
+
+    fn build_host(g: &DynGraph) -> TenantHost {
+        let mut h = TenantHost::new(g);
+        h.register(
+            0,
+            &(0..8).collect::<Vec<_>>(),
+            2,
+            PprConfig::default(),
+            tree_cfg(),
+        )
+        .unwrap();
+        h
+    }
+
+    /// Distinct edges per window so coalescing is the identity and the
+    /// offline replay below sees exactly the submitted windows.
+    fn window(k: u32) -> Vec<EdgeEvent> {
+        vec![
+            EdgeEvent::insert(k, 30 + k),
+            EdgeEvent::insert(2 + k, 40 + k),
+        ]
+    }
+
+    /// Leader with a 2-window journal, 4 windows flushed: a follower
+    /// stuck at epoch 0 needs window 1, which has been compacted away —
+    /// the previously untested `Compacted` branch, now typed.
+    #[test]
+    fn catch_up_surfaces_compaction_as_typed_retryable_error() {
+        let g = fixed_graph();
+        let cfg = ServeConfig {
+            flush_max_events: 1 << 20,
+            flush_interval_ms: 60_000,
+            journal_keep: 2,
+            ..Default::default()
+        };
+        let handle = EmbeddingServer::start_host(build_host(&g), cfg);
+        let front = NetFront::start(handle);
+        let mut client = NetClient::connect(front.loopback(), ClientConfig::default()).unwrap();
+        for k in 0..4u32 {
+            client.submit_events(window(k)).unwrap();
+            assert_eq!(client.flush().unwrap(), (k + 1) as u64);
+        }
+
+        let mut follower = Follower::new(build_host(&g));
+        match follower.catch_up(&mut client, 16) {
+            Err(CatchUpError::Compacted { oldest, requested }) => {
+                assert_eq!(requested, 1);
+                assert_eq!(oldest, 3); // keep=2 over epochs 1..=4 retains 3, 4
+            }
+            other => panic!("expected Compacted, got {other:?}"),
+        }
+        // Typed and non-destructive: the follower still serves epoch 0.
+        assert_eq!(follower.epoch(), 0);
+        front.shutdown_host();
+    }
+
+    /// The self-healing ladder: `catch_up_or_reseed` pulls the leader's
+    /// checkpoint over the wire, re-seeds, finishes catch-up from the
+    /// journal, and lands bitwise on the offline replay — with readers
+    /// handed out before the re-seed observing the jump.
+    #[test]
+    fn catch_up_or_reseed_recovers_bitwise_after_compaction() {
+        let g = fixed_graph();
+        let cfg = ServeConfig {
+            flush_max_events: 1 << 20,
+            flush_interval_ms: 60_000,
+            journal_keep: 2,
+            ..Default::default()
+        };
+        let handle = EmbeddingServer::start_host(build_host(&g), cfg);
+        let front = NetFront::start(handle);
+        let mut client = NetClient::connect(front.loopback(), ClientConfig::default()).unwrap();
+        let mut offline = build_host(&g);
+        for k in 0..5u32 {
+            client.submit_events(window(k)).unwrap();
+            client.flush().unwrap();
+            offline.apply_batch(&window(k));
+        }
+
+        let mut follower = Follower::new(build_host(&g));
+        let reader = follower.reader(0).unwrap();
+        assert_eq!(reader.epoch(), 0);
+        let epoch = follower.catch_up_or_reseed(&mut client, 16).unwrap();
+        assert_eq!(epoch, 5);
+        // Pre-reseed readers observe the jump through the same cell.
+        assert_eq!(reader.epoch(), 5);
+        let snap = reader.snapshot();
+        assert!(snap.verify());
+        let diff = snap
+            .tagged()
+            .left()
+            .sub(offline.tagged(0).unwrap().left())
+            .max_abs();
+        assert_eq!(diff, 0.0, "re-seeded follower diverged from offline replay");
+        // Once caught up, further catch-up is a no-op, not an error.
+        assert_eq!(follower.catch_up(&mut client, 16).unwrap(), 5);
+        front.shutdown_host();
+    }
+
+    /// A checkpoint that does not describe this follower's deployment is
+    /// rejected typed, leaving the follower untouched.
+    #[test]
+    fn reseed_rejects_checkpoint_for_a_different_subset() {
+        let g = fixed_graph();
+        let handle = EmbeddingServer::start_host(
+            build_host(&g),
+            ServeConfig {
+                flush_max_events: 1 << 20,
+                flush_interval_ms: 60_000,
+                ..Default::default()
+            },
+        );
+        let front = NetFront::start(handle);
+        let mut client = NetClient::connect(front.loopback(), ClientConfig::default()).unwrap();
+
+        // Same tenant id, different subset.
+        let mut other = TenantHost::new(&g);
+        other
+            .register(
+                0,
+                &(10..18).collect::<Vec<_>>(),
+                2,
+                PprConfig::default(),
+                tree_cfg(),
+            )
+            .unwrap();
+        let mut follower = Follower::new(other);
+        match follower.reseed_from(&mut client) {
+            Err(CatchUpError::SeedMismatch(what)) => {
+                assert!(
+                    what.contains("subset"),
+                    "unexpected mismatch detail: {what}"
+                )
+            }
+            other => panic!("expected SeedMismatch, got {other:?}"),
+        }
+        assert_eq!(follower.epoch(), 0);
+        front.shutdown_host();
     }
 }

@@ -64,19 +64,21 @@ mod follower;
 mod ingest;
 mod journal;
 pub mod net;
+pub mod router;
 mod server;
 mod snapshot;
 mod stats;
 mod tenant;
 
-pub use config::ServeConfig;
+pub use config::{RouterConfig, ServeConfig};
 pub use engine::ShardedEngine;
 pub use flush::{CommitOutcome, FlushPipeline};
-pub use follower::Follower;
+pub use follower::{CatchUpError, Follower};
 pub use ingest::GraphIngest;
 pub use journal::{DurabilitySink, JournalError, JournalWindows, WindowJournal, JOURNAL_KEEP};
-pub use net::{ClientConfig, NetClient, NetFront, TcpTransport};
+pub use net::{ClientConfig, NetClient, NetFront, TcpTransport, WindowsPull};
+pub use router::{Router, RouterError, RouterFront, ShardEndpoint, ShardMap};
 pub use server::{EmbeddingReader, EmbeddingServer, ServerHandle, SubmitError, DEFAULT_TENANT};
 pub use snapshot::{EpochCell, EpochSnapshot};
-pub use stats::{HostStats, ServeStats, StatsReply};
+pub use stats::{HostStats, RouterStats, ServeStats, StatsReply};
 pub use tenant::{TenantError, TenantHost, TenantId};

@@ -32,9 +32,26 @@ use crate::stats::StatsReply;
 
 use super::transport::{Duplex, Transport};
 use super::wire::{
-    encode_frame, read_frame, write_frame, EmbeddingReply, Message, Reply, Request, RowsReply,
-    WindowsReply,
+    encode_frame, read_frame, write_frame, CheckpointReply, EmbeddingReply, Message, Reply,
+    Request, RowsReply, WindowsReply,
 };
+
+/// Typed outcome of a journal pull ([`NetClient::pull_windows`]): either a
+/// run of windows, or the machine-readable compaction condition — the
+/// leader's bounded journal no longer holds what the puller needs, so the
+/// puller must re-seed via [`NetClient::get_checkpoint`] and resume.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowsPull {
+    /// A contiguous run of journal windows (possibly empty: caught up).
+    Windows(WindowsReply),
+    /// The leader compacted past the puller's epoch (`Reply::JournalGap`).
+    Compacted {
+        /// Oldest epoch the leader's journal still retains.
+        oldest: u64,
+        /// The epoch the puller needed and could not get.
+        requested: u64,
+    },
+}
 
 /// Client behaviour knobs (the reply-read timeout lives on the transport).
 #[derive(Debug, Clone, Copy)]
@@ -148,8 +165,39 @@ impl NetClient {
     ///
     /// [`Follower::catch_up`]: crate::Follower::catch_up
     pub fn get_windows(&mut self, after_epoch: u64, max: u32) -> io::Result<WindowsReply> {
+        match self.pull_windows(after_epoch, max)? {
+            WindowsPull::Windows(w) => Ok(w),
+            WindowsPull::Compacted { oldest, requested } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "window {requested} compacted out of the leader's journal \
+                     (oldest retained: {oldest}); re-seed from a checkpoint"
+                ),
+            )),
+        }
+    }
+
+    /// Like [`get_windows`](Self::get_windows), but surfaces the leader's
+    /// compaction condition as the typed [`WindowsPull::Compacted`] instead
+    /// of an opaque error — the caller can re-seed
+    /// ([`NetClient::get_checkpoint`]) and retry instead of giving up.
+    pub fn pull_windows(&mut self, after_epoch: u64, max: u32) -> io::Result<WindowsPull> {
         match self.call(Request::GetWindows { after_epoch, max }, true)? {
-            Reply::Windows(w) => Ok(w),
+            Reply::Windows(w) => Ok(WindowsPull::Windows(w)),
+            Reply::JournalGap { oldest, requested } => {
+                Ok(WindowsPull::Compacted { oldest, requested })
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// A full host checkpoint at a consistent epoch — the re-seed payload
+    /// for a follower that outlived the leader's bounded journal.
+    /// Idempotent (the leader drains in-flight windows and serialises; no
+    /// state changes), so safe to retry.
+    pub fn get_checkpoint(&mut self) -> io::Result<CheckpointReply> {
+        match self.call(Request::GetCheckpoint, true)? {
+            Reply::Checkpoint(ck) => Ok(*ck),
             other => Err(unexpected(&other)),
         }
     }
@@ -222,6 +270,68 @@ impl NetClient {
             }
         };
         raw.into_iter().map(|r| self.observe(r)).collect()
+    }
+
+    /// Split-phase send half: write one request frame and return its id
+    /// without reading the reply. The router's scatter-gather uses this to
+    /// put one request in flight on *every* shard connection before
+    /// reading any reply — true cross-shard fan-out, one round-trip for
+    /// the whole scatter. Pair each dispatch with exactly one
+    /// [`collect`](Self::collect) on the same client, in dispatch order.
+    /// Not auto-retried (the caller owns the in-flight set).
+    pub fn dispatch(&mut self, req: &Request) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let tenant = self.cfg.tenant;
+        let conn = self.conn()?;
+        match write_frame(&mut conn.writer, id, tenant, &Message::Request(req.clone())) {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                self.disconnect();
+                Err(e)
+            }
+        }
+    }
+
+    /// Split-phase receive half: read the reply for a
+    /// [`dispatch`](Self::dispatch)ed request. `id` must be the value that
+    /// dispatch returned; replies arrive in dispatch order on one
+    /// connection. Applies the same freshness guards as the one-shot
+    /// calls. Any failure drops the connection (the in-flight set is lost;
+    /// the next call reconnects).
+    pub fn collect(&mut self, id: u64) -> io::Result<Reply> {
+        let tenant = self.cfg.tenant;
+        let io = (|| {
+            let conn = self
+                .conn
+                .as_mut()
+                .ok_or_else(|| closed("no connection holds the in-flight request"))?;
+            let frame =
+                read_frame(&mut conn.reader)?.ok_or_else(|| closed("server closed connection"))?;
+            if frame.request_id != id && frame.request_id != 0 {
+                return Err(protocol(format!(
+                    "reply id {} does not match dispatched id {id}",
+                    frame.request_id
+                )));
+            }
+            if frame.request_id != 0 && frame.tenant != tenant {
+                return Err(protocol(format!(
+                    "reply tenant {} does not match pinned tenant {tenant}",
+                    frame.tenant
+                )));
+            }
+            match frame.message {
+                Message::Reply(reply) => Ok(reply),
+                Message::Request(_) => Err(protocol("request frame in reply direction".into())),
+            }
+        })();
+        match io {
+            Ok(reply) => self.observe(reply),
+            Err(e) => {
+                self.disconnect();
+                Err(e)
+            }
+        }
     }
 
     /// Drop the current connection; the next call reopens the transport.
@@ -326,9 +436,14 @@ impl NetClient {
             Reply::Error(msg) => {
                 return Err(io::Error::other(format!("server error: {msg}")));
             }
-            // Journal epochs are global window counts, not this tenant's
-            // read epochs — no freshness guard.
-            Reply::Pong | Reply::SubmitAck { .. } | Reply::ShutdownAck | Reply::Windows(_) => {}
+            // Journal/checkpoint epochs are global window counts, not this
+            // tenant's read epochs — no freshness guard.
+            Reply::Pong
+            | Reply::SubmitAck { .. }
+            | Reply::ShutdownAck
+            | Reply::Windows(_)
+            | Reply::Checkpoint(_)
+            | Reply::JournalGap { .. } => {}
         }
         Ok(reply)
     }

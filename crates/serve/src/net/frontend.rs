@@ -34,12 +34,14 @@ use std::time::Duration;
 use tsvd_rt::exec::{Event, EventLoop, Flow};
 
 use crate::engine::ShardedEngine;
+use crate::journal::JournalError;
 use crate::server::{EmbeddingReader, ServerHandle, SubmitError};
 use crate::tenant::{TenantHost, TenantId};
 
 use super::transport::{pipe, Duplex, Transport};
 use super::wire::{
-    read_frame_until, write_frame, EmbeddingReply, Message, Reply, Request, RowsReply, WindowsReply,
+    read_frame_until, write_frame, CheckpointReply, EmbeddingReply, Message, Reply, Request,
+    RowsReply, WindowsReply,
 };
 
 /// Poll interval for stop-flag checks in blocking reads and accept loops.
@@ -104,6 +106,28 @@ impl NetFront {
             shared: Arc::new(FrontShared {
                 handle: RwLock::new(Some(handle)),
                 readers,
+                stop: AtomicBool::new(false),
+                conns: Mutex::new(Vec::new()),
+                accepted: AtomicU64::new(0),
+            }),
+            listeners: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A **read-only** front over externally-owned readers — no server
+    /// handle behind it. This is how a follower process exposes its
+    /// replicated state on the network: the follower keeps applying
+    /// windows through its own cells, and every `GetRows` served here
+    /// sees the follower's latest published epoch. Write-path requests
+    /// (`SubmitEvents`, `Flush`, `GetStats`, `GetWindows`,
+    /// `GetCheckpoint`) answer `Reply::Error` as if the server were shut
+    /// down; `Shutdown` stops the front. Reclaim nothing — tear down with
+    /// [`NetFront::shutdown_readers`].
+    pub fn start_readers(readers: Vec<(TenantId, EmbeddingReader)>) -> NetFront {
+        NetFront {
+            shared: Arc::new(FrontShared {
+                handle: RwLock::new(None),
+                readers: readers.into_iter().collect(),
                 stop: AtomicBool::new(false),
                 conns: Mutex::new(Vec::new()),
                 accepted: AtomicU64::new(0),
@@ -202,14 +226,7 @@ impl NetFront {
     /// Stop listeners and connections, shut the server down, and take the
     /// whole tenant host back (mirrors [`ServerHandle::shutdown_host`]).
     pub fn shutdown_host(self) -> TenantHost {
-        self.shared.stop.store(true, Ordering::Release);
-        for jh in self.listeners.lock().unwrap().drain(..) {
-            let _ = jh.join();
-        }
-        let conns: Vec<_> = self.shared.conns.lock().unwrap().drain(..).collect();
-        for jh in conns {
-            let _ = jh.join();
-        }
+        self.stop_network();
         let handle = self
             .shared
             .handle
@@ -218,6 +235,29 @@ impl NetFront {
             .take()
             .expect("NetFront::shutdown called twice");
         handle.shutdown_host()
+    }
+
+    /// Stop a readers-only front ([`NetFront::start_readers`]): listeners
+    /// and connections are joined; there is no server or host to reclaim.
+    /// If this front *does* own a server handle it is shut down and its
+    /// host dropped.
+    pub fn shutdown_readers(self) {
+        self.stop_network();
+        if let Some(handle) = self.shared.handle.write().unwrap().take() {
+            drop(handle.shutdown_host());
+        }
+    }
+
+    /// Set the stop flag and join every listener and connection thread.
+    fn stop_network(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for jh in self.listeners.lock().unwrap().drain(..) {
+            let _ = jh.join();
+        }
+        let conns: Vec<_> = self.shared.conns.lock().unwrap().drain(..).collect();
+        for jh in conns {
+            let _ = jh.join();
+        }
     }
 }
 
@@ -447,7 +487,22 @@ fn execute(shared: &FrontShared, tenant: u32, req: Request) -> (Reply, bool) {
                     }),
                     false,
                 ),
-                Err(e) => (Reply::Error(e.to_string()), false),
+                // First-class over the wire: the follower branches on
+                // the typed gap (re-seed from a checkpoint) instead of
+                // parsing an error string.
+                Err(JournalError::Compacted { oldest, requested }) => {
+                    (Reply::JournalGap { oldest, requested }, false)
+                }
+            },
+            None => (Reply::Error("server is shut down".into()), true),
+        },
+        Request::GetCheckpoint => match &*shared.handle.read().unwrap() {
+            Some(h) => match h.checkpoint_json() {
+                Some((epoch, host)) => (
+                    Reply::Checkpoint(Box::new(CheckpointReply { epoch, host })),
+                    false,
+                ),
+                None => (Reply::Error("server is shut down".into()), true),
             },
             None => (Reply::Error("server is shut down".into()), true),
         },

@@ -35,9 +35,10 @@ pub mod frontend;
 pub mod transport;
 pub mod wire;
 
-pub use client::{ClientConfig, NetClient};
+pub use client::{ClientConfig, NetClient, WindowsPull};
 pub use frontend::{LoopbackTransport, NetFront};
 pub use transport::{Duplex, TcpTransport, Transport};
 pub use wire::{
-    EmbeddingReply, Frame, Message, Reply, Request, RowsReply, WindowsReply, WireError,
+    CheckpointReply, EmbeddingReply, Frame, Message, Reply, Request, RowsReply, WindowsReply,
+    WireError,
 };

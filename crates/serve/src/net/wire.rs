@@ -44,6 +44,7 @@
 //! | 0x06 | `GetStats`     | empty |
 //! | 0x07 | `Shutdown`     | empty |
 //! | 0x08 | `GetWindows`   | `u64 after_epoch`, `u32 max` |
+//! | 0x09 | `GetCheckpoint`| empty |
 //! | 0x81 | `Pong`         | empty |
 //! | 0x82 | `SubmitAck`    | `u64 accepted` |
 //! | 0x83 | `FlushAck`     | `u64 epoch` |
@@ -52,6 +53,8 @@
 //! | 0x86 | `Stats`        | `u32 len`, UTF-8 JSON body (`StatsReply`: the tenant's `ServeStats` plus the `HostStats` rollup; the rt::json codec round-trips every `f64` bitwise) |
 //! | 0x87 | `ShutdownAck`  | empty |
 //! | 0x88 | `Windows`      | `u64 latest`, `u64 first_epoch`, `u32 n`, then n × (`u32 m`, m × (`u32 u`, `u32 v`, `u8 kind`)) |
+//! | 0x89 | `Checkpoint`   | `u64 epoch`, `u32 len`, UTF-8 host-checkpoint JSON (the `TenantHost` serialisation; rt::json round-trips every `f64` bitwise, so a re-seeded follower continues bit-exact) |
+//! | 0x8A | `JournalGap`   | `u64 oldest`, `u64 requested` — typed answer to a `GetWindows` that fell behind the leader's bounded journal (the `Compacted` condition); the puller must re-seed via `GetCheckpoint` |
 //! | 0xFF | `Error`        | `u32 len`, UTF-8 message |
 //!
 //! `f64` values travel as raw IEEE-754 bits (`to_bits`/`from_bits`), so a
@@ -161,6 +164,23 @@ pub enum Request {
         /// Page size: at most this many windows per reply.
         max: u32,
     },
+    /// A full host checkpoint at a consistent epoch — the re-seed path for
+    /// a follower that outlived the leader's bounded journal.
+    GetCheckpoint,
+}
+
+/// A full host checkpoint at one consistent epoch: the answer to
+/// [`Request::GetCheckpoint`]. `host` is the leader's `TenantHost` JSON
+/// serialisation (the same shape `tsvd-store` checkpoints persist), which
+/// round-trips every `f64` bitwise — a follower installed from it
+/// continues bit-exact from `epoch` and resumes `GetWindows` paging there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointReply {
+    /// The epoch the serialised host state reflects (every window `≤
+    /// epoch` applied, none beyond).
+    pub epoch: u64,
+    /// The host-checkpoint JSON text.
+    pub host: String,
 }
 
 /// Embedding rows for an explicit node list, stamped with the epoch and
@@ -257,6 +277,19 @@ pub enum Reply {
     ShutdownAck,
     /// Answer to [`Request::GetWindows`].
     Windows(WindowsReply),
+    /// Answer to [`Request::GetCheckpoint`]. Boxed for the same reason as
+    /// [`Reply::Stats`]: the checkpoint JSON dwarfs every other reply.
+    Checkpoint(Box<CheckpointReply>),
+    /// Typed answer to a [`Request::GetWindows`] whose `after_epoch` fell
+    /// behind the leader's bounded journal: the requested window was
+    /// compacted away. Unlike [`Reply::Error`] this is machine-readable —
+    /// the puller re-seeds via [`Request::GetCheckpoint`] and resumes.
+    JournalGap {
+        /// The oldest epoch the leader's journal still retains.
+        oldest: u64,
+        /// The epoch the puller needed (`after_epoch + 1`).
+        requested: u64,
+    },
     /// The request could not be served (message is human-readable).
     Error(String),
 }
@@ -315,6 +348,7 @@ impl Message {
             Message::Request(Request::GetStats) => 0x06,
             Message::Request(Request::Shutdown) => 0x07,
             Message::Request(Request::GetWindows { .. }) => 0x08,
+            Message::Request(Request::GetCheckpoint) => 0x09,
             Message::Reply(Reply::Pong) => 0x81,
             Message::Reply(Reply::SubmitAck { .. }) => 0x82,
             Message::Reply(Reply::FlushAck { .. }) => 0x83,
@@ -323,6 +357,8 @@ impl Message {
             Message::Reply(Reply::Stats(_)) => 0x86,
             Message::Reply(Reply::ShutdownAck) => 0x87,
             Message::Reply(Reply::Windows(_)) => 0x88,
+            Message::Reply(Reply::Checkpoint(_)) => 0x89,
+            Message::Reply(Reply::JournalGap { .. }) => 0x8A,
             Message::Reply(Reply::Error(_)) => 0xFF,
         }
     }
@@ -334,6 +370,7 @@ impl Message {
             | Message::Request(Request::GetEmbedding)
             | Message::Request(Request::GetStats)
             | Message::Request(Request::Shutdown)
+            | Message::Request(Request::GetCheckpoint)
             | Message::Reply(Reply::Pong)
             | Message::Reply(Reply::ShutdownAck) => {}
             Message::Request(Request::SubmitEvents(events)) => {
@@ -404,6 +441,16 @@ impl Message {
                         out.push(event_kind_byte(e.kind));
                     }
                 }
+            }
+            Message::Reply(Reply::Checkpoint(ck)) => {
+                put_u64(out, ck.epoch);
+                let body = ck.host.as_bytes();
+                put_u32(out, body.len() as u32);
+                out.extend_from_slice(body);
+            }
+            Message::Reply(Reply::JournalGap { oldest, requested }) => {
+                put_u64(out, *oldest);
+                put_u64(out, *requested);
             }
             Message::Reply(Reply::Error(msg)) => {
                 let body = msg.as_bytes();
@@ -543,6 +590,7 @@ fn decode_payload(msg_id: u8, payload: &[u8]) -> Result<Message, WireError> {
             let max = c.u32()?;
             Message::Request(Request::GetWindows { after_epoch, max })
         }
+        0x09 => Message::Request(Request::GetCheckpoint),
         0x81 => Message::Reply(Reply::Pong),
         0x82 => Message::Reply(Reply::SubmitAck { accepted: c.u64()? }),
         0x83 => Message::Reply(Reply::FlushAck { epoch: c.u64()? }),
@@ -636,6 +684,21 @@ fn decode_payload(msg_id: u8, payload: &[u8]) -> Result<Message, WireError> {
                 first_epoch,
                 windows,
             }))
+        }
+        0x89 => {
+            let epoch = c.u64()?;
+            let n = c.count(1)?;
+            let body = std::str::from_utf8(c.take(n)?)
+                .map_err(|_| WireError::Malformed("checkpoint not UTF-8"))?;
+            Message::Reply(Reply::Checkpoint(Box::new(CheckpointReply {
+                epoch,
+                host: body.to_string(),
+            })))
+        }
+        0x8A => {
+            let oldest = c.u64()?;
+            let requested = c.u64()?;
+            Message::Reply(Reply::JournalGap { oldest, requested })
         }
         0xFF => {
             let n = c.count(1)?;
@@ -859,11 +922,62 @@ mod tests {
             Message::Request(Request::GetEmbedding),
             Message::Request(Request::GetStats),
             Message::Request(Request::Shutdown),
+            Message::Request(Request::GetCheckpoint),
             Message::Reply(Reply::Pong),
             Message::Reply(Reply::ShutdownAck),
         ] {
             round_trip(7, m);
         }
+    }
+
+    #[test]
+    fn checkpoint_and_journal_gap_round_trip() {
+        round_trip(
+            13,
+            Message::Reply(Reply::Checkpoint(Box::new(CheckpointReply {
+                epoch: 42,
+                host: r#"{"graph":{},"batches_recorded":42,"tenants":[]}"#.into(),
+            }))),
+        );
+        // Empty checkpoint body survives (a degenerate but legal host).
+        round_trip(
+            14,
+            Message::Reply(Reply::Checkpoint(Box::new(CheckpointReply {
+                epoch: 0,
+                host: String::new(),
+            }))),
+        );
+        round_trip(
+            15,
+            Message::Reply(Reply::JournalGap {
+                oldest: 4097,
+                requested: 12,
+            }),
+        );
+    }
+
+    #[test]
+    fn checkpoint_length_larger_than_payload_rejected_before_allocation() {
+        // A Checkpoint frame whose body-length field claims more bytes than
+        // the payload holds must fail on the count check, not allocate.
+        let mut buf = Vec::new();
+        encode_frame(
+            1,
+            0,
+            &Message::Reply(Reply::Checkpoint(Box::new(CheckpointReply {
+                epoch: 3,
+                host: "x".into(),
+            }))),
+            &mut buf,
+        );
+        // The length field sits right after the u64 epoch in the payload.
+        buf[HEADER_LEN + 8..HEADER_LEN + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let crc = frame_checksum(&buf[2..20], &buf[HEADER_LEN..]);
+        buf[20..28].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("count exceeds payload"))
+        );
     }
 
     #[test]

@@ -1,0 +1,1118 @@
+//! The scale-out router tier: stateless scatter-gather over `serve::net`.
+//!
+//! One process caps the system at one machine. The router splits the
+//! subset's global row order into contiguous ranges — the same split
+//! [`ShardedEngine`](crate::ShardedEngine) uses in-process — and places
+//! each range in its own **shard process** (an `EmbeddingServer` +
+//! [`NetFront`](crate::NetFront) over that sub-subset). The router itself
+//! holds no embedding state: just a [`ShardMap`], one pipelining
+//! [`NetClient`] per range, and counters.
+//!
+//! ```text
+//!             ┌────────────┐  SubmitEvents/Flush: broadcast (lockstep)
+//!  clients ──▶│ RouterFront│  GetRows: scatter per ShardMap, gather,
+//!             │  (Router)  │           epoch barrier, merge
+//!             └─────┬──────┘
+//!        ┌──────────┼──────────────┐
+//!        ▼          ▼              ▼
+//!    shard 0     shard 1   ...  shard N-1      (leader processes)
+//!        │          │              │  GetWindows (journal replication)
+//!        ▼          ▼              ▼
+//!    follower 0  follower 1 ... follower N-1   (read replicas)
+//! ```
+//!
+//! **Lockstep invariant.** Every write (`SubmitEvents`) and every `Flush`
+//! is broadcast to all healthy shards *in the same serialized order* (the
+//! router is behind one lock). Each shard therefore coalesces identical
+//! pending buffers into identical windows at identical epochs — so the
+//! shards' journals are byte-identical, any shard can feed any range's
+//! follower, and epoch `e` means the same global prefix of the event
+//! stream everywhere. A shard that misses one write has diverged forever;
+//! the router immediately fails it over (below) rather than let it serve.
+//!
+//! **Epoch barrier.** A scatter read can catch shards mid-flush at
+//! different epochs. The gather takes `target = max(epoch)` over the
+//! replies and re-probes every range below it (bounded retries with
+//! linear backoff, [`RouterConfig::barrier_retries`] ×
+//! [`RouterConfig::barrier_backoff_ms`]); per-connection staleness guards
+//! in [`NetClient`] separately reject a same-epoch checksum flip. A shard
+//! that cannot reach the barrier fails the read with the typed
+//! [`RouterError::EpochBarrier`] — never a torn cross-shard mix.
+//!
+//! **Failover ladder.** A shard that faults on the *write* path has
+//! either missed the broadcast or is unreachable — both mean its journal
+//! has diverged from the lockstep order, so it must never serve again:
+//! the router switches the range to its journal-fed
+//! [`Follower`](crate::Follower) replica, which serves the identical
+//! bitwise rows at a possibly-stale epoch — the barrier absorbs the lag
+//! while the follower catches up from any healthy shard's journal. With
+//! no usable follower the range is **poisoned**: permanently excluded
+//! from writes and reads (a transient fault would otherwise reconnect the
+//! diverged leader on the next call and serve it as healthy), with the
+//! fault reported only after the broadcast has reached every remaining
+//! shard — a mid-broadcast error must not leave the survivors with
+//! divergent pending sets. One write failure is not a fault at all: a
+//! *server rejection* (the shard answered with a wire `Error` instead of
+//! applying the request, e.g. an exceeded tenant quota). If no shard
+//! applied the batch the survivors still agree, and the rejection
+//! surfaces as the request-level [`RouterError::Io`] — backpressure, not
+//! divergence; if another shard *did* apply it, the rejecting shard has
+//! missed a write and rides the ladder like any other write fault. On the
+//! *read* path, a dead transport fails over to the follower and retries
+//! there; request-level faults (a corrupt frame, a server-side error
+//! string) fail only that request: the client reconnects on the next
+//! call. Followers that outlive the leaders' bounded journals re-seed
+//! over the wire (`GetCheckpoint` →
+//! [`Follower::reseed_from`](crate::Follower)).
+//!
+//! The merged `Rows` reply's checksum is the FNV-1a 64 chain of the
+//! per-range checksums in ascending range order — deterministic per epoch
+//! (sequential f64 summation is non-associative, so the router cannot
+//! recompute a *global* content checksum without the rows it did not
+//! fetch; the chained per-range form is stable across failover because a
+//! follower's state is bitwise its leader's). For the same reason the
+//! router does not serve `GetEmbedding`.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use std::{fmt, thread};
+
+use tsvd_graph::EdgeEvent;
+
+use crate::config::RouterConfig;
+use crate::net::wire::{
+    fnv1a64, read_frame_until, write_frame, Message, Reply, Request, RowsReply, FNV_OFFSET,
+};
+use crate::net::{ClientConfig, NetClient, TcpTransport};
+use crate::stats::RouterStats;
+
+/// Poll interval for stop-flag checks (accept loop, connection reads).
+const POLL: Duration = Duration::from_millis(25);
+
+/// The contiguous-range split of the subset's global row order across N
+/// shards — the cross-process analogue of
+/// [`ShardedEngine`](crate::ShardedEngine)'s in-process split. Global row
+/// `i` is the `i`-th source in the full subset; shard `k` owns rows
+/// `range(k).0 .. range(k).1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    sources: Vec<u32>,
+    /// Half-open `(start, end)` global-row ranges, ascending, tiling
+    /// `0..sources.len()` exactly (validated at construction).
+    ranges: Vec<(usize, usize)>,
+    /// node id → owning shard.
+    owner: HashMap<u32, usize>,
+}
+
+impl ShardMap {
+    /// Split `sources` into `num_shards` contiguous ranges of near-equal
+    /// size (first `len % n` ranges get one extra row — the same base/rem
+    /// rule `ShardedEngine` applies). `num_shards` is clamped to
+    /// `1..=sources.len()`.
+    pub fn even_split(sources: &[u32], num_shards: usize) -> ShardMap {
+        assert!(!sources.is_empty(), "shard map over an empty subset");
+        let n = num_shards.clamp(1, sources.len());
+        let base = sources.len() / n;
+        let rem = sources.len() % n;
+        let ranges = (0..n)
+            .map(|k| {
+                let start = k * base + k.min(rem);
+                let len = base + usize::from(k < rem);
+                (start, start + len)
+            })
+            .collect();
+        Self::from_ranges(sources, ranges).expect("even split tiles by construction")
+    }
+
+    /// Build a map from explicit ranges, rejecting any gap or overlap in
+    /// the tiling of `0..sources.len()` with a typed
+    /// [`RouterError::BadMap`].
+    pub fn from_ranges(
+        sources: &[u32],
+        ranges: Vec<(usize, usize)>,
+    ) -> Result<ShardMap, RouterError> {
+        if ranges.is_empty() {
+            return Err(RouterError::BadMap("no shard ranges".into()));
+        }
+        let mut expected = 0usize;
+        for (k, &(start, end)) in ranges.iter().enumerate() {
+            if start != expected {
+                let what = if start > expected { "gap" } else { "overlap" };
+                return Err(RouterError::BadMap(format!(
+                    "{what} before shard {k}: range starts at row {start}, expected {expected}"
+                )));
+            }
+            if end <= start {
+                return Err(RouterError::BadMap(format!(
+                    "shard {k} owns an empty range ({start}, {end})"
+                )));
+            }
+            expected = end;
+        }
+        if expected != sources.len() {
+            return Err(RouterError::BadMap(format!(
+                "ranges cover {expected} rows, subset has {}",
+                sources.len()
+            )));
+        }
+        let mut owner = HashMap::with_capacity(sources.len());
+        for (k, &(start, end)) in ranges.iter().enumerate() {
+            for &node in &sources[start..end] {
+                if owner.insert(node, k).is_some() {
+                    return Err(RouterError::BadMap(format!(
+                        "node {node} appears twice in the subset"
+                    )));
+                }
+            }
+        }
+        Ok(ShardMap {
+            sources: sources.to_vec(),
+            ranges,
+            owner,
+        })
+    }
+
+    /// Number of shard ranges.
+    pub fn num_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The full subset, in global row order.
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// Shard `k`'s half-open global-row range.
+    pub fn range(&self, k: usize) -> (usize, usize) {
+        self.ranges[k]
+    }
+
+    /// The sub-subset shard `k` owns, in global row order — what its
+    /// engine process is registered with.
+    pub fn sources_of(&self, k: usize) -> &[u32] {
+        let (start, end) = self.ranges[k];
+        &self.sources[start..end]
+    }
+
+    /// Partition one `GetRows` request across the shards. Every shard gets
+    /// an entry — possibly empty: an empty `GetRows` still returns the
+    /// shard's epoch and range checksum, which the barrier and the merged
+    /// checksum need from *all* ranges.
+    pub fn plan(&self, nodes: &[u32]) -> ScatterPlan {
+        let n = self.num_shards();
+        let mut per_shard = vec![Vec::new(); n];
+        let mut positions = vec![Vec::new(); n];
+        for (pos, &node) in nodes.iter().enumerate() {
+            if let Some(&k) = self.owner.get(&node) {
+                per_shard[k].push(node);
+                positions[k].push(pos);
+            }
+            // Nodes outside the subset stay None in the merged reply,
+            // exactly as a single shard answers for unknown nodes.
+        }
+        ScatterPlan {
+            per_shard,
+            positions,
+            total: nodes.len(),
+        }
+    }
+
+    /// Merge one reply per shard (ascending range order, aligned with
+    /// `plan`) into the client-facing [`RowsReply`]. Rejects — with a
+    /// typed [`RouterError::Merge`] — any reply set that would tear the
+    /// read: a row-count mismatch against the plan (a gap or overlap in
+    /// global-row coverage), ranges at different epochs (the barrier's
+    /// job; merging them would mix epochs), or disagreeing dimensions.
+    pub fn merge(
+        &self,
+        plan: &ScatterPlan,
+        replies: &[RowsReply],
+    ) -> Result<RowsReply, RouterError> {
+        if replies.len() != self.num_shards() {
+            return Err(RouterError::Merge(format!(
+                "{} replies for {} shard ranges",
+                replies.len(),
+                self.num_shards()
+            )));
+        }
+        let epoch = replies[0].epoch;
+        let dim = replies[0].dim;
+        let mut checksum = FNV_OFFSET;
+        for (k, r) in replies.iter().enumerate() {
+            if r.epoch != epoch {
+                return Err(RouterError::Merge(format!(
+                    "shard {k} answered at epoch {}, shard 0 at {epoch} — torn cross-shard read",
+                    r.epoch
+                )));
+            }
+            if r.dim != dim {
+                return Err(RouterError::Merge(format!(
+                    "shard {k} serves dim {}, shard 0 dim {dim}",
+                    r.dim
+                )));
+            }
+            let asked = plan.per_shard[k].len();
+            if r.rows.len() != asked {
+                let what = if r.rows.len() < asked {
+                    "gap"
+                } else {
+                    "overlap"
+                };
+                return Err(RouterError::Merge(format!(
+                    "row-coverage {what}: shard {k} returned {} row slots for {asked} requested",
+                    r.rows.len()
+                )));
+            }
+            checksum = fnv1a64(checksum, &r.checksum_bits.to_le_bytes());
+        }
+        let mut rows: Vec<Option<Vec<f64>>> = vec![None; plan.total];
+        for (k, r) in replies.iter().enumerate() {
+            for (slot, row) in plan.positions[k].iter().zip(&r.rows) {
+                rows[*slot] = row.clone();
+            }
+        }
+        Ok(RowsReply {
+            epoch,
+            checksum_bits: checksum,
+            dim,
+            rows,
+        })
+    }
+}
+
+/// How one `GetRows` request scatters across the [`ShardMap`]: which
+/// requested nodes go to which shard, and where each answer lands in the
+/// merged reply.
+#[derive(Debug, Clone)]
+pub struct ScatterPlan {
+    /// Per shard: the requested nodes it owns, in request order.
+    per_shard: Vec<Vec<u32>>,
+    /// Per shard: the position in the original request of each of its
+    /// nodes (parallel to `per_shard`).
+    positions: Vec<Vec<usize>>,
+    /// Length of the original request (== merged reply row count).
+    total: usize,
+}
+
+impl ScatterPlan {
+    /// The nodes shard `k` is asked for (possibly empty — a probe).
+    pub fn shard_nodes(&self, k: usize) -> &[u32] {
+        &self.per_shard[k]
+    }
+}
+
+/// Typed failures of router operations.
+#[derive(Debug)]
+pub enum RouterError {
+    /// A shard map that does not tile the global row order.
+    BadMap(String),
+    /// A shard stayed below the barrier epoch through every bounded
+    /// retry: the read fails typed rather than serving a torn mix.
+    EpochBarrier {
+        /// The epoch the freshest range answered at.
+        target: u64,
+        /// The range that could not reach it.
+        shard: usize,
+        /// The epoch it was stuck at.
+        stuck_at: u64,
+        /// Retry rounds spent.
+        retries: u32,
+    },
+    /// Gathered replies that cannot be merged into one consistent reply.
+    Merge(String),
+    /// A shard's transport is dead and no (reachable) follower replica
+    /// covers its range.
+    ShardDown {
+        /// The dead range.
+        shard: usize,
+        /// The underlying failure.
+        error: io::Error,
+    },
+    /// A request-level fault on one shard (corrupt frame, server-side
+    /// error). The router stays up; only this request fails.
+    Io {
+        /// The faulting range.
+        shard: usize,
+        /// The underlying failure.
+        error: io::Error,
+    },
+    /// Every shard range has been failed over to a read-only follower:
+    /// no process is left to accept writes.
+    NoWriters,
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::BadMap(what) => write!(f, "bad shard map: {what}"),
+            RouterError::EpochBarrier {
+                target,
+                shard,
+                stuck_at,
+                retries,
+            } => write!(
+                f,
+                "epoch barrier failed: shard {shard} stuck at epoch {stuck_at}, \
+                 target {target}, after {retries} retries"
+            ),
+            RouterError::Merge(what) => write!(f, "merge rejected: {what}"),
+            RouterError::ShardDown { shard, error } => {
+                write!(f, "shard {shard} down with no usable replica: {error}")
+            }
+            RouterError::Io { shard, error } => write!(f, "shard {shard} request failed: {error}"),
+            RouterError::NoWriters => write!(f, "every shard failed over; no writer left"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouterError::ShardDown { error, .. } | RouterError::Io { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Where one shard range lives on the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEndpoint {
+    /// The leader shard process (`host:port`).
+    pub addr: String,
+    /// Its journal-fed follower replica, if deployed — the failover
+    /// target for this range.
+    pub follower: Option<String>,
+}
+
+impl ShardEndpoint {
+    /// A leader with no replica.
+    pub fn leader_only(addr: impl Into<String>) -> ShardEndpoint {
+        ShardEndpoint {
+            addr: addr.into(),
+            follower: None,
+        }
+    }
+
+    /// A leader with a follower replica behind it.
+    pub fn with_follower(addr: impl Into<String>, follower: impl Into<String>) -> ShardEndpoint {
+        ShardEndpoint {
+            addr: addr.into(),
+            follower: Some(follower.into()),
+        }
+    }
+}
+
+/// One shard range's connection state.
+struct ShardConn {
+    endpoint: ShardEndpoint,
+    client: NetClient,
+    /// Once true, this range reads from its follower and receives no more
+    /// writes (the leader is dead or diverged — see module docs).
+    failed_over: bool,
+    /// Once true, this range is out of service entirely: its leader
+    /// diverged from the broadcast order (missed a write) and no follower
+    /// replica could take over. A poisoned range is never written to or
+    /// read from again — the client would transparently reconnect, and a
+    /// diverged leader must not serve as if healthy.
+    poisoned: bool,
+}
+
+impl ShardConn {
+    /// Whether this range still takes lockstep writes.
+    fn is_writer(&self) -> bool {
+        !self.failed_over && !self.poisoned
+    }
+}
+
+/// The stateless scatter-gather core: a [`ShardMap`], one client per
+/// range, and the barrier/failover logic. Wrap in a [`RouterFront`] to
+/// serve it over the wire, or drive it in-process.
+pub struct Router {
+    map: ShardMap,
+    cfg: RouterConfig,
+    shards: Vec<ShardConn>,
+    stats: RouterStats,
+}
+
+/// Transport failure kinds that mean "the connection/process is gone" —
+/// the failover trigger. Mirrors the client's own transient set.
+fn is_transport_dead(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// A request-level server rejection: the shard answered the request with
+/// a wire `Error` reply instead of applying it (surfaced by [`NetClient`]
+/// as `ErrorKind::Other`, e.g. an exceeded tenant quota). Unlike a
+/// transport fault — where the outcome is unknown — the shard is alive
+/// and positively did *not* apply the write.
+fn is_server_rejection(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::Other
+}
+
+impl Router {
+    /// Connect one client per shard range. `endpoints[k]` serves
+    /// `map.range(k)`; all connections are opened eagerly so a
+    /// misconfigured deployment fails here, not mid-request.
+    pub fn connect(
+        map: ShardMap,
+        endpoints: Vec<ShardEndpoint>,
+        cfg: RouterConfig,
+    ) -> io::Result<Router> {
+        assert_eq!(
+            endpoints.len(),
+            map.num_shards(),
+            "one endpoint per shard range"
+        );
+        let client_cfg = ClientConfig {
+            tenant: cfg.tenant,
+            ..ClientConfig::default()
+        };
+        let shards = endpoints
+            .into_iter()
+            .map(|endpoint| {
+                let client =
+                    NetClient::connect(TcpTransport::new(endpoint.addr.clone()), client_cfg)?;
+                Ok(ShardConn {
+                    endpoint,
+                    client,
+                    failed_over: false,
+                    poisoned: false,
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let stats = RouterStats {
+            shards: map.num_shards(),
+            ..RouterStats::default()
+        };
+        Ok(Router {
+            map,
+            cfg,
+            shards,
+            stats,
+        })
+    }
+
+    /// The row split this router scatters over.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Traffic and fault counters so far.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Which ranges are currently served by their follower replica.
+    pub fn failed_over(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.failed_over)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Which ranges are permanently out of service: their leader diverged
+    /// on a write (missed the broadcast or went unreachable) and no
+    /// follower replica could take over.
+    pub fn poisoned(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.poisoned)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Switch range `k` to its follower replica. Idempotent; errors if no
+    /// follower is configured or it is unreachable.
+    fn failover(&mut self, k: usize, cause: io::Error) -> Result<(), RouterError> {
+        if self.shards[k].failed_over {
+            return Ok(());
+        }
+        let Some(follower) = self.shards[k].endpoint.follower.clone() else {
+            return Err(RouterError::ShardDown {
+                shard: k,
+                error: cause,
+            });
+        };
+        let client_cfg = ClientConfig {
+            tenant: self.cfg.tenant,
+            ..ClientConfig::default()
+        };
+        let client = NetClient::connect(TcpTransport::new(follower), client_cfg)
+            .map_err(|e| RouterError::ShardDown { shard: k, error: e })?;
+        self.shards[k].client = client;
+        self.shards[k].failed_over = true;
+        self.stats.failovers += 1;
+        Ok(())
+    }
+
+    /// After a diverging write fault on range `k`: the leader either
+    /// missed the write or is unreachable — both mean its stream has
+    /// diverged from the broadcast order and it must never serve again
+    /// (module docs). Fail the range over so the follower replicates the
+    /// true window stream from the remaining shards' journals; with no
+    /// usable follower, poison the range permanently — the client would
+    /// otherwise reconnect the diverged leader on the next call and serve
+    /// it as healthy. Returns the [`RouterError::ShardDown`] to surface
+    /// (after the broadcast completes) when the range is lost for good.
+    fn write_fault(&mut self, k: usize, error: io::Error) -> Option<RouterError> {
+        match self.failover(k, error) {
+            Ok(()) => None,
+            Err(err) => {
+                self.shards[k].poisoned = true;
+                self.stats.poisoned += 1;
+                Some(err)
+            }
+        }
+    }
+
+    /// Broadcast one write-path request (`op`) to every shard that still
+    /// takes writes, in lockstep order — callers serialize on `&mut
+    /// self`. The broadcast always runs to completion: faults are
+    /// collected and settled only after every remaining shard has seen
+    /// the request, so a mid-broadcast error can never leave the
+    /// survivors with divergent pending sets. Settlement: transport
+    /// faults ride the failover ladder ([`Router::write_fault`]);
+    /// server-level rejections do too, but *only* if some other shard
+    /// applied the request — a rejection applied nowhere (e.g. a uniform
+    /// tenant-quota bounce) leaves the survivors in agreement and
+    /// surfaces as the request-level [`RouterError::Io`] instead.
+    fn broadcast<T>(
+        &mut self,
+        mut op: impl FnMut(&mut NetClient) -> io::Result<T>,
+    ) -> Result<Vec<T>, RouterError> {
+        let mut applied = Vec::new();
+        let mut faults: Vec<(usize, io::Error)> = Vec::new();
+        let mut rejections: Vec<(usize, io::Error)> = Vec::new();
+        for k in 0..self.shards.len() {
+            if !self.shards[k].is_writer() {
+                continue;
+            }
+            match op(&mut self.shards[k].client) {
+                Ok(v) => applied.push(v),
+                Err(e) if is_server_rejection(&e) => rejections.push((k, e)),
+                Err(e) => faults.push((k, e)),
+            }
+        }
+        let any_applied = !applied.is_empty();
+        let mut down = None;
+        for (k, e) in faults {
+            if let Some(err) = self.write_fault(k, e) {
+                down.get_or_insert(err);
+            }
+        }
+        if any_applied {
+            // A shard that rejected a request its peers applied has
+            // missed a write: divergence, like any transport fault.
+            for (k, e) in rejections {
+                if let Some(err) = self.write_fault(k, e) {
+                    down.get_or_insert(err);
+                }
+            }
+        } else if down.is_none() {
+            // No shard applied the request, so the survivors still agree:
+            // a uniform server rejection is backpressure, not divergence.
+            if let Some((shard, error)) = rejections.into_iter().next() {
+                return Err(RouterError::Io { shard, error });
+            }
+        }
+        match down {
+            Some(err) => Err(err),
+            None => Ok(applied),
+        }
+    }
+
+    /// Broadcast one event batch to every healthy shard (lockstep order —
+    /// callers serialize on `&mut self`). Returns the accepted count. A
+    /// faulting shard is failed over to its replica (or poisoned — see
+    /// [`Router::write_fault`]); the write succeeds as long as one leader
+    /// remains and no range was lost outright.
+    pub fn submit(&mut self, events: Vec<EdgeEvent>) -> Result<u64, RouterError> {
+        self.stats.writes += 1;
+        let applied = self.broadcast(|c| c.submit_events(events.clone()))?;
+        applied.into_iter().next().ok_or(RouterError::NoWriters)
+    }
+
+    /// Broadcast a flush barrier; returns the epoch watermark the healthy
+    /// shards reached (equal across shards in lockstep).
+    pub fn flush(&mut self) -> Result<u64, RouterError> {
+        self.stats.flushes += 1;
+        let applied = self.broadcast(NetClient::flush)?;
+        applied.into_iter().max().ok_or(RouterError::NoWriters)
+    }
+
+    /// One synchronous range read with the failover ladder: a dead
+    /// transport on the leader switches to the follower and retries
+    /// there; request-level faults (corrupt frame, server error) fail
+    /// only this request.
+    fn read_range(&mut self, k: usize, nodes: &[u32]) -> Result<RowsReply, RouterError> {
+        match self.shards[k].client.get_rows(nodes) {
+            Ok(r) => Ok(r),
+            Err(e) if is_transport_dead(&e) && !self.shards[k].failed_over => {
+                self.failover(k, e)?;
+                self.shards[k]
+                    .client
+                    .get_rows(nodes)
+                    .map_err(|error| RouterError::ShardDown { shard: k, error })
+            }
+            Err(e) if is_transport_dead(&e) => Err(RouterError::ShardDown { shard: k, error: e }),
+            Err(error) => Err(RouterError::Io { shard: k, error }),
+        }
+    }
+
+    /// Scatter-gather one `GetRows` across every range and merge under
+    /// the epoch barrier. The merged reply is aligned with `nodes`
+    /// (request order); nodes outside the subset come back `None`.
+    pub fn get_rows(&mut self, nodes: &[u32]) -> Result<RowsReply, RouterError> {
+        self.stats.reads += 1;
+        let plan = self.map.plan(nodes);
+        let n = self.shards.len();
+
+        // A poisoned range has no server and no replica: no merged read
+        // can cover it again (the merge needs every range, if only as an
+        // epoch probe), so fail fast instead of re-dialing the diverged
+        // leader through the client's transparent reconnect.
+        if let Some(k) = (0..n).find(|&k| self.shards[k].poisoned) {
+            return Err(RouterError::ShardDown {
+                shard: k,
+                error: io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "range poisoned: its leader diverged and no follower took over",
+                ),
+            });
+        }
+
+        // Scatter: put one GetRows in flight on every connection before
+        // reading any reply (split-phase — one round trip for the whole
+        // fan-out). A dispatch failure leaves a hole for the sync path.
+        let mut pending: Vec<Option<u64>> = Vec::with_capacity(n);
+        for k in 0..n {
+            let req = Request::GetRows(plan.shard_nodes(k).to_vec());
+            pending.push(self.shards[k].client.dispatch(&req).ok());
+        }
+        // Gather: collect *every* in-flight reply — skipping one on a
+        // fault would leave its bytes in the socket and poison the next
+        // request on that connection — then fill holes synchronously
+        // (which is where failover happens).
+        let mut gathered: Vec<Result<RowsReply, io::Error>> = Vec::with_capacity(n);
+        for (k, slot) in pending.into_iter().enumerate() {
+            gathered.push(match slot {
+                Some(id) => match self.shards[k].client.collect(id) {
+                    Ok(Reply::Rows(r)) => Ok(r),
+                    Ok(other) => Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected reply variant: {other:?}"),
+                    )),
+                    Err(e) => Err(e),
+                },
+                None => Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "dispatch failed; connection is down",
+                )),
+            });
+        }
+        let mut replies: Vec<RowsReply> = Vec::with_capacity(n);
+        for (k, got) in gathered.into_iter().enumerate() {
+            replies.push(match got {
+                Ok(r) => r,
+                Err(e) if is_transport_dead(&e) => self.read_range(k, plan.shard_nodes(k))?,
+                Err(error) => return Err(RouterError::Io { shard: k, error }),
+            });
+        }
+
+        // Epoch barrier: re-probe every range below the freshest epoch
+        // until all agree or the bounded retries run out.
+        let mut retries = 0u32;
+        loop {
+            let target = replies.iter().map(|r| r.epoch).max().expect("n >= 1");
+            let lagging: Vec<usize> = (0..n).filter(|&k| replies[k].epoch < target).collect();
+            if lagging.is_empty() {
+                break;
+            }
+            if retries >= self.cfg.barrier_retries {
+                let k = lagging[0];
+                return Err(RouterError::EpochBarrier {
+                    target,
+                    shard: k,
+                    stuck_at: replies[k].epoch,
+                    retries,
+                });
+            }
+            retries += 1;
+            self.stats.barrier_retries += 1;
+            thread::sleep(Duration::from_millis(
+                self.cfg.barrier_backoff_ms * retries as u64,
+            ));
+            for k in lagging {
+                replies[k] = self.read_range(k, plan.shard_nodes(k))?;
+            }
+        }
+        self.map.merge(&plan, &replies)
+    }
+
+    /// Flush, then tell every healthy leader to shut down (clean
+    /// deployment teardown — staged windows drain server-side before the
+    /// ack). Followers are owned by whoever deployed them.
+    pub fn shutdown_shards(&mut self) {
+        let _ = self.flush();
+        for s in &mut self.shards {
+            if s.is_writer() {
+                let _ = s.client.shutdown_server();
+            }
+        }
+    }
+}
+
+/// Shared state of a [`RouterFront`] and its connection threads.
+struct FrontInner {
+    /// Taken (→ `None`) by [`RouterFront::shutdown`].
+    router: Mutex<Option<Router>>,
+    /// The tenant every request must name (the router pins one).
+    tenant: u32,
+    stop: AtomicBool,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    accepted: AtomicU64,
+}
+
+/// Serves a [`Router`] over the same wire protocol the shards speak, so
+/// any [`NetClient`] can talk to the deployment without knowing it is
+/// sharded. Requests across all connections are serialized through the
+/// router's lock — that serialization *is* the lockstep write order the
+/// shards' journals rely on.
+///
+/// **Known limitation — reads serialize too.** The lock is held across a
+/// request's full scatter-gather round trip, including any epoch-barrier
+/// backoff sleeps, so one front has one request in flight at a time even
+/// across connections. Lockstep only *requires* serializing the write
+/// path; reads ride the same lock because the [`Router`] owns a single
+/// [`NetClient`] per range and a client is one ordered request stream.
+/// For read throughput, deploy additional `RouterFront` processes over
+/// the same shard endpoints — the router holds no embedding state, and
+/// the shards' epoch/checksum guards keep every front's merges
+/// consistent — while keeping all writers on one front so the broadcast
+/// order stays total.
+pub struct RouterFront {
+    inner: Arc<FrontInner>,
+    listeners: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RouterFront {
+    /// Wrap a connected router. Call [`RouterFront::listen`] to accept.
+    pub fn start(router: Router) -> RouterFront {
+        let tenant = router.cfg.tenant;
+        RouterFront {
+            inner: Arc::new(FrontInner {
+                router: Mutex::new(Some(router)),
+                tenant,
+                stop: AtomicBool::new(false),
+                conns: Mutex::new(Vec::new()),
+                accepted: AtomicU64::new(0),
+            }),
+            listeners: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Bind a TCP listener (port 0 for OS-assigned) and start accepting.
+    pub fn listen(&self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = self.inner.clone();
+        let jh = thread::Builder::new()
+            .name("tsvd-router-accept".into())
+            .spawn(move || {
+                while !inner.stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if stream.set_nodelay(true).is_err()
+                                || stream.set_read_timeout(Some(POLL)).is_err()
+                            {
+                                continue;
+                            }
+                            let reader = match stream.try_clone() {
+                                Ok(r) => r,
+                                Err(_) => continue,
+                            };
+                            let conn_inner = inner.clone();
+                            let n = inner.accepted.fetch_add(1, Ordering::Relaxed) + 1;
+                            let jh = thread::Builder::new()
+                                .name(format!("tsvd-router-conn-{n}"))
+                                .spawn(move || serve_connection(conn_inner, reader, stream))
+                                .expect("spawn tsvd-router-conn");
+                            inner.conns.lock().unwrap().push(jh);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+                        Err(_) => thread::sleep(POLL),
+                    }
+                }
+            })
+            .expect("spawn tsvd-router-accept");
+        self.listeners.lock().unwrap().push(jh);
+        Ok(local)
+    }
+
+    /// Whether a client's `Shutdown` (or [`RouterFront::shutdown`]) has
+    /// stopped the front.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.stop.load(Ordering::Acquire)
+    }
+
+    /// Block (polling) until stopped or `timeout` elapses.
+    pub fn wait_stopped(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while !self.is_stopped() {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Stop listeners and connections and take the router back (`None` if
+    /// a wire `Shutdown` already consumed it — it shut the shards down).
+    pub fn shutdown(self) -> Option<Router> {
+        self.inner.stop.store(true, Ordering::Release);
+        for jh in self.listeners.lock().unwrap().drain(..) {
+            let _ = jh.join();
+        }
+        let conns: Vec<_> = self.inner.conns.lock().unwrap().drain(..).collect();
+        for jh in conns {
+            let _ = jh.join();
+        }
+        self.inner.router.lock().unwrap().take()
+    }
+}
+
+/// One router connection: read frames, execute against the shared router
+/// (serialized under its lock), write replies. Synchronous per
+/// connection; concurrency comes from multiple connections.
+fn serve_connection(inner: Arc<FrontInner>, mut reader: impl io::Read, mut writer: impl io::Write) {
+    let should_stop = {
+        let inner = inner.clone();
+        move || inner.stop.load(Ordering::Acquire)
+    };
+    loop {
+        match read_frame_until(&mut reader, &should_stop) {
+            Ok(Some(frame)) => {
+                let (reply, close) = match frame.message {
+                    Message::Request(req) => execute(&inner, frame.tenant, req),
+                    Message::Reply(_) => (
+                        Reply::Error("reply-direction frame on the request path".into()),
+                        true,
+                    ),
+                };
+                let wrote = write_frame(
+                    &mut writer,
+                    frame.request_id,
+                    frame.tenant,
+                    &Message::Reply(reply),
+                );
+                if wrote.is_err() || close {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean EOF or stop
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let _ = write_frame(
+                    &mut writer,
+                    0,
+                    0,
+                    &Message::Reply(Reply::Error(e.to_string())),
+                );
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Execute one request against the router. Faults inside the router map
+/// to `Reply::Error` — a request-level answer; the connection stays open
+/// unless the router itself is gone.
+fn execute(inner: &FrontInner, tenant: u32, req: Request) -> (Reply, bool) {
+    if tenant != inner.tenant {
+        return (
+            Reply::Error(format!(
+                "router pins tenant {}, request named {tenant}",
+                inner.tenant
+            )),
+            false,
+        );
+    }
+    let mut guard = inner.router.lock().unwrap();
+    let Some(router) = guard.as_mut() else {
+        return (Reply::Error("router is shut down".into()), true);
+    };
+    match req {
+        Request::Ping => (Reply::Pong, false),
+        Request::SubmitEvents(events) => match router.submit(events) {
+            Ok(accepted) => (Reply::SubmitAck { accepted }, false),
+            Err(e) => (Reply::Error(e.to_string()), false),
+        },
+        Request::Flush => match router.flush() {
+            Ok(epoch) => (Reply::FlushAck { epoch }, false),
+            Err(e) => (Reply::Error(e.to_string()), false),
+        },
+        Request::GetRows(nodes) => match router.get_rows(&nodes) {
+            Ok(rows) => (Reply::Rows(rows), false),
+            Err(e) => (Reply::Error(e.to_string()), false),
+        },
+        Request::GetEmbedding => (
+            Reply::Error(
+                "router serves GetRows only: a cross-shard embedding has no \
+                 single-process checksum"
+                    .into(),
+            ),
+            false,
+        ),
+        Request::GetStats | Request::GetWindows { .. } | Request::GetCheckpoint => (
+            Reply::Error("not served by the router tier; ask a shard directly".into()),
+            false,
+        ),
+        Request::Shutdown => {
+            router.shutdown_shards();
+            *guard = None;
+            inner.stop.store(true, Ordering::Release);
+            (Reply::ShutdownAck, true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(epoch: u64, checksum_bits: u64, dim: u32, rows: Vec<Option<Vec<f64>>>) -> RowsReply {
+        RowsReply {
+            epoch,
+            checksum_bits,
+            dim,
+            rows,
+        }
+    }
+
+    #[test]
+    fn even_split_tiles_with_base_rem_rule() {
+        let sources: Vec<u32> = (0..11).map(|i| i * 3).collect();
+        let map = ShardMap::even_split(&sources, 4);
+        assert_eq!(map.num_shards(), 4);
+        // 11 rows over 4 shards: 3, 3, 3, 2.
+        assert_eq!(map.range(0), (0, 3));
+        assert_eq!(map.range(1), (3, 6));
+        assert_eq!(map.range(2), (6, 9));
+        assert_eq!(map.range(3), (9, 11));
+        assert_eq!(map.sources_of(3), &[27, 30]);
+        // Clamped: more shards than rows degenerates to one row each.
+        assert_eq!(ShardMap::even_split(&[5, 6], 10).num_shards(), 2);
+    }
+
+    #[test]
+    fn from_ranges_rejects_gap_overlap_and_short_cover() {
+        let s: Vec<u32> = (0..6).collect();
+        let gap = ShardMap::from_ranges(&s, vec![(0, 2), (3, 6)]).unwrap_err();
+        assert!(gap.to_string().contains("gap"), "{gap}");
+        let overlap = ShardMap::from_ranges(&s, vec![(0, 3), (2, 6)]).unwrap_err();
+        assert!(overlap.to_string().contains("overlap"), "{overlap}");
+        let short = ShardMap::from_ranges(&s, vec![(0, 3), (3, 5)]).unwrap_err();
+        assert!(short.to_string().contains("cover 5 rows"), "{short}");
+        let empty = ShardMap::from_ranges(&s, vec![(0, 0), (0, 6)]).unwrap_err();
+        assert!(empty.to_string().contains("empty range"), "{empty}");
+        assert!(ShardMap::from_ranges(&s, vec![(0, 3), (3, 6)]).is_ok());
+    }
+
+    #[test]
+    fn plan_routes_by_owner_and_keeps_probe_entries() {
+        let s: Vec<u32> = vec![10, 20, 30, 40];
+        let map = ShardMap::even_split(&s, 2);
+        // 99 is outside the subset; shard 1 gets nodes, shard 0 a probe.
+        let plan = map.plan(&[40, 99, 30]);
+        assert_eq!(plan.shard_nodes(0), &[] as &[u32]);
+        assert_eq!(plan.shard_nodes(1), &[40, 30]);
+        assert_eq!(plan.total, 3);
+    }
+
+    #[test]
+    fn merge_reassembles_request_order_and_chains_checksums() {
+        let s: Vec<u32> = vec![10, 20, 30, 40];
+        let map = ShardMap::even_split(&s, 2);
+        let plan = map.plan(&[40, 99, 10]);
+        let replies = vec![
+            reply(5, 111, 2, vec![Some(vec![1.0, 2.0])]), // shard 0: node 10
+            reply(5, 222, 2, vec![Some(vec![3.0, 4.0])]), // shard 1: node 40
+        ];
+        let merged = map.merge(&plan, &replies).unwrap();
+        assert_eq!(merged.epoch, 5);
+        assert_eq!(merged.dim, 2);
+        assert_eq!(merged.rows.len(), 3);
+        assert_eq!(merged.rows[0], Some(vec![3.0, 4.0])); // 40
+        assert_eq!(merged.rows[1], None); // 99: not in subset
+        assert_eq!(merged.rows[2], Some(vec![1.0, 2.0])); // 10
+        let expect = fnv1a64(
+            fnv1a64(FNV_OFFSET, &111u64.to_le_bytes()),
+            &222u64.to_le_bytes(),
+        );
+        assert_eq!(merged.checksum_bits, expect);
+    }
+
+    #[test]
+    fn merge_rejects_row_count_gap_and_overlap() {
+        let s: Vec<u32> = vec![1, 2, 3, 4];
+        let map = ShardMap::even_split(&s, 2);
+        let plan = map.plan(&[1, 3]);
+        // Shard 1 answers zero slots for one requested node: a gap.
+        let gap = map
+            .merge(
+                &plan,
+                &[
+                    reply(1, 0, 2, vec![Some(vec![0.0, 0.0])]),
+                    reply(1, 0, 2, vec![]),
+                ],
+            )
+            .unwrap_err();
+        assert!(gap.to_string().contains("gap"), "{gap}");
+        // Shard 1 answers two slots for one requested node: an overlap.
+        let overlap = map
+            .merge(
+                &plan,
+                &[
+                    reply(1, 0, 2, vec![Some(vec![0.0, 0.0])]),
+                    reply(1, 0, 2, vec![None, None]),
+                ],
+            )
+            .unwrap_err();
+        assert!(overlap.to_string().contains("overlap"), "{overlap}");
+    }
+
+    #[test]
+    fn merge_rejects_epoch_and_dim_mismatch() {
+        let s: Vec<u32> = vec![1, 2];
+        let map = ShardMap::even_split(&s, 2);
+        let plan = map.plan(&[]);
+        let torn = map
+            .merge(&plan, &[reply(3, 0, 2, vec![]), reply(4, 0, 2, vec![])])
+            .unwrap_err();
+        assert!(matches!(torn, RouterError::Merge(_)), "{torn}");
+        assert!(torn.to_string().contains("torn"), "{torn}");
+        let dim = map
+            .merge(&plan, &[reply(3, 0, 2, vec![]), reply(3, 0, 4, vec![])])
+            .unwrap_err();
+        assert!(dim.to_string().contains("dim"), "{dim}");
+    }
+}

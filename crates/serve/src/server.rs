@@ -87,6 +87,11 @@ enum Msg {
     /// Flush whatever is pending now; ack with the epoch watermark every
     /// tenant has then published.
     Flush(mpsc::Sender<u64>),
+    /// Serialise the host at a consistent cut (drain in-flight commits,
+    /// do NOT flush pending events) and send back `(epoch, host JSON)` —
+    /// what the `GetCheckpoint` wire request serves to re-seeding
+    /// followers.
+    Snapshot(mpsc::Sender<(u64, String)>),
     /// Flush, stop the loop, and hand the host back.
     Shutdown(mpsc::Sender<TenantHost>),
 }
@@ -373,17 +378,21 @@ impl Inner {
         self.checkpoint_now(epoch);
     }
 
+    /// Serialise the host at its current state. Pipelines must be drained
+    /// first — an in-flight commit would make the cut torn.
+    fn serialise_host(&self) -> tsvd_rt::json::Json {
+        let parts: Vec<(TenantId, &EngineFront, &EngineBack)> = self
+            .tenants
+            .iter()
+            .map(|t| (t.id, t.pipe.front(), t.pipe.back()))
+            .collect();
+        host_json(&self.ingest, &parts)
+    }
+
     /// Serialise the host (pipelines must be drained) and write it through
     /// the sink. Same failure policy as the append path.
     fn checkpoint_now(&mut self, epoch: u64) {
-        let json = {
-            let parts: Vec<(TenantId, &EngineFront, &EngineBack)> = self
-                .tenants
-                .iter()
-                .map(|t| (t.id, t.pipe.front(), t.pipe.back()))
-                .collect();
-            host_json(&self.ingest, &parts)
-        };
+        let json = self.serialise_host();
         if let Some(sink) = &mut self.sink {
             if let Err(e) = sink.checkpoint(epoch, &json) {
                 panic!("checkpoint at epoch {epoch} failed: {e}");
@@ -531,7 +540,12 @@ impl EmbeddingServer {
         host_counters
             .batches_recorded
             .store(ingest.batches_recorded(), Ordering::Release);
-        let journal = Arc::new(WindowJournal::new(ingest.batches_recorded(), JOURNAL_KEEP));
+        let keep = if cfg.journal_keep == 0 {
+            JOURNAL_KEEP
+        } else {
+            cfg.journal_keep
+        };
+        let journal = Arc::new(WindowJournal::new(ingest.batches_recorded(), keep));
         let inner = Inner {
             ingest,
             tenants,
@@ -564,6 +578,17 @@ impl EmbeddingServer {
                         inner.drain();
                         inner.sync_poll(timers);
                         let _ = ack.send(inner.min_epoch());
+                        Flow::Continue
+                    }
+                    Event::Message(Msg::Snapshot(tx)) => {
+                        // Consistent cut at whatever is *recorded*: join
+                        // in-flight commits but leave pending (unflushed)
+                        // events pending — they belong to a later epoch.
+                        inner.drain();
+                        inner.sync_poll(timers);
+                        let epoch = inner.ingest.batches_recorded();
+                        let json = inner.serialise_host();
+                        let _ = tx.send((epoch, json.to_string()));
                         Flow::Continue
                     }
                     Event::Message(Msg::Shutdown(tx)) => {
@@ -756,6 +781,20 @@ impl ServerHandle {
         max: usize,
     ) -> Result<JournalWindows, JournalError> {
         self.journal.windows_after(after_epoch, max)
+    }
+
+    /// A consistent-cut serialisation of the whole host: `(epoch, host
+    /// JSON)` with every window ≤ `epoch` applied and nothing newer. The
+    /// reactor drains in-flight commits first (pending *unflushed* events
+    /// stay pending — they belong to a later epoch). This is what the
+    /// `GetCheckpoint` wire request serves to re-seeding followers.
+    /// `None` if the server is gone.
+    pub fn checkpoint_json(&self) -> Option<(u64, String)> {
+        let (tx, rx) = mpsc::channel();
+        if !self.mailbox.send(Msg::Snapshot(tx)) {
+            return None;
+        }
+        rx.recv().ok()
     }
 
     /// A point-in-time counter snapshot of the first tenant.

@@ -119,6 +119,38 @@ tsvd_rt::impl_json_struct!(HostStats {
     events_pending
 });
 
+/// Counters of one [`crate::router::Router`]: scatter-gather traffic plus
+/// the fault-path events (barrier retries, failovers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Shard ranges in the router's [`crate::router::ShardMap`].
+    pub shards: usize,
+    /// `GetRows` reads served (scatter-gathers completed, success or not).
+    pub reads: u64,
+    /// `SubmitEvents` writes broadcast.
+    pub writes: u64,
+    /// `Flush` barriers broadcast.
+    pub flushes: u64,
+    /// Times a read found the shards at unequal epochs and re-probed the
+    /// laggards (one count per retry round, not per shard).
+    pub barrier_retries: u64,
+    /// Times a shard range was failed over to its follower replica.
+    pub failovers: u64,
+    /// Ranges permanently poisoned: their leader diverged on a write and
+    /// no follower replica could take over.
+    pub poisoned: u64,
+}
+
+tsvd_rt::impl_json_struct!(RouterStats {
+    shards,
+    reads,
+    writes,
+    flushes,
+    barrier_retries,
+    failovers,
+    poisoned
+});
+
 /// The wire `Stats` reply: the requesting tenant's [`ServeStats`] plus the
 /// [`HostStats`] rollup.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

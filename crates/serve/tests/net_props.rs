@@ -15,8 +15,8 @@ use tsvd_graph::EdgeEvent;
 use tsvd_rt::check::{Checker, Gen};
 use tsvd_rt::{ensure, ensure_eq};
 use tsvd_serve::net::wire::{
-    decode_frame, encode_frame, EmbeddingReply, Message, Reply, Request, RowsReply, WindowsReply,
-    WireError, HEADER_LEN, MAX_PAYLOAD,
+    decode_frame, encode_frame, fnv1a64, CheckpointReply, EmbeddingReply, Message, Reply, Request,
+    RowsReply, WindowsReply, WireError, FNV_OFFSET, HEADER_LEN, MAX_PAYLOAD,
 };
 use tsvd_serve::{HostStats, ServeStats, StatsReply};
 
@@ -42,7 +42,7 @@ fn gen_row(g: &mut Gen, dim: usize) -> Vec<f64> {
 /// A randomized message of any type (finite floats: the identity check
 /// uses `PartialEq`; NaN bit preservation is pinned by a codec unit test).
 fn gen_message(g: &mut Gen) -> Message {
-    match g.usize_in(0..17) {
+    match g.usize_in(0..20) {
         0 => Message::Request(Request::Ping),
         1 => Message::Request(Request::SubmitEvents(gen_events(g, 40))),
         2 => Message::Request(Request::Flush),
@@ -146,6 +146,23 @@ fn gen_message(g: &mut Gen) -> Message {
                 windows,
             }))
         }
+        17 => Message::Request(Request::GetCheckpoint),
+        18 => {
+            // Checkpoint bodies are host JSON in production, but the codec
+            // promises byte transparency for any UTF-8 — fuzz it as such.
+            let n = g.usize_in(0..200);
+            let host: String = (0..n)
+                .map(|_| char::from_u32(g.u32_in(32..0x2500)).unwrap_or('?'))
+                .collect();
+            Message::Reply(Reply::Checkpoint(Box::new(CheckpointReply {
+                epoch: g.u64_in(0..u64::MAX),
+                host,
+            })))
+        }
+        19 => Message::Reply(Reply::JournalGap {
+            oldest: g.u64_in(0..u64::MAX),
+            requested: g.u64_in(0..u64::MAX),
+        }),
         _ => {
             let n = g.usize_in(0..120);
             let msg: String = (0..n)
@@ -294,4 +311,34 @@ fn oversized_announcement_is_rejected_without_allocation() {
         decode_frame(&buf),
         Err(WireError::Oversized(n)) if n > MAX_PAYLOAD
     ));
+}
+
+#[test]
+fn checkpoint_body_length_beyond_payload_rejected_before_allocation() {
+    // The checkpoint-specific oversize path: a *genuine* Checkpoint frame
+    // (valid header, recomputed frame checksum) whose inner body-length
+    // field announces more bytes than the payload holds. The 0x89 decoder
+    // must reject it from the count check before sizing any allocation
+    // from the field — a header-level `payload_len` above MAX_PAYLOAD
+    // never reaches the message decoder at all, so only this construction
+    // exercises the checkpoint decoder. (The checkpoint reply is the
+    // largest message in practice: it carries a full host serialisation.)
+    let mut buf = Vec::new();
+    encode_frame(
+        7,
+        0,
+        &Message::Reply(Reply::Checkpoint(Box::new(CheckpointReply {
+            epoch: 5,
+            host: "{}".into(),
+        }))),
+        &mut buf,
+    );
+    // The length field sits right after the u64 epoch in the payload.
+    buf[HEADER_LEN + 8..HEADER_LEN + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+    let crc = fnv1a64(fnv1a64(FNV_OFFSET, &buf[2..20]), &buf[HEADER_LEN..]);
+    buf[20..28].copy_from_slice(&crc.to_le_bytes());
+    assert_eq!(
+        decode_frame(&buf),
+        Err(WireError::Malformed("count exceeds payload"))
+    );
 }
