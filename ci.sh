@@ -26,10 +26,13 @@
 #      stay bitwise-equal to the offline pipeline replay of its own subset
 #      under every combo. The `wal*` legs additionally run the durability
 #      suites: SIGKILL crash recovery from checkpoint + WAL replay, and
-#      journal-fed follower replicas over TCP;
+#      journal-fed follower replicas over TCP. The `query*` legs pin the
+#      top-k serving equivalence suite (scan ≡ clustered ≡ naive, wire,
+#      router merge, follower) across thread/tenant env combos;
 #  10. bench smoke — every rt::bench target runs once, no timing paid,
-#      including the svd_update kernel/engine grid and the WAL
-#      append/recovery suite.
+#      including the svd_update kernel/engine grid, the WAL
+#      append/recovery suite, and the top-k query grid (which asserts
+#      zero allocations per warm scan and recall@k == 1.0 even in smoke).
 #
 # A per-step wall-clock summary is printed at the end.
 #
@@ -122,7 +125,12 @@ cargo test -q -p tsvd-store
 # run the scale-out tier: the router fault battery plus the
 # multi-process SIGKILL soak (router + 2 shards + follower as real
 # child processes); `router-wal` re-runs the soak with every shard
-# journaling through the WAL store.
+# journaling through the WAL store. The `query*` legs run the top-k
+# serving equivalence battery (blocked scan ≡ clustered index ≡ naive,
+# wire ≡ in-process, router merge ≡ per-range naive global answer,
+# follower stale-but-consistent) — the suite also rides every package
+# battery leg above; the explicit legs pin the required env coverage by
+# name, including TSVD_THREADS=4, which no other leg exercises.
 SERVE_MATRIX=(
   "default|"
   "serial|TSVD_THREADS=1"
@@ -137,6 +145,10 @@ SERVE_MATRIX=(
   "wal-tenants|TSVD_WAL=1 TSVD_TENANTS=3"
   "router|"
   "router-wal|TSVD_WAL=1"
+  "query|"
+  "query-serial|TSVD_THREADS=1"
+  "query-threads4|TSVD_THREADS=4"
+  "query-tenants|TSVD_TENANTS=3"
 )
 for leg in "${SERVE_MATRIX[@]}"; do
   name="${leg%%|*}"
@@ -151,6 +163,12 @@ for leg in "${SERVE_MATRIX[@]}"; do
       env $envs cargo test -q -p tsvd-serve --test router_faults
       # shellcheck disable=SC2086
       env $envs cargo test -q --test router_soak
+      continue
+      ;;
+    query*)
+      # Additive like the router legs: only the top-k serving suite.
+      # shellcheck disable=SC2086
+      env $envs cargo test -q -p tsvd-serve --test query_equivalence
       continue
       ;;
   esac
@@ -174,6 +192,7 @@ TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench serving
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench net
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench router
 TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench store
+TSVD_BENCH_SMOKE=1 cargo bench -q -p tsvd-bench --bench query
 
 summary
 printf '\nci.sh: all checks passed\n'

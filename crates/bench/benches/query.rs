@@ -1,0 +1,241 @@
+//! Top-k query serving benchmark: the tier-1 blocked scan against the
+//! naive score-everything-and-sort reference at the kernel level, and the
+//! tier-2 clustered index against the forced scan at the snapshot level —
+//! the grid over `n × d × k` that locates the scan/index crossover
+//! recorded in EXPERIMENTS.md.
+//!
+//! Two extra checks ride along:
+//!
+//! * a counting `#[global_allocator]` asserts the serial scan kernel
+//!   performs **zero** allocations per query once its scratch is warm
+//!   (the per-epoch norms are cached on the snapshot; the kernel itself
+//!   must never touch the heap);
+//! * recall@k of the clustered tier against the naive exact answer is
+//!   computed with `tsvd-eval` and recorded per grid cell — the pruning
+//!   bound is exact, so anything below 1.0 is a bug, not a knob.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tsvd_core::{Embedding, PipelineTimings};
+use tsvd_eval::metrics::recall_at_k;
+use tsvd_linalg::topk::{topk_scan, topk_scan_naive, Hit, ScanScratch};
+use tsvd_linalg::DenseMatrix;
+use tsvd_rt::bench::{black_box, BenchHarness};
+use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+use tsvd_serve::{EpochSnapshot, Metric};
+
+/// Counts every heap allocation so the bench can assert the steady-state
+/// scan kernel allocates nothing. Deallocations are not counted — the
+/// assertion is about acquiring memory on the query path.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Row-major matrix of `centers` fuzzy clusters — data the tier-2 index
+/// can actually exploit, like a real embedding (random uniform data has
+/// no cluster structure and benchmarks the index's worst case only).
+fn clustered_data(seed: u64, rows: usize, dim: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = (rows as f64).sqrt() as usize;
+    let cdata: Vec<f64> = (0..centers * dim)
+        .map(|_| rng.gen_range(-1000..1000) as f64 / 100.0)
+        .collect();
+    let mut data = vec![0.0f64; rows * dim];
+    for r in 0..rows {
+        let c = rng.gen_range(0..centers);
+        for j in 0..dim {
+            let noise = rng.gen_range(-100..100) as f64 / 1000.0;
+            data[r * dim + j] = cdata[c * dim + j] + noise;
+        }
+    }
+    data
+}
+
+fn query_vec(seed: u64, dim: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..dim)
+        .map(|_| rng.gen_range(-1000..1000) as f64 / 100.0)
+        .collect()
+}
+
+/// Wrap raw row-major data as a published snapshot (σ = 1 so the left
+/// embedding is the data verbatim): the query state — norms + cluster
+/// index — is built at construction, exactly like a real publish.
+fn snapshot_of(data: &[f64], rows: usize, dim: usize) -> EpochSnapshot {
+    let mut u = DenseMatrix::zeros(rows, dim);
+    for r in 0..rows {
+        u.row_mut(r).copy_from_slice(&data[r * dim..(r + 1) * dim]);
+    }
+    let emb = Embedding {
+        u,
+        sigma: vec![1.0; dim],
+        dim,
+    };
+    let sources: Vec<u32> = (0..rows as u32).collect();
+    let index: HashMap<u32, usize> = sources.iter().map(|&n| (n, n as usize)).collect();
+    EpochSnapshot::new(
+        emb.tagged(0),
+        Arc::new(sources),
+        Arc::new(index),
+        0,
+        PipelineTimings::default(),
+    )
+}
+
+fn main() {
+    let mut h = BenchHarness::from_args("query");
+
+    let ns = [4096usize, 16384, 65536];
+    let dims = [8usize, 32];
+    let ks = [10usize, 100];
+    h.record_param(
+        "rows_grid",
+        ns.iter().map(|&n| n as u64).collect::<Vec<u64>>(),
+    );
+    h.record_param(
+        "dim_grid",
+        dims.iter().map(|&d| d as u64).collect::<Vec<u64>>(),
+    );
+    h.record_param("k_grid", ks.iter().map(|&k| k as u64).collect::<Vec<u64>>());
+
+    // ── Kernel level: naive reference vs blocked scan ────────────────
+    for &n in &ns {
+        for &d in &dims {
+            let data = clustered_data(n as u64 ^ (d as u64) << 7, n, d);
+            let q = query_vec(0xBEEF ^ d as u64, d);
+            for &k in &ks {
+                h.bench(&format!("naive/n{n}/d{d}/k{k}"), || {
+                    black_box(topk_scan_naive(
+                        black_box(&data),
+                        n,
+                        d,
+                        black_box(&q),
+                        k,
+                        None,
+                        1.0,
+                        None,
+                    ))
+                });
+                let mut scratch = ScanScratch::new();
+                let mut out: Vec<Hit> = Vec::new();
+                h.bench(&format!("blocked/n{n}/d{d}/k{k}"), || {
+                    topk_scan(
+                        black_box(&data),
+                        n,
+                        d,
+                        black_box(&q),
+                        k,
+                        None,
+                        1.0,
+                        None,
+                        &mut scratch,
+                        &mut out,
+                    );
+                    black_box(out.len())
+                });
+            }
+        }
+    }
+
+    // ── Zero-allocation assertion on the serial kernel path ──────────
+    // Warm the scratch once, then count allocations across real queries:
+    // the steady state must not touch the allocator at all.
+    {
+        let (n, d, k) = (16384usize, 32usize, 100usize);
+        let data = clustered_data(7, n, d);
+        let q = query_vec(11, d);
+        let mut scratch = ScanScratch::new();
+        scratch.serial = true;
+        let mut out: Vec<Hit> = Vec::new();
+        topk_scan(&data, n, d, &q, k, None, 1.0, None, &mut scratch, &mut out);
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..16 {
+            topk_scan(
+                &data,
+                n,
+                d,
+                &q,
+                k,
+                Some(3),
+                1.0,
+                None,
+                &mut scratch,
+                &mut out,
+            );
+            black_box(out.len());
+        }
+        let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+        assert_eq!(
+            allocs, 0,
+            "serial scan kernel allocated {allocs} times across 16 warm queries"
+        );
+        h.record_param("scan_allocs_per_warm_query", 0u64);
+    }
+
+    // ── Snapshot level: forced tier-1 scan vs tier-2 clustered index ─
+    // The published-snapshot path both tiers actually serve from, with
+    // recall@k of the clustered answer against the naive exact answer
+    // recorded per cell (the bound is exact: recall must be 1.0).
+    for &n in &ns {
+        for &d in &dims {
+            let data = clustered_data(n as u64 ^ (d as u64) << 7, n, d);
+            let snap = snapshot_of(&data, n, d);
+            assert!(snap.has_cluster_index());
+            let probe = (n / 3) as u32;
+            for &k in &ks {
+                h.bench(&format!("snap_scan/n{n}/d{d}/k{k}"), || {
+                    black_box(snap.top_k_scan(black_box(probe), k, Metric::Dot))
+                });
+                h.bench(&format!("snap_clustered/n{n}/d{d}/k{k}"), || {
+                    black_box(snap.top_k(black_box(probe), k, Metric::Dot))
+                });
+                let exact: Vec<u32> = topk_scan_naive(
+                    &data,
+                    n,
+                    d,
+                    &data[probe as usize * d..(probe as usize + 1) * d],
+                    k,
+                    Some(probe),
+                    1.0,
+                    None,
+                )
+                .into_iter()
+                .map(|hit| hit.row)
+                .collect();
+                let got: Vec<u32> = snap
+                    .top_k(probe, k, Metric::Dot)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(node, _)| node)
+                    .collect();
+                let recall = recall_at_k(&got, &exact);
+                assert_eq!(recall, 1.0, "clustered recall@{k} below exact at n{n}/d{d}");
+                h.record_param(&format!("recall/n{n}/d{d}/k{k}"), recall);
+            }
+        }
+    }
+
+    h.finish();
+}

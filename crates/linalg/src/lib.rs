@@ -22,6 +22,8 @@
 //!   deltas (Brand/Zha–Simon), the cheap tiers of the dynamic layer's
 //!   three-tier update policy;
 //! * [`sketch`] — Frequent-Directions matrix sketching (the FREDE baseline);
+//! * [`topk`] — cache-blocked, deterministic top-k similarity scan (the
+//!   serving layer's tier-1 query kernel);
 //! * [`rng`] — Gaussian sampling via Box–Muller on top of `rand`.
 //!
 //! All numerics are `f64`. Matrices are small enough in this system
@@ -39,6 +41,7 @@ pub mod rng;
 pub mod sketch;
 pub mod svd;
 pub mod svd_update;
+pub mod topk;
 
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;

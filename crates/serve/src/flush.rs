@@ -37,6 +37,7 @@
 //! The measured overlap (wall-clock during which both phases were running)
 //! is reported per window in [`CommitOutcome::overlapped_secs`].
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use tsvd_core::{PipelineTimings, TaggedEmbedding, UpdateStats};
@@ -46,6 +47,7 @@ use tsvd_rt::pool::{background, TaskHandle};
 
 use crate::engine::{EngineBack, EngineFront, ShardedEngine};
 use crate::ingest::GraphIngest;
+use crate::query::{BufPool, QueryState};
 
 /// Everything the serving layer needs to publish one committed window.
 #[derive(Clone)]
@@ -70,12 +72,46 @@ pub struct CommitOutcome {
     /// the *next* window's stage. Zero at `depth = 0`, and for the last
     /// window before a drain.
     pub overlapped_secs: f64,
+    /// Per-epoch top-k query state (norms + cluster index), refreshed
+    /// incrementally from the previous epoch as part of this commit —
+    /// ready for [`EpochSnapshot::with_query`](crate::EpochSnapshot).
+    pub(crate) query: Arc<QueryState>,
+}
+
+/// The pipeline's query-state refresh chain: the previous epoch's state
+/// and the matrix it was built over (an `Arc` pair — retaining it is two
+/// pointer bumps, no copy), plus the norm-buffer recycling pool. Travels
+/// with the back half into the detached commit, so the refresh overlaps
+/// the next window's stage exactly like the commit does.
+struct QueryCtx {
+    query: Arc<QueryState>,
+    tagged: TaggedEmbedding,
+    bufs: BufPool,
+}
+
+impl QueryCtx {
+    fn fresh(back: &EngineBack) -> QueryCtx {
+        let tagged = back.tagged();
+        QueryCtx {
+            query: QueryState::build(&tagged),
+            tagged,
+            bufs: BufPool::new(),
+        }
+    }
+
+    /// Advance the chain to `back`'s new epoch.
+    fn advance(&mut self, back: &EngineBack) {
+        let next = back.tagged();
+        self.query = QueryState::refresh(&self.query, &self.tagged, &next, &mut self.bufs);
+        self.tagged = next;
+    }
 }
 
 /// What the detached commit hands back: the back half of the engine plus
 /// this window's refresh accounting.
 struct CommitDone {
     back: EngineBack,
+    qctx: QueryCtx,
     stats: UpdateStats,
     commit_secs: f64,
     finished: Instant,
@@ -95,6 +131,8 @@ pub struct FlushPipeline {
     front: EngineFront,
     /// `None` exactly while a commit is in flight (the courier owns it).
     back: Option<EngineBack>,
+    /// Travels with `back`: `None` exactly while a commit is in flight.
+    qctx: Option<QueryCtx>,
     inflight: Option<Inflight>,
     depth: usize,
 }
@@ -106,10 +144,12 @@ impl FlushPipeline {
     pub fn new(engine: ShardedEngine, depth: usize) -> Self {
         assert!(depth <= 1, "pipeline depth > 1 is not supported");
         let (ingest, front, back) = engine.into_parts();
+        let qctx = QueryCtx::fresh(&back);
         FlushPipeline {
             ingest: Some(ingest),
             front,
             back: Some(back),
+            qctx: Some(qctx),
             inflight: None,
             depth,
         }
@@ -120,13 +160,26 @@ impl FlushPipeline {
     /// [`submit_recorded`](Self::submit_recorded).
     pub(crate) fn for_tenant(front: EngineFront, back: EngineBack, depth: usize) -> Self {
         assert!(depth <= 1, "pipeline depth > 1 is not supported");
+        let qctx = QueryCtx::fresh(&back);
         FlushPipeline {
             ingest: None,
             front,
             back: Some(back),
+            qctx: Some(qctx),
             inflight: None,
             depth,
         }
+    }
+
+    /// The current epoch's query state (for publishing the initial
+    /// snapshot without building it twice). Only callable with no commit
+    /// in flight.
+    pub(crate) fn query(&self) -> Arc<QueryState> {
+        self.qctx
+            .as_ref()
+            .expect("query state is with an in-flight commit; drain first")
+            .query
+            .clone()
     }
 
     /// Configured pipeline depth.
@@ -208,9 +261,12 @@ impl FlushPipeline {
             let back = self.back.as_mut().expect("no commit in flight");
             let t0 = Instant::now();
             let stats = back.commit(staged);
+            let qctx = self.qctx.as_mut().expect("no commit in flight");
+            qctx.advance(back);
             let commit_secs = t0.elapsed().as_secs_f64();
             out.push(Self::outcome(
                 self.back.as_ref().expect("back present"),
+                self.qctx.as_ref().expect("query ctx present").query.clone(),
                 stats,
                 num_events,
                 stage_secs,
@@ -219,11 +275,17 @@ impl FlushPipeline {
             ));
         } else {
             let mut back = self.back.take().expect("no commit in flight");
+            let mut qctx = self.qctx.take().expect("no commit in flight");
             let handle = background(move || {
                 let t0 = Instant::now();
                 let stats = back.commit(staged);
+                // The query-state refresh rides the commit courier: it
+                // overlaps the next window's stage exactly like the
+                // commit itself, and publishes with the same outcome.
+                qctx.advance(&back);
                 CommitDone {
                     back,
+                    qctx,
                     stats,
                     commit_secs: t0.elapsed().as_secs_f64(),
                     finished: Instant::now(),
@@ -301,6 +363,7 @@ impl FlushPipeline {
     ) -> CommitOutcome {
         let outcome = Self::outcome(
             &done.back,
+            done.qctx.query.clone(),
             done.stats,
             num_events,
             stage_secs,
@@ -308,11 +371,14 @@ impl FlushPipeline {
             overlapped_secs,
         );
         self.back = Some(done.back);
+        self.qctx = Some(done.qctx);
         outcome
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn outcome(
         back: &EngineBack,
+        query: Arc<QueryState>,
         stats: UpdateStats,
         num_events: usize,
         stage_secs: f64,
@@ -329,6 +395,7 @@ impl FlushPipeline {
             stage_secs,
             commit_secs,
             overlapped_secs,
+            query,
         }
     }
 }

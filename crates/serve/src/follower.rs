@@ -30,7 +30,10 @@ use std::sync::Arc;
 use tsvd_graph::EdgeEvent;
 use tsvd_rt::json::{FromJson, Json};
 
+use tsvd_core::TaggedEmbedding;
+
 use crate::net::{NetClient, WindowsPull};
+use crate::query::{BufPool, QueryState};
 use crate::server::EmbeddingReader;
 use crate::snapshot::{EpochCell, EpochSnapshot};
 use crate::tenant::{TenantHost, TenantId};
@@ -111,6 +114,12 @@ struct FollowerCell {
     cell: Arc<EpochCell>,
     sources: Arc<Vec<u32>>,
     index: Arc<HashMap<u32, usize>>,
+    /// Query-state refresh chain (same machinery as the leader's flush
+    /// pipeline): the previous epoch's state, the matrix it was built
+    /// over, and the norm-buffer recycling pool.
+    query: Arc<QueryState>,
+    prev_tagged: TaggedEmbedding,
+    bufs: BufPool,
 }
 
 /// A replica host that replays the leader's flush windows and serves
@@ -132,18 +141,24 @@ impl Follower {
                 let sources = Arc::new(host.sources(id).expect("own tenant").to_vec());
                 let index: Arc<HashMap<u32, usize>> =
                     Arc::new(sources.iter().enumerate().map(|(i, &v)| (v, i)).collect());
-                let cell = Arc::new(EpochCell::new(EpochSnapshot::new(
-                    host.tagged(id).expect("own tenant"),
+                let tagged = host.tagged(id).expect("own tenant");
+                let query = QueryState::build(&tagged);
+                let cell = Arc::new(EpochCell::new(EpochSnapshot::with_query(
+                    tagged.clone(),
                     sources.clone(),
                     index.clone(),
                     host.events_applied(id).expect("own tenant"),
                     host.timings(id).expect("own tenant"),
+                    query.clone(),
                 )));
                 FollowerCell {
                     id,
                     cell,
                     sources,
                     index,
+                    query,
+                    prev_tagged: tagged,
+                    bufs: BufPool::new(),
                 }
             })
             .collect();
@@ -185,14 +200,19 @@ impl Follower {
     /// publish the resulting epoch on every tenant.
     pub fn apply_window(&mut self, events: &[EdgeEvent]) {
         self.host.apply_batch(events);
-        for c in &self.cells {
-            c.cell.store(EpochSnapshot::new(
-                self.host.tagged(c.id).expect("own tenant"),
+        for c in &mut self.cells {
+            let tagged = self.host.tagged(c.id).expect("own tenant");
+            let query = QueryState::refresh(&c.query, &c.prev_tagged, &tagged, &mut c.bufs);
+            c.cell.store(EpochSnapshot::with_query(
+                tagged.clone(),
                 c.sources.clone(),
                 c.index.clone(),
                 self.host.events_applied(c.id).expect("own tenant"),
                 self.host.timings(c.id).expect("own tenant"),
+                query.clone(),
             ));
+            c.query = query;
+            c.prev_tagged = tagged;
         }
     }
 
@@ -282,15 +302,23 @@ impl Follower {
         }
         self.host = host;
         // Re-publish through the *existing* cells so readers handed out
-        // before the re-seed keep working.
-        for c in &self.cells {
-            c.cell.store(EpochSnapshot::new(
-                self.host.tagged(c.id).expect("own tenant"),
+        // before the re-seed keep working. The query state is rebuilt
+        // from scratch — the incremental chain has no matrix to diff
+        // against across a checkpoint jump (results are identical either
+        // way; pruning is exact).
+        for c in &mut self.cells {
+            let tagged = self.host.tagged(c.id).expect("own tenant");
+            let query = QueryState::build(&tagged);
+            c.cell.store(EpochSnapshot::with_query(
+                tagged.clone(),
                 c.sources.clone(),
                 c.index.clone(),
                 self.host.events_applied(c.id).expect("own tenant"),
                 self.host.timings(c.id).expect("own tenant"),
+                query.clone(),
             ));
+            c.query = query;
+            c.prev_tagged = tagged;
         }
         Ok(self.epoch())
     }

@@ -64,6 +64,7 @@ mod follower;
 mod ingest;
 mod journal;
 pub mod net;
+pub mod query;
 pub mod router;
 mod server;
 mod snapshot;
@@ -77,7 +78,8 @@ pub use follower::{CatchUpError, Follower};
 pub use ingest::GraphIngest;
 pub use journal::{DurabilitySink, JournalError, JournalWindows, WindowJournal, JOURNAL_KEEP};
 pub use net::{ClientConfig, NetClient, NetFront, TcpTransport, WindowsPull};
-pub use router::{Router, RouterError, RouterFront, ShardEndpoint, ShardMap};
+pub use query::Metric;
+pub use router::{ReadSession, Router, RouterError, RouterFront, ShardEndpoint, ShardMap};
 pub use server::{EmbeddingReader, EmbeddingServer, ServerHandle, SubmitError, DEFAULT_TENANT};
 pub use snapshot::{EpochCell, EpochSnapshot};
 pub use stats::{HostStats, RouterStats, ServeStats, StatsReply};

@@ -19,7 +19,7 @@
 //! # Retry policy
 //!
 //! Only idempotent requests (`Ping`, `Flush`, `GetRows`, `GetEmbedding`,
-//! `GetStats`, `GetWindows`) are retried after a transport failure. `SubmitEvents` is
+//! `GetStats`, `GetWindows`, `TopK`) are retried after a transport failure. `SubmitEvents` is
 //! **never** auto-retried: the failure may have struck after the server
 //! applied the batch, and a blind resend would double-apply events. The
 //! caller decides (e.g. by comparing `stats().events_submitted`).
@@ -28,6 +28,7 @@ use std::io::{self, Write};
 
 use tsvd_graph::EdgeEvent;
 
+use crate::query::Metric;
 use crate::stats::StatsReply;
 
 use super::transport::{Duplex, Transport};
@@ -137,6 +138,31 @@ impl NetClient {
     pub fn get_rows(&mut self, nodes: &[u32]) -> io::Result<RowsReply> {
         match self.call(Request::GetRows(nodes.to_vec()), true)? {
             Reply::Rows(rows) => Ok(rows),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The `k` subset nodes most similar to `node` under `metric` at the
+    /// served snapshot. `Ok(None)` when `node` is outside the subset.
+    /// Idempotent (a pure read), so safe to retry; the reply's epoch and
+    /// checksum pass the same freshness guards as [`get_rows`]
+    /// (stale/torn replies surface as errors).
+    ///
+    /// [`get_rows`]: Self::get_rows
+    pub fn top_k(
+        &mut self,
+        node: u32,
+        k: u32,
+        metric: Metric,
+    ) -> io::Result<Option<Vec<(u32, f64)>>> {
+        let req = Request::TopK {
+            node,
+            k,
+            metric,
+            query: None,
+        };
+        match self.call(req, true)? {
+            Reply::TopKReply(t) => Ok(t.found.then_some(t.neighbors)),
             other => Err(unexpected(&other)),
         }
     }
@@ -422,6 +448,7 @@ impl NetClient {
     fn observe(&mut self, reply: Reply) -> io::Result<Reply> {
         match &reply {
             Reply::Rows(r) => self.check_epoch(r.epoch, Some(r.checksum_bits))?,
+            Reply::TopKReply(t) => self.check_epoch(t.epoch, Some(t.checksum_bits))?,
             Reply::Embedding(e) => {
                 if !e.verify_checksum() {
                     return Err(protocol(format!(

@@ -41,7 +41,7 @@ use crate::tenant::{TenantHost, TenantId};
 use super::transport::{pipe, Duplex, Transport};
 use super::wire::{
     read_frame_until, write_frame, CheckpointReply, EmbeddingReply, Message, Reply, Request,
-    RowsReply, WindowsReply,
+    RowsReply, TopKReply, WindowsReply,
 };
 
 /// Poll interval for stop-flag checks in blocking reads and accept loops.
@@ -435,6 +435,50 @@ fn execute(shared: &FrontShared, tenant: u32, req: Request) -> (Reply, bool) {
                     checksum_bits: snap.checksum().to_bits(),
                     dim: snap.dim() as u32,
                     rows,
+                }),
+                false,
+            )
+        }
+        Request::TopK {
+            node,
+            k,
+            metric,
+            query,
+        } => {
+            // Readers-only path (no server handle), so follower fronts
+            // serve top-k too — same as GetRows.
+            let Some(reader) = shared.readers.get(&tenant) else {
+                return (Reply::Error(format!("unknown tenant {tenant}")), false);
+            };
+            let snap = reader.snapshot();
+            let (found, neighbors) = match query {
+                Some(q) => {
+                    if q.len() != snap.dim() {
+                        return (
+                            Reply::Error(format!(
+                                "query dim {} does not match embedding dim {}",
+                                q.len(),
+                                snap.dim()
+                            )),
+                            false,
+                        );
+                    }
+                    (
+                        true,
+                        snap.top_k_by_vector(&q, k as usize, metric, Some(node)),
+                    )
+                }
+                None => match snap.top_k(node, k as usize, metric) {
+                    Some(n) => (true, n),
+                    None => (false, Vec::new()),
+                },
+            };
+            (
+                Reply::TopKReply(TopKReply {
+                    epoch: snap.epoch(),
+                    checksum_bits: snap.checksum().to_bits(),
+                    found,
+                    neighbors,
                 }),
                 false,
             )

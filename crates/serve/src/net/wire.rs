@@ -45,6 +45,7 @@
 //! | 0x07 | `Shutdown`     | empty |
 //! | 0x08 | `GetWindows`   | `u64 after_epoch`, `u32 max` |
 //! | 0x09 | `GetCheckpoint`| empty |
+//! | 0x0A | `TopK`         | `u32 node`, `u32 k` (≤ 2^20), `u8 metric` (0=dot 1=cosine), `u8 has_query`, has_query × (`u32 dim`, dim × `f64`) |
 //! | 0x81 | `Pong`         | empty |
 //! | 0x82 | `SubmitAck`    | `u64 accepted` |
 //! | 0x83 | `FlushAck`     | `u64 epoch` |
@@ -55,6 +56,7 @@
 //! | 0x88 | `Windows`      | `u64 latest`, `u64 first_epoch`, `u32 n`, then n × (`u32 m`, m × (`u32 u`, `u32 v`, `u8 kind`)) |
 //! | 0x89 | `Checkpoint`   | `u64 epoch`, `u32 len`, UTF-8 host-checkpoint JSON (the `TenantHost` serialisation; rt::json round-trips every `f64` bitwise, so a re-seeded follower continues bit-exact) |
 //! | 0x8A | `JournalGap`   | `u64 oldest`, `u64 requested` — typed answer to a `GetWindows` that fell behind the leader's bounded journal (the `Compacted` condition); the puller must re-seed via `GetCheckpoint` |
+//! | 0x8B | `TopKReply`    | `u64 epoch`, `u64 checksum_bits`, `u8 found`, `u32 n`, then n × (`u32 node`, `f64 score`) |
 //! | 0xFF | `Error`        | `u32 len`, UTF-8 message |
 //!
 //! `f64` values travel as raw IEEE-754 bits (`to_bits`/`from_bits`), so a
@@ -69,6 +71,7 @@ use std::io::{self, Read, Write};
 use tsvd_graph::{EdgeEvent, EventKind};
 use tsvd_rt::json::{FromJson, Json, ToJson};
 
+use crate::query::Metric;
 use crate::stats::StatsReply;
 
 /// First two bytes of every frame: "TV" little-endian.
@@ -167,7 +170,25 @@ pub enum Request {
     /// A full host checkpoint at a consistent epoch — the re-seed path for
     /// a follower that outlived the leader's bounded journal.
     GetCheckpoint,
+    /// Top-k similar subset nodes at the current epoch snapshot.
+    TopK {
+        /// The query node. Excluded from its own results when it owns a
+        /// row on the answering snapshot.
+        node: u32,
+        /// Number of neighbours requested (capped at [`MAX_TOP_K`]).
+        k: u32,
+        /// Similarity metric to score under.
+        metric: Metric,
+        /// Explicit query vector. `None` means "score against `node`'s own
+        /// row" (single-shard form); the router's scatter path sends
+        /// `Some(row)` so shards that don't own `node` can still score it.
+        query: Option<Vec<f64>>,
+    },
 }
+
+/// Largest accepted `k` in a [`Request::TopK`] — a sanity cap well above
+/// any real working set; larger values are rejected as malformed.
+pub const MAX_TOP_K: u32 = 1 << 20;
 
 /// A full host checkpoint at one consistent epoch: the answer to
 /// [`Request::GetCheckpoint`]. `host` is the leader's `TenantHost` JSON
@@ -250,6 +271,23 @@ pub struct WindowsReply {
     pub windows: Vec<Vec<EdgeEvent>>,
 }
 
+/// Top-k neighbours from one snapshot, stamped (like [`RowsReply`]) with
+/// the answering epoch and its content checksum so clients can detect
+/// staleness and the router can require cross-shard epoch agreement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKReply {
+    /// Epoch of the snapshot the scan ran against.
+    pub epoch: u64,
+    /// Bit pattern of the snapshot's sequential-sum content checksum.
+    pub checksum_bits: u64,
+    /// `false` only when the request carried no explicit query vector and
+    /// the query node is outside this snapshot's subset.
+    pub found: bool,
+    /// `(node, score)` pairs, best first (score descending, ties by
+    /// ascending row — the canonical deterministic order).
+    pub neighbors: Vec<(u32, f64)>,
+}
+
 /// A server-to-client reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
@@ -280,6 +318,8 @@ pub enum Reply {
     /// Answer to [`Request::GetCheckpoint`]. Boxed for the same reason as
     /// [`Reply::Stats`]: the checkpoint JSON dwarfs every other reply.
     Checkpoint(Box<CheckpointReply>),
+    /// Answer to [`Request::TopK`].
+    TopKReply(TopKReply),
     /// Typed answer to a [`Request::GetWindows`] whose `after_epoch` fell
     /// behind the leader's bounded journal: the requested window was
     /// compacted away. Unlike [`Reply::Error`] this is machine-readable —
@@ -349,6 +389,7 @@ impl Message {
             Message::Request(Request::Shutdown) => 0x07,
             Message::Request(Request::GetWindows { .. }) => 0x08,
             Message::Request(Request::GetCheckpoint) => 0x09,
+            Message::Request(Request::TopK { .. }) => 0x0A,
             Message::Reply(Reply::Pong) => 0x81,
             Message::Reply(Reply::SubmitAck { .. }) => 0x82,
             Message::Reply(Reply::FlushAck { .. }) => 0x83,
@@ -359,6 +400,7 @@ impl Message {
             Message::Reply(Reply::Windows(_)) => 0x88,
             Message::Reply(Reply::Checkpoint(_)) => 0x89,
             Message::Reply(Reply::JournalGap { .. }) => 0x8A,
+            Message::Reply(Reply::TopKReply(_)) => 0x8B,
             Message::Reply(Reply::Error(_)) => 0xFF,
         }
     }
@@ -390,6 +432,26 @@ impl Message {
             Message::Request(Request::GetWindows { after_epoch, max }) => {
                 put_u64(out, *after_epoch);
                 put_u32(out, *max);
+            }
+            Message::Request(Request::TopK {
+                node,
+                k,
+                metric,
+                query,
+            }) => {
+                put_u32(out, *node);
+                put_u32(out, *k);
+                out.push(metric.as_u8());
+                match query {
+                    None => out.push(0),
+                    Some(q) => {
+                        out.push(1);
+                        put_u32(out, q.len() as u32);
+                        for &x in q {
+                            put_f64(out, x);
+                        }
+                    }
+                }
             }
             Message::Reply(Reply::SubmitAck { accepted }) => put_u64(out, *accepted),
             Message::Reply(Reply::FlushAck { epoch }) => put_u64(out, *epoch),
@@ -451,6 +513,16 @@ impl Message {
             Message::Reply(Reply::JournalGap { oldest, requested }) => {
                 put_u64(out, *oldest);
                 put_u64(out, *requested);
+            }
+            Message::Reply(Reply::TopKReply(t)) => {
+                put_u64(out, t.epoch);
+                put_u64(out, t.checksum_bits);
+                out.push(t.found as u8);
+                put_u32(out, t.neighbors.len() as u32);
+                for &(node, score) in &t.neighbors {
+                    put_u32(out, node);
+                    put_f64(out, score);
+                }
             }
             Message::Reply(Reply::Error(msg)) => {
                 let body = msg.as_bytes();
@@ -591,6 +663,32 @@ fn decode_payload(msg_id: u8, payload: &[u8]) -> Result<Message, WireError> {
             Message::Request(Request::GetWindows { after_epoch, max })
         }
         0x09 => Message::Request(Request::GetCheckpoint),
+        0x0A => {
+            let node = c.u32()?;
+            let k = c.u32()?;
+            if k > MAX_TOP_K {
+                return Err(WireError::Malformed("top-k k exceeds cap"));
+            }
+            let metric = Metric::from_u8(c.u8()?).ok_or(WireError::Malformed("bad metric byte"))?;
+            let query = match c.u8()? {
+                0 => None,
+                1 => {
+                    let dim = c.count(8)?;
+                    let mut q = Vec::with_capacity(dim);
+                    for _ in 0..dim {
+                        q.push(c.f64()?);
+                    }
+                    Some(q)
+                }
+                _ => return Err(WireError::Malformed("bad query presence tag")),
+            };
+            Message::Request(Request::TopK {
+                node,
+                k,
+                metric,
+                query,
+            })
+        }
         0x81 => Message::Reply(Reply::Pong),
         0x82 => Message::Reply(Reply::SubmitAck { accepted: c.u64()? }),
         0x83 => Message::Reply(Reply::FlushAck { epoch: c.u64()? }),
@@ -699,6 +797,28 @@ fn decode_payload(msg_id: u8, payload: &[u8]) -> Result<Message, WireError> {
             let oldest = c.u64()?;
             let requested = c.u64()?;
             Message::Reply(Reply::JournalGap { oldest, requested })
+        }
+        0x8B => {
+            let epoch = c.u64()?;
+            let checksum_bits = c.u64()?;
+            let found = match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("bad found byte")),
+            };
+            let n = c.count(12)?;
+            let mut neighbors = Vec::with_capacity(n);
+            for _ in 0..n {
+                let node = c.u32()?;
+                let score = c.f64()?;
+                neighbors.push((node, score));
+            }
+            Message::Reply(Reply::TopKReply(TopKReply {
+                epoch,
+                checksum_bits,
+                found,
+                neighbors,
+            }))
         }
         0xFF => {
             let n = c.count(1)?;
@@ -1038,6 +1158,104 @@ mod tests {
                 first_epoch: 8,
                 windows: vec![], // caught-up reply
             })),
+        );
+    }
+
+    #[test]
+    fn top_k_messages_round_trip() {
+        round_trip(
+            16,
+            Message::Request(Request::TopK {
+                node: 42,
+                k: 10,
+                metric: Metric::Dot,
+                query: None,
+            }),
+        );
+        round_trip(
+            17,
+            Message::Request(Request::TopK {
+                node: 7,
+                k: MAX_TOP_K,
+                metric: Metric::Cosine,
+                query: Some(vec![1.5, -0.25, 0.0, -0.0]),
+            }),
+        );
+        // Empty explicit query vector is legal at the wire layer.
+        round_trip(
+            18,
+            Message::Request(Request::TopK {
+                node: 0,
+                k: 0,
+                metric: Metric::Dot,
+                query: Some(vec![]),
+            }),
+        );
+        round_trip(
+            19,
+            Message::Reply(Reply::TopKReply(TopKReply {
+                epoch: 9,
+                checksum_bits: 0xFEED_F00D,
+                found: true,
+                neighbors: vec![(3, 0.5), (1, 0.5), (9, -2.25)],
+            })),
+        );
+        round_trip(
+            20,
+            Message::Reply(Reply::TopKReply(TopKReply {
+                epoch: 0,
+                checksum_bits: 0,
+                found: false,
+                neighbors: vec![],
+            })),
+        );
+    }
+
+    #[test]
+    fn top_k_bad_bytes_rejected() {
+        let msg = Message::Request(Request::TopK {
+            node: 1,
+            k: 2,
+            metric: Metric::Dot,
+            query: None,
+        });
+        let mut buf = Vec::new();
+        encode_frame(1, 0, &msg, &mut buf);
+        // Metric byte is payload offset 8; presence tag offset 9.
+        for (off, expect) in [
+            (8, WireError::Malformed("bad metric byte")),
+            (9, WireError::Malformed("bad query presence tag")),
+        ] {
+            let mut bad = buf.clone();
+            bad[HEADER_LEN + off] = 7;
+            let crc = frame_checksum(&bad[2..20], &bad[HEADER_LEN..]);
+            bad[20..28].copy_from_slice(&crc.to_le_bytes());
+            assert_eq!(decode_frame(&bad), Err(expect));
+        }
+        // k above the cap is malformed even with a valid checksum.
+        let mut bad = buf.clone();
+        bad[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&(MAX_TOP_K + 1).to_le_bytes());
+        let crc = frame_checksum(&bad[2..20], &bad[HEADER_LEN..]);
+        bad[20..28].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bad),
+            Err(WireError::Malformed("top-k k exceeds cap"))
+        );
+        // TopKReply found byte must be 0 or 1.
+        let reply = Message::Reply(Reply::TopKReply(TopKReply {
+            epoch: 1,
+            checksum_bits: 2,
+            found: true,
+            neighbors: vec![],
+        }));
+        let mut buf = Vec::new();
+        encode_frame(1, 0, &reply, &mut buf);
+        buf[HEADER_LEN + 16] = 2;
+        let crc = frame_checksum(&buf[2..20], &buf[HEADER_LEN..]);
+        buf[20..28].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("bad found byte"))
         );
     }
 

@@ -86,9 +86,11 @@ use tsvd_graph::EdgeEvent;
 
 use crate::config::RouterConfig;
 use crate::net::wire::{
-    fnv1a64, read_frame_until, write_frame, Message, Reply, Request, RowsReply, FNV_OFFSET,
+    fnv1a64, read_frame_until, write_frame, Message, Reply, Request, RowsReply, TopKReply,
+    FNV_OFFSET,
 };
 use crate::net::{ClientConfig, NetClient, TcpTransport};
+use crate::query::Metric;
 use crate::stats::RouterStats;
 
 /// Poll interval for stop-flag checks (accept loop, connection reads).
@@ -105,8 +107,8 @@ pub struct ShardMap {
     /// Half-open `(start, end)` global-row ranges, ascending, tiling
     /// `0..sources.len()` exactly (validated at construction).
     ranges: Vec<(usize, usize)>,
-    /// node id → owning shard.
-    owner: HashMap<u32, usize>,
+    /// node id → (owning shard, global row).
+    owner: HashMap<u32, (usize, usize)>,
 }
 
 impl ShardMap {
@@ -162,8 +164,8 @@ impl ShardMap {
         }
         let mut owner = HashMap::with_capacity(sources.len());
         for (k, &(start, end)) in ranges.iter().enumerate() {
-            for &node in &sources[start..end] {
-                if owner.insert(node, k).is_some() {
+            for (row, &node) in sources[start..end].iter().enumerate() {
+                if owner.insert(node, (k, start + row)).is_some() {
                     return Err(RouterError::BadMap(format!(
                         "node {node} appears twice in the subset"
                     )));
@@ -199,6 +201,14 @@ impl ShardMap {
         &self.sources[start..end]
     }
 
+    /// The global row a subset node owns, if any — the deterministic
+    /// tie-break key the cross-shard top-k merge sorts by (a shard's
+    /// local rows are this minus its range start, so the merged order is
+    /// the same total order a single shard would produce).
+    pub fn global_row(&self, node: u32) -> Option<usize> {
+        self.owner.get(&node).map(|&(_, row)| row)
+    }
+
     /// Partition one `GetRows` request across the shards. Every shard gets
     /// an entry — possibly empty: an empty `GetRows` still returns the
     /// shard's epoch and range checksum, which the barrier and the merged
@@ -208,7 +218,7 @@ impl ShardMap {
         let mut per_shard = vec![Vec::new(); n];
         let mut positions = vec![Vec::new(); n];
         for (pos, &node) in nodes.iter().enumerate() {
-            if let Some(&k) = self.owner.get(&node) {
+            if let Some(&(k, _)) = self.owner.get(&node) {
                 per_shard[k].push(node);
                 positions[k].push(pos);
             }
@@ -407,36 +417,84 @@ impl ShardEndpoint {
     }
 }
 
-/// One shard range's connection state.
-struct ShardConn {
-    endpoint: ShardEndpoint,
-    client: NetClient,
+/// One shard range's health, published once and observed by the writer
+/// and by every [`ReadSession`]: a range failed over (or poisoned) by any
+/// path is failed over for all of them.
+struct RangeHealth {
     /// Once true, this range reads from its follower and receives no more
     /// writes (the leader is dead or diverged — see module docs).
-    failed_over: bool,
+    failed_over: AtomicBool,
     /// Once true, this range is out of service entirely: its leader
     /// diverged from the broadcast order (missed a write) and no follower
     /// replica could take over. A poisoned range is never written to or
     /// read from again — the client would transparently reconnect, and a
     /// diverged leader must not serve as if healthy.
-    poisoned: bool,
+    poisoned: AtomicBool,
 }
 
-impl ShardConn {
-    /// Whether this range still takes lockstep writes.
-    fn is_writer(&self) -> bool {
-        !self.failed_over && !self.poisoned
+/// State shared by the [`Router`] (the single writer) and every
+/// [`ReadSession`]: the immutable deployment shape plus the mutable
+/// range-health flags and traffic counters. Connections are *not* here —
+/// each session owns its own, which is what lets reads on different
+/// connections proceed concurrently.
+struct RouterShared {
+    map: ShardMap,
+    cfg: RouterConfig,
+    endpoints: Vec<ShardEndpoint>,
+    health: Vec<RangeHealth>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    flushes: AtomicU64,
+    barrier_retries: AtomicU64,
+    failovers: AtomicU64,
+    poisoned: AtomicU64,
+}
+
+impl RouterShared {
+    fn client_cfg(&self) -> ClientConfig {
+        ClientConfig {
+            tenant: self.cfg.tenant,
+            ..ClientConfig::default()
+        }
     }
+
+    fn failed_over(&self, k: usize) -> bool {
+        self.health[k].failed_over.load(Ordering::Acquire)
+    }
+
+    fn is_poisoned(&self, k: usize) -> bool {
+        self.health[k].poisoned.load(Ordering::Acquire)
+    }
+
+    /// Whether range `k` still takes lockstep writes.
+    fn is_writer(&self, k: usize) -> bool {
+        !self.failed_over(k) && !self.is_poisoned(k)
+    }
+}
+
+/// One range connection owned by a [`ReadSession`]: opened lazily on
+/// first use, re-pinned to the follower once the range's shared health
+/// says it failed over.
+struct RangeConn {
+    client: Option<NetClient>,
+    on_follower: bool,
 }
 
 /// The stateless scatter-gather core: a [`ShardMap`], one client per
 /// range, and the barrier/failover logic. Wrap in a [`RouterFront`] to
 /// serve it over the wire, or drive it in-process.
+///
+/// The router is the deployment's single *writer*: lockstep requires a
+/// total broadcast order, so writes serialize on `&mut self`. Reads do
+/// not need that order — [`Router::read_session`] hands out independent
+/// [`ReadSession`]s (own connections, shared health) that scatter-gather
+/// concurrently with each other and with this router's own calls.
 pub struct Router {
-    map: ShardMap,
-    cfg: RouterConfig,
-    shards: Vec<ShardConn>,
-    stats: RouterStats,
+    shared: Arc<RouterShared>,
+    /// The router's own connections — opened eagerly at
+    /// [`Router::connect`] and used by both the write path and this
+    /// router's direct reads (one ordered stream per shard).
+    session: ReadSession,
 }
 
 /// Transport failure kinds that mean "the connection/process is gone" —
@@ -477,52 +535,54 @@ impl Router {
             map.num_shards(),
             "one endpoint per shard range"
         );
-        let client_cfg = ClientConfig {
-            tenant: cfg.tenant,
-            ..ClientConfig::default()
-        };
-        let shards = endpoints
-            .into_iter()
-            .map(|endpoint| {
-                let client =
-                    NetClient::connect(TcpTransport::new(endpoint.addr.clone()), client_cfg)?;
-                Ok(ShardConn {
-                    endpoint,
-                    client,
-                    failed_over: false,
-                    poisoned: false,
-                })
+        let health = (0..map.num_shards())
+            .map(|_| RangeHealth {
+                failed_over: AtomicBool::new(false),
+                poisoned: AtomicBool::new(false),
             })
-            .collect::<io::Result<Vec<_>>>()?;
-        let stats = RouterStats {
-            shards: map.num_shards(),
-            ..RouterStats::default()
-        };
-        Ok(Router {
+            .collect();
+        let shared = Arc::new(RouterShared {
             map,
             cfg,
-            shards,
-            stats,
-        })
+            endpoints,
+            health,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            barrier_retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+        });
+        let mut session = ReadSession::new(shared.clone());
+        for k in 0..shared.map.num_shards() {
+            session.client(k)?; // eager: a bad deployment fails here
+        }
+        Ok(Router { shared, session })
     }
 
     /// The row split this router scatters over.
     pub fn map(&self) -> &ShardMap {
-        &self.map
+        &self.shared.map
     }
 
-    /// Traffic and fault counters so far.
+    /// Traffic and fault counters so far (across this router *and* every
+    /// [`ReadSession`] it handed out — the counters are shared).
     pub fn stats(&self) -> RouterStats {
-        self.stats
+        RouterStats {
+            shards: self.shared.map.num_shards(),
+            reads: self.shared.reads.load(Ordering::Relaxed),
+            writes: self.shared.writes.load(Ordering::Relaxed),
+            flushes: self.shared.flushes.load(Ordering::Relaxed),
+            barrier_retries: self.shared.barrier_retries.load(Ordering::Relaxed),
+            failovers: self.shared.failovers.load(Ordering::Relaxed),
+            poisoned: self.shared.poisoned.load(Ordering::Relaxed),
+        }
     }
 
     /// Which ranges are currently served by their follower replica.
     pub fn failed_over(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.failed_over)
-            .map(|(k, _)| k)
+        (0..self.shared.map.num_shards())
+            .filter(|&k| self.shared.failed_over(k))
             .collect()
     }
 
@@ -530,36 +590,17 @@ impl Router {
     /// on a write (missed the broadcast or went unreachable) and no
     /// follower replica could take over.
     pub fn poisoned(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.poisoned)
-            .map(|(k, _)| k)
+        (0..self.shared.map.num_shards())
+            .filter(|&k| self.shared.is_poisoned(k))
             .collect()
     }
 
-    /// Switch range `k` to its follower replica. Idempotent; errors if no
-    /// follower is configured or it is unreachable.
-    fn failover(&mut self, k: usize, cause: io::Error) -> Result<(), RouterError> {
-        if self.shards[k].failed_over {
-            return Ok(());
-        }
-        let Some(follower) = self.shards[k].endpoint.follower.clone() else {
-            return Err(RouterError::ShardDown {
-                shard: k,
-                error: cause,
-            });
-        };
-        let client_cfg = ClientConfig {
-            tenant: self.cfg.tenant,
-            ..ClientConfig::default()
-        };
-        let client = NetClient::connect(TcpTransport::new(follower), client_cfg)
-            .map_err(|e| RouterError::ShardDown { shard: k, error: e })?;
-        self.shards[k].client = client;
-        self.shards[k].failed_over = true;
-        self.stats.failovers += 1;
-        Ok(())
+    /// A fresh read session over the same deployment: its own lazily
+    /// opened connection per range, the shared health flags and counters.
+    /// Sessions scatter-gather reads concurrently with each other and
+    /// with this router — lockstep only requires serializing *writes*.
+    pub fn read_session(&self) -> ReadSession {
+        ReadSession::new(self.shared.clone())
     }
 
     /// After a diverging write fault on range `k`: the leader either
@@ -572,11 +613,13 @@ impl Router {
     /// it as healthy. Returns the [`RouterError::ShardDown`] to surface
     /// (after the broadcast completes) when the range is lost for good.
     fn write_fault(&mut self, k: usize, error: io::Error) -> Option<RouterError> {
-        match self.failover(k, error) {
+        match self.session.failover(k, error) {
             Ok(()) => None,
             Err(err) => {
-                self.shards[k].poisoned = true;
-                self.stats.poisoned += 1;
+                self.shared.health[k]
+                    .poisoned
+                    .store(true, Ordering::Release);
+                self.shared.poisoned.fetch_add(1, Ordering::Relaxed);
                 Some(err)
             }
         }
@@ -600,11 +643,17 @@ impl Router {
         let mut applied = Vec::new();
         let mut faults: Vec<(usize, io::Error)> = Vec::new();
         let mut rejections: Vec<(usize, io::Error)> = Vec::new();
-        for k in 0..self.shards.len() {
-            if !self.shards[k].is_writer() {
+        for k in 0..self.shared.map.num_shards() {
+            if !self.shared.is_writer(k) {
                 continue;
             }
-            match op(&mut self.shards[k].client) {
+            // A writer range still holds its eagerly opened leader client
+            // (failover is what clears writer status).
+            let client = self.session.conns[k]
+                .client
+                .as_mut()
+                .expect("writer range has a connected client");
+            match op(client) {
                 Ok(v) => applied.push(v),
                 Err(e) if is_server_rejection(&e) => rejections.push((k, e)),
                 Err(e) => faults.push((k, e)),
@@ -644,7 +693,7 @@ impl Router {
     /// [`Router::write_fault`]); the write succeeds as long as one leader
     /// remains and no range was lost outright.
     pub fn submit(&mut self, events: Vec<EdgeEvent>) -> Result<u64, RouterError> {
-        self.stats.writes += 1;
+        self.shared.writes.fetch_add(1, Ordering::Relaxed);
         let applied = self.broadcast(|c| c.submit_events(events.clone()))?;
         applied.into_iter().next().ok_or(RouterError::NoWriters)
     }
@@ -652,43 +701,154 @@ impl Router {
     /// Broadcast a flush barrier; returns the epoch watermark the healthy
     /// shards reached (equal across shards in lockstep).
     pub fn flush(&mut self) -> Result<u64, RouterError> {
-        self.stats.flushes += 1;
+        self.shared.flushes.fetch_add(1, Ordering::Relaxed);
         let applied = self.broadcast(NetClient::flush)?;
         applied.into_iter().max().ok_or(RouterError::NoWriters)
     }
 
-    /// One synchronous range read with the failover ladder: a dead
+    /// Scatter-gather one `GetRows` across every range and merge under
+    /// the epoch barrier, on this router's own connections. The merged
+    /// reply is aligned with `nodes` (request order); nodes outside the
+    /// subset come back `None`.
+    pub fn get_rows(&mut self, nodes: &[u32]) -> Result<RowsReply, RouterError> {
+        self.session.get_rows(nodes)
+    }
+
+    /// Cross-shard top-k on this router's own connections — see
+    /// [`ReadSession::top_k`].
+    pub fn top_k(&mut self, node: u32, k: u32, metric: Metric) -> Result<TopKReply, RouterError> {
+        self.session.top_k(node, k, metric, None)
+    }
+
+    /// Flush, then tell every healthy leader to shut down (clean
+    /// deployment teardown — staged windows drain server-side before the
+    /// ack). Followers are owned by whoever deployed them.
+    pub fn shutdown_shards(&mut self) {
+        let _ = self.flush();
+        for k in 0..self.shared.map.num_shards() {
+            if !self.shared.is_writer(k) {
+                continue;
+            }
+            if let Some(client) = self.session.conns[k].client.as_mut() {
+                let _ = client.shutdown_server();
+            }
+        }
+    }
+}
+
+/// An independent read path over a router deployment: one lazily opened
+/// connection per shard range, scatter-gather/barrier/merge logic, and
+/// the shared health flags. A [`RouterFront`] gives every incoming
+/// connection its own session, so concurrent reads from different
+/// connections proceed in parallel — only writes serialize (on the
+/// [`Router`] itself, whose lock *is* the lockstep order).
+///
+/// A session is a single ordered request stream per range (methods take
+/// `&mut self`); share read load across threads by creating one session
+/// per thread via [`Router::read_session`].
+pub struct ReadSession {
+    shared: Arc<RouterShared>,
+    conns: Vec<RangeConn>,
+}
+
+impl ReadSession {
+    fn new(shared: Arc<RouterShared>) -> ReadSession {
+        let conns = (0..shared.map.num_shards())
+            .map(|_| RangeConn {
+                client: None,
+                on_follower: false,
+            })
+            .collect();
+        ReadSession { shared, conns }
+    }
+
+    /// The connected client for range `k`: opened on first use, and
+    /// re-pinned to the follower when the shared health says the range
+    /// failed over (a leader another path declared diverged must not be
+    /// re-dialed here).
+    fn client(&mut self, k: usize) -> io::Result<&mut NetClient> {
+        let fo = self.shared.failed_over(k);
+        let conn = &mut self.conns[k];
+        if conn.client.is_none() || (fo && !conn.on_follower) {
+            let addr = if fo {
+                self.shared.endpoints[k]
+                    .follower
+                    .clone()
+                    .expect("failed-over range has a follower endpoint")
+            } else {
+                self.shared.endpoints[k].addr.clone()
+            };
+            conn.client = Some(NetClient::connect(
+                TcpTransport::new(addr),
+                self.shared.client_cfg(),
+            )?);
+            conn.on_follower = fo;
+        }
+        Ok(conn.client.as_mut().expect("connection just opened"))
+    }
+
+    /// Switch range `k` to its follower replica and publish the failover
+    /// to the shared health (every other session re-pins on its next
+    /// touch of the range). Idempotent; errors if no follower is
+    /// configured or it is unreachable.
+    fn failover(&mut self, k: usize, cause: io::Error) -> Result<(), RouterError> {
+        if self.shared.failed_over(k) && self.conns[k].on_follower {
+            return Ok(());
+        }
+        let Some(follower) = self.shared.endpoints[k].follower.clone() else {
+            return Err(RouterError::ShardDown {
+                shard: k,
+                error: cause,
+            });
+        };
+        let client = NetClient::connect(TcpTransport::new(follower), self.shared.client_cfg())
+            .map_err(|e| RouterError::ShardDown { shard: k, error: e })?;
+        self.conns[k].client = Some(client);
+        self.conns[k].on_follower = true;
+        if !self.shared.health[k]
+            .failed_over
+            .swap(true, Ordering::AcqRel)
+        {
+            self.shared.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// One synchronous range call with the failover ladder: a dead
     /// transport on the leader switches to the follower and retries
     /// there; request-level faults (corrupt frame, server error) fail
     /// only this request.
-    fn read_range(&mut self, k: usize, nodes: &[u32]) -> Result<RowsReply, RouterError> {
-        match self.shards[k].client.get_rows(nodes) {
+    fn range_call<T>(
+        &mut self,
+        k: usize,
+        op: impl Fn(&mut NetClient) -> io::Result<T>,
+    ) -> Result<T, RouterError> {
+        let first = match self.client(k) {
+            Ok(c) => op(c),
+            Err(e) => Err(e),
+        };
+        match first {
             Ok(r) => Ok(r),
-            Err(e) if is_transport_dead(&e) && !self.shards[k].failed_over => {
+            Err(e) if is_transport_dead(&e) && !self.conns[k].on_follower => {
                 self.failover(k, e)?;
-                self.shards[k]
-                    .client
-                    .get_rows(nodes)
-                    .map_err(|error| RouterError::ShardDown { shard: k, error })
+                match self.client(k) {
+                    Ok(c) => op(c),
+                    Err(e) => Err(e),
+                }
+                .map_err(|error| RouterError::ShardDown { shard: k, error })
             }
             Err(e) if is_transport_dead(&e) => Err(RouterError::ShardDown { shard: k, error: e }),
             Err(error) => Err(RouterError::Io { shard: k, error }),
         }
     }
 
-    /// Scatter-gather one `GetRows` across every range and merge under
-    /// the epoch barrier. The merged reply is aligned with `nodes`
-    /// (request order); nodes outside the subset come back `None`.
-    pub fn get_rows(&mut self, nodes: &[u32]) -> Result<RowsReply, RouterError> {
-        self.stats.reads += 1;
-        let plan = self.map.plan(nodes);
-        let n = self.shards.len();
-
-        // A poisoned range has no server and no replica: no merged read
-        // can cover it again (the merge needs every range, if only as an
-        // epoch probe), so fail fast instead of re-dialing the diverged
-        // leader through the client's transparent reconnect.
-        if let Some(k) = (0..n).find(|&k| self.shards[k].poisoned) {
+    /// Fail fast when any range is poisoned: it has no server and no
+    /// replica, and every merged read needs all ranges (if only as an
+    /// epoch probe) — re-dialing the diverged leader through the client's
+    /// transparent reconnect would serve it as healthy.
+    fn check_poisoned(&self) -> Result<(), RouterError> {
+        let n = self.shared.map.num_shards();
+        if let Some(k) = (0..n).find(|&k| self.shared.is_poisoned(k)) {
             return Err(RouterError::ShardDown {
                 shard: k,
                 error: io::Error::new(
@@ -697,44 +857,80 @@ impl Router {
                 ),
             });
         }
+        Ok(())
+    }
 
-        // Scatter: put one GetRows in flight on every connection before
-        // reading any reply (split-phase — one round trip for the whole
-        // fan-out). A dispatch failure leaves a hole for the sync path.
+    /// Split-phase scatter of one request per range, gathering every
+    /// in-flight reply (skipping one on a fault would leave its bytes in
+    /// the socket and poison the next request on that connection), then
+    /// filling holes synchronously — which is where failover happens.
+    /// `parse` extracts the expected reply variant; `sync_op` is the
+    /// same call in one-shot form for the hole-filling path.
+    fn scatter<T>(
+        &mut self,
+        mk_req: impl Fn(usize) -> Request,
+        parse: impl Fn(Reply) -> io::Result<T>,
+        sync_op: impl Fn(&mut NetClient, usize) -> io::Result<T>,
+    ) -> Result<Vec<T>, RouterError> {
+        let n = self.shared.map.num_shards();
         let mut pending: Vec<Option<u64>> = Vec::with_capacity(n);
         for k in 0..n {
-            let req = Request::GetRows(plan.shard_nodes(k).to_vec());
-            pending.push(self.shards[k].client.dispatch(&req).ok());
+            let req = mk_req(k);
+            pending.push(match self.client(k) {
+                Ok(c) => c.dispatch(&req).ok(),
+                Err(_) => None, // lazy connect failed: a hole for sync
+            });
         }
-        // Gather: collect *every* in-flight reply — skipping one on a
-        // fault would leave its bytes in the socket and poison the next
-        // request on that connection — then fill holes synchronously
-        // (which is where failover happens).
-        let mut gathered: Vec<Result<RowsReply, io::Error>> = Vec::with_capacity(n);
+        let mut gathered: Vec<Result<T, io::Error>> = Vec::with_capacity(n);
         for (k, slot) in pending.into_iter().enumerate() {
             gathered.push(match slot {
-                Some(id) => match self.shards[k].client.collect(id) {
-                    Ok(Reply::Rows(r)) => Ok(r),
-                    Ok(other) => Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected reply variant: {other:?}"),
-                    )),
-                    Err(e) => Err(e),
-                },
+                Some(id) => {
+                    let client = self.conns[k]
+                        .client
+                        .as_mut()
+                        .expect("dispatched range has a client");
+                    client.collect(id).and_then(&parse)
+                }
                 None => Err(io::Error::new(
                     io::ErrorKind::BrokenPipe,
                     "dispatch failed; connection is down",
                 )),
             });
         }
-        let mut replies: Vec<RowsReply> = Vec::with_capacity(n);
+        let mut replies: Vec<T> = Vec::with_capacity(n);
         for (k, got) in gathered.into_iter().enumerate() {
             replies.push(match got {
                 Ok(r) => r,
-                Err(e) if is_transport_dead(&e) => self.read_range(k, plan.shard_nodes(k))?,
+                Err(e) if is_transport_dead(&e) => self.range_call(k, |c| sync_op(c, k))?,
                 Err(error) => return Err(RouterError::Io { shard: k, error }),
             });
         }
+        Ok(replies)
+    }
+
+    /// Scatter-gather one `GetRows` across every range and merge under
+    /// the epoch barrier. The merged reply is aligned with `nodes`
+    /// (request order); nodes outside the subset come back `None`.
+    pub fn get_rows(&mut self, nodes: &[u32]) -> Result<RowsReply, RouterError> {
+        self.shared.reads.fetch_add(1, Ordering::Relaxed);
+        self.get_rows_inner(nodes)
+    }
+
+    fn get_rows_inner(&mut self, nodes: &[u32]) -> Result<RowsReply, RouterError> {
+        self.check_poisoned()?;
+        let plan = self.shared.map.plan(nodes);
+        let n = self.shared.map.num_shards();
+        let mut replies = self.scatter(
+            |k| Request::GetRows(plan.shard_nodes(k).to_vec()),
+            |reply| match reply {
+                Reply::Rows(r) => Ok(r),
+                other => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected reply variant: {other:?}"),
+                )),
+            },
+            |c, k| c.get_rows(plan.shard_nodes(k)),
+        )?;
 
         // Epoch barrier: re-probe every range below the freshest epoch
         // until all agree or the bounded retries run out.
@@ -745,7 +941,7 @@ impl Router {
             if lagging.is_empty() {
                 break;
             }
-            if retries >= self.cfg.barrier_retries {
+            if retries >= self.shared.cfg.barrier_retries {
                 let k = lagging[0];
                 return Err(RouterError::EpochBarrier {
                     target,
@@ -755,27 +951,160 @@ impl Router {
                 });
             }
             retries += 1;
-            self.stats.barrier_retries += 1;
+            self.shared.barrier_retries.fetch_add(1, Ordering::Relaxed);
             thread::sleep(Duration::from_millis(
-                self.cfg.barrier_backoff_ms * retries as u64,
+                self.shared.cfg.barrier_backoff_ms * retries as u64,
             ));
             for k in lagging {
-                replies[k] = self.read_range(k, plan.shard_nodes(k))?;
+                replies[k] = self.range_call(k, |c| c.get_rows(plan.shard_nodes(k)))?;
             }
         }
-        self.map.merge(&plan, &replies)
+        self.shared.map.merge(&plan, &replies)
     }
 
-    /// Flush, then tell every healthy leader to shut down (clean
-    /// deployment teardown — staged windows drain server-side before the
-    /// ack). Followers are owned by whoever deployed them.
-    pub fn shutdown_shards(&mut self) {
-        let _ = self.flush();
-        for s in &mut self.shards {
-            if s.is_writer() {
-                let _ = s.client.shutdown_server();
+    /// Cross-shard top-k: resolve the query vector (via an epoch-barriered
+    /// [`get_rows`](Self::get_rows) when `query` is `None`), scatter a
+    /// [`Request::TopK`] carrying the explicit vector to *every* range —
+    /// the owner excludes `node` from its own answer — and merge the
+    /// per-range lists under the canonical total order (score descending
+    /// by `total_cmp`, ties by ascending **global** row). Every reply
+    /// must answer at one epoch; a flush racing between the two phases
+    /// triggers a bounded retry of the whole round.
+    ///
+    /// The merged reply's checksum is the FNV-1a 64 chain of the
+    /// per-range checksums in ascending range order — bitwise the same
+    /// chain a merged `GetRows` carries at the same epoch. The merged
+    /// neighbor list is bitwise identical to what a single unsharded
+    /// process answers: per-range scores are computed by the same
+    /// sequential kernel, and each range's local-row tie order is the
+    /// global order restricted to its contiguous range.
+    pub fn top_k(
+        &mut self,
+        node: u32,
+        k: u32,
+        metric: Metric,
+        query: Option<Vec<f64>>,
+    ) -> Result<TopKReply, RouterError> {
+        self.shared.reads.fetch_add(1, Ordering::Relaxed);
+        let mut rounds = 0u32;
+        loop {
+            // Phase 1: the query vector and the anchor epoch.
+            let (anchor, q) = match &query {
+                Some(q) => (None, q.clone()),
+                None => {
+                    let rows = self.get_rows_inner(&[node])?;
+                    match rows.rows.into_iter().next().flatten() {
+                        Some(q) => (Some(rows.epoch), q),
+                        None => {
+                            // Outside the subset: same not-found answer a
+                            // single shard gives, at the barriered epoch.
+                            return Ok(TopKReply {
+                                epoch: rows.epoch,
+                                checksum_bits: rows.checksum_bits,
+                                found: false,
+                                neighbors: Vec::new(),
+                            });
+                        }
+                    }
+                }
+            };
+            // Phase 2: scatter the explicit-vector form everywhere.
+            let replies = self.scatter(
+                |_| Request::TopK {
+                    node,
+                    k,
+                    metric,
+                    query: Some(q.clone()),
+                },
+                |reply| match reply {
+                    Reply::TopKReply(t) => Ok(t),
+                    other => Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected reply variant: {other:?}"),
+                    )),
+                },
+                |_c, _| {
+                    Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "in-flight top-k lost to failover; retrying the round",
+                    ))
+                },
+            );
+            // A failover mid-scatter restarts the round: the follower may
+            // sit at a different epoch, and the anchor must be re-probed.
+            let replies = match replies {
+                Ok(r) => r,
+                Err(RouterError::ShardDown { .. }) if rounds < self.shared.cfg.barrier_retries => {
+                    rounds += 1;
+                    self.shared.barrier_retries.fetch_add(1, Ordering::Relaxed);
+                    thread::sleep(Duration::from_millis(
+                        self.shared.cfg.barrier_backoff_ms * rounds as u64,
+                    ));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let epoch = anchor.unwrap_or(replies[0].epoch);
+            if replies.iter().all(|r| r.epoch == epoch) {
+                return self.merge_top_k(epoch, k, &replies);
+            }
+            // A flush landed between the phases (or mid-scatter): the
+            // ranges answered at mixed epochs. Bounded retry, like the
+            // rows barrier.
+            if rounds >= self.shared.cfg.barrier_retries {
+                let freshest = replies.iter().map(|r| r.epoch).max().expect("n >= 1");
+                let (shard, stuck_at) = replies
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.epoch < freshest)
+                    .map(|(sk, r)| (sk, r.epoch))
+                    .next()
+                    .unwrap_or((0, epoch));
+                return Err(RouterError::EpochBarrier {
+                    target: freshest,
+                    shard,
+                    stuck_at,
+                    retries: rounds,
+                });
+            }
+            rounds += 1;
+            self.shared.barrier_retries.fetch_add(1, Ordering::Relaxed);
+            thread::sleep(Duration::from_millis(
+                self.shared.cfg.barrier_backoff_ms * rounds as u64,
+            ));
+        }
+    }
+
+    /// Merge per-range top-k lists answered at one agreed epoch.
+    fn merge_top_k(
+        &self,
+        epoch: u64,
+        k: u32,
+        replies: &[TopKReply],
+    ) -> Result<TopKReply, RouterError> {
+        let mut checksum = FNV_OFFSET;
+        let mut hits: Vec<(f64, usize, u32)> = Vec::new();
+        for (sk, r) in replies.iter().enumerate() {
+            checksum = fnv1a64(checksum, &r.checksum_bits.to_le_bytes());
+            for &(nd, score) in &r.neighbors {
+                let row = self.shared.map.global_row(nd).ok_or_else(|| {
+                    RouterError::Merge(format!(
+                        "shard {sk} answered neighbor {nd} outside the shard map"
+                    ))
+                })?;
+                hits.push((score, row, nd));
             }
         }
+        // The canonical total order: score descending (total_cmp), ties
+        // by ascending global row — identical to a single shard's order.
+        hits.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        hits.truncate(k as usize);
+        Ok(TopKReply {
+            epoch,
+            checksum_bits: checksum,
+            found: true,
+            neighbors: hits.into_iter().map(|(score, _, nd)| (nd, score)).collect(),
+        })
     }
 }
 
@@ -783,6 +1112,9 @@ impl Router {
 struct FrontInner {
     /// Taken (→ `None`) by [`RouterFront::shutdown`].
     router: Mutex<Option<Router>>,
+    /// The same deployment the router scatters over, for per-connection
+    /// [`ReadSession`]s — reads bypass the router lock entirely.
+    shared: Arc<RouterShared>,
     /// The tenant every request must name (the router pins one).
     tenant: u32,
     stop: AtomicBool,
@@ -792,21 +1124,18 @@ struct FrontInner {
 
 /// Serves a [`Router`] over the same wire protocol the shards speak, so
 /// any [`NetClient`] can talk to the deployment without knowing it is
-/// sharded. Requests across all connections are serialized through the
-/// router's lock — that serialization *is* the lockstep write order the
-/// shards' journals rely on.
+/// sharded. *Write-path* requests across all connections are serialized
+/// through the router's lock — that serialization *is* the lockstep
+/// write order the shards' journals rely on.
 ///
-/// **Known limitation — reads serialize too.** The lock is held across a
-/// request's full scatter-gather round trip, including any epoch-barrier
-/// backoff sleeps, so one front has one request in flight at a time even
-/// across connections. Lockstep only *requires* serializing the write
-/// path; reads ride the same lock because the [`Router`] owns a single
-/// [`NetClient`] per range and a client is one ordered request stream.
-/// For read throughput, deploy additional `RouterFront` processes over
-/// the same shard endpoints — the router holds no embedding state, and
-/// the shards' epoch/checksum guards keep every front's merges
-/// consistent — while keeping all writers on one front so the broadcast
-/// order stays total.
+/// **Reads do not serialize.** Every accepted connection owns a
+/// [`ReadSession`] — its own connection per shard range over the shared
+/// health flags and counters — so `GetRows` and `TopK` from different
+/// connections scatter-gather in parallel, including across any
+/// epoch-barrier backoff sleeps and even while a write holds the router
+/// lock. The shards' epoch/checksum guards keep every session's merges
+/// consistent, and a failover observed by one path is published to all
+/// of them through the shared health.
 pub struct RouterFront {
     inner: Arc<FrontInner>,
     listeners: Mutex<Vec<JoinHandle<()>>>,
@@ -815,10 +1144,12 @@ pub struct RouterFront {
 impl RouterFront {
     /// Wrap a connected router. Call [`RouterFront::listen`] to accept.
     pub fn start(router: Router) -> RouterFront {
-        let tenant = router.cfg.tenant;
+        let tenant = router.shared.cfg.tenant;
+        let shared = router.shared.clone();
         RouterFront {
             inner: Arc::new(FrontInner {
                 router: Mutex::new(Some(router)),
+                shared,
                 tenant,
                 stop: AtomicBool::new(false),
                 conns: Mutex::new(Vec::new()),
@@ -900,19 +1231,21 @@ impl RouterFront {
     }
 }
 
-/// One router connection: read frames, execute against the shared router
-/// (serialized under its lock), write replies. Synchronous per
-/// connection; concurrency comes from multiple connections.
+/// One router connection: read frames, execute (reads over this
+/// connection's own [`ReadSession`]; writes against the shared router
+/// under its lock), write replies. Synchronous per connection;
+/// concurrency comes from multiple connections.
 fn serve_connection(inner: Arc<FrontInner>, mut reader: impl io::Read, mut writer: impl io::Write) {
     let should_stop = {
         let inner = inner.clone();
         move || inner.stop.load(Ordering::Acquire)
     };
+    let mut session = ReadSession::new(inner.shared.clone());
     loop {
         match read_frame_until(&mut reader, &should_stop) {
             Ok(Some(frame)) => {
                 let (reply, close) = match frame.message {
-                    Message::Request(req) => execute(&inner, frame.tenant, req),
+                    Message::Request(req) => execute(&inner, &mut session, frame.tenant, req),
                     Message::Reply(_) => (
                         Reply::Error("reply-direction frame on the request path".into()),
                         true,
@@ -943,10 +1276,18 @@ fn serve_connection(inner: Arc<FrontInner>, mut reader: impl io::Read, mut write
     }
 }
 
-/// Execute one request against the router. Faults inside the router map
-/// to `Reply::Error` — a request-level answer; the connection stays open
-/// unless the router itself is gone.
-fn execute(inner: &FrontInner, tenant: u32, req: Request) -> (Reply, bool) {
+/// Execute one request. Reads (`GetRows`, `TopK`) run on this
+/// connection's own session — off the router lock, so they proceed while
+/// a write from another connection is in flight. Write-path requests
+/// serialize under the router's lock (that order *is* lockstep). Faults
+/// map to `Reply::Error` — a request-level answer; the connection stays
+/// open unless the router itself is gone.
+fn execute(
+    inner: &FrontInner,
+    session: &mut ReadSession,
+    tenant: u32,
+    req: Request,
+) -> (Reply, bool) {
     if tenant != inner.tenant {
         return (
             Reply::Error(format!(
@@ -956,22 +1297,50 @@ fn execute(inner: &FrontInner, tenant: u32, req: Request) -> (Reply, bool) {
             false,
         );
     }
+    // Read path: no router lock. A wire Shutdown (or front shutdown)
+    // raises `stop` before the router is consumed, so the flag is the
+    // liveness check here.
+    match req {
+        Request::Ping => return (Reply::Pong, false),
+        Request::GetRows(ref nodes) => {
+            if inner.stop.load(Ordering::Acquire) {
+                return (Reply::Error("router is shut down".into()), true);
+            }
+            return match session.get_rows(nodes) {
+                Ok(rows) => (Reply::Rows(rows), false),
+                Err(e) => (Reply::Error(e.to_string()), false),
+            };
+        }
+        Request::TopK {
+            node,
+            k,
+            metric,
+            ref query,
+        } => {
+            if inner.stop.load(Ordering::Acquire) {
+                return (Reply::Error("router is shut down".into()), true);
+            }
+            return match session.top_k(node, k, metric, query.clone()) {
+                Ok(t) => (Reply::TopKReply(t), false),
+                Err(e) => (Reply::Error(e.to_string()), false),
+            };
+        }
+        _ => {}
+    }
     let mut guard = inner.router.lock().unwrap();
     let Some(router) = guard.as_mut() else {
         return (Reply::Error("router is shut down".into()), true);
     };
     match req {
-        Request::Ping => (Reply::Pong, false),
+        Request::Ping | Request::GetRows(_) | Request::TopK { .. } => {
+            unreachable!("read path handled above")
+        }
         Request::SubmitEvents(events) => match router.submit(events) {
             Ok(accepted) => (Reply::SubmitAck { accepted }, false),
             Err(e) => (Reply::Error(e.to_string()), false),
         },
         Request::Flush => match router.flush() {
             Ok(epoch) => (Reply::FlushAck { epoch }, false),
-            Err(e) => (Reply::Error(e.to_string()), false),
-        },
-        Request::GetRows(nodes) => match router.get_rows(&nodes) {
-            Ok(rows) => (Reply::Rows(rows), false),
             Err(e) => (Reply::Error(e.to_string()), false),
         },
         Request::GetEmbedding => (

@@ -235,12 +235,13 @@ impl TenantState {
         c.blocks_refactored
             .fetch_add(o.stats.blocks_recomputed as u64, Ordering::Release);
         c.batches.fetch_add(1, Ordering::Release);
-        self.cell.store(EpochSnapshot::new(
+        self.cell.store(EpochSnapshot::with_query(
             o.tagged.clone(),
             self.sources.clone(),
             self.index.clone(),
             o.events_applied,
             o.timings,
+            o.query.clone(),
         ));
     }
 }
@@ -511,24 +512,29 @@ impl EmbeddingServer {
             let index: Arc<HashMap<u32, usize>> =
                 Arc::new(sources.iter().enumerate().map(|(i, &v)| (v, i)).collect());
             let counters = Arc::new(Counters::default());
-            let cell = Arc::new(EpochCell::new(EpochSnapshot::new(
+            let num_shards = front.num_shards();
+            // The pipeline owns the query-state refresh chain; epoch 0's
+            // snapshot shares its initial state instead of building twice.
+            let pipe = FlushPipeline::for_tenant(front, back, cfg.pipeline_depth);
+            let cell = Arc::new(EpochCell::new(EpochSnapshot::with_query(
                 // Epoch 0 (the initial factorisation) is served immediately.
-                back.tagged(),
+                pipe.back().tagged(),
                 sources.clone(),
                 index.clone(),
-                back.events_applied(),
-                back.timings(),
+                pipe.back().events_applied(),
+                pipe.back().timings(),
+                pipe.query(),
             )));
             ids.insert(id, slot);
             handles.push(TenantHandle {
                 id,
                 cell: cell.clone(),
                 counters: counters.clone(),
-                num_shards: front.num_shards(),
+                num_shards,
             });
             tenants.push(TenantState {
                 id,
-                pipe: FlushPipeline::for_tenant(front, back, cfg.pipeline_depth),
+                pipe,
                 meta: VecDeque::new(),
                 cell,
                 counters,

@@ -15,6 +15,8 @@ use std::sync::{Arc, RwLock};
 
 use tsvd_core::{PipelineTimings, TaggedEmbedding};
 
+use crate::query::{inv_norm_of, Metric, QueryState};
+
 /// One immutable, internally consistent published state of the server:
 /// the embedding at some epoch plus the lookup structures to query it.
 #[derive(Clone)]
@@ -25,17 +27,36 @@ pub struct EpochSnapshot {
     events_applied: u64,
     timings: PipelineTimings,
     checksum: f64,
+    /// Per-epoch top-k query state (cached row norms + cluster index),
+    /// built at publish time — never per query.
+    query: Arc<QueryState>,
 }
 
 impl EpochSnapshot {
     /// Assemble a snapshot. `sources[i]` must be the node whose embedding
-    /// is row `i` — the engine's subset order.
+    /// is row `i` — the engine's subset order. Builds the per-epoch query
+    /// state from scratch; publish paths that maintain it incrementally
+    /// use [`EpochSnapshot::with_query`] instead.
     pub fn new(
         tagged: TaggedEmbedding,
         sources: Arc<Vec<u32>>,
         index: Arc<HashMap<u32, usize>>,
         events_applied: u64,
         timings: PipelineTimings,
+    ) -> Self {
+        let query = QueryState::build(&tagged);
+        Self::with_query(tagged, sources, index, events_applied, timings, query)
+    }
+
+    /// Assemble a snapshot around an already-built query state (the flush
+    /// pipeline refreshes it incrementally alongside the commit).
+    pub(crate) fn with_query(
+        tagged: TaggedEmbedding,
+        sources: Arc<Vec<u32>>,
+        index: Arc<HashMap<u32, usize>>,
+        events_applied: u64,
+        timings: PipelineTimings,
+        query: Arc<QueryState>,
     ) -> Self {
         assert_eq!(sources.len(), tagged.num_rows(), "sources/rows mismatch");
         let checksum = Self::checksum_of(&tagged);
@@ -46,6 +67,7 @@ impl EpochSnapshot {
             events_applied,
             timings,
             checksum,
+            query,
         }
     }
 
@@ -121,24 +143,80 @@ impl EpochSnapshot {
     }
 
     /// The `k` subset nodes most similar to `node` by embedding dot
-    /// product, descending (excluding `node` itself; ties broken by node
-    /// id). `None` if `node` is not in the subset.
+    /// product, descending (excluding `node` itself; ties broken by
+    /// ascending row). `None` if `node` is not in the subset. Equivalent
+    /// to [`top_k`](Self::top_k) with [`Metric::Dot`].
     pub fn top_k_similar(&self, node: u32, k: usize) -> Option<Vec<(u32, f64)>> {
-        let q = self.get(node)?;
-        let mut scored: Vec<(u32, f64)> = self
-            .sources
-            .iter()
-            .enumerate()
-            .filter(|&(_, &v)| v != node)
-            .map(|(r, &v)| {
-                let row = self.tagged.row(r);
-                let dot: f64 = q.iter().zip(row).map(|(a, b)| a * b).sum();
-                (v, dot)
-            })
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        scored.truncate(k);
-        Some(scored)
+        self.top_k(node, k, Metric::Dot)
+    }
+
+    /// The `k` subset nodes most similar to `node` under `metric`,
+    /// descending, excluding `node` itself; ties broken by ascending row
+    /// (the canonical deterministic order — identical at any thread
+    /// count). Served by the cluster index when this epoch carries one,
+    /// with bitwise-identical results either way. `None` if `node` is not
+    /// in the subset.
+    pub fn top_k(&self, node: u32, k: usize, metric: Metric) -> Option<Vec<(u32, f64)>> {
+        let row = self.row_of(node)?;
+        let q = self.tagged.row(row);
+        Some(self.run_top_k(q, k, metric, Some(row as u32), false))
+    }
+
+    /// [`top_k`](Self::top_k) forced through the tier-1 blocked scan,
+    /// bypassing the cluster index — results are bitwise identical; only
+    /// the work differs. Exposed for equivalence testing and benchmarks.
+    pub fn top_k_scan(&self, node: u32, k: usize, metric: Metric) -> Option<Vec<(u32, f64)>> {
+        let row = self.row_of(node)?;
+        let q = self.tagged.row(row);
+        Some(self.run_top_k(q, k, metric, Some(row as u32), true))
+    }
+
+    /// Top-k against an arbitrary query vector (`q.len() == dim`),
+    /// optionally excluding one subset node (e.g. the query node on the
+    /// shard that owns it — the router's scatter path). For cosine, `q`
+    /// is normalised with the same canonical inverse-norm the cached row
+    /// norms use, so scoring a copied-out row gives bitwise the same
+    /// answer as querying by node.
+    pub fn top_k_by_vector(
+        &self,
+        q: &[f64],
+        k: usize,
+        metric: Metric,
+        exclude: Option<u32>,
+    ) -> Vec<(u32, f64)> {
+        let exclude_row = exclude.and_then(|node| self.row_of(node)).map(|r| r as u32);
+        self.run_top_k(q, k, metric, exclude_row, false)
+    }
+
+    fn run_top_k(
+        &self,
+        q: &[f64],
+        k: usize,
+        metric: Metric,
+        exclude_row: Option<u32>,
+        force_scan: bool,
+    ) -> Vec<(u32, f64)> {
+        self.query
+            .top_k_rows(&self.tagged, q, k, metric, exclude_row, force_scan)
+            .into_iter()
+            .map(|h| (self.sources[h.row as usize], h.score))
+            .collect()
+    }
+
+    /// Cached per-row L2 norms (computed once at publish).
+    pub fn norms(&self) -> &[f64] {
+        self.query.norms()
+    }
+
+    /// Whether this epoch carries a tier-2 cluster index.
+    pub fn has_cluster_index(&self) -> bool {
+        self.query.has_clusters()
+    }
+
+    /// The canonical inverse norm used for cosine scoring — exposed so
+    /// remote scorers normalise query vectors bitwise-identically.
+    pub fn query_inv_norm(q: &[f64]) -> f64 {
+        inv_norm_of(q)
     }
 }
 

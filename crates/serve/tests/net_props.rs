@@ -16,9 +16,9 @@ use tsvd_rt::check::{Checker, Gen};
 use tsvd_rt::{ensure, ensure_eq};
 use tsvd_serve::net::wire::{
     decode_frame, encode_frame, fnv1a64, CheckpointReply, EmbeddingReply, Message, Reply, Request,
-    RowsReply, WindowsReply, WireError, FNV_OFFSET, HEADER_LEN, MAX_PAYLOAD,
+    RowsReply, TopKReply, WindowsReply, WireError, FNV_OFFSET, HEADER_LEN, MAX_PAYLOAD, MAX_TOP_K,
 };
-use tsvd_serve::{HostStats, ServeStats, StatsReply};
+use tsvd_serve::{HostStats, Metric, ServeStats, StatsReply};
 
 fn gen_events(g: &mut Gen, max: usize) -> Vec<EdgeEvent> {
     let n = g.usize_in(0..max);
@@ -39,10 +39,40 @@ fn gen_row(g: &mut Gen, dim: usize) -> Vec<f64> {
     (0..dim).map(|_| g.f64_in(-1e6..1e6)).collect()
 }
 
+fn gen_top_k(g: &mut Gen) -> Request {
+    Request::TopK {
+        node: g.u32_in(0..10_000),
+        k: g.u32_in(0..MAX_TOP_K + 1),
+        metric: if g.bool() {
+            Metric::Dot
+        } else {
+            Metric::Cosine
+        },
+        query: if g.bool() {
+            let dim = g.usize_in(0..9);
+            Some(gen_row(g, dim))
+        } else {
+            None
+        },
+    }
+}
+
+fn gen_top_k_reply(g: &mut Gen) -> TopKReply {
+    let n = g.usize_in(0..16);
+    TopKReply {
+        epoch: g.u64_in(0..1_000_000),
+        checksum_bits: g.u64_in(0..u64::MAX),
+        found: g.bool(),
+        neighbors: (0..n)
+            .map(|_| (g.u32_in(0..10_000), g.f64_in(-1e6..1e6)))
+            .collect(),
+    }
+}
+
 /// A randomized message of any type (finite floats: the identity check
 /// uses `PartialEq`; NaN bit preservation is pinned by a codec unit test).
 fn gen_message(g: &mut Gen) -> Message {
-    match g.usize_in(0..20) {
+    match g.usize_in(0..22) {
         0 => Message::Request(Request::Ping),
         1 => Message::Request(Request::SubmitEvents(gen_events(g, 40))),
         2 => Message::Request(Request::Flush),
@@ -133,6 +163,7 @@ fn gen_message(g: &mut Gen) -> Message {
             },
         }))),
         13 => Message::Reply(Reply::ShutdownAck),
+        14 => Message::Request(gen_top_k(g)),
         15 => Message::Request(Request::GetWindows {
             after_epoch: g.u64_in(0..u64::MAX),
             max: g.u32_in(0..u32::MAX),
@@ -163,6 +194,7 @@ fn gen_message(g: &mut Gen) -> Message {
             oldest: g.u64_in(0..u64::MAX),
             requested: g.u64_in(0..u64::MAX),
         }),
+        20 => Message::Reply(Reply::TopKReply(gen_top_k_reply(g))),
         _ => {
             let n = g.usize_in(0..120);
             let msg: String = (0..n)
@@ -204,6 +236,36 @@ fn prop_any_single_byte_corruption_is_rejected() {
             // A flipped length byte can make the frame *longer* than the
             // buffer only if it grows the length — shrinking it still fails
             // the checksum. Either way Ok(..) must be impossible.
+            Ok(_) => Err(format!("flip of bit {flip:#x} at byte {pos} accepted")),
+        }
+    });
+}
+
+#[test]
+fn prop_top_k_frames_round_trip_and_reject_every_flip() {
+    // The serving-path messages specifically: identity on the nose, the
+    // tenant echoed exactly, and *every* single-byte corruption — header,
+    // discriminant bytes (metric, presence tag, found), k field, floats —
+    // rejected. Complements the targeted offset tests in the codec.
+    Checker::new(400).run("wire_top_k", |g| {
+        let id = g.u64_in(0..u64::MAX);
+        let tenant = g.u32_in(0..u32::MAX);
+        let msg = if g.bool() {
+            Message::Request(gen_top_k(g))
+        } else {
+            Message::Reply(Reply::TopKReply(gen_top_k_reply(g)))
+        };
+        let mut buf = Vec::new();
+        encode_frame(id, tenant, &msg, &mut buf);
+        let (frame, used) = decode_frame(&buf).map_err(|e| format!("rejected own frame: {e}"))?;
+        ensure_eq!(used, buf.len());
+        ensure_eq!(frame.tenant, tenant);
+        ensure!(frame.message == msg, "decoded top-k message differs");
+        let pos = g.usize_in(0..buf.len());
+        let flip = 1u8 << g.usize_in(0..8);
+        buf[pos] ^= flip;
+        match decode_frame(&buf) {
+            Err(_) => Ok(()),
             Ok(_) => Err(format!("flip of bit {flip:#x} at byte {pos} accepted")),
         }
     });

@@ -1,0 +1,371 @@
+//! Equivalence battery for the top-k serving tiers: every path that can
+//! answer a top-k query must produce the *bitwise identical* neighbor
+//! list — the tiers trade work, never answers.
+//!
+//! * Tier-1 blocked scan ≡ tier-2 clustered index ≡ a naive reference
+//!   reimplemented here, across epochs of dirty-row churn (the cluster
+//!   index is refreshed incrementally on the flush path; the reference
+//!   is rebuilt from scratch each epoch).
+//! * The wire path (`NetClient::top_k` → `NetFront`) ≡ the in-process
+//!   snapshot call.
+//! * The router's scatter-gather merge ≡ a single unsharded process,
+//!   including the merged checksum chain.
+//! * A follower replica serves *stale-but-consistent* top-k: its answer
+//!   matches the offline replay at its own epoch, not the leader's.
+//!
+//! The suite runs under the ci matrix at `TSVD_THREADS ∈ {1, 4}` — the
+//! deterministic total order (score descending by `total_cmp`, ties by
+//! ascending row) must not depend on the thread count.
+
+use tsvd_core::{Level1Method, PartitionStrategy, TreeSvdConfig, UpdatePolicy};
+use tsvd_graph::{DynGraph, EdgeEvent};
+use tsvd_ppr::PprConfig;
+use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
+use tsvd_serve::net::{ClientConfig, NetClient, TcpTransport};
+use tsvd_serve::{
+    EmbeddingServer, EpochSnapshot, Follower, Metric, NetFront, Router, RouterConfig, RouterFront,
+    ServeConfig, ShardEndpoint, ShardMap, ShardedEngine, TenantHost,
+};
+
+/// Large enough that the full subset crosses the cluster-index floor
+/// (64 rows) while a 3-way shard split stays below it per range — so the
+/// router test exercises mixed tiers across shards.
+const SUBSET: u32 = 96;
+
+fn fixed_graph() -> DynGraph {
+    let mut rng = StdRng::seed_from_u64(0x70CC);
+    let n = 160;
+    let mut g = DynGraph::with_nodes(n);
+    while g.num_edges() < 640 {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u != v {
+            g.insert_edge(u, v);
+        }
+    }
+    g
+}
+
+fn tree_cfg() -> TreeSvdConfig {
+    TreeSvdConfig {
+        dim: 8,
+        branching: 2,
+        num_blocks: 4,
+        oversample: 4,
+        power_iters: 1,
+        level1: Level1Method::Randomized,
+        policy: UpdatePolicy::Lazy { delta: 0.4 },
+        partition: PartitionStrategy::EqualWidth,
+        seed: 23,
+    }
+}
+
+fn subset() -> Vec<u32> {
+    (0..SUBSET).collect()
+}
+
+fn range_host(g: &DynGraph, sub: &[u32]) -> TenantHost {
+    TenantHost::from_engine(
+        ShardedEngine::new(g, sub, 1, PprConfig::default(), tree_cfg()),
+        0,
+    )
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        flush_max_events: 1 << 20,
+        flush_interval_ms: 60_000,
+        ..Default::default()
+    }
+}
+
+/// Churn windows that touch only a handful of subset nodes each — the
+/// incremental index refresh must reassign exactly the dirty rows and
+/// still land bitwise on the from-scratch rebuild.
+fn churn(k: u32) -> Vec<EdgeEvent> {
+    vec![
+        EdgeEvent::insert(k % SUBSET, 100 + k),
+        EdgeEvent::insert((3 * k + 1) % SUBSET, 120 + k),
+        EdgeEvent::delete(k % SUBSET, 100 + k),
+        EdgeEvent::insert((7 * k + 2) % SUBSET, 140 + k),
+    ]
+}
+
+/// The naive reference: score every row with the same sequential dot
+/// reduction, sort by the canonical total order, truncate. Rebuilt from
+/// the snapshot's own rows, so any tier that diverges from it diverges
+/// from the data it was serving.
+fn naive_top_k(
+    snap: &EpochSnapshot,
+    node: u32,
+    k: usize,
+    metric: Metric,
+) -> Option<Vec<(u32, f64)>> {
+    let sub: Vec<u32> = snap.sources().to_vec();
+    let q = snap.get(node)?.to_vec();
+    let q_scale = match metric {
+        Metric::Dot => 1.0,
+        Metric::Cosine => EpochSnapshot::query_inv_norm(&q),
+    };
+    let mut scored: Vec<(usize, u32, f64)> = Vec::new();
+    for (row, &src) in sub.iter().enumerate() {
+        if src == node {
+            continue;
+        }
+        let r = snap.get(src).unwrap();
+        let dot: f64 = q.iter().zip(r).map(|(a, b)| a * b).sum();
+        let score = match metric {
+            Metric::Dot => dot,
+            Metric::Cosine => (dot * q_scale) * EpochSnapshot::query_inv_norm(r),
+        };
+        scored.push((row, src, score));
+    }
+    scored.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    Some(scored.into_iter().map(|(_, src, s)| (src, s)).collect())
+}
+
+fn assert_bitwise_eq(got: &[(u32, f64)], want: &[(u32, f64)], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.0, w.0, "{what}: node mismatch at rank {i}");
+        assert_eq!(
+            g.1.to_bits(),
+            w.1.to_bits(),
+            "{what}: score at rank {i} not bitwise equal ({} vs {})",
+            g.1,
+            w.1
+        );
+    }
+}
+
+/// Tier-1, tier-2, and the naive reference agree bitwise at every epoch
+/// of a dirty-row churn stream, for both metrics and several k.
+#[test]
+fn scan_clustered_and_naive_agree_across_churn() {
+    let g = fixed_graph();
+    let sub = subset();
+    let server = EmbeddingServer::start_host(range_host(&g, &sub), serve_cfg());
+    let reader = server.reader();
+
+    for epoch in 0..4u32 {
+        if epoch > 0 {
+            assert!(server.submit_batch(churn(epoch)));
+            server.flush_sync();
+        }
+        let snap = reader.snapshot();
+        assert_eq!(snap.epoch(), epoch as u64);
+        assert!(
+            snap.has_cluster_index(),
+            "{SUBSET} rows must carry the tier-2 index"
+        );
+        for &node in &[0u32, 17, 95] {
+            for &k in &[1usize, 5, 13, SUBSET as usize + 10] {
+                for metric in [Metric::Dot, Metric::Cosine] {
+                    let want = naive_top_k(&snap, node, k, metric).unwrap();
+                    let scan = snap.top_k_scan(node, k, metric).unwrap();
+                    assert_bitwise_eq(
+                        &scan,
+                        &want,
+                        &format!("epoch {epoch} node {node} k {k} {metric:?}: scan vs naive"),
+                    );
+                    let auto = snap.top_k(node, k, metric).unwrap();
+                    assert_bitwise_eq(
+                        &auto,
+                        &want,
+                        &format!("epoch {epoch} node {node} k {k} {metric:?}: clustered vs naive"),
+                    );
+                }
+            }
+        }
+        // Non-subset nodes are a clean miss, not a panic.
+        assert!(snap.top_k(SUBSET + 5, 3, Metric::Dot).is_none());
+    }
+    server.shutdown_host();
+}
+
+/// The wire path answers bitwise what the in-process snapshot answers,
+/// and misses (non-subset nodes) come back `Ok(None)`.
+#[test]
+fn wire_top_k_matches_in_process() {
+    let g = fixed_graph();
+    let sub = subset();
+    let server = EmbeddingServer::start_host(range_host(&g, &sub), serve_cfg());
+    let reader = server.reader();
+    let front = NetFront::start(server);
+    let addr = front.listen("127.0.0.1:0").unwrap().to_string();
+    let mut client = NetClient::connect(TcpTransport::new(addr), ClientConfig::default()).unwrap();
+
+    client.submit_events(churn(1)).unwrap();
+    client.flush().unwrap();
+
+    let snap = reader.snapshot();
+    for metric in [Metric::Dot, Metric::Cosine] {
+        let want = snap.top_k(17, 9, metric).unwrap();
+        let got = client.top_k(17, 9, metric).unwrap().unwrap();
+        assert_bitwise_eq(&got, &want, &format!("wire vs in-process ({metric:?})"));
+    }
+    assert_eq!(client.top_k(SUBSET + 5, 3, Metric::Dot).unwrap(), None);
+
+    front.shutdown_host();
+}
+
+/// The naive *global* reference for a sharded deployment: score every
+/// range's rows naively against the query row (owned by one range),
+/// concatenate under global row numbering, sort by the canonical total
+/// order, truncate. An independent reimplementation of what the
+/// scatter-gather must compute.
+fn naive_sharded_top_k(
+    snaps: &[std::sync::Arc<EpochSnapshot>],
+    map: &ShardMap,
+    node: u32,
+    k: usize,
+    metric: Metric,
+) -> Option<Vec<(u32, f64)>> {
+    let owner = (0..map.num_shards()).find(|&s| map.sources_of(s).contains(&node))?;
+    let q = snaps[owner].get(node)?.to_vec();
+    let q_scale = match metric {
+        Metric::Dot => 1.0,
+        Metric::Cosine => EpochSnapshot::query_inv_norm(&q),
+    };
+    let mut scored: Vec<(usize, u32, f64)> = Vec::new();
+    let mut global_row = 0usize;
+    for (s, snap) in snaps.iter().enumerate() {
+        for &src in map.sources_of(s) {
+            let row = global_row;
+            global_row += 1;
+            if src == node {
+                continue;
+            }
+            let r = snap.get(src).unwrap();
+            let dot: f64 = q.iter().zip(r).map(|(a, b)| a * b).sum();
+            let score = match metric {
+                Metric::Dot => dot,
+                Metric::Cosine => (dot * q_scale) * EpochSnapshot::query_inv_norm(r),
+            };
+            scored.push((row, src, score));
+        }
+    }
+    scored.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    Some(scored.into_iter().map(|(_, src, sc)| (src, sc)).collect())
+}
+
+/// The router's cross-shard merge is bitwise the naive global answer
+/// computed over the same per-range embeddings: same neighbors, same
+/// scores, same order — and its merged checksum is the same chain a
+/// merged `GetRows` carries at that epoch. Served both on the router's
+/// own connections and through a `RouterFront` over the wire.
+#[test]
+fn router_merge_is_bitwise_the_naive_global_answer() {
+    let g = fixed_graph();
+    let sub = subset();
+
+    // The subset split over three shard processes, plus per-range offline
+    // replicas for the reference (bitwise equal by engine determinism).
+    let map = ShardMap::even_split(&sub, 3);
+    let fronts: Vec<(NetFront, String)> = (0..3)
+        .map(|k| {
+            let front = NetFront::start(EmbeddingServer::start_host(
+                range_host(&g, map.sources_of(k)),
+                serve_cfg(),
+            ));
+            let addr = front.listen("127.0.0.1:0").unwrap().to_string();
+            (front, addr)
+        })
+        .collect();
+    let snaps: Vec<_> = (0..3)
+        .map(|k| {
+            Follower::new(range_host(&g, map.sources_of(k)))
+                .reader(0)
+                .unwrap()
+                .snapshot()
+        })
+        .collect();
+    let endpoints = fronts
+        .iter()
+        .map(|(_, a)| ShardEndpoint::leader_only(a))
+        .collect();
+    let mut router = Router::connect(map.clone(), endpoints, RouterConfig::default()).unwrap();
+
+    for metric in [Metric::Dot, Metric::Cosine] {
+        for &(node, k) in &[(0u32, 7u32), (41, 12), (95, 200)] {
+            let want = naive_sharded_top_k(&snaps, &map, node, k as usize, metric).unwrap();
+            let got = router.top_k(node, k, metric).unwrap();
+            assert!(got.found);
+            assert_bitwise_eq(
+                &got.neighbors,
+                &want,
+                &format!("router vs naive global (node {node} k {k} {metric:?})"),
+            );
+            // The merged checksum chain is shared with the rows path.
+            let rows = router.get_rows(&[node]).unwrap();
+            assert_eq!(rows.epoch, got.epoch);
+            assert_eq!(rows.checksum_bits, got.checksum_bits);
+        }
+    }
+    // A node outside every range: found=false at the barriered epoch.
+    let miss = router.top_k(SUBSET + 7, 5, Metric::Dot).unwrap();
+    assert!(!miss.found && miss.neighbors.is_empty());
+
+    // The same answers again through a RouterFront over real TCP.
+    let front = RouterFront::start(router);
+    let faddr = front.listen("127.0.0.1:0").unwrap().to_string();
+    let mut client = NetClient::connect(TcpTransport::new(faddr), ClientConfig::default()).unwrap();
+    let want = naive_sharded_top_k(&snaps, &map, 41, 12, Metric::Cosine).unwrap();
+    let got = client.top_k(41, 12, Metric::Cosine).unwrap().unwrap();
+    assert_bitwise_eq(&got, &want, "router front wire vs naive global");
+    assert_eq!(client.top_k(SUBSET + 7, 5, Metric::Dot).unwrap(), None);
+    front.shutdown();
+
+    for (front, _) in fronts {
+        front.shutdown_host();
+    }
+}
+
+/// A follower replica serves *stale-but-consistent* top-k: caught up to
+/// epoch 1 while the leader runs ahead to epoch 2, its answer is the
+/// offline replay's answer at epoch 1 — internally consistent with the
+/// rows and checksum it serves, not a torn mix of epochs.
+#[test]
+fn follower_serves_stale_but_consistent_top_k() {
+    let g = fixed_graph();
+    let sub = subset();
+    let server = EmbeddingServer::start_host(range_host(&g, &sub), serve_cfg());
+    let front = NetFront::start(server);
+    let addr = front.listen("127.0.0.1:0").unwrap().to_string();
+    let mut client = NetClient::connect(TcpTransport::new(addr), ClientConfig::default()).unwrap();
+
+    let mut follower = Follower::new(range_host(&g, &sub));
+
+    // Epoch 1 lands on the leader; the follower replays it.
+    client.submit_events(churn(1)).unwrap();
+    client.flush().unwrap();
+    assert_eq!(follower.catch_up(&mut client, 16).unwrap(), 1);
+
+    // The leader runs ahead to epoch 2; the follower stays at 1.
+    client.submit_events(churn(2)).unwrap();
+    client.flush().unwrap();
+
+    let freader = follower.reader(0).unwrap();
+    let ffront = NetFront::start_readers(vec![(0, freader)]);
+    let faddr = ffront.listen("127.0.0.1:0").unwrap().to_string();
+    let mut fclient =
+        NetClient::connect(TcpTransport::new(faddr), ClientConfig::default()).unwrap();
+
+    // Offline replay of exactly epoch 1 — the follower's truth.
+    let mut off = range_host(&g, &sub);
+    off.apply_batch(&churn(1));
+    let off_snap = Follower::new(off).reader(0).unwrap().snapshot();
+
+    let want = off_snap.top_k(17, 9, Metric::Dot).unwrap();
+    let got = fclient.top_k(17, 9, Metric::Dot).unwrap().unwrap();
+    assert_bitwise_eq(&got, &want, "follower stale top-k vs epoch-1 replay");
+
+    // And the leader has moved on — its answer reflects epoch 2.
+    let leader_rows = client.get_rows(&[17]).unwrap();
+    assert_eq!(leader_rows.epoch, 2);
+
+    ffront.shutdown_readers();
+    front.shutdown_host();
+}

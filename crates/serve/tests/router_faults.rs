@@ -16,17 +16,22 @@
 
 use std::io::Write as _;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use tsvd_core::{Level1Method, PartitionStrategy, TreeSvdConfig, UpdatePolicy};
 use tsvd_graph::{DynGraph, EdgeEvent};
 use tsvd_ppr::PprConfig;
 use tsvd_rt::rng::{Rng, SeedableRng, StdRng};
-use tsvd_serve::net::wire::{encode_frame, read_frame, Message, Reply, Request, RowsReply};
+use tsvd_serve::net::wire::{
+    encode_frame, read_frame, Message, Reply, Request, RowsReply, TopKReply,
+};
 use tsvd_serve::net::{ClientConfig, NetClient, TcpTransport};
 use tsvd_serve::{
-    EmbeddingServer, Follower, NetFront, Router, RouterConfig, RouterError, ServeConfig,
-    ShardEndpoint, ShardMap, ShardedEngine, TenantHost,
+    EmbeddingServer, Follower, Metric, NetFront, Router, RouterConfig, RouterError, RouterFront,
+    ServeConfig, ShardEndpoint, ShardMap, ShardedEngine, TenantHost,
 };
 
 fn fixed_graph() -> DynGraph {
@@ -595,6 +600,152 @@ fn uniform_quota_rejection_is_not_divergence() {
 
     front0.shutdown_host();
     front1.shutdown_host();
+}
+
+/// A scripted shard whose `SubmitEvents` reply stalls until `gate`
+/// flips, while `GetRows`/`TopK`/`Ping` answer immediately — one thread
+/// per accepted connection, so a stalled write conn never blocks a read
+/// conn. `write_seen` flips the moment the stalled write *arrives*, so
+/// the test knows the router lock is held before it issues reads.
+fn stalling_shard(
+    dim: usize,
+    sub: Vec<u32>,
+    gate: Arc<AtomicBool>,
+    write_seen: Arc<AtomicBool>,
+) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    thread::Builder::new()
+        .name("tsvd-test-stall-shard".into())
+        .spawn(move || {
+            while let Ok((mut stream, _)) = listener.accept() {
+                let gate = gate.clone();
+                let write_seen = write_seen.clone();
+                let sub = sub.clone();
+                thread::spawn(move || {
+                    while let Ok(Some(frame)) = read_frame(&mut stream) {
+                        let reply = match frame.message {
+                            Message::Request(Request::SubmitEvents(events)) => {
+                                write_seen.store(true, Ordering::Release);
+                                while !gate.load(Ordering::Acquire) {
+                                    thread::sleep(Duration::from_millis(1));
+                                }
+                                Reply::SubmitAck {
+                                    accepted: events.len() as u64,
+                                }
+                            }
+                            Message::Request(Request::GetRows(nodes)) => Reply::Rows(RowsReply {
+                                epoch: 0,
+                                checksum_bits: 0x9999,
+                                dim: dim as u32,
+                                rows: nodes.iter().map(|_| Some(vec![0.5; dim])).collect(),
+                            }),
+                            Message::Request(Request::TopK { node, k, .. }) => {
+                                Reply::TopKReply(TopKReply {
+                                    epoch: 0,
+                                    checksum_bits: 0x9999,
+                                    found: true,
+                                    neighbors: sub
+                                        .iter()
+                                        .filter(|&&n| n != node)
+                                        .take(k as usize)
+                                        .map(|&n| (n, 0.25))
+                                        .collect(),
+                                })
+                            }
+                            Message::Request(Request::Ping) => Reply::Pong,
+                            _ => break,
+                        };
+                        let mut buf = Vec::new();
+                        encode_frame(
+                            frame.request_id,
+                            frame.tenant,
+                            &Message::Reply(reply),
+                            &mut buf,
+                        );
+                        if stream.write_all(&buf).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("spawn stalling shard");
+    addr
+}
+
+/// The satellite pin for the old front bottleneck: a write stalled
+/// inside the router lock must NOT serialize reads from *other*
+/// connections. Conn A's `SubmitEvents` blocks server-side (holding the
+/// router's write lock the whole time); conn B's `GetRows` and `TopK`
+/// must complete while A is still blocked, on B's own read session.
+#[test]
+fn front_reads_proceed_while_a_write_holds_the_router_lock() {
+    let sub = subset();
+    let map = ShardMap::even_split(&sub, 1);
+    let gate = Arc::new(AtomicBool::new(false));
+    let write_seen = Arc::new(AtomicBool::new(false));
+    let addr = stalling_shard(4, sub.clone(), gate.clone(), write_seen.clone());
+
+    let router = Router::connect(
+        map,
+        vec![ShardEndpoint::leader_only(&addr)],
+        RouterConfig::default(),
+    )
+    .unwrap();
+    let front = RouterFront::start(router);
+    let front_addr = front.listen("127.0.0.1:0").unwrap().to_string();
+
+    // Conn A: a write that stalls server-side, holding the router lock.
+    let a_addr = front_addr.clone();
+    let writer = thread::spawn(move || {
+        let mut a = NetClient::connect(TcpTransport::new(a_addr), ClientConfig::default()).unwrap();
+        a.submit_events(window(0)).unwrap()
+    });
+    let t0 = Instant::now();
+    while !write_seen.load(Ordering::Acquire) {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "write never arrived"
+        );
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    // Conn B: reads on its own session, while the write is still stuck.
+    let b_addr = front_addr.clone();
+    let sub_b = sub.clone();
+    let reader = thread::spawn(move || {
+        let mut b = NetClient::connect(TcpTransport::new(b_addr), ClientConfig::default()).unwrap();
+        let rows = b.get_rows(&sub_b).unwrap();
+        let topk = b.top_k(sub_b[0], 3, Metric::Dot).unwrap().unwrap();
+        (rows, topk)
+    });
+    let t1 = Instant::now();
+    while !reader.is_finished() {
+        assert!(
+            t1.elapsed() < Duration::from_secs(10),
+            "reads serialized behind the stalled write — the front regressed \
+             to one-request-at-a-time"
+        );
+        thread::sleep(Duration::from_millis(1));
+    }
+    let (rows, topk) = reader.join().unwrap();
+    assert_eq!(rows.epoch, 0);
+    assert_eq!(rows.rows.len(), sub.len());
+    assert_eq!(topk.len(), 3);
+    assert!(
+        !gate.load(Ordering::Acquire),
+        "test bug: gate opened before the reads finished"
+    );
+
+    // Release the write; conn A completes normally.
+    gate.store(true, Ordering::Release);
+    assert_eq!(writer.join().unwrap(), window(0).len() as u64);
+
+    let router = front.shutdown().unwrap();
+    assert_eq!(router.stats().writes, 1);
+    // get_rows + top_k (its internal anchor probe is part of one read).
+    assert_eq!(router.stats().reads, 2);
 }
 
 /// A rejection on one shard while another shard *applied* the same batch
